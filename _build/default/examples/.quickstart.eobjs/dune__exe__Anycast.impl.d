@@ -1,0 +1,1 @@
+examples/anycast.ml: As_graph Asn Bgp Fmt Hashtbl Internet List Option Topo

@@ -1,0 +1,1 @@
+examples/backbone_routing.ml: Approval Asn Aspath Bgp Fmt Ipv4 Ipv4_packet List Neighbor_host Netcore Peering Platform Pop Prefix Rib Toolkit Vbgp

@@ -1,0 +1,1 @@
+examples/filter_debugging.ml: As_graph Asn Bgp Fmt Internet List Looking_glass Topo

@@ -1,0 +1,1 @@
+examples/hijack_defense.ml: As_graph Asn Aspath Bgp Fmt Internet List Netcore Policy Prefix Topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approval Asn Aspath Attr Bgp Fmt Ipv4 Ipv4_packet List Mac Neighbor_host Netcore Peering Platform Pop Prefix Printf Toolkit Topo Vbgp

@@ -1,0 +1,1 @@
+examples/route_diversity.ml: Asn Bgp Fmt Hashtbl List Netcore Prefix Topo

@@ -1,0 +1,1 @@
+examples/security_audit.ml: Approval Asn Aspath Attr Bgp Community Fmt Ipv4 Ipv4_packet List Msg Neighbor_host Netcore Option Peering Platform Pop Prefix Result Rib Toolkit Vbgp

@@ -1,0 +1,1 @@
+examples/traffic_engineering.ml: Approval Asn Aspath Attr Bgp Fmt Ipv4_packet List Neighbor_host Netcore Peering Platform Pop Prefix Printf Rib Toolkit Vbgp

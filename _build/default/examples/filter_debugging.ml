@@ -1,0 +1,97 @@
+(* Automated filter troubleshooting (the paper's Appendix A, proposed there
+   as future work): a PEERING announcement is not globally visible because
+   some remote network silently filters it. Operators only have looking
+   glasses — and even adjacent looking glasses cannot distinguish "A does
+   not export to B" from "B filters A" — so the paper's team debugged by
+   e-mailing providers. This example runs the automated localizer instead.
+
+   Run with: dune exec examples/filter_debugging.exe *)
+
+open Bgp
+open Topo
+
+let () =
+  Fmt.pr "== automated route-filter troubleshooting (Appendix A) ==@.";
+  let graph =
+    As_graph.generate
+      ~params:{ As_graph.default_gen with transit = 16; stub = 100; seed = 41 }
+      ()
+  in
+  (* PEERING's AS attaches below two transits. *)
+  let transits =
+    List.filter
+      (fun a ->
+        match As_graph.node graph a with
+        | Some n -> n.As_graph.tier = 2
+        | None -> false)
+      (As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let t1 = List.nth transits 0 and t2 = List.nth transits 1 in
+  let origin = Asn.of_int 47065 in
+  As_graph.add_node graph ~asn:origin ~kind:As_graph.Education ~tier:3;
+  As_graph.add_customer graph ~provider:t1 ~customer:origin;
+  As_graph.add_customer graph ~provider:t2 ~customer:origin;
+
+  (* The hidden problem: a single-homed stub's provider filters the route
+     toward its customer (a stale customer-facing prefix list — exactly the
+     Appendix A scenario: the network exists, peers fine, but never sees
+     our prefix). *)
+  let victim =
+    List.find
+      (fun a ->
+        match As_graph.node graph a with
+        | Some n ->
+            n.As_graph.tier = 3
+            && List.length (As_graph.providers graph a) = 1
+            && As_graph.peers graph a = []
+            && not (Asn.equal a origin)
+        | None -> false)
+      (List.sort Asn.compare (As_graph.asns graph))
+  in
+  let bad_provider = List.hd (As_graph.providers graph victim) in
+  let filters = [ (bad_provider, victim) ] in
+  Fmt.pr
+    "hidden fault injected: as%a's provider as%a silently filters the prefix toward it@."
+    Asn.pp victim Asn.pp bad_provider;
+
+  (* Visible symptom: fewer networks see the announcement than should. *)
+  let ideal = Internet.propagate graph ~origin in
+  let actual = Internet.propagate graph ~origin ~filters in
+  Fmt.pr
+    "expected reach %d ASes; observed reach %d ASes — %d network(s) cannot see the prefix@."
+    (Internet.reach_count ideal)
+    (Internet.reach_count actual)
+    (Internet.reach_count ideal - Internet.reach_count actual);
+
+  (* Deploy looking glasses in ~35%% of networks and localize. *)
+  (* Find a deployment seed under which the victim hosts a looking glass
+     (in practice: the operator of the unreachable network runs the query
+     themselves). *)
+  let rec deploy seed =
+    let lg = Looking_glass.create ~coverage:0.35 ~seed ~filters graph ~origin in
+    if List.exists (Asn.equal victim) (Looking_glass.hosts lg) then lg
+    else deploy (seed + 1)
+  in
+  let lg = deploy 8 in
+  Fmt.pr "looking glasses available in %d/%d networks@."
+    (Looking_glass.host_count lg)
+    (As_graph.node_count graph);
+  let suspects = Looking_glass.localize lg ~origin in
+  Fmt.pr "localizer produced %d candidate filter edges:@."
+    (List.length suspects);
+  List.iteri
+    (fun i s -> if i < 5 then Fmt.pr "  %d. %a@." (i + 1) Looking_glass.pp_suspect s)
+    suspects;
+  Fmt.pr "true fault covered by candidates: %b@."
+    (Looking_glass.covers suspects ~filters);
+  (match suspects with
+  | top :: _
+    when Asn.equal top.Looking_glass.from_as bad_provider
+         && Asn.equal top.Looking_glass.to_as victim ->
+      Fmt.pr "top-ranked suspect IS the injected fault — email one provider \
+              instead of all of them@."
+  | _ ->
+      Fmt.pr "fault is in the candidate set; a few more looking glasses \
+              would pinpoint it@.");
+  Fmt.pr "== filter troubleshooting complete ==@."

@@ -1,0 +1,94 @@
+(* Measuring hidden routes (paper §7.1): BGP only reveals routes that are in
+   use, hiding backup paths and route diversity. PEERING experiments
+   uncover them by manipulating availability — AS-path poisoning makes an
+   AS's preferred route unusable, forcing it onto (and thus revealing) its
+   backup.
+
+   This example announces an experiment prefix over a synthetic Internet,
+   then poisons the ASes on the default paths one at a time, counting how
+   many distinct AS-level routes each network is observed to use — routes
+   invisible to passive measurement.
+
+   Run with: dune exec examples/route_diversity.exe *)
+
+open Netcore
+open Bgp
+
+
+(* The AS paths in use across the whole Internet for a given announcement
+   configuration. *)
+let paths_in_use internet ~origin ~blocked =
+  let graph = Topo.Internet.graph internet in
+  let p = Topo.Internet.propagate graph ~origin ~blocked in
+  List.filter_map
+    (fun asn -> Topo.Internet.path p asn)
+    (Topo.As_graph.asns graph)
+
+let () =
+  Fmt.pr "== route diversity via poisoning (paper §7.1) ==@.";
+  let graph =
+    Topo.As_graph.generate
+      ~params:
+        { Topo.As_graph.default_gen with transit = 20; stub = 120; seed = 21 }
+      ()
+  in
+  (* The experiment's AS attaches to the graph through two transit
+     providers, like a PEERING university + IXP footprint. *)
+  let exp_asn = Asn.of_int 61574 in
+  let transits =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier = 2
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let t1 = List.nth transits 0 and t2 = List.nth transits 1 in
+  Topo.As_graph.add_node graph ~asn:exp_asn ~kind:Topo.As_graph.Education
+    ~tier:3;
+  Topo.As_graph.add_customer graph ~provider:t1 ~customer:exp_asn;
+  Topo.As_graph.add_customer graph ~provider:t2 ~customer:exp_asn;
+  let internet =
+    Topo.Internet.create graph
+      ~origins:[ (Prefix.of_string_exn "184.164.224.0/24", exp_asn) ]
+  in
+
+  (* Baseline: the paths in use with a plain announcement. *)
+  let baseline = paths_in_use internet ~origin:exp_asn ~blocked:[] in
+  let distinct paths =
+    List.sort_uniq compare paths |> List.length
+  in
+  Fmt.pr "plain announcement: %d ASes reached, %d distinct AS paths in use@."
+    (List.length baseline) (distinct baseline);
+
+  (* Poison each first-hop transit in turn: ASes that preferred it are
+     forced onto backup routes, revealing paths passive measurement never
+     sees. *)
+  let seen = Hashtbl.create 1024 in
+  let record paths = List.iter (fun p -> Hashtbl.replace seen p ()) paths in
+  record baseline;
+  let after_baseline = Hashtbl.length seen in
+  List.iter
+    (fun victim ->
+      let revealed = paths_in_use internet ~origin:exp_asn ~blocked:[ victim ] in
+      record revealed;
+      Fmt.pr "poisoning as%s: %d ASes still reach us, cumulative distinct \
+              paths %d@."
+        (Asn.to_string victim) (List.length revealed) (Hashtbl.length seen))
+    [ t1; t2 ];
+  Fmt.pr
+    "poisoning uncovered %d additional AS paths (%d -> %d) — routes \
+     invisible without PEERING-style control@."
+    (Hashtbl.length seen - after_baseline)
+    after_baseline (Hashtbl.length seen);
+
+  (* Availability check: with one transit poisoned, is the experiment still
+     globally reachable (LIFEGUARD-style rerouting)? *)
+  let reach_without_t1 =
+    List.length (paths_in_use internet ~origin:exp_asn ~blocked:[ t1 ])
+  in
+  let total = Topo.As_graph.node_count graph in
+  Fmt.pr "with as%s avoided, %d/%d ASes still reach the prefix@."
+    (Asn.to_string t1) reach_without_t1 total;
+  Fmt.pr "== route diversity complete ==@."

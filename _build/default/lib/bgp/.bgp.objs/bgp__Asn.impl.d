@@ -1,0 +1,1 @@
+lib/bgp/asn.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: Asn Aspath Community Fmt Int Ipv4 Ipv6 Large_community List Netcore Prefix_v6 String

@@ -1,0 +1,1 @@
+lib/bgp/attr.mli: Asn Aspath Community Format Ipv4 Ipv6 Large_community Netcore Prefix_v6

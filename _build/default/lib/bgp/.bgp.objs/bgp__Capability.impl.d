@@ -1,0 +1,1 @@
+lib/bgp/capability.ml: Asn Fmt Int32 List Netcore Wire

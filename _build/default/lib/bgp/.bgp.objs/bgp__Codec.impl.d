@@ -1,0 +1,1 @@
+lib/bgp/codec.ml: Asn Aspath Attr Capability Community Int32 Ipv4 Ipv6 Large_community List Msg Netcore Prefix Prefix_v6 Printf String Wire

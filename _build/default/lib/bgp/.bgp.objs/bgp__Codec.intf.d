@@ -1,0 +1,1 @@
+lib/bgp/codec.mli: Msg

@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Fmt Int Int32 Printf String

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Fmt Msg Printf

@@ -1,0 +1,1 @@
+lib/bgp/large_community.mli: Format

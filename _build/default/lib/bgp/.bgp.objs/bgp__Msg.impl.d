@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Asn Attr Capability Fmt Ipv4 Netcore Prefix

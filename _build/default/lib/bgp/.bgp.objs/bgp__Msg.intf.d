@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Asn Attr Capability Format Netcore

@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Asn Capability Codec Fsm Ipv4 List Msg Netcore

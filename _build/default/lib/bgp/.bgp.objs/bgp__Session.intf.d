@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Asn Capability Codec Fsm Ipv4 Msg Netcore

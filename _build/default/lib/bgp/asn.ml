@@ -1,0 +1,35 @@
+(* Autonomous system numbers. Both 2-byte and 4-byte (RFC 6793) ASNs are
+   plain non-negative integers; PEERING itself operates eight ASNs including
+   three 4-byte ones (paper §4.2). *)
+
+type t = int
+
+let of_int v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Asn.of_int";
+  v
+
+let to_int v = v
+let equal = Int.equal
+let compare = Int.compare
+let hash v = v
+
+(* AS_TRANS (RFC 6793): stands in for a 4-byte ASN when talking to a
+   2-byte-only speaker. *)
+let as_trans = 23456
+
+let is_4byte v = v > 0xffff
+
+let is_private v = (v >= 64512 && v <= 65534) || (v >= 4200000000 && v <= 4294967294)
+
+let is_reserved v = v = 0 || v = 65535 || v = 0xffffffff
+
+let to_string v =
+  (* RFC 5396 "asplain" notation. *)
+  string_of_int v
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 && v <= 0xffffffff -> Some v
+  | _ -> None
+
+let pp ppf v = Fmt.string ppf (to_string v)

@@ -1,0 +1,27 @@
+(** Autonomous system numbers (2-byte and 4-byte, RFC 6793).
+
+    PEERING operates eight ASNs, three of them 4-byte (paper §4.2). *)
+
+type t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [0, 2{^32}). *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val as_trans : int
+(** AS_TRANS (23456): stands in for a 4-byte ASN when talking to a
+    2-byte-only speaker. *)
+
+val is_4byte : t -> bool
+val is_private : t -> bool
+val is_reserved : t -> bool
+
+val to_string : t -> string
+(** RFC 5396 "asplain" notation. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

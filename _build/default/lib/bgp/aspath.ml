@@ -1,0 +1,84 @@
+(* AS paths (RFC 4271 §5.1.2): ordered AS_SEQUENCE and unordered AS_SET
+   segments. Prepending and poisoning — the manipulations PEERING experiments
+   perform most (paper §7.1) — are first-class operations here. *)
+
+type segment = Seq of Asn.t list | Set of Asn.t list
+
+type t = segment list
+
+let empty = []
+
+let of_asns asns = match asns with [] -> [] | _ -> [ Seq asns ]
+
+(* All ASNs in order of appearance (sets flattened in place). *)
+let to_asns t =
+  List.concat_map (function Seq l -> l | Set l -> l) t
+
+(* Path length for the decision process: each AS in a sequence counts 1, a
+   whole set counts 1 (RFC 4271 §9.1.2.2.a). *)
+let length t =
+  List.fold_left
+    (fun n seg -> match seg with Seq l -> n + List.length l | Set _ -> n + 1)
+    0 t
+
+let contains asn t = List.exists (Asn.equal asn) (to_asns t)
+
+(* First AS of the path — the neighbor that sent it (for eBGP validation). *)
+let first t =
+  match t with
+  | Seq (a :: _) :: _ -> Some a
+  | _ -> None
+
+(* Origin AS: rightmost AS of the final sequence. [None] when the path ends
+   in a set (aggregate) or is empty. *)
+let origin t =
+  match List.rev t with
+  | Seq asns :: _ -> (
+      match List.rev asns with a :: _ -> Some a | [] -> None)
+  | _ -> None
+
+let prepend asn t =
+  match t with
+  | Seq asns :: rest when List.length asns < 254 -> Seq (asn :: asns) :: rest
+  | _ -> Seq [ asn ] :: t
+
+let prepend_n asn n t =
+  let rec go n t = if n <= 0 then t else go (n - 1) (prepend asn t) in
+  go n t
+
+(* Poison [victims]: emit [self; victims...; self] so the victims' loop
+   detection discards the route while the origin stays [self]. *)
+let poison ~self victims t =
+  match t with
+  | [] -> [ Seq ((self :: victims) @ [ self ]) ]
+  | _ -> Seq ((self :: victims) @ [ self ]) :: t
+
+(* ASNs other than [self] appearing in the path: in an experiment
+   announcement these are poisoned ASes (an experiment has no business
+   placing third-party ASNs in its path otherwise), counted by the
+   capability framework. *)
+let poisoned ~self t =
+  to_asns t
+  |> List.filter (fun a -> not (Asn.equal a self))
+  |> List.sort_uniq Asn.compare
+
+let equal a b =
+  let seg_equal x y =
+    match (x, y) with
+    | Seq l1, Seq l2 -> List.equal Asn.equal l1 l2
+    | Set l1, Set l2 ->
+        List.equal Asn.equal
+          (List.sort Asn.compare l1)
+          (List.sort Asn.compare l2)
+    | _ -> false
+  in
+  List.equal seg_equal a b
+
+let to_string t =
+  let seg = function
+    | Seq l -> String.concat " " (List.map Asn.to_string l)
+    | Set l -> "{" ^ String.concat "," (List.map Asn.to_string l) ^ "}"
+  in
+  String.concat " " (List.map seg t)
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,47 @@
+(** AS paths (RFC 4271 §5.1.2): ordered AS_SEQUENCE and unordered AS_SET
+    segments. Prepending and poisoning — the manipulations PEERING
+    experiments perform most (paper §7.1) — are first-class. *)
+
+type segment = Seq of Asn.t list | Set of Asn.t list
+
+type t = segment list
+(** A path; the concrete representation is exposed for pattern matching in
+    codecs and tests. *)
+
+val empty : t
+
+val of_asns : Asn.t list -> t
+(** A single sequence segment (the common case). *)
+
+val to_asns : t -> Asn.t list
+(** All ASNs in order of appearance, sets flattened. *)
+
+val length : t -> int
+(** Decision-process length: each sequence AS counts 1, a whole set counts
+    1 (RFC 4271 §9.1.2.2.a). *)
+
+val contains : Asn.t -> t -> bool
+(** Loop detection / poisoning check. *)
+
+val first : t -> Asn.t option
+(** The neighbor-most AS (eBGP validation). *)
+
+val origin : t -> Asn.t option
+(** The rightmost AS of the final sequence; [None] for aggregates. *)
+
+val prepend : Asn.t -> t -> t
+val prepend_n : Asn.t -> int -> t -> t
+
+val poison : self:Asn.t -> Asn.t list -> t -> t
+(** [poison ~self victims t] emits [self; victims...; self] so the victims'
+    loop detection discards the route while the origin stays [self]. *)
+
+val poisoned : self:Asn.t -> t -> Asn.t list
+(** ASNs other than [self] appearing in the path — counted against the
+    poisoning capability by the enforcement engine. *)
+
+val equal : t -> t -> bool
+(** Set segments compare unordered. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

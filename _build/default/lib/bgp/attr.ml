@@ -1,0 +1,175 @@
+(* BGP path attributes (RFC 4271 §4.3 plus communities, large communities,
+   route-reflection, and MP-BGP attributes). A route's attributes are kept as
+   a list ordered by type code; the helpers below give record-like access.
+
+   PEERING's control-plane enforcement polices exactly these values: which
+   communities an experiment may attach, whether optional transitive
+   attributes are allowed, and so on (paper §4.7). *)
+
+open Netcore
+
+type origin = Igp | Egp | Incomplete
+
+let origin_to_int = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let origin_of_int = function
+  | 0 -> Some Igp
+  | 1 -> Some Egp
+  | 2 -> Some Incomplete
+  | _ -> None
+
+let pp_origin ppf o =
+  Fmt.string ppf
+    (match o with Igp -> "igp" | Egp -> "egp" | Incomplete -> "incomplete")
+
+type t =
+  | Origin of origin
+  | As_path of Aspath.t
+  | Next_hop of Ipv4.t
+  | Med of int
+  | Local_pref of int
+  | Atomic_aggregate
+  | Aggregator of { asn : Asn.t; addr : Ipv4.t }
+  | Communities of Community.t list
+  | Originator_id of Ipv4.t
+  | Cluster_list of Ipv4.t list
+  | Mp_reach of { next_hop : Ipv6.t; nlri : (Prefix_v6.t * int option) list }
+  | Mp_unreach of (Prefix_v6.t * int option) list
+  | Large_communities of Large_community.t list
+  | Unknown of { flags : int; code : int; data : string }
+
+let type_code = function
+  | Origin _ -> 1
+  | As_path _ -> 2
+  | Next_hop _ -> 3
+  | Med _ -> 4
+  | Local_pref _ -> 5
+  | Atomic_aggregate -> 6
+  | Aggregator _ -> 7
+  | Communities _ -> 8
+  | Originator_id _ -> 9
+  | Cluster_list _ -> 10
+  | Mp_reach _ -> 14
+  | Mp_unreach _ -> 15
+  | Large_communities _ -> 32
+  | Unknown { code; _ } -> code
+
+(* Attribute flags: optional / transitive / partial / extended length. *)
+let flag_optional = 0x80
+let flag_transitive = 0x40
+let flag_partial = 0x20
+let flag_ext_len = 0x10
+
+(* Canonical flags for each known attribute. *)
+let flags = function
+  | Origin _ | As_path _ | Next_hop _ | Local_pref _ | Atomic_aggregate ->
+      flag_transitive
+  | Med _ | Originator_id _ | Cluster_list _ | Mp_reach _ | Mp_unreach _ ->
+      flag_optional
+  | Aggregator _ | Communities _ | Large_communities _ ->
+      flag_optional lor flag_transitive
+  | Unknown { flags; _ } -> flags
+
+let is_optional_transitive = function
+  | Unknown { flags; _ } ->
+      flags land flag_optional <> 0 && flags land flag_transitive <> 0
+  | a ->
+      let f = flags a in
+      f land flag_optional <> 0 && f land flag_transitive <> 0
+
+(* Attribute collections, ordered by type code. *)
+
+type set = t list
+
+let sort set =
+  List.sort (fun a b -> Int.compare (type_code a) (type_code b)) set
+
+let find_map f set = List.find_map f set
+
+let origin set = find_map (function Origin o -> Some o | _ -> None) set
+let as_path set = find_map (function As_path p -> Some p | _ -> None) set
+
+let next_hop set =
+  find_map (function Next_hop nh -> Some nh | _ -> None) set
+
+let med set = find_map (function Med m -> Some m | _ -> None) set
+
+let local_pref set =
+  find_map (function Local_pref l -> Some l | _ -> None) set
+
+let communities set =
+  match find_map (function Communities c -> Some c | _ -> None) set with
+  | Some c -> c
+  | None -> []
+
+let large_communities set =
+  match
+    find_map (function Large_communities c -> Some c | _ -> None) set
+  with
+  | Some c -> c
+  | None -> []
+
+let has_community c set = List.exists (Community.equal c) (communities set)
+
+(* Replace (or insert) the attribute with [attr]'s type code. *)
+let set_attr attr set =
+  let code = type_code attr in
+  sort (attr :: List.filter (fun a -> type_code a <> code) set)
+
+let remove_code code set = List.filter (fun a -> type_code a <> code) set
+
+let with_next_hop nh set = set_attr (Next_hop nh) set
+let with_as_path p set = set_attr (As_path p) set
+let with_local_pref l set = set_attr (Local_pref l) set
+let with_med m set = set_attr (Med m) set
+
+let with_communities cs set =
+  match cs with
+  | [] -> remove_code 8 set
+  | _ -> set_attr (Communities (List.sort_uniq Community.compare cs)) set
+
+let add_community c set = with_communities (c :: communities set) set
+
+let remove_communities ~keep set =
+  with_communities (List.filter keep (communities set)) set
+
+(* Standard attributes for a locally-originated route. *)
+let origin_attrs ?(origin = Igp) ~as_path ~next_hop () =
+  sort [ Origin origin; As_path as_path; Next_hop next_hop ]
+
+(* Optional transitive attributes not understood by this implementation;
+   PEERING strips these unless the experiment holds the matching
+   capability. *)
+let unknown_transitive set =
+  List.filter
+    (function Unknown _ as a -> is_optional_transitive a | _ -> false)
+    set
+
+let equal_set (a : set) (b : set) = sort a = sort b
+
+let pp ppf = function
+  | Origin o -> Fmt.pf ppf "origin=%a" pp_origin o
+  | As_path p -> Fmt.pf ppf "as-path=[%a]" Aspath.pp p
+  | Next_hop nh -> Fmt.pf ppf "next-hop=%a" Ipv4.pp nh
+  | Med m -> Fmt.pf ppf "med=%d" m
+  | Local_pref l -> Fmt.pf ppf "local-pref=%d" l
+  | Atomic_aggregate -> Fmt.string ppf "atomic-aggregate"
+  | Aggregator { asn; addr } ->
+      Fmt.pf ppf "aggregator=%a@%a" Asn.pp asn Ipv4.pp addr
+  | Communities cs ->
+      Fmt.pf ppf "communities=[%a]" Fmt.(list ~sep:sp Community.pp) cs
+  | Originator_id id -> Fmt.pf ppf "originator=%a" Ipv4.pp id
+  | Cluster_list l ->
+      Fmt.pf ppf "cluster-list=[%a]" Fmt.(list ~sep:sp Ipv4.pp) l
+  | Mp_reach { next_hop; nlri } ->
+      Fmt.pf ppf "mp-reach(nh=%a, %d nlri)" Ipv6.pp next_hop
+        (List.length nlri)
+  | Mp_unreach nlri -> Fmt.pf ppf "mp-unreach(%d nlri)" (List.length nlri)
+  | Large_communities cs ->
+      Fmt.pf ppf "large-communities=[%a]"
+        Fmt.(list ~sep:sp Large_community.pp)
+        cs
+  | Unknown { code; data; _ } ->
+      Fmt.pf ppf "attr-%d(%d bytes)" code (String.length data)
+
+let pp_set ppf set = Fmt.(list ~sep:comma pp) ppf set

@@ -1,0 +1,97 @@
+(** BGP path attributes (RFC 4271 §4.3, communities, large communities,
+    route reflection, and MP-BGP).
+
+    PEERING's control-plane enforcement polices exactly these values —
+    which communities an experiment may attach, whether optional transitive
+    attributes pass, and so on (paper §4.7). *)
+
+open Netcore
+
+type origin = Igp | Egp | Incomplete
+
+val origin_to_int : origin -> int
+val origin_of_int : int -> origin option
+val pp_origin : Format.formatter -> origin -> unit
+
+type t =
+  | Origin of origin
+  | As_path of Aspath.t
+  | Next_hop of Ipv4.t
+  | Med of int
+  | Local_pref of int
+  | Atomic_aggregate
+  | Aggregator of { asn : Asn.t; addr : Ipv4.t }
+  | Communities of Community.t list
+  | Originator_id of Ipv4.t
+  | Cluster_list of Ipv4.t list
+  | Mp_reach of { next_hop : Ipv6.t; nlri : (Prefix_v6.t * int option) list }
+      (** RFC 4760 IPv6 reachability; NLRI carry optional path ids. *)
+  | Mp_unreach of (Prefix_v6.t * int option) list
+  | Large_communities of Large_community.t list
+  | Unknown of { flags : int; code : int; data : string }
+      (** Preserved verbatim; policed by the enforcement engine. *)
+
+val type_code : t -> int
+
+(** Attribute flag bits. *)
+
+val flag_optional : int
+val flag_transitive : int
+val flag_partial : int
+val flag_ext_len : int
+
+val flags : t -> int
+(** Canonical flags for a known attribute (as encoded on the wire). *)
+
+val is_optional_transitive : t -> bool
+
+type set = t list
+(** An attribute collection, kept ordered by type code. *)
+
+val sort : set -> set
+
+(** {1 Record-like accessors} *)
+
+val find_map : (t -> 'a option) -> set -> 'a option
+val origin : set -> origin option
+val as_path : set -> Aspath.t option
+val next_hop : set -> Ipv4.t option
+val med : set -> int option
+val local_pref : set -> int option
+
+val communities : set -> Community.t list
+(** [[]] when absent. *)
+
+val large_communities : set -> Large_community.t list
+val has_community : Community.t -> set -> bool
+
+(** {1 Functional updates} *)
+
+val set_attr : t -> set -> set
+(** Replace (or insert) the attribute with the same type code. *)
+
+val remove_code : int -> set -> set
+val with_next_hop : Ipv4.t -> set -> set
+val with_as_path : Aspath.t -> set -> set
+val with_local_pref : int -> set -> set
+val with_med : int -> set -> set
+
+val with_communities : Community.t list -> set -> set
+(** Deduplicates; removes the attribute entirely when the list is empty. *)
+
+val add_community : Community.t -> set -> set
+val remove_communities : keep:(Community.t -> bool) -> set -> set
+
+val origin_attrs :
+  ?origin:origin -> as_path:Aspath.t -> next_hop:Ipv4.t -> unit -> set
+(** The standard attributes of a locally-originated route. *)
+
+val unknown_transitive : set -> t list
+(** Optional transitive attributes this implementation does not understand
+    — stripped by PEERING unless the experiment holds the matching
+    capability. *)
+
+val equal_set : set -> set -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_set : Format.formatter -> set -> unit

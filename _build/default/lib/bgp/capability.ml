@@ -1,0 +1,123 @@
+(* BGP capabilities advertised in OPEN (RFC 5492). ADD-PATH (RFC 7911) is
+   the one vBGP's control-plane delegation stands on: it lets the router
+   export *every* learned route to each experiment in one session. *)
+
+open Netcore
+
+type add_path_mode = Receive | Send | Send_receive
+
+let add_path_mode_to_int = function
+  | Receive -> 1
+  | Send -> 2
+  | Send_receive -> 3
+
+let add_path_mode_of_int = function
+  | 1 -> Some Receive
+  | 2 -> Some Send
+  | 3 -> Some Send_receive
+  | _ -> None
+
+(* (afi, safi) pairs; we use AFI 1 = IPv4, 2 = IPv6; SAFI 1 = unicast. *)
+let afi_ipv4 = 1
+let afi_ipv6 = 2
+let safi_unicast = 1
+
+type t =
+  | Multiprotocol of { afi : int; safi : int }
+  | Route_refresh
+  | As4 of Asn.t
+  | Add_path of (int * int * add_path_mode) list
+      (** (afi, safi, mode) tuples. *)
+  | Unknown of { code : int; data : string }
+
+let code = function
+  | Multiprotocol _ -> 1
+  | Route_refresh -> 2
+  | As4 _ -> 65
+  | Add_path _ -> 69
+  | Unknown { code; _ } -> code
+
+let encode_value cap =
+  let w = Wire.Writer.create () in
+  (match cap with
+  | Multiprotocol { afi; safi } ->
+      Wire.Writer.u16 w afi;
+      Wire.Writer.u8 w 0;
+      Wire.Writer.u8 w safi
+  | Route_refresh -> ()
+  | As4 asn -> Wire.Writer.u32 w (Int32.of_int (Asn.to_int asn))
+  | Add_path entries ->
+      List.iter
+        (fun (afi, safi, mode) ->
+          Wire.Writer.u16 w afi;
+          Wire.Writer.u8 w safi;
+          Wire.Writer.u8 w (add_path_mode_to_int mode))
+        entries
+  | Unknown { data; _ } -> Wire.Writer.string w data);
+  Wire.Writer.contents w
+
+let decode_value ~code ~data =
+  let r = Wire.Reader.of_string data in
+  match code with
+  | 1 ->
+      let afi = Wire.Reader.u16 r in
+      let _reserved = Wire.Reader.u8 r in
+      let safi = Wire.Reader.u8 r in
+      Multiprotocol { afi; safi }
+  | 2 -> Route_refresh
+  | 65 -> As4 (Asn.of_int (Int32.to_int (Wire.Reader.u32 r) land 0xffffffff))
+  | 69 ->
+      let rec entries acc =
+        if Wire.Reader.eof r then List.rev acc
+        else
+          let afi = Wire.Reader.u16 r in
+          let safi = Wire.Reader.u8 r in
+          match add_path_mode_of_int (Wire.Reader.u8 r) with
+          | Some mode -> entries ((afi, safi, mode) :: acc)
+          | None -> entries acc
+      in
+      Add_path (entries [])
+  | code -> Unknown { code; data }
+
+(* Does [caps] let us send ADD-PATH NLRI for (afi, safi)? *)
+let add_path_send caps ~afi ~safi =
+  List.exists
+    (function
+      | Add_path entries ->
+          List.exists
+            (fun (a, s, m) ->
+              a = afi && s = safi && (m = Send || m = Send_receive))
+            entries
+      | _ -> false)
+    caps
+
+let add_path_receive caps ~afi ~safi =
+  List.exists
+    (function
+      | Add_path entries ->
+          List.exists
+            (fun (a, s, m) ->
+              a = afi && s = safi && (m = Receive || m = Send_receive))
+            entries
+      | _ -> false)
+    caps
+
+let as4 caps =
+  List.find_map (function As4 asn -> Some asn | _ -> None) caps
+
+(* The ADD-PATH directions both sides agreed on: we may send with path IDs
+   iff we advertised Send(+receive) and the peer advertised Receive(+send). *)
+let negotiate_add_path ~local ~peer ~afi ~safi =
+  let send = add_path_send local ~afi ~safi && add_path_receive peer ~afi ~safi in
+  let receive =
+    add_path_receive local ~afi ~safi && add_path_send peer ~afi ~safi
+  in
+  (send, receive)
+
+let pp ppf = function
+  | Multiprotocol { afi; safi } -> Fmt.pf ppf "mp(%d,%d)" afi safi
+  | Route_refresh -> Fmt.string ppf "route-refresh"
+  | As4 asn -> Fmt.pf ppf "as4(%a)" Asn.pp asn
+  | Add_path entries ->
+      Fmt.pf ppf "add-path(%d entries)" (List.length entries)
+  | Unknown { code; _ } -> Fmt.pf ppf "cap-%d" code

@@ -1,0 +1,41 @@
+(** BGP capabilities advertised in OPEN (RFC 5492).
+
+    ADD-PATH (RFC 7911) is the capability vBGP's control-plane delegation
+    stands on: it lets the router export {e every} learned route to each
+    experiment within a single session (paper §3.2.1). *)
+
+type add_path_mode = Receive | Send | Send_receive
+
+val add_path_mode_to_int : add_path_mode -> int
+val add_path_mode_of_int : int -> add_path_mode option
+
+val afi_ipv4 : int
+val afi_ipv6 : int
+val safi_unicast : int
+
+type t =
+  | Multiprotocol of { afi : int; safi : int }  (** RFC 4760 *)
+  | Route_refresh  (** RFC 2918 *)
+  | As4 of Asn.t  (** RFC 6793: the speaker's real (4-byte) ASN *)
+  | Add_path of (int * int * add_path_mode) list
+      (** RFC 7911, one entry per (afi, safi) *)
+  | Unknown of { code : int; data : string }
+
+val code : t -> int
+(** The capability code used on the wire. *)
+
+val encode_value : t -> string
+val decode_value : code:int -> data:string -> t
+
+val add_path_send : t list -> afi:int -> safi:int -> bool
+(** Did this capability set advertise willingness to send ADD-PATH NLRI? *)
+
+val add_path_receive : t list -> afi:int -> safi:int -> bool
+
+val as4 : t list -> Asn.t option
+
+val negotiate_add_path :
+  local:t list -> peer:t list -> afi:int -> safi:int -> bool * bool
+(** [(may_send, may_receive)] per RFC 7911 direction rules. *)
+
+val pp : Format.formatter -> t -> unit

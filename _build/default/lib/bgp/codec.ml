@@ -1,0 +1,467 @@
+(* The BGP-4 wire codec: RFC 4271 messages, RFC 6793 four-byte ASNs, RFC
+   7911 ADD-PATH NLRI encoding, and RFC 4760 MP-BGP attributes.
+
+   Every byte exchanged between experiments, vBGP routers, and simulated
+   neighbors in this repository passes through this codec, so experiments
+   exercise the same protocol surface they would against a hardware router
+   (the paper's compatibility requirement, §2.2). *)
+
+open Netcore
+
+type error = { code : int; subcode : int; message : string }
+
+exception Decode_error of error
+
+let fail code subcode message = raise (Decode_error { code; subcode; message })
+
+(* Per-session codec parameters fixed by capability negotiation. *)
+type params = { add_path : bool; as4 : bool }
+
+let default_params = { add_path = false; as4 = true }
+
+let marker = String.make 16 '\xff'
+let header_size = 19
+let max_message_size = 65535 (* RFC 8654 extended messages *)
+
+let type_open = 1
+let type_update = 2
+let type_notification = 3
+let type_keepalive = 4
+let type_route_refresh = 5
+
+(* -- IPv4 NLRI ----------------------------------------------------------- *)
+
+let encode_nlri ~add_path w (n : Msg.nlri) =
+  (match (add_path, n.path_id) with
+  | true, Some id -> Wire.Writer.u32 w (Int32.of_int id)
+  | true, None -> Wire.Writer.u32 w 0l
+  | false, _ -> ());
+  let len = Prefix.length n.prefix in
+  Wire.Writer.u8 w len;
+  let nbytes = (len + 7) / 8 in
+  let v = Ipv4.to_int32 (Prefix.network n.prefix) in
+  for i = 0 to nbytes - 1 do
+    Wire.Writer.u8 w
+      (Int32.to_int (Int32.shift_right_logical v (24 - (8 * i))) land 0xff)
+  done
+
+let decode_nlri ~add_path r : Msg.nlri =
+  let path_id =
+    if add_path then Some (Int32.to_int (Wire.Reader.u32 r) land 0xffffffff)
+    else None
+  in
+  let len = Wire.Reader.u8 r in
+  if len > 32 then fail Msg.err_update_message 10 "nlri length > 32";
+  let nbytes = (len + 7) / 8 in
+  let v = ref 0l in
+  for i = 0 to nbytes - 1 do
+    v :=
+      Int32.logor !v
+        (Int32.shift_left (Int32.of_int (Wire.Reader.u8 r)) (24 - (8 * i)))
+  done;
+  { prefix = Prefix.make (Ipv4.of_int32 !v) len; path_id }
+
+let rec decode_nlris ~add_path r acc =
+  if Wire.Reader.eof r then List.rev acc
+  else decode_nlris ~add_path r (decode_nlri ~add_path r :: acc)
+
+(* -- IPv6 NLRI (for MP attributes) --------------------------------------- *)
+
+let encode_nlri_v6 ~add_path w (prefix, path_id) =
+  (match (add_path, path_id) with
+  | true, Some id -> Wire.Writer.u32 w (Int32.of_int id)
+  | true, None -> Wire.Writer.u32 w 0l
+  | false, _ -> ());
+  let len = Prefix_v6.length prefix in
+  Wire.Writer.u8 w len;
+  let nbytes = (len + 7) / 8 in
+  let network = Prefix_v6.network prefix in
+  for i = 0 to nbytes - 1 do
+    let byte = ref 0 in
+    for b = 0 to 7 do
+      let bitpos = (i * 8) + b in
+      if bitpos < 128 && Ipv6.bit network bitpos then
+        byte := !byte lor (1 lsl (7 - b))
+    done;
+    Wire.Writer.u8 w !byte
+  done
+
+let decode_nlri_v6 ~add_path r =
+  let path_id =
+    if add_path then Some (Int32.to_int (Wire.Reader.u32 r) land 0xffffffff)
+    else None
+  in
+  let len = Wire.Reader.u8 r in
+  if len > 128 then fail Msg.err_update_message 10 "v6 nlri length > 128";
+  let nbytes = (len + 7) / 8 in
+  let addr = ref Ipv6.any in
+  for i = 0 to nbytes - 1 do
+    let byte = Wire.Reader.u8 r in
+    for b = 0 to 7 do
+      let bitpos = (i * 8) + b in
+      if bitpos < 128 && byte land (1 lsl (7 - b)) <> 0 then
+        addr := Ipv6.set_bit !addr bitpos true
+    done
+  done;
+  (Prefix_v6.make !addr len, path_id)
+
+let rec decode_nlris_v6 ~add_path r acc =
+  if Wire.Reader.eof r then List.rev acc
+  else decode_nlris_v6 ~add_path r (decode_nlri_v6 ~add_path r :: acc)
+
+(* -- AS paths ------------------------------------------------------------ *)
+
+let encode_as_path ~as4 w path =
+  let write_asn asn =
+    if as4 then Wire.Writer.u32 w (Int32.of_int (Asn.to_int asn))
+    else
+      Wire.Writer.u16 w
+        (if Asn.is_4byte asn then Asn.as_trans else Asn.to_int asn)
+  in
+  List.iter
+    (fun seg ->
+      let typ, asns =
+        match seg with Aspath.Set l -> (1, l) | Aspath.Seq l -> (2, l)
+      in
+      if List.length asns > 255 then
+        invalid_arg "Codec: AS path segment too long";
+      Wire.Writer.u8 w typ;
+      Wire.Writer.u8 w (List.length asns);
+      List.iter write_asn asns)
+    path
+
+let decode_as_path ~as4 r =
+  let read_asn () =
+    if as4 then
+      Asn.of_int (Int32.to_int (Wire.Reader.u32 r) land 0xffffffff)
+    else Asn.of_int (Wire.Reader.u16 r)
+  in
+  let rec segments acc =
+    if Wire.Reader.eof r then List.rev acc
+    else begin
+      let typ = Wire.Reader.u8 r in
+      let count = Wire.Reader.u8 r in
+      let asns = List.init count (fun _ -> read_asn ()) in
+      let seg =
+        match typ with
+        | 1 -> Aspath.Set asns
+        | 2 -> Aspath.Seq asns
+        | t ->
+            fail Msg.err_update_message 11
+              (Printf.sprintf "bad AS path segment type %d" t)
+      in
+      segments (seg :: acc)
+    end
+  in
+  segments []
+
+(* -- Path attributes ------------------------------------------------------ *)
+
+let encode_attr ~params w attr =
+  let body = Wire.Writer.create () in
+  (match attr with
+  | Attr.Origin o -> Wire.Writer.u8 body (Attr.origin_to_int o)
+  | Attr.As_path p -> encode_as_path ~as4:params.as4 body p
+  | Attr.Next_hop nh -> Wire.Writer.u32 body (Ipv4.to_int32 nh)
+  | Attr.Med m -> Wire.Writer.u32 body (Int32.of_int m)
+  | Attr.Local_pref l -> Wire.Writer.u32 body (Int32.of_int l)
+  | Attr.Atomic_aggregate -> ()
+  | Attr.Aggregator { asn; addr } ->
+      if params.as4 then Wire.Writer.u32 body (Int32.of_int (Asn.to_int asn))
+      else
+        Wire.Writer.u16 body
+          (if Asn.is_4byte asn then Asn.as_trans else Asn.to_int asn);
+      Wire.Writer.u32 body (Ipv4.to_int32 addr)
+  | Attr.Communities cs ->
+      List.iter (fun c -> Wire.Writer.u32 body (Community.to_int32 c)) cs
+  | Attr.Originator_id id -> Wire.Writer.u32 body (Ipv4.to_int32 id)
+  | Attr.Cluster_list l ->
+      List.iter (fun ip -> Wire.Writer.u32 body (Ipv4.to_int32 ip)) l
+  | Attr.Mp_reach { next_hop; nlri } ->
+      Wire.Writer.u16 body Capability.afi_ipv6;
+      Wire.Writer.u8 body Capability.safi_unicast;
+      Wire.Writer.u8 body 16;
+      Wire.Writer.u64 body next_hop.Ipv6.hi;
+      Wire.Writer.u64 body next_hop.Ipv6.lo;
+      Wire.Writer.u8 body 0 (* reserved *);
+      List.iter (encode_nlri_v6 ~add_path:params.add_path body) nlri
+  | Attr.Mp_unreach nlri ->
+      Wire.Writer.u16 body Capability.afi_ipv6;
+      Wire.Writer.u8 body Capability.safi_unicast;
+      List.iter (encode_nlri_v6 ~add_path:params.add_path body) nlri
+  | Attr.Large_communities cs ->
+      List.iter
+        (fun (c : Large_community.t) ->
+          Wire.Writer.u32 body (Int32.of_int c.global);
+          Wire.Writer.u32 body (Int32.of_int c.data1);
+          Wire.Writer.u32 body (Int32.of_int c.data2))
+        cs
+  | Attr.Unknown { data; _ } -> Wire.Writer.string body data);
+  let value = Wire.Writer.contents body in
+  let len = String.length value in
+  let flags = Attr.flags attr in
+  let flags = if len > 255 then flags lor Attr.flag_ext_len else flags in
+  Wire.Writer.u8 w flags;
+  Wire.Writer.u8 w (Attr.type_code attr);
+  if len > 255 then Wire.Writer.u16 w len else Wire.Writer.u8 w len;
+  Wire.Writer.string w value
+
+let decode_attr ~params r =
+  let flags = Wire.Reader.u8 r in
+  let code = Wire.Reader.u8 r in
+  let len =
+    if flags land Attr.flag_ext_len <> 0 then Wire.Reader.u16 r
+    else Wire.Reader.u8 r
+  in
+  let body = Wire.Reader.sub r len in
+  match code with
+  | 1 -> (
+      match Attr.origin_of_int (Wire.Reader.u8 body) with
+      | Some o -> Attr.Origin o
+      | None -> fail Msg.err_update_message 6 "invalid ORIGIN")
+  | 2 -> Attr.As_path (decode_as_path ~as4:params.as4 body)
+  | 3 -> Attr.Next_hop (Ipv4.of_int32 (Wire.Reader.u32 body))
+  | 4 -> Attr.Med (Int32.to_int (Wire.Reader.u32 body) land 0xffffffff)
+  | 5 -> Attr.Local_pref (Int32.to_int (Wire.Reader.u32 body) land 0xffffffff)
+  | 6 -> Attr.Atomic_aggregate
+  | 7 ->
+      let asn =
+        if params.as4 then
+          Asn.of_int (Int32.to_int (Wire.Reader.u32 body) land 0xffffffff)
+        else Asn.of_int (Wire.Reader.u16 body)
+      in
+      Attr.Aggregator { asn; addr = Ipv4.of_int32 (Wire.Reader.u32 body) }
+  | 8 ->
+      let rec cs acc =
+        if Wire.Reader.eof body then List.rev acc
+        else cs (Community.of_int32 (Wire.Reader.u32 body) :: acc)
+      in
+      Attr.Communities (cs [])
+  | 9 -> Attr.Originator_id (Ipv4.of_int32 (Wire.Reader.u32 body))
+  | 10 ->
+      let rec ids acc =
+        if Wire.Reader.eof body then List.rev acc
+        else ids (Ipv4.of_int32 (Wire.Reader.u32 body) :: acc)
+      in
+      Attr.Cluster_list (ids [])
+  | 14 ->
+      let afi = Wire.Reader.u16 body in
+      let safi = Wire.Reader.u8 body in
+      if afi <> Capability.afi_ipv6 || safi <> Capability.safi_unicast then
+        Attr.Unknown { flags; code; data = Wire.Reader.take_rest body }
+      else begin
+        let nh_len = Wire.Reader.u8 body in
+        if nh_len <> 16 then fail Msg.err_update_message 8 "bad MP next hop";
+        let hi = Wire.Reader.u64 body in
+        let lo = Wire.Reader.u64 body in
+        let _reserved = Wire.Reader.u8 body in
+        let nlri = decode_nlris_v6 ~add_path:params.add_path body [] in
+        Attr.Mp_reach { next_hop = Ipv6.make hi lo; nlri }
+      end
+  | 15 ->
+      let afi = Wire.Reader.u16 body in
+      let safi = Wire.Reader.u8 body in
+      if afi <> Capability.afi_ipv6 || safi <> Capability.safi_unicast then
+        Attr.Unknown { flags; code; data = Wire.Reader.take_rest body }
+      else Attr.Mp_unreach (decode_nlris_v6 ~add_path:params.add_path body [])
+  | 32 ->
+      let rec cs acc =
+        if Wire.Reader.eof body then List.rev acc
+        else
+          let global = Int32.to_int (Wire.Reader.u32 body) land 0xffffffff in
+          let data1 = Int32.to_int (Wire.Reader.u32 body) land 0xffffffff in
+          let data2 = Int32.to_int (Wire.Reader.u32 body) land 0xffffffff in
+          cs (Large_community.make global data1 data2 :: acc)
+      in
+      Attr.Large_communities (cs [])
+  | code -> Attr.Unknown { flags; code; data = Wire.Reader.take_rest body }
+
+(* -- Messages ------------------------------------------------------------- *)
+
+let encode_open (o : Msg.open_msg) w =
+  Wire.Writer.u8 w o.version;
+  Wire.Writer.u16 w
+    (if Asn.is_4byte o.asn then Asn.as_trans else Asn.to_int o.asn);
+  Wire.Writer.u16 w o.hold_time;
+  Wire.Writer.u32 w (Ipv4.to_int32 o.bgp_id);
+  let caps = Wire.Writer.create () in
+  List.iter
+    (fun cap ->
+      let value = Capability.encode_value cap in
+      Wire.Writer.u8 caps (Capability.code cap);
+      Wire.Writer.u8 caps (String.length value);
+      Wire.Writer.string caps value)
+    o.capabilities;
+  let caps = Wire.Writer.contents caps in
+  if caps = "" then Wire.Writer.u8 w 0
+  else begin
+    (* One optional parameter of type 2 (capabilities). *)
+    Wire.Writer.u8 w (String.length caps + 2);
+    Wire.Writer.u8 w 2;
+    Wire.Writer.u8 w (String.length caps);
+    Wire.Writer.string w caps
+  end
+
+let decode_open r : Msg.open_msg =
+  let version = Wire.Reader.u8 r in
+  if version <> 4 then fail Msg.err_open_message 1 "unsupported version";
+  let asn2 = Wire.Reader.u16 r in
+  let hold_time = Wire.Reader.u16 r in
+  if hold_time = 1 || hold_time = 2 then
+    fail Msg.err_open_message 6 "unacceptable hold time";
+  let bgp_id = Ipv4.of_int32 (Wire.Reader.u32 r) in
+  let opt_len = Wire.Reader.u8 r in
+  let opts = Wire.Reader.sub r opt_len in
+  let capabilities = ref [] in
+  while not (Wire.Reader.eof opts) do
+    let ptype = Wire.Reader.u8 opts in
+    let plen = Wire.Reader.u8 opts in
+    let pbody = Wire.Reader.sub opts plen in
+    if ptype = 2 then
+      while not (Wire.Reader.eof pbody) do
+        let code = Wire.Reader.u8 pbody in
+        let clen = Wire.Reader.u8 pbody in
+        let data = Wire.Reader.take pbody clen in
+        capabilities := Capability.decode_value ~code ~data :: !capabilities
+      done
+  done;
+  let capabilities = List.rev !capabilities in
+  (* A 4-byte speaker sends AS_TRANS in the 2-byte field and its real ASN in
+     the AS4 capability. *)
+  let asn =
+    match Capability.as4 capabilities with
+    | Some asn -> asn
+    | None -> Asn.of_int asn2
+  in
+  { version; asn; hold_time; bgp_id; capabilities }
+
+let encode_update ~params (u : Msg.update) w =
+  let withdrawn = Wire.Writer.create () in
+  List.iter (encode_nlri ~add_path:params.add_path withdrawn) u.withdrawn;
+  let withdrawn = Wire.Writer.contents withdrawn in
+  Wire.Writer.u16 w (String.length withdrawn);
+  Wire.Writer.string w withdrawn;
+  let attrs = Wire.Writer.create () in
+  List.iter (encode_attr ~params attrs) (Attr.sort u.attrs);
+  let attrs = Wire.Writer.contents attrs in
+  Wire.Writer.u16 w (String.length attrs);
+  Wire.Writer.string w attrs;
+  List.iter (encode_nlri ~add_path:params.add_path w) u.announced
+
+let decode_update ~params r : Msg.update =
+  let wlen = Wire.Reader.u16 r in
+  let wr = Wire.Reader.sub r wlen in
+  let withdrawn = decode_nlris ~add_path:params.add_path wr [] in
+  let alen = Wire.Reader.u16 r in
+  let ar = Wire.Reader.sub r alen in
+  let rec attrs acc =
+    if Wire.Reader.eof ar then List.rev acc
+    else attrs (decode_attr ~params ar :: acc)
+  in
+  let attrs = attrs [] in
+  let announced = decode_nlris ~add_path:params.add_path r [] in
+  { withdrawn; attrs; announced }
+
+let encode ?(params = default_params) msg =
+  let w = Wire.Writer.create ~capacity:64 () in
+  Wire.Writer.string w marker;
+  let len_off = Wire.Writer.reserve w 2 in
+  (match msg with
+  | Msg.Open o ->
+      Wire.Writer.u8 w type_open;
+      encode_open o w
+  | Msg.Update u ->
+      Wire.Writer.u8 w type_update;
+      encode_update ~params u w
+  | Msg.Notification n ->
+      Wire.Writer.u8 w type_notification;
+      Wire.Writer.u8 w n.code;
+      Wire.Writer.u8 w n.subcode;
+      Wire.Writer.string w n.data
+  | Msg.Keepalive -> Wire.Writer.u8 w type_keepalive
+  | Msg.Route_refresh { afi; safi } ->
+      Wire.Writer.u8 w type_route_refresh;
+      Wire.Writer.u16 w afi;
+      Wire.Writer.u8 w 0;
+      Wire.Writer.u8 w safi);
+  let len = Wire.Writer.length w in
+  if len > max_message_size then invalid_arg "Codec.encode: message too long";
+  Wire.Writer.patch_u16 w len_off len;
+  Wire.Writer.contents w
+
+(* Decode one complete message from [data]; [data] must be exactly one
+   message (as delimited by the stream decoder). *)
+let decode_exn ?(params = default_params) data =
+  let r = Wire.Reader.of_string data in
+  let m = Wire.Reader.take r 16 in
+  if m <> marker then fail Msg.err_message_header 1 "connection not synchronized";
+  let len = Wire.Reader.u16 r in
+  if len < header_size || len > max_message_size then
+    fail Msg.err_message_header 2 "bad message length";
+  if len <> String.length data then
+    fail Msg.err_message_header 2 "message length mismatch";
+  let typ = Wire.Reader.u8 r in
+  match typ with
+  | t when t = type_open -> Msg.Open (decode_open r)
+  | t when t = type_update -> Msg.Update (decode_update ~params r)
+  | t when t = type_notification ->
+      let code = Wire.Reader.u8 r in
+      let subcode = Wire.Reader.u8 r in
+      Msg.Notification { code; subcode; data = Wire.Reader.take_rest r }
+  | t when t = type_keepalive -> Msg.Keepalive
+  | t when t = type_route_refresh ->
+      let afi = Wire.Reader.u16 r in
+      let _reserved = Wire.Reader.u8 r in
+      let safi = Wire.Reader.u8 r in
+      Msg.Route_refresh { afi; safi }
+  | t -> fail Msg.err_message_header 3 (Printf.sprintf "bad message type %d" t)
+
+let decode ?params data =
+  match decode_exn ?params data with
+  | msg -> Ok msg
+  | exception Decode_error e -> Error e
+  | exception Wire.Truncated what ->
+      Error
+        {
+          code = Msg.err_message_header;
+          subcode = 2;
+          message = "truncated " ^ what;
+        }
+
+(* -- Stream decoding ------------------------------------------------------ *)
+
+(* BGP runs over a byte stream; the stream decoder reassembles message
+   boundaries from the length field in each header. *)
+module Stream = struct
+  type t = { mutable pending : string; mutable params : params }
+
+  let create ?(params = default_params) () = { pending = ""; params }
+
+  let set_params t params = t.params <- params
+
+  (* Feed bytes; return all complete messages now available. *)
+  let input t data =
+    t.pending <- t.pending ^ data;
+    let rec extract acc =
+      let len = String.length t.pending in
+      if len < header_size then Ok (List.rev acc)
+      else
+        let mlen = String.get_uint16_be t.pending 16 in
+        if mlen < header_size || mlen > max_message_size then
+          Error
+            {
+              code = Msg.err_message_header;
+              subcode = 2;
+              message = "bad message length in stream";
+            }
+        else if len < mlen then Ok (List.rev acc)
+        else begin
+          let msg = String.sub t.pending 0 mlen in
+          t.pending <- String.sub t.pending mlen (len - mlen);
+          match decode ~params:t.params msg with
+          | Ok m -> extract (m :: acc)
+          | Error e -> Error e
+        end
+    in
+    extract []
+end

@@ -1,0 +1,48 @@
+(** The BGP-4 wire codec: RFC 4271 messages, RFC 6793 four-byte ASNs, RFC
+    7911 ADD-PATH NLRI, RFC 4760 MP-BGP attributes, RFC 2918 ROUTE-REFRESH.
+
+    Every byte exchanged between experiments, vBGP routers and simulated
+    neighbors passes through this codec, so experiments exercise the same
+    protocol surface they would against a hardware router (the paper's
+    compatibility requirement, §2.2). *)
+
+type error = { code : int; subcode : int; message : string }
+(** A protocol error, carrying the NOTIFICATION (code, subcode) that should
+    be sent in response. *)
+
+exception Decode_error of error
+
+type params = { add_path : bool; as4 : bool }
+(** Per-session encoding parameters fixed by capability negotiation:
+    whether NLRI carry path identifiers, and whether AS numbers are 4-byte
+    on the wire. *)
+
+val default_params : params
+(** No ADD-PATH, 4-byte ASNs. *)
+
+val header_size : int
+val max_message_size : int
+
+val encode : ?params:params -> Msg.t -> string
+(** Serialize one message, including marker and length header. *)
+
+val decode_exn : ?params:params -> string -> Msg.t
+(** Decode exactly one message. Raises {!Decode_error} (or
+    {!Netcore.Wire.Truncated}) on malformed input. *)
+
+val decode : ?params:params -> string -> (Msg.t, error) result
+
+(** BGP runs over a byte stream; the stream decoder reassembles message
+    boundaries from the length field of each header, tolerating arbitrary
+    chunking. *)
+module Stream : sig
+  type t
+
+  val create : ?params:params -> unit -> t
+
+  val set_params : t -> params -> unit
+  (** Install post-negotiation parameters (ADD-PATH direction, AS4). *)
+
+  val input : t -> string -> (Msg.t list, error) result
+  (** Feed bytes; returns every complete message now available. *)
+end

@@ -1,0 +1,53 @@
+(* RFC 1997 communities: 32-bit labels attached to announcements. vBGP's
+   export control is built on them — an experiment tags an announcement with
+   (pop, neighbor) whitelist or blacklist communities to choose exactly which
+   neighbors hear it (paper §3.2.1). *)
+
+type t = int (* 32-bit value, high 16 = ASN, low 16 = local value *)
+
+let make asn value =
+  if asn < 0 || asn > 0xffff then invalid_arg "Community.make: asn";
+  if value < 0 || value > 0xffff then invalid_arg "Community.make: value";
+  (asn lsl 16) lor value
+
+let of_int32 v = Int32.to_int v land 0xffffffff
+let to_int32 v = Int32.of_int v
+let asn v = v lsr 16
+let value v = v land 0xffff
+let equal = Int.equal
+let compare = Int.compare
+
+(* Well-known communities (RFC 1997). *)
+let no_export = 0xffffff01
+let no_advertise = 0xffffff02
+let no_export_subconfed = 0xffffff03
+
+let is_well_known v = v lsr 16 = 0xffff
+
+let to_string v =
+  if v = no_export then "no-export"
+  else if v = no_advertise then "no-advertise"
+  else if v = no_export_subconfed then "no-export-subconfed"
+  else Printf.sprintf "%d:%d" (asn v) (value v)
+
+let of_string s =
+  match s with
+  | "no-export" -> Some no_export
+  | "no-advertise" -> Some no_advertise
+  | "no-export-subconfed" -> Some no_export_subconfed
+  | _ -> (
+      match String.split_on_char ':' s with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when a >= 0 && a <= 0xffff && b >= 0 && b <= 0xffff
+            ->
+              Some (make a b)
+          | _ -> None)
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Community.of_string_exn: %S" s)
+
+let pp ppf v = Fmt.string ppf (to_string v)

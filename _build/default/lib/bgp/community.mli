@@ -1,0 +1,35 @@
+(** RFC 1997 communities: 32-bit labels on announcements.
+
+    vBGP's export control is built on them: experiments tag announcements
+    with (PoP, neighbor) whitelist/blacklist communities to choose which
+    neighbors hear them (paper §3.2.1). *)
+
+type t
+
+val make : int -> int -> t
+(** [make asn value], both 16-bit. Raises when out of range. *)
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val asn : t -> int
+(** The high 16 bits. *)
+
+val value : t -> int
+(** The low 16 bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val no_export : t
+val no_advertise : t
+val no_export_subconfed : t
+
+val is_well_known : t -> bool
+
+val to_string : t -> string
+(** ["asn:value"], or the well-known name. *)
+
+val of_string : string -> t option
+val of_string_exn : string -> t
+val pp : Format.formatter -> t -> unit

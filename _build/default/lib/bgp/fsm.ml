@@ -1,0 +1,110 @@
+(* The BGP finite state machine (RFC 4271 §8), as a pure transition
+   function: [step state event] returns the successor state and the actions
+   the session layer must carry out. Keeping it pure makes the FSM testable
+   without any network plumbing — the same property the paper exploits by
+   decoupling policy enforcement from the routing engine (§3.3). *)
+
+type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+let state_to_string = function
+  | Idle -> "idle"
+  | Connect -> "connect"
+  | Active -> "active"
+  | Open_sent -> "open-sent"
+  | Open_confirm -> "open-confirm"
+  | Established -> "established"
+
+let pp_state ppf s = Fmt.string ppf (state_to_string s)
+
+type event =
+  | Start
+  | Stop
+  | Connection_up
+  | Connection_failed
+  | Received of Msg.t
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Connect_retry_expired
+
+type action =
+  | Connect_transport
+  | Close_transport
+  | Send_open
+  | Send_keepalive
+  | Send_notification of int * int
+  | Process_open of Msg.open_msg
+      (** Negotiate capabilities/hold time from the peer's OPEN. *)
+  | Deliver_update of Msg.update
+  | Deliver_route_refresh of int * int
+      (** (afi, safi): the peer asked for re-advertisement (RFC 2918). *)
+  | Session_established
+  | Session_down of string
+  | Arm_hold_timer
+  | Arm_keepalive_timer
+  | Arm_connect_retry
+
+(* Tear down from any state: close, cancel everything, report why. *)
+let down reason = (Idle, [ Close_transport; Session_down reason ])
+
+let step state event =
+  match (state, event) with
+  (* -- administrative events -- *)
+  | Idle, Start -> (Connect, [ Connect_transport; Arm_connect_retry ])
+  | Idle, _ -> (Idle, [])
+  | _, Start -> (state, [])
+  | Established, Stop ->
+      ( Idle,
+        [
+          Send_notification (Msg.err_cease, 0);
+          Close_transport;
+          Session_down "stopped";
+        ] )
+  | _, Stop -> down "stopped"
+  (* -- transport events -- *)
+  | (Connect | Active), Connection_up ->
+      (Open_sent, [ Send_open; Arm_hold_timer ])
+  | Connect, Connection_failed -> (Active, [ Arm_connect_retry ])
+  | (Connect | Active), Connect_retry_expired ->
+      (Connect, [ Connect_transport; Arm_connect_retry ])
+  | (Open_sent | Open_confirm | Established), Connection_failed ->
+      down "connection lost"
+  | _, Connection_failed -> down "connection failed"
+  | _, Connection_up ->
+      (* A connection while already negotiating: RFC handles collision;
+         we treat it as an error and reset. *)
+      down "unexpected connection"
+  (* -- message events -- *)
+  | Open_sent, Received (Msg.Open o) ->
+      ( Open_confirm,
+        [ Process_open o; Send_keepalive; Arm_hold_timer; Arm_keepalive_timer ]
+      )
+  | Open_confirm, Received Msg.Keepalive ->
+      (Established, [ Session_established; Arm_hold_timer ])
+  | Established, Received (Msg.Update u) ->
+      (Established, [ Deliver_update u; Arm_hold_timer ])
+  | Established, Received Msg.Keepalive -> (Established, [ Arm_hold_timer ])
+  | Established, Received (Msg.Route_refresh { afi; safi }) ->
+      (Established, [ Deliver_route_refresh (afi, safi); Arm_hold_timer ])
+  | _, Received (Msg.Notification n) ->
+      down (Printf.sprintf "notification %d/%d" n.code n.subcode)
+  | _, Received m ->
+      ( Idle,
+        [
+          Send_notification (Msg.err_fsm, 0);
+          Close_transport;
+          Session_down
+            (Fmt.str "unexpected message in %s: %a" (state_to_string state)
+               Msg.pp m);
+        ] )
+  (* -- timer events -- *)
+  | _, Hold_timer_expired ->
+      ( Idle,
+        [
+          Send_notification (Msg.err_hold_timer_expired, 0);
+          Close_transport;
+          Session_down "hold timer expired";
+        ] )
+  | (Open_confirm | Established), Keepalive_timer_expired ->
+      (state, [ Send_keepalive; Arm_keepalive_timer ])
+  | _, Keepalive_timer_expired -> (state, [])
+  | _, Connect_retry_expired -> (state, [])

@@ -1,0 +1,40 @@
+(** The BGP finite state machine (RFC 4271 §8) as a pure transition
+    function, testable without any network plumbing — the same
+    decoupled-for-testability property the paper's enforcement design
+    exploits (§3.3). *)
+
+type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+type event =
+  | Start  (** administrative start *)
+  | Stop  (** administrative stop *)
+  | Connection_up  (** the transport connected *)
+  | Connection_failed
+  | Received of Msg.t
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Connect_retry_expired
+
+(** What the session layer must do after a transition. *)
+type action =
+  | Connect_transport
+  | Close_transport
+  | Send_open
+  | Send_keepalive
+  | Send_notification of int * int  (** (code, subcode) *)
+  | Process_open of Msg.open_msg
+      (** negotiate capabilities and hold time from the peer's OPEN *)
+  | Deliver_update of Msg.update
+  | Deliver_route_refresh of int * int
+      (** (afi, safi): the peer asked for re-advertisement (RFC 2918) *)
+  | Session_established
+  | Session_down of string
+  | Arm_hold_timer
+  | Arm_keepalive_timer
+  | Arm_connect_retry
+
+val step : state -> event -> state * action list
+(** The transition function. Total: every (state, event) pair is defined. *)

@@ -1,0 +1,37 @@
+(* RFC 8092 large communities: three 32-bit words. PEERING exposes them as a
+   per-experiment capability (paper §4.7). *)
+
+type t = { global : int; data1 : int; data2 : int }
+
+let word v what =
+  if v < 0 || v > 0xffffffff then
+    invalid_arg (Printf.sprintf "Large_community.make: %s" what);
+  v
+
+let make global data1 data2 =
+  { global = word global "global"; data1 = word data1 "data1"; data2 = word data2 "data2" }
+
+let equal a b = a.global = b.global && a.data1 = b.data1 && a.data2 = b.data2
+
+let compare a b =
+  match Int.compare a.global b.global with
+  | 0 -> (
+      match Int.compare a.data1 b.data1 with
+      | 0 -> Int.compare a.data2 b.data2
+      | c -> c)
+  | c -> c
+
+let to_string t = Printf.sprintf "%d:%d:%d" t.global t.data1 t.data2
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some a, Some b, Some c
+        when a >= 0 && a <= 0xffffffff && b >= 0 && b <= 0xffffffff && c >= 0
+             && c <= 0xffffffff ->
+          Some (make a b c)
+      | _ -> None)
+  | _ -> None
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,16 @@
+(** RFC 8092 large communities: three 32-bit words, exposed to experiments
+    as a per-grant capability (paper §4.7). *)
+
+type t = { global : int; data1 : int; data2 : int }
+
+val make : int -> int -> int -> t
+(** Raises [Invalid_argument] when a word exceeds 32 bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** ["global:data1:data2"]. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

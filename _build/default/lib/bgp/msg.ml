@@ -1,0 +1,67 @@
+(* The four BGP-4 message types (RFC 4271 §4). NLRI entries carry an
+   optional path identifier so a single session can announce multiple routes
+   for one prefix (ADD-PATH, RFC 7911) — the mechanism vBGP uses to give
+   experiments full visibility. *)
+
+open Netcore
+
+type nlri = { prefix : Prefix.t; path_id : int option }
+
+let nlri ?path_id prefix = { prefix; path_id }
+
+let pp_nlri ppf n =
+  match n.path_id with
+  | None -> Prefix.pp ppf n.prefix
+  | Some id -> Fmt.pf ppf "%a[%d]" Prefix.pp n.prefix id
+
+type open_msg = {
+  version : int;
+  asn : Asn.t;
+  hold_time : int;
+  bgp_id : Ipv4.t;
+  capabilities : Capability.t list;
+}
+
+type update = {
+  withdrawn : nlri list;
+  attrs : Attr.set;
+  announced : nlri list;
+}
+
+let update ?(withdrawn = []) ?(attrs = []) ?(announced = []) () =
+  { withdrawn; attrs; announced }
+
+type notification = { code : int; subcode : int; data : string }
+
+(* Notification error codes (RFC 4271 §6.1). *)
+let err_message_header = 1
+let err_open_message = 2
+let err_update_message = 3
+let err_hold_timer_expired = 4
+let err_fsm = 5
+let err_cease = 6
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+  | Route_refresh of { afi : int; safi : int }
+      (** RFC 2918: ask the peer to re-advertise its Adj-RIB-Out. *)
+
+let pp ppf = function
+  | Open o ->
+      Fmt.pf ppf "OPEN as=%a hold=%d id=%a caps=[%a]" Asn.pp o.asn o.hold_time
+        Ipv4.pp o.bgp_id
+        Fmt.(list ~sep:sp Capability.pp)
+        o.capabilities
+  | Update u ->
+      Fmt.pf ppf "UPDATE withdraw=[%a] attrs=[%a] announce=[%a]"
+        Fmt.(list ~sep:sp pp_nlri)
+        u.withdrawn Attr.pp_set u.attrs
+        Fmt.(list ~sep:sp pp_nlri)
+        u.announced
+  | Notification n ->
+      Fmt.pf ppf "NOTIFICATION %d/%d" n.code n.subcode
+  | Keepalive -> Fmt.string ppf "KEEPALIVE"
+  | Route_refresh { afi; safi } -> Fmt.pf ppf "ROUTE-REFRESH %d/%d" afi safi

@@ -1,0 +1,48 @@
+(** BGP-4 messages (RFC 4271 §4, plus RFC 2918 ROUTE-REFRESH).
+
+    NLRI entries carry an optional path identifier so one session can
+    announce multiple routes per prefix (ADD-PATH, RFC 7911) — the
+    mechanism vBGP uses to give experiments full visibility. *)
+
+type nlri = { prefix : Netcore.Prefix.t; path_id : int option }
+
+val nlri : ?path_id:int -> Netcore.Prefix.t -> nlri
+val pp_nlri : Format.formatter -> nlri -> unit
+
+type open_msg = {
+  version : int;
+  asn : Asn.t;
+  hold_time : int;
+  bgp_id : Netcore.Ipv4.t;
+  capabilities : Capability.t list;
+}
+
+type update = {
+  withdrawn : nlri list;
+  attrs : Attr.set;
+  announced : nlri list;
+}
+
+val update :
+  ?withdrawn:nlri list -> ?attrs:Attr.set -> ?announced:nlri list -> unit -> update
+
+type notification = { code : int; subcode : int; data : string }
+
+(** Notification error codes (RFC 4271 §6.1). *)
+
+val err_message_header : int
+val err_open_message : int
+val err_update_message : int
+val err_hold_timer_expired : int
+val err_fsm : int
+val err_cease : int
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+  | Route_refresh of { afi : int; safi : int }
+      (** RFC 2918: ask the peer to re-advertise its Adj-RIB-Out. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,238 @@
+(* A BGP session: the FSM wired to a byte transport and a timer service.
+
+   The session is transport-agnostic — the simulator passes closures for
+   connecting, sending, and scheduling — so the same code drives sessions
+   between vBGP routers and neighbors, between vBGP and experiments (over
+   simulated VPN tunnels), and across the PEERING backbone mesh. *)
+
+open Netcore
+
+type transport = {
+  connect : unit -> unit;
+      (** Initiate the connection; the owner later signals
+          {!connection_up} or {!connection_failed}. *)
+  send : string -> unit;
+  close : unit -> unit;
+}
+
+type timers = {
+  schedule : float -> (unit -> unit) -> unit -> unit;
+      (** [schedule delay f] runs [f] after [delay] seconds and returns a
+          cancel function. *)
+}
+
+type config = {
+  local_asn : Asn.t;
+  local_id : Ipv4.t;
+  hold_time : int;  (** proposed hold time, seconds *)
+  capabilities : Capability.t list;
+  connect_retry : float;
+  passive : bool;  (** never initiate the transport; wait for the peer *)
+  mrai : float;
+      (** minimum route advertisement interval, seconds; 0 = send
+          immediately *)
+}
+
+let config ?(hold_time = 90) ?(capabilities = []) ?(connect_retry = 5.0)
+    ?(passive = false) ?(mrai = 0.) ~local_asn ~local_id () =
+  { local_asn; local_id; hold_time; capabilities; connect_retry; passive; mrai }
+
+type handlers = {
+  on_update : Msg.update -> unit;
+  on_established : unit -> unit;
+  on_down : string -> unit;
+  on_route_refresh : afi:int -> safi:int -> unit;
+}
+
+let null_handlers =
+  {
+    on_update = ignore;
+    on_established = ignore;
+    on_down = ignore;
+    on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+  }
+
+type t = {
+  config : config;
+  transport : transport;
+  timers : timers;
+  mutable handlers : handlers;
+  mutable state : Fsm.state;
+  stream : Codec.Stream.t;
+  mutable peer_open : Msg.open_msg option;
+  mutable send_params : Codec.params;  (** params for messages we emit *)
+  mutable negotiated_hold : int;
+  mutable cancel_hold : unit -> unit;
+  mutable cancel_keepalive : unit -> unit;
+  mutable cancel_connect_retry : unit -> unit;
+  mutable out_queue : Msg.update list;  (** newest first, MRAI buffering *)
+  mutable mrai_armed : bool;
+  (* Counters surfaced by the platform's status tooling. *)
+  mutable updates_in : int;
+  mutable updates_out : int;
+  mutable last_error : string option;
+}
+
+let create ~config ~transport ~timers ?(handlers = null_handlers) () =
+  {
+    config;
+    transport;
+    timers;
+    handlers;
+    state = Fsm.Idle;
+    stream = Codec.Stream.create ();
+    peer_open = None;
+    send_params = { Codec.default_params with add_path = false };
+    negotiated_hold = config.hold_time;
+    cancel_hold = ignore;
+    cancel_keepalive = ignore;
+    cancel_connect_retry = ignore;
+    out_queue = [];
+    mrai_armed = false;
+    updates_in = 0;
+    updates_out = 0;
+    last_error = None;
+  }
+
+let set_handlers t handlers = t.handlers <- handlers
+
+let state t = t.state
+let established t = t.state = Fsm.Established
+let peer_open t = t.peer_open
+let send_params t = t.send_params
+let stats t = (t.updates_in, t.updates_out)
+let last_error t = t.last_error
+
+let local_open t : Msg.open_msg =
+  {
+    version = 4;
+    asn = t.config.local_asn;
+    hold_time = t.config.hold_time;
+    bgp_id = t.config.local_id;
+    capabilities = t.config.capabilities;
+  }
+
+let negotiate t (peer : Msg.open_msg) =
+  t.peer_open <- Some peer;
+  t.negotiated_hold <- min t.config.hold_time peer.hold_time;
+  let as4 =
+    Capability.as4 t.config.capabilities <> None
+    && Capability.as4 peer.capabilities <> None
+  in
+  let ap_send, ap_receive =
+    Capability.negotiate_add_path ~local:t.config.capabilities
+      ~peer:peer.capabilities ~afi:Capability.afi_ipv4
+      ~safi:Capability.safi_unicast
+  in
+  t.send_params <- { Codec.add_path = ap_send; as4 };
+  Codec.Stream.set_params t.stream { Codec.add_path = ap_receive; as4 }
+
+let send_msg t msg =
+  (* OPEN is always encoded with default (pre-negotiation) parameters. *)
+  let params =
+    match msg with
+    | Msg.Open _ -> Codec.default_params
+    | _ -> t.send_params
+  in
+  t.transport.send (Codec.encode ~params msg)
+
+let rec run_actions t actions = List.iter (run_action t) actions
+
+and run_action t = function
+  | Fsm.Connect_transport -> if not t.config.passive then t.transport.connect ()
+  | Fsm.Close_transport ->
+      t.cancel_hold ();
+      t.cancel_keepalive ();
+      t.cancel_connect_retry ();
+      t.transport.close ()
+  | Fsm.Send_open -> send_msg t (Msg.Open (local_open t))
+  | Fsm.Send_keepalive -> send_msg t Msg.Keepalive
+  | Fsm.Send_notification (code, subcode) ->
+      send_msg t (Msg.Notification { code; subcode; data = "" })
+  | Fsm.Process_open o -> negotiate t o
+  | Fsm.Deliver_update u ->
+      t.updates_in <- t.updates_in + 1;
+      t.handlers.on_update u
+  | Fsm.Deliver_route_refresh (afi, safi) ->
+      t.handlers.on_route_refresh ~afi ~safi
+  | Fsm.Session_established -> t.handlers.on_established ()
+  | Fsm.Session_down reason ->
+      t.last_error <- Some reason;
+      t.handlers.on_down reason
+  | Fsm.Arm_hold_timer ->
+      t.cancel_hold ();
+      if t.negotiated_hold > 0 then
+        t.cancel_hold <-
+          t.timers.schedule
+            (float_of_int t.negotiated_hold)
+            (fun () -> inject t Fsm.Hold_timer_expired)
+  | Fsm.Arm_keepalive_timer ->
+      t.cancel_keepalive ();
+      if t.negotiated_hold > 0 then
+        t.cancel_keepalive <-
+          t.timers.schedule
+            (float_of_int (max 1 (t.negotiated_hold / 3)))
+            (fun () -> inject t Fsm.Keepalive_timer_expired)
+  | Fsm.Arm_connect_retry ->
+      t.cancel_connect_retry ();
+      if not t.config.passive then
+        t.cancel_connect_retry <-
+          t.timers.schedule t.config.connect_retry (fun () ->
+              inject t Fsm.Connect_retry_expired)
+
+and inject t event =
+  let state, actions = Fsm.step t.state event in
+  t.state <- state;
+  run_actions t actions
+
+let start t = inject t Fsm.Start
+let stop t = inject t Fsm.Stop
+let connection_up t = inject t Fsm.Connection_up
+let connection_failed t = inject t Fsm.Connection_failed
+
+(* Feed raw transport bytes into the session. *)
+let receive_bytes t data =
+  match Codec.Stream.input t.stream data with
+  | Ok msgs -> List.iter (fun m -> inject t (Fsm.Received m)) msgs
+  | Error e ->
+      send_msg t
+        (Msg.Notification { code = e.code; subcode = e.subcode; data = "" });
+      inject t Fsm.Stop;
+      t.last_error <- Some e.Codec.message
+
+(* Send an UPDATE; only legal when established. With a non-zero MRAI
+   (minimum route advertisement interval, RFC 4271 §9.2.1.1) configured,
+   updates are queued and flushed in order once per interval. *)
+let rec send_update t (u : Msg.update) =
+  if not (established t) then invalid_arg "Session.send_update: not established";
+  if t.config.mrai <= 0. then begin
+    t.updates_out <- t.updates_out + 1;
+    send_msg t (Msg.Update u)
+  end
+  else begin
+    t.out_queue <- u :: t.out_queue;
+    if not t.mrai_armed then begin
+      t.mrai_armed <- true;
+      ignore_cancel (t.timers.schedule t.config.mrai (fun () -> flush_mrai t))
+    end
+  end
+
+and flush_mrai t =
+  t.mrai_armed <- false;
+  let queued = List.rev t.out_queue in
+  t.out_queue <- [];
+  if established t then
+    List.iter
+      (fun u ->
+        t.updates_out <- t.updates_out + 1;
+        send_msg t (Msg.Update u))
+      queued
+
+and ignore_cancel (_ : unit -> unit) = ()
+
+(* Ask the peer to resend its Adj-RIB-Out (RFC 2918). *)
+let send_route_refresh ?(afi = Capability.afi_ipv4)
+    ?(safi = Capability.safi_unicast) t =
+  if not (established t) then
+    invalid_arg "Session.send_route_refresh: not established";
+  send_msg t (Msg.Route_refresh { afi; safi })

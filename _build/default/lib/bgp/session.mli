@@ -1,0 +1,103 @@
+(** A BGP session: the {!Fsm} wired to a byte transport and a timer
+    service.
+
+    Transport-agnostic: the simulator passes closures for connecting,
+    sending and scheduling, so the same code drives vBGP-neighbor sessions,
+    vBGP-experiment sessions over VPN tunnels, and the backbone mesh. *)
+
+open Netcore
+
+type transport = {
+  connect : unit -> unit;
+      (** initiate; the owner later signals {!connection_up} or
+          {!connection_failed} *)
+  send : string -> unit;
+  close : unit -> unit;
+}
+
+type timers = {
+  schedule : float -> (unit -> unit) -> unit -> unit;
+      (** [schedule delay f] runs [f] after [delay] simulated seconds and
+          returns a cancel function *)
+}
+
+type config = {
+  local_asn : Asn.t;
+  local_id : Ipv4.t;
+  hold_time : int;  (** proposed hold time, seconds *)
+  capabilities : Capability.t list;
+  connect_retry : float;
+  passive : bool;  (** never initiate the transport; wait for the peer *)
+  mrai : float;
+      (** minimum route advertisement interval, seconds; 0 sends
+          immediately *)
+}
+
+val config :
+  ?hold_time:int ->
+  ?capabilities:Capability.t list ->
+  ?connect_retry:float ->
+  ?passive:bool ->
+  ?mrai:float ->
+  local_asn:Asn.t ->
+  local_id:Ipv4.t ->
+  unit ->
+  config
+
+type handlers = {
+  on_update : Msg.update -> unit;
+  on_established : unit -> unit;
+  on_down : string -> unit;
+  on_route_refresh : afi:int -> safi:int -> unit;
+}
+
+val null_handlers : handlers
+
+type t
+(** A session endpoint. *)
+
+val create :
+  config:config ->
+  transport:transport ->
+  timers:timers ->
+  ?handlers:handlers ->
+  unit ->
+  t
+
+val set_handlers : t -> handlers -> unit
+(** Install handlers after creation (callers usually need the session value
+    inside their closures). *)
+
+val state : t -> Fsm.state
+val established : t -> bool
+
+val peer_open : t -> Msg.open_msg option
+(** The peer's OPEN, once received. *)
+
+val send_params : t -> Codec.params
+(** Negotiated encoding parameters for messages we emit. *)
+
+val stats : t -> int * int
+(** [(updates_in, updates_out)]. *)
+
+val last_error : t -> string option
+
+(** {1 Driving the session} *)
+
+val start : t -> unit
+val stop : t -> unit
+
+val connection_up : t -> unit
+(** The transport connected (both active and passive side). *)
+
+val connection_failed : t -> unit
+
+val receive_bytes : t -> string -> unit
+(** Feed raw transport bytes (any chunking). *)
+
+val send_update : t -> Msg.update -> unit
+(** Raises [Invalid_argument] unless established. Buffered when an MRAI is
+    configured. *)
+
+val send_route_refresh : ?afi:int -> ?safi:int -> t -> unit
+(** Ask the peer to resend its Adj-RIB-Out (RFC 2918). *)

@@ -1,0 +1,1 @@
+lib/core/addr_pool.ml: Hashtbl Ipv4 Mac Netcore Prefix

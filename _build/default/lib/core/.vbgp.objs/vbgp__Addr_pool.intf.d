@@ -1,0 +1,1 @@
+lib/core/addr_pool.mli: Ipv4 Mac Netcore Prefix

@@ -1,0 +1,1 @@
+lib/core/arp_client.ml: Arp Eth Hashtbl Ipv4 Ipv4_packet Lan List Mac Netcore Sim

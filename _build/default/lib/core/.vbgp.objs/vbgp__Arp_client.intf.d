@@ -1,0 +1,1 @@
+lib/core/arp_client.mli: Hashtbl Ipv4 Ipv4_packet Lan Mac Netcore Sim

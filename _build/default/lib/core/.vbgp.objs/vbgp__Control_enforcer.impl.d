@@ -1,0 +1,1 @@
+lib/core/control_enforcer.ml: Asn Aspath Attr Bgp Community Experiment_caps Fmt Format Ipv6 List Msg Netcore Prefix Prefix_v6 Rate_limiter Sim

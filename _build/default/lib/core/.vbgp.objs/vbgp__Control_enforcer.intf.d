@@ -1,0 +1,1 @@
+lib/core/control_enforcer.mli: Asn Attr Bgp Community Experiment_caps Ipv4 Msg Netcore Prefix Prefix_v6 Rate_limiter Sim

@@ -1,0 +1,1 @@
+lib/core/data_enforcer.ml: Float Fmt Hashtbl Ipv4 Ipv4_packet List Netcore Sim String

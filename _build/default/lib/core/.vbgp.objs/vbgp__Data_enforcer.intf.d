@@ -1,0 +1,1 @@
+lib/core/data_enforcer.mli: Ipv4 Ipv4_packet Netcore Sim

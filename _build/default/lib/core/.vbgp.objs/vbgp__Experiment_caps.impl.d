@@ -1,0 +1,1 @@
+lib/core/experiment_caps.ml: Fmt

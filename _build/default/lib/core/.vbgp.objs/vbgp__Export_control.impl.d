@@ -1,0 +1,1 @@
+lib/core/export_control.ml: Bgp Community List

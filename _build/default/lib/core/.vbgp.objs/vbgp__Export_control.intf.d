@@ -1,0 +1,1 @@
+lib/core/export_control.mli: Bgp Community

@@ -1,0 +1,1 @@
+lib/core/neighbor.ml: Asn Bgp Fmt Ipv4 Mac Netcore Printf

@@ -1,0 +1,1 @@
+lib/core/neighbor.mli: Asn Bgp Format Ipv4 Mac Netcore

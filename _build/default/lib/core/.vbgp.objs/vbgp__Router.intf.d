@@ -1,0 +1,1 @@
+lib/core/router.mli: Addr_pool Asn Bgp Bgp_wire Control_enforcer Data_enforcer Engine Eth Ipv4 Ipv4_packet Lan Mac Msg Neighbor Netcore Prefix Rib Session Sim Trace

@@ -1,0 +1,64 @@
+(* Virtual address pools. vBGP assigns each BGP neighbor a private (IP, MAC)
+   pair drawn from a local pool (127.65/16 in the paper's examples); the
+   backbone extension (§4.4) additionally assigns every neighbor a
+   platform-global IP from a pool shared by all PoPs (127.127/16), so that
+   any PoP can recognize and re-alias any other PoP's neighbors. *)
+
+open Netcore
+
+type assignment = { key : string; ip : Ipv4.t; mac : Mac.t; index : int }
+
+type t = {
+  base : Prefix.t;
+  mac_pool : int;  (** tag byte for {!Mac.local} *)
+  mutable next : int;
+  by_key : (string, assignment) Hashtbl.t;
+  by_ip : (Ipv4.t, assignment) Hashtbl.t;
+  by_mac : (Mac.t, assignment) Hashtbl.t;
+}
+
+let create ~base ~mac_pool =
+  {
+    base;
+    mac_pool;
+    next = 1 (* skip the network address *);
+    by_key = Hashtbl.create 64;
+    by_ip = Hashtbl.create 64;
+    by_mac = Hashtbl.create 64;
+  }
+
+let base t = t.base
+
+(* Allocate (or return the existing) assignment for [key]. *)
+let allocate t key =
+  match Hashtbl.find_opt t.by_key key with
+  | Some a -> a
+  | None ->
+      if t.next >= Prefix.size t.base then
+        failwith "Addr_pool.allocate: pool exhausted";
+      let ip = Prefix.host t.base t.next in
+      let mac = Mac.local ~pool:t.mac_pool t.next in
+      let a = { key; ip; mac; index = t.next } in
+      t.next <- t.next + 1;
+      Hashtbl.replace t.by_key key a;
+      Hashtbl.replace t.by_ip ip a;
+      Hashtbl.replace t.by_mac mac a;
+      a
+
+let find t key = Hashtbl.find_opt t.by_key key
+let of_ip t ip = Hashtbl.find_opt t.by_ip ip
+let of_mac t mac = Hashtbl.find_opt t.by_mac mac
+
+(* Is [ip] inside this pool's prefix (whether or not it is allocated)? *)
+let contains t ip = Prefix.mem ip t.base
+
+let release t key =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some a ->
+      Hashtbl.remove t.by_key key;
+      Hashtbl.remove t.by_ip a.ip;
+      Hashtbl.remove t.by_mac a.mac
+
+let allocated t = Hashtbl.fold (fun _ a acc -> a :: acc) t.by_key []
+let count t = Hashtbl.length t.by_key

@@ -1,0 +1,37 @@
+(** Virtual address pools.
+
+    vBGP assigns each BGP neighbor a private (IP, MAC) pair from a local
+    pool (127.65/16 in the paper's examples); the backbone extension (§4.4)
+    additionally assigns every neighbor a platform-global IP from a pool
+    shared by all PoPs (127.127/16), so any PoP can re-alias any other
+    PoP's neighbors. *)
+
+open Netcore
+
+type assignment = {
+  key : string;  (** the entity this assignment belongs to *)
+  ip : Ipv4.t;
+  mac : Mac.t;
+  index : int;  (** stable ordinal; doubles as the export id (§3.2.1) *)
+}
+
+type t
+
+val create : base:Prefix.t -> mac_pool:int -> t
+(** Allocate out of [base]; MACs are tagged with the [mac_pool] byte. *)
+
+val base : t -> Prefix.t
+
+val allocate : t -> string -> assignment
+(** Idempotent per key. Raises [Failure] when the pool is exhausted. *)
+
+val find : t -> string -> assignment option
+val of_ip : t -> Ipv4.t -> assignment option
+val of_mac : t -> Mac.t -> assignment option
+
+val contains : t -> Ipv4.t -> bool
+(** Inside the pool's prefix (whether or not allocated). *)
+
+val release : t -> string -> unit
+val allocated : t -> assignment list
+val count : t -> int

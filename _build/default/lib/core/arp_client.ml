@@ -1,0 +1,89 @@
+(* A host-side ARP implementation for stations on a simulated LAN:
+   experiments resolving vBGP's virtual next-hop IPs (paper §3.2.2, step 6)
+   and vBGP routers resolving global next-hop IPs across the backbone
+   (§4.4) both use this. *)
+
+open Netcore
+open Sim
+
+type t = {
+  lan : Lan.t;
+  mac : Mac.t;
+  mutable ips : Ipv4.t list;  (** addresses this station answers for *)
+  cache : (Ipv4.t, Mac.t) Hashtbl.t;
+  pending : (Ipv4.t, (Mac.t -> unit) list) Hashtbl.t;
+  mutable on_ip : src_mac:Mac.t -> Ipv4_packet.t -> unit;
+      (** delivery of non-ARP traffic addressed to this station *)
+}
+
+let send_frame t ~dst ~ethertype payload =
+  Lan.send t.lan { Eth.dst; src = t.mac; ethertype; payload }
+
+let handle_arp t (a : Arp.t) =
+  match a.op with
+  | Arp.Request ->
+      if List.exists (Ipv4.equal a.target_ip) t.ips then
+        send_frame t ~dst:a.sender_mac ~ethertype:Eth.Arp
+          (Arp.encode
+             (Arp.reply ~sender_mac:t.mac ~sender_ip:a.target_ip
+                ~target_mac:a.sender_mac ~target_ip:a.sender_ip))
+  | Arp.Reply -> (
+      Hashtbl.replace t.cache a.sender_ip a.sender_mac;
+      match Hashtbl.find_opt t.pending a.sender_ip with
+      | None -> ()
+      | Some waiters ->
+          Hashtbl.remove t.pending a.sender_ip;
+          List.iter (fun k -> k a.sender_mac) (List.rev waiters))
+
+let handle_frame t (frame : Eth.t) =
+  match frame.ethertype with
+  | Eth.Arp -> (
+      match Arp.decode frame.payload with
+      | Ok a -> handle_arp t a
+      | Error _ -> ())
+  | Eth.Ipv4 -> (
+      match Ipv4_packet.decode frame.payload with
+      | Ok p -> t.on_ip ~src_mac:frame.src p
+      | Error _ -> ())
+  | Eth.Ipv6 | Eth.Other _ -> ()
+
+let attach lan ~mac ~ips =
+  let t =
+    {
+      lan;
+      mac;
+      ips;
+      cache = Hashtbl.create 16;
+      pending = Hashtbl.create 16;
+      on_ip = (fun ~src_mac:_ _ -> ());
+    }
+  in
+  Lan.attach lan mac (handle_frame t);
+  t
+
+let set_ip_handler t f = t.on_ip <- f
+let add_ip t ip = if not (List.exists (Ipv4.equal ip) t.ips) then t.ips <- ip :: t.ips
+let mac t = t.mac
+let cached t ip = Hashtbl.find_opt t.cache ip
+
+(* Resolve [ip] to a MAC, querying the LAN on a cache miss. The callback
+   fires when the reply arrives (simulated time). *)
+let resolve t ip k =
+  match Hashtbl.find_opt t.cache ip with
+  | Some mac -> k mac
+  | None ->
+      let waiters =
+        match Hashtbl.find_opt t.pending ip with Some l -> l | None -> []
+      in
+      Hashtbl.replace t.pending ip (k :: waiters);
+      if waiters = [] then
+        let sender_ip =
+          match t.ips with a :: _ -> a | [] -> Ipv4.any
+        in
+        send_frame t ~dst:Mac.broadcast ~ethertype:Eth.Arp
+          (Arp.encode (Arp.request ~sender_mac:t.mac ~sender_ip ~target_ip:ip))
+
+(* Send an IP packet to the station owning [next_hop] (resolving first). *)
+let send_ip t ~next_hop packet =
+  resolve t next_hop (fun dst ->
+      send_frame t ~dst ~ethertype:Eth.Ipv4 (Ipv4_packet.encode packet))

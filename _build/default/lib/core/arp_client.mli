@@ -1,0 +1,37 @@
+(** A host-side ARP implementation for stations on a simulated LAN.
+
+    Experiments resolving vBGP's virtual next-hop IPs (paper §3.2.2 step 6)
+    and vBGP routers resolving global next hops across the backbone (§4.4)
+    both use this. *)
+
+open Netcore
+open Sim
+
+type t = {
+  lan : Lan.t;
+  mac : Mac.t;
+  mutable ips : Ipv4.t list;  (** addresses this station answers for *)
+  cache : (Ipv4.t, Mac.t) Hashtbl.t;
+  pending : (Ipv4.t, (Mac.t -> unit) list) Hashtbl.t;
+  mutable on_ip : src_mac:Mac.t -> Ipv4_packet.t -> unit;
+}
+
+val attach : Lan.t -> mac:Mac.t -> ips:Ipv4.t list -> t
+(** Join the segment; ARP requests for any of [ips] are answered with
+    [mac]. *)
+
+val set_ip_handler : t -> (src_mac:Mac.t -> Ipv4_packet.t -> unit) -> unit
+(** Delivery of IPv4 traffic addressed to this station; [src_mac] carries
+    vBGP's per-packet ingress attribution. *)
+
+val add_ip : t -> Ipv4.t -> unit
+val mac : t -> Mac.t
+val cached : t -> Ipv4.t -> Mac.t option
+
+val resolve : t -> Ipv4.t -> (Mac.t -> unit) -> unit
+(** Resolve to a MAC, querying the LAN on a cache miss; concurrent queries
+    for one address coalesce into a single request. *)
+
+val send_ip : t -> next_hop:Ipv4.t -> Ipv4_packet.t -> unit
+(** Resolve [next_hop], then frame and transmit the packet to it — the
+    §3.2.2 forwarding sequence. *)

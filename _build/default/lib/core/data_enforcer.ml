@@ -1,0 +1,124 @@
+(* The data-plane enforcement engine (paper §3.3): the eBPF-analog filter
+   chain that inspects every experiment packet before it reaches the
+   Internet. Filters can be stateless or stateful (they keep their own
+   state, like an eBPF map) and return a verdict per packet. The built-in
+   policies mirror PEERING's: source-address validation (no spoofing, no
+   transiting foreign traffic) and per-PoP/per-neighbor traffic shaping. *)
+
+open Netcore
+
+type verdict =
+  | Allow
+  | Block of string
+  | Transform of Ipv4_packet.t  (** rewrite, then continue down the chain *)
+
+(* Where a packet entered the platform; filters use it for attribution
+   (e.g. matching the source address against the sending experiment). *)
+type meta = { ingress : string }
+
+type filter = {
+  name : string;
+  apply : now:float -> meta:meta -> Ipv4_packet.t -> verdict;
+}
+
+type t = {
+  mutable filters : filter list;  (** applied in order *)
+  trace : Sim.Trace.t option;
+  mutable allowed : int;
+  mutable blocked : int;
+}
+
+let create ?trace () = { filters = []; trace; allowed = 0; blocked = 0 }
+
+let add_filter t filter = t.filters <- t.filters @ [ filter ]
+let filters t = List.map (fun f -> f.name) t.filters
+let stats t = (t.allowed, t.blocked)
+
+(* Anti-spoofing: the source address must belong to the experiment sending
+   the packet (which also prevents transiting foreign traffic). [owner_of]
+   maps an address to the owning experiment, if any; the ingress metadata
+   identifies the sender. *)
+let source_validation ~owner_of () =
+  {
+    name = "source-validation";
+    apply =
+      (fun ~now:_ ~meta (p : Ipv4_packet.t) ->
+        match owner_of p.src with
+        | None ->
+            Block
+              (Fmt.str "spoofed source %a: not experiment space" Ipv4.pp p.src)
+        | Some owner ->
+            if String.equal meta.ingress owner then Allow
+            else
+              Block
+                (Fmt.str "source %a belongs to %s, not sender %s" Ipv4.pp
+                   p.src owner meta.ingress));
+  }
+
+(* Token-bucket traffic shaping (bytes/second with a burst allowance),
+   keyed by an arbitrary packet classifier: one bucket per PoP, neighbor,
+   or experiment as desired. *)
+let shaper ~name ~rate ~burst ~key_of () =
+  let buckets : (string, float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  {
+    name;
+    apply =
+      (fun ~now ~meta:_ (p : Ipv4_packet.t) ->
+        let key = key_of p in
+        let tokens, last =
+          match Hashtbl.find_opt buckets key with
+          | Some b -> b
+          | None ->
+              let b = (ref burst, ref now) in
+              Hashtbl.replace buckets key b;
+              b
+        in
+        tokens := Float.min burst (!tokens +. ((now -. !last) *. rate));
+        last := now;
+        let size =
+          float_of_int (Ipv4_packet.header_size + String.length p.payload)
+        in
+        if !tokens >= size then begin
+          tokens := !tokens -. size;
+          Allow
+        end
+        else Block (Fmt.str "rate limit exceeded for %s" key));
+  }
+
+(* TTL sanity: refuse packets that would expire inside the platform. *)
+let ttl_guard ?(min_ttl = 2) () =
+  {
+    name = "ttl-guard";
+    apply =
+      (fun ~now:_ ~meta:_ (p : Ipv4_packet.t) ->
+        if p.ttl < min_ttl then Block (Fmt.str "ttl %d too small" p.ttl)
+        else Allow);
+  }
+
+type decision = Allowed of Ipv4_packet.t | Blocked of string
+
+(* Run the chain. Transform verdicts rewrite the packet and continue; the
+   decision carries the final (possibly rewritten) packet. *)
+let check t ~now ~meta packet =
+  let log reason =
+    match t.trace with
+    | Some trace ->
+        Sim.Trace.record trace ~time:now ~category:"data" "blocked: %s" reason
+    | None -> ()
+  in
+  let rec go packet = function
+    | [] ->
+        t.allowed <- t.allowed + 1;
+        Allowed packet
+    | f :: rest -> (
+        match f.apply ~now ~meta packet with
+        | Allow -> go packet rest
+        | Block reason ->
+            t.blocked <- t.blocked + 1;
+            log reason;
+            Blocked reason
+        | Transform packet -> go packet rest)
+  in
+  go packet t.filters

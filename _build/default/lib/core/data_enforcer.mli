@@ -1,0 +1,57 @@
+(** The data-plane enforcement engine (paper §3.3): the eBPF-analog filter
+    chain inspecting every experiment packet before it reaches the
+    Internet. Filters can be stateless or stateful (keeping their own
+    state, like an eBPF map). The built-ins mirror PEERING's policies:
+    source validation (no spoofing, no transiting foreign traffic) and
+    per-PoP/per-neighbor traffic shaping (§4.7). *)
+
+open Netcore
+
+(** One filter's verdict on one packet. *)
+type verdict =
+  | Allow
+  | Block of string
+  | Transform of Ipv4_packet.t  (** rewrite, then continue down the chain *)
+
+type meta = { ingress : string }
+(** Where the packet entered the platform (e.g. an experiment name), for
+    attribution. *)
+
+type filter = {
+  name : string;
+  apply : now:float -> meta:meta -> Ipv4_packet.t -> verdict;
+}
+
+type t
+
+val create : ?trace:Sim.Trace.t -> unit -> t
+
+val add_filter : t -> filter -> unit
+(** Appended: filters run in insertion order. *)
+
+val filters : t -> string list
+
+val stats : t -> int * int
+(** [(allowed, blocked)]. *)
+
+val source_validation : owner_of:(Ipv4.t -> string option) -> unit -> filter
+(** Anti-spoofing: the source address must belong to the sending
+    experiment ([owner_of] maps addresses to allocations, the ingress
+    metadata names the sender). *)
+
+val shaper :
+  name:string ->
+  rate:float ->
+  burst:float ->
+  key_of:(Ipv4_packet.t -> string) ->
+  unit ->
+  filter
+(** Token-bucket shaping, bytes/second with a burst allowance, one bucket
+    per classifier key (PoP, neighbor, experiment...). *)
+
+val ttl_guard : ?min_ttl:int -> unit -> filter
+
+(** The chain's decision, carrying the (possibly rewritten) packet. *)
+type decision = Allowed of Ipv4_packet.t | Blocked of string
+
+val check : t -> now:float -> meta:meta -> Ipv4_packet.t -> decision

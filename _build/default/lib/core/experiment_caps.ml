@@ -1,0 +1,48 @@
+(* The per-experiment capability framework (paper §4.7): experiments default
+   to "basic" announcements only, and each richer behaviour is a capability
+   granted at approval time — the principle of least privilege. *)
+
+type t = {
+  max_poisoned : int;
+      (** ASes the experiment may poison per announcement (default 0). *)
+  max_communities : int;
+      (** BGP communities it may attach, beyond vBGP's own export-control
+          communities which are always permitted (default 0). *)
+  max_large_communities : int;
+  allow_transitive_attrs : bool;
+      (** optional transitive attributes pass through unmodified. *)
+  allow_transit : bool;
+      (** may announce routes learned from one neighbor to another
+          (legitimate transit for an experimental prefix). *)
+  allow_6to4 : bool;  (** may announce 6to4-mapped IPv6 space. *)
+  daily_update_budget : int;
+      (** BGP updates per (prefix, PoP) per day; the platform default is
+          144 — one every ten minutes on average. *)
+}
+
+let default =
+  {
+    max_poisoned = 0;
+    max_communities = 0;
+    max_large_communities = 0;
+    allow_transitive_attrs = false;
+    allow_transit = false;
+    allow_6to4 = false;
+    daily_update_budget = 144;
+  }
+
+let with_poisoning n t = { t with max_poisoned = n }
+let with_communities n t = { t with max_communities = n }
+let with_large_communities n t = { t with max_large_communities = n }
+let with_transitive_attrs t = { t with allow_transitive_attrs = true }
+let with_transit t = { t with allow_transit = true }
+let with_6to4 t = { t with allow_6to4 = true }
+let with_update_budget n t = { t with daily_update_budget = n }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "caps{poison=%d comms=%d large=%d transitive=%b transit=%b 6to4=%b \
+     budget=%d/day}"
+    t.max_poisoned t.max_communities t.max_large_communities
+    t.allow_transitive_attrs t.allow_transit t.allow_6to4
+    t.daily_update_budget

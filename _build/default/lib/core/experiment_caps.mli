@@ -1,0 +1,32 @@
+(** The per-experiment capability framework (paper §4.7): experiments
+    default to "basic" announcements only; each richer behaviour is a
+    capability granted at approval time — the principle of least
+    privilege. *)
+
+type t = {
+  max_poisoned : int;  (** ASes poisonable per announcement (default 0) *)
+  max_communities : int;
+      (** communities attachable beyond vBGP's own export-control tags,
+          which are always permitted (default 0) *)
+  max_large_communities : int;
+  allow_transitive_attrs : bool;
+      (** optional transitive attributes pass through unmodified *)
+  allow_transit : bool;
+      (** may announce routes learned from one neighbor to another *)
+  allow_6to4 : bool;  (** may announce 6to4-mapped IPv6 space *)
+  daily_update_budget : int;
+      (** BGP updates per (prefix, PoP) per day; the platform default is
+          144 — one every ten minutes on average *)
+}
+
+val default : t
+(** Basic announcements only, 144 updates/day. *)
+
+val with_poisoning : int -> t -> t
+val with_communities : int -> t -> t
+val with_large_communities : int -> t -> t
+val with_transitive_attrs : t -> t
+val with_transit : t -> t
+val with_6to4 : t -> t
+val with_update_budget : int -> t -> t
+val pp : Format.formatter -> t -> unit

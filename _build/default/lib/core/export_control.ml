@@ -1,0 +1,70 @@
+(* vBGP's community-based export control (paper §3.2.1): experiments tag
+   announcements with whitelist/blacklist communities naming neighbors, and
+   the router propagates each announcement only to the neighbors the tags
+   allow. Neighbors are named by their platform-global export id (their
+   index in the shared global address pool, §4.4), so a tag written at one
+   PoP means the same neighbor everywhere.
+
+   Community layout within the platform's control ASN:
+   - value [1]                : internal marker for experiment-originated
+                                routes on the backbone mesh
+   - value [10000 + id]       : announce only to neighbor [id] (whitelist)
+   - value [20000 + id]       : never announce to neighbor [id] (blacklist)
+*)
+
+open Bgp
+
+let marker_experiment = 1
+let whitelist_base = 10_000
+let blacklist_base = 20_000
+let max_export_id = 9_999
+
+let check_id id =
+  if id < 0 || id > max_export_id then
+    invalid_arg "Export_control: export id out of range"
+
+(* Tag: announce only to [id] (repeatable for a set of neighbors). *)
+let announce_to ~ctl_asn id =
+  check_id id;
+  Community.make ctl_asn (whitelist_base + id)
+
+(* Tag: do not announce to [id]. *)
+let block ~ctl_asn id =
+  check_id id;
+  Community.make ctl_asn (blacklist_base + id)
+
+let experiment_marker ~ctl_asn = Community.make ctl_asn marker_experiment
+
+let is_marker ~ctl_asn c =
+  Community.asn c = ctl_asn && Community.value c = marker_experiment
+
+let whitelisted ~ctl_asn communities =
+  List.filter_map
+    (fun c ->
+      if Community.asn c = ctl_asn then
+        let v = Community.value c in
+        if v >= whitelist_base && v < whitelist_base + max_export_id + 1 then
+          Some (v - whitelist_base)
+        else None
+      else None)
+    communities
+
+let blacklisted ~ctl_asn communities =
+  List.filter_map
+    (fun c ->
+      if Community.asn c = ctl_asn then
+        let v = Community.value c in
+        if v >= blacklist_base && v < blacklist_base + max_export_id + 1 then
+          Some (v - blacklist_base)
+        else None
+      else None)
+    communities
+
+(* Should an announcement carrying [communities] go to neighbor
+   [export_id]? No communities means "announce everywhere" (paper
+   §3.2.1). *)
+let allows ~ctl_asn ~export_id communities =
+  let white = whitelisted ~ctl_asn communities in
+  let black = blacklisted ~ctl_asn communities in
+  (not (List.mem export_id black))
+  && (white = [] || List.mem export_id white)

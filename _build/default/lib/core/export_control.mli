@@ -1,0 +1,32 @@
+(** vBGP's community-based export control (paper §3.2.1).
+
+    Experiments tag announcements with whitelist/blacklist communities
+    naming neighbors; the router propagates each announcement only to the
+    neighbors the tags allow. Neighbors are named by their platform-global
+    export id (their index in the shared global address pool, §4.4), so a
+    tag written at one PoP means the same neighbor everywhere. *)
+
+open Bgp
+
+val marker_experiment : int
+val whitelist_base : int
+val blacklist_base : int
+val max_export_id : int
+
+val announce_to : ctl_asn:int -> int -> Community.t
+(** Whitelist tag: announce only to this neighbor (repeatable). *)
+
+val block : ctl_asn:int -> int -> Community.t
+(** Blacklist tag: never announce to this neighbor. *)
+
+val experiment_marker : ctl_asn:int -> Community.t
+(** Internal backbone-mesh marker for experiment-originated routes. *)
+
+val is_marker : ctl_asn:int -> Community.t -> bool
+
+val whitelisted : ctl_asn:int -> Community.t list -> int list
+val blacklisted : ctl_asn:int -> Community.t list -> int list
+
+val allows : ctl_asn:int -> export_id:int -> Community.t list -> bool
+(** No tags = announce everywhere; a whitelist restricts to its members; a
+    blacklist always excludes (and beats the whitelist). *)

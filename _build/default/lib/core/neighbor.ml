@@ -1,0 +1,37 @@
+(* A vBGP router's view of one BGP neighbor: its real identity, the virtual
+   (IP, MAC) pair experiments use to select it, and its platform-global IP
+   used across the backbone (paper §§3.2 and 4.4). *)
+
+open Netcore
+open Bgp
+
+type kind =
+  | Transit
+  | Peer
+  | Route_server
+  | Backbone_alias of { remote_pop : string }
+      (** a pseudo-neighbor standing in for a neighbor at another PoP,
+          reachable across the backbone *)
+
+let kind_to_string = function
+  | Transit -> "transit"
+  | Peer -> "peer"
+  | Route_server -> "route-server"
+  | Backbone_alias { remote_pop } -> Printf.sprintf "backbone:%s" remote_pop
+
+type t = {
+  id : int;  (** table id; doubles as the ADD-PATH path id for its routes *)
+  asn : Asn.t;
+  ip : Ipv4.t;  (** the neighbor's real interface address *)
+  kind : kind;
+  virtual_ip : Ipv4.t;  (** local-pool alias exposed to experiments *)
+  virtual_mac : Mac.t;
+  global_ip : Ipv4.t option;  (** shared-pool identity for backbone use *)
+}
+
+let is_alias n =
+  match n.kind with Backbone_alias _ -> true | _ -> false
+
+let pp ppf n =
+  Fmt.pf ppf "neighbor#%d as%a %a (%s) via %a/%a" n.id Asn.pp n.asn Ipv4.pp
+    n.ip (kind_to_string n.kind) Ipv4.pp n.virtual_ip Mac.pp n.virtual_mac

@@ -1,0 +1,29 @@
+(** A vBGP router's view of one BGP neighbor: real identity, the virtual
+    (IP, MAC) pair experiments use to select it, and its platform-global IP
+    for backbone use (paper §§3.2, 4.4). *)
+
+open Netcore
+open Bgp
+
+type kind =
+  | Transit
+  | Peer
+  | Route_server
+  | Backbone_alias of { remote_pop : string }
+      (** a pseudo-neighbor standing in for a neighbor at another PoP,
+          reachable across the backbone *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  id : int;  (** table id; doubles as the ADD-PATH path id for its routes *)
+  asn : Asn.t;
+  ip : Ipv4.t;  (** the neighbor's real interface address *)
+  kind : kind;
+  virtual_ip : Ipv4.t;  (** local-pool alias exposed to experiments *)
+  virtual_mac : Mac.t;
+  global_ip : Ipv4.t option;  (** shared-pool identity for backbone use *)
+}
+
+val is_alias : t -> bool
+val pp : Format.formatter -> t -> unit

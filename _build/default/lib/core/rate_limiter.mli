@@ -1,0 +1,23 @@
+(** Keyed fixed-window rate limiting.
+
+    PEERING limits each experiment to 144 BGP updates per day per
+    (prefix, PoP) pair (paper §4.7). Sharing one limiter across vBGP
+    instances gives AS-wide limits, as §3.3 describes. *)
+
+type t
+
+val create : limit:int -> period:float -> t
+(** [limit] tokens per [period] seconds per key. *)
+
+val day : float
+
+val peering_default : unit -> t
+(** The platform's announcement limiter: 144/day per key. *)
+
+val allow : ?limit:int -> t -> now:float -> string -> bool
+(** Consume one token for the key; [false] means over budget. [limit]
+    overrides the default for this key (per-experiment budgets). *)
+
+val remaining : ?limit:int -> t -> now:float -> string -> int
+val used : t -> now:float -> string -> int
+val reset : t -> unit

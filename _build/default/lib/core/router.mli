@@ -1,0 +1,177 @@
+(** The vBGP router (paper §3): virtualization of one BGP edge router's
+    data and control planes across parallel experiments.
+
+    Control plane: routes learned from each neighbor are stored per
+    neighbor, their next hops rewritten to the neighbor's virtual IP, and
+    exported to every experiment over ADD-PATH (path id = neighbor table
+    id). Experiment announcements pass the enforcement engine, then reach
+    the neighbors selected by export-control communities — locally and,
+    via the backbone mesh, at every other PoP (§4.4).
+
+    Data plane: each neighbor owns a virtual MAC and a forwarding table;
+    the destination MAC of a frame selects the table (§3.2.2). Frames
+    toward experiments carry the delivering neighbor's virtual MAC as
+    source. Backbone forwarding repeats the trick hop by hop with the
+    shared global pool. *)
+
+open Netcore
+open Bgp
+open Sim
+
+(** Per-neighbor state (the [info] and [rib_in] fields are the public
+    surface; the rest is wiring). *)
+type neighbor_state = {
+  info : Neighbor.t;
+  rib_in : Rib.Table.t;
+  mutable session : Session.t option;  (** [None] for backbone aliases *)
+  mutable deliver : Ipv4_packet.t -> unit;
+  export_id : int;  (** platform-global id used in export-control tags *)
+}
+
+type counters = {
+  mutable updates_from_neighbors : int;
+  mutable updates_from_experiments : int;
+  mutable updates_from_mesh : int;
+  mutable packets_to_neighbors : int;
+  mutable packets_to_experiments : int;
+  mutable packets_over_backbone : int;
+  mutable packets_dropped : int;
+  mutable icmp_sent : int;
+}
+
+type t
+
+val create :
+  engine:Engine.t ->
+  ?trace:Trace.t ->
+  name:string ->
+  asn:Asn.t ->
+  router_id:Ipv4.t ->
+  primary_ip:Ipv4.t ->
+  local_pool:Prefix.t ->
+  global_pool:Addr_pool.t ->
+  ?control:Control_enforcer.t ->
+  ?data:Data_enforcer.t ->
+  unit ->
+  t
+(** [local_pool] is this router's virtual next-hop space (127.65/16 in the
+    paper); [global_pool] must be the single pool shared by every PoP
+    (§4.4). *)
+
+val activate : t -> unit
+(** Attach the router's own station to the experiment LAN (answers ARP for
+    the primary address). Call once after [create]. *)
+
+(** {1 Inspection} *)
+
+val name : t -> string
+val asn : t -> Asn.t
+
+val experiment_lan : t -> Lan.t
+(** The layer-2 segment experiments share with the router. *)
+
+val router_mac : t -> Mac.t
+val counters : t -> counters
+val trace : t -> Trace.t
+val control_enforcer : t -> Control_enforcer.t
+val data_enforcer : t -> Data_enforcer.t
+val fib_set : t -> Rib.Fib.Set.t
+
+val control_asn : t -> int
+(** The community namespace for export control. *)
+
+val neighbor : t -> int -> neighbor_state option
+val neighbor_states : t -> neighbor_state list
+val real_neighbors : t -> neighbor_state list
+
+val export_id : t -> neighbor_id:int -> int
+(** The neighbor's platform-global export id (for
+    {!Export_control.announce_to} tags). *)
+
+val neighbor_routes : t -> neighbor_id:int -> Rib.Route.t list
+
+val route_count : t -> int
+(** Total routes across all per-neighbor RIBs. *)
+
+val fib_entry_count : t -> int
+
+val control_plane_bytes : t -> int
+(** Heap bytes of control-plane state (Figure 6a). *)
+
+val data_plane_bytes : t -> int
+
+val attribution : t -> (string * int * int * int) list
+(** PlanetFlow-style accountability (paper §3.1): per-experiment
+    (name, packets out, bytes out, packets in). *)
+
+val owner_of : t -> Ipv4.t -> string option
+(** The local experiment that has {e announced} space covering the
+    address. *)
+
+val allocation_owner_of : t -> Ipv4.t -> string option
+(** The local experiment whose {e allocation} covers the address (the
+    basis for source validation). *)
+
+(** {1 Control-plane entry points}
+
+    Sessions call these; benchmarks drive them directly. *)
+
+val process_neighbor_update : t -> neighbor_id:int -> Msg.update -> unit
+(** The full vBGP ingress pipeline: per-neighbor RIB and FIB maintenance,
+    next-hop rewriting, ADD-PATH export to experiments, backbone export. *)
+
+val process_experiment_update :
+  t -> experiment:string -> Msg.update -> (unit, string list) result
+(** An experiment announcement through the enforcement engine and out to
+    the selected neighbors and the mesh. *)
+
+val process_mesh_update : t -> pop:string -> Msg.update -> unit
+
+(** {1 Data-plane entry points} *)
+
+val inject_from_neighbor : t -> neighbor_id:int -> Ipv4_packet.t -> unit
+(** A packet arriving from the Internet via this neighbor, destined to
+    experiment space (delivered with the neighbor's virtual MAC as frame
+    source). *)
+
+val forward_experiment_frame : t -> neighbor_id:int -> Eth.t -> unit
+(** A frame an experiment addressed to a neighbor's virtual MAC (normally
+    invoked via the LAN station). *)
+
+(** {1 Wiring} *)
+
+val add_neighbor :
+  t ->
+  asn:Asn.t ->
+  ip:Ipv4.t ->
+  kind:Neighbor.kind ->
+  remote_id:Ipv4.t ->
+  ?latency:float ->
+  ?deliver:(Ipv4_packet.t -> unit) ->
+  unit ->
+  int * Bgp_wire.pair
+(** Register a real BGP neighbor; returns its table id and the session
+    pair (the caller drives the remote, active side). *)
+
+val set_neighbor_deliver : t -> neighbor_id:int -> (Ipv4_packet.t -> unit) -> unit
+
+val attach_backbone : t -> Lan.t -> unit
+(** Join the backbone segment shared by all PoPs: answer ARP for local
+    neighbors' (and experiments') global IPs and accept cross-PoP
+    traffic. *)
+
+val connect_mesh : t -> t -> ?latency:float -> unit -> Bgp_wire.pair
+(** Bring up the backbone BGP mesh session between two PoP routers (both
+    directions installed; started internally). *)
+
+val connect_experiment :
+  t ->
+  grant:Control_enforcer.grant ->
+  mac:Mac.t ->
+  ?latency:float ->
+  unit ->
+  Bgp_wire.pair
+(** Provision an experiment: an ADD-PATH session over a VPN-like link plus
+    a data-plane identity ([mac] is the experiment's LAN station). The
+    caller installs handlers on the active (client) side and starts the
+    pair. The full table syncs on Established and on ROUTE-REFRESH. *)

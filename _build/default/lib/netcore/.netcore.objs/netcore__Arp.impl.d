@@ -1,0 +1,1 @@
+lib/netcore/arp.ml: Eth Fmt Ipv4 Mac Printf Wire

@@ -1,0 +1,1 @@
+lib/netcore/eth.ml: Fmt Int32 Mac Printf String Wire

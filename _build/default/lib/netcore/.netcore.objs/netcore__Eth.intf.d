@@ -1,0 +1,1 @@
+lib/netcore/eth.mli: Format Mac Wire

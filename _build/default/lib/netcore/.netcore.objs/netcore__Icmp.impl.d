@@ -1,0 +1,1 @@
+lib/netcore/icmp.ml: Checksum Fmt Printf Wire

@@ -1,0 +1,1 @@
+lib/netcore/icmp.mli: Format

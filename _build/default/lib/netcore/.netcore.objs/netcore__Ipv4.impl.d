@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Fmt Int32 Printf String

@@ -1,0 +1,1 @@
+lib/netcore/ipv4_packet.ml: Checksum Fmt Ipv4 Printf String Wire

@@ -1,0 +1,1 @@
+lib/netcore/ipv4_packet.mli: Format Ipv4

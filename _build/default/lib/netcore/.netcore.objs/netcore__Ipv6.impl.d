@@ -1,0 +1,1 @@
+lib/netcore/ipv6.ml: Array Fmt Int64 List Printf String

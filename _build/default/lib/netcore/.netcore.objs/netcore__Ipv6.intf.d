@@ -1,0 +1,1 @@
+lib/netcore/ipv6.mli: Format

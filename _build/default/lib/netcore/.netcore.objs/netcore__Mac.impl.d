@@ -1,0 +1,1 @@
+lib/netcore/mac.ml: Fmt Int Printf String

@@ -1,0 +1,1 @@
+lib/netcore/prefix.ml: Fmt Int Int32 Ipv4 List Printf String

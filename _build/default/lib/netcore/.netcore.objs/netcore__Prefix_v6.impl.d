@@ -1,0 +1,1 @@
+lib/netcore/prefix_v6.ml: Fmt Int Int64 Ipv6 Printf String

@@ -1,0 +1,1 @@
+lib/netcore/prefix_v6.mli: Format Ipv6

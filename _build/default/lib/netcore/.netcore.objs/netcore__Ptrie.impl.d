@@ -1,0 +1,1 @@
+lib/netcore/ptrie.ml: List Option Prefix Prefix_v6

@@ -1,0 +1,1 @@
+lib/netcore/ptrie.mli: Ipv4 Ipv6 Prefix Prefix_v6

@@ -1,0 +1,1 @@
+lib/netcore/udp.ml: Fmt Printf String Wire

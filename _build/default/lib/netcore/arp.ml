@@ -1,0 +1,66 @@
+(* ARP for IPv4 over Ethernet (RFC 826). vBGP answers ARP queries for its
+   virtual next-hop IPs with the per-neighbor MAC (paper §3.2.2 step 6-7), so
+   this protocol is the hinge of the data-plane delegation mechanism. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;
+  target_ip : Ipv4.t;
+}
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  { op = Request; sender_mac; sender_ip; target_mac = Mac.zero; target_ip }
+
+let reply ~sender_mac ~sender_ip ~target_mac ~target_ip =
+  { op = Reply; sender_mac; sender_ip; target_mac; target_ip }
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:28 () in
+  Wire.Writer.u16 w 1 (* hardware: Ethernet *);
+  Wire.Writer.u16 w 0x0800 (* protocol: IPv4 *);
+  Wire.Writer.u8 w 6;
+  Wire.Writer.u8 w 4;
+  Wire.Writer.u16 w (match t.op with Request -> 1 | Reply -> 2);
+  Eth.write_mac w t.sender_mac;
+  Wire.Writer.u32 w (Ipv4.to_int32 t.sender_ip);
+  Eth.write_mac w t.target_mac;
+  Wire.Writer.u32 w (Ipv4.to_int32 t.target_ip);
+  Wire.Writer.contents w
+
+let decode data =
+  try
+    let r = Wire.Reader.of_string data in
+    let hw = Wire.Reader.u16 r in
+    let proto = Wire.Reader.u16 r in
+    let hlen = Wire.Reader.u8 r in
+    let plen = Wire.Reader.u8 r in
+    if hw <> 1 || proto <> 0x0800 || hlen <> 6 || plen <> 4 then
+      Error "arp: unsupported hardware/protocol"
+    else
+      let op =
+        match Wire.Reader.u16 r with
+        | 1 -> Some Request
+        | 2 -> Some Reply
+        | _ -> None
+      in
+      match op with
+      | None -> Error "arp: unknown opcode"
+      | Some op ->
+          let sender_mac = Eth.read_mac r in
+          let sender_ip = Ipv4.of_int32 (Wire.Reader.u32 r) in
+          let target_mac = Eth.read_mac r in
+          let target_ip = Ipv4.of_int32 (Wire.Reader.u32 r) in
+          Ok { op; sender_mac; sender_ip; target_mac; target_ip }
+  with Wire.Truncated what -> Error (Printf.sprintf "arp: truncated %s" what)
+
+let pp ppf t =
+  match t.op with
+  | Request ->
+      Fmt.pf ppf "arp who-has %a tell %a" Ipv4.pp t.target_ip Ipv4.pp
+        t.sender_ip
+  | Reply ->
+      Fmt.pf ppf "arp %a is-at %a" Ipv4.pp t.sender_ip Mac.pp t.sender_mac

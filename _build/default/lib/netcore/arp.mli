@@ -1,0 +1,30 @@
+(** ARP for IPv4 over Ethernet (RFC 826).
+
+    vBGP answers ARP queries for its virtual next-hop IPs with per-neighbor
+    MACs (paper §3.2.2 steps 6-7): this protocol is the hinge of the
+    data-plane delegation mechanism. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;
+  target_ip : Ipv4.t;
+}
+
+val request : sender_mac:Mac.t -> sender_ip:Ipv4.t -> target_ip:Ipv4.t -> t
+(** A who-has query (target MAC zeroed). *)
+
+val reply :
+  sender_mac:Mac.t ->
+  sender_ip:Ipv4.t ->
+  target_mac:Mac.t ->
+  target_ip:Ipv4.t ->
+  t
+(** An is-at answer. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(* The Internet (ones-complement) checksum of RFC 1071, used by the IPv4
+   header and ICMP codecs. *)
+
+let sum_into acc data =
+  let len = String.length data in
+  let acc = ref acc in
+  let i = ref 0 in
+  while !i + 1 < len do
+    acc := !acc + String.get_uint16_be data !i;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then acc := !acc + (Char.code data.[len - 1] lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+(* Checksum of a whole string. *)
+let of_string data = finish (sum_into 0 data)
+
+(* Valid data (with its checksum field in place) sums to zero. *)
+let verify data = of_string data = 0

@@ -1,0 +1,15 @@
+(** The Internet (ones-complement) checksum of RFC 1071, used by the IPv4
+    header and ICMP codecs. *)
+
+val sum_into : int -> string -> int
+(** Accumulate the 16-bit ones-complement sum of [data] into a partial
+    sum (for pseudo-header style computations). *)
+
+val finish : int -> int
+(** Fold carries and complement a partial sum into the final checksum. *)
+
+val of_string : string -> int
+(** Checksum of a whole string (checksum field zeroed by the caller). *)
+
+val verify : string -> bool
+(** Valid data, with its checksum field in place, sums to zero. *)

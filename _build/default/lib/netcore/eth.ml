@@ -1,0 +1,63 @@
+(* Ethernet II frames. The 14-byte header is the only part modelled; frame
+   check sequences are out of scope for a software testbed. *)
+
+type ethertype = Ipv4 | Arp | Ipv6 | Other of int
+
+let ethertype_to_int = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Ipv6 -> 0x86dd
+  | Other v -> v
+
+let ethertype_of_int = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | 0x86dd -> Ipv6
+  | v -> Other v
+
+let pp_ethertype ppf = function
+  | Ipv4 -> Fmt.string ppf "ipv4"
+  | Arp -> Fmt.string ppf "arp"
+  | Ipv6 -> Fmt.string ppf "ipv6"
+  | Other v -> Fmt.pf ppf "0x%04x" v
+
+type t = {
+  dst : Mac.t;
+  src : Mac.t;
+  ethertype : ethertype;
+  payload : string;
+}
+
+let header_size = 14
+
+let write_mac w (m : Mac.t) =
+  let v = Mac.to_int m in
+  Wire.Writer.u16 w (v lsr 32);
+  Wire.Writer.u32 w (Int32.of_int (v land 0xffffffff))
+
+let read_mac r =
+  let hi = Wire.Reader.u16 r in
+  let lo = Int32.to_int (Wire.Reader.u32 r) land 0xffffffff in
+  Mac.of_int ((hi lsl 32) lor lo)
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:(header_size + String.length t.payload) () in
+  write_mac w t.dst;
+  write_mac w t.src;
+  Wire.Writer.u16 w (ethertype_to_int t.ethertype);
+  Wire.Writer.string w t.payload;
+  Wire.Writer.contents w
+
+let decode data =
+  try
+    let r = Wire.Reader.of_string data in
+    let dst = read_mac r in
+    let src = read_mac r in
+    let ethertype = ethertype_of_int (Wire.Reader.u16 r) in
+    Ok { dst; src; ethertype; payload = Wire.Reader.take_rest r }
+  with Wire.Truncated what -> Error (Printf.sprintf "eth: truncated %s" what)
+
+let pp ppf t =
+  Fmt.pf ppf "eth %a -> %a (%a, %d bytes)" Mac.pp t.src Mac.pp t.dst
+    pp_ethertype t.ethertype
+    (String.length t.payload)

@@ -1,0 +1,29 @@
+(** Ethernet II frames (the 14-byte header; no FCS). *)
+
+type ethertype = Ipv4 | Arp | Ipv6 | Other of int
+
+val ethertype_to_int : ethertype -> int
+val ethertype_of_int : int -> ethertype
+val pp_ethertype : Format.formatter -> ethertype -> unit
+
+type t = {
+  dst : Mac.t;
+  src : Mac.t;
+  ethertype : ethertype;
+  payload : string;
+}
+(** A frame. *)
+
+val header_size : int
+
+val write_mac : Wire.Writer.t -> Mac.t -> unit
+(** Serialize a MAC (shared with the ARP codec). *)
+
+val read_mac : Wire.Reader.t -> Mac.t
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** [Error] describes the malformation (e.g. truncation). *)
+
+val pp : Format.formatter -> t -> unit

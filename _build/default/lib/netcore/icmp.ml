@@ -1,0 +1,65 @@
+(* The ICMP subset the testbed needs: echo (connectivity probes), TTL
+   exceeded (traceroute — the paper's network controller goes out of its way
+   to keep primary addresses correct for exactly these replies, §5), and
+   destination unreachable. *)
+
+type t =
+  | Echo_request of { id : int; seq : int; payload : string }
+  | Echo_reply of { id : int; seq : int; payload : string }
+  | Ttl_exceeded of { original : string }
+      (** [original] is the leading bytes of the expired datagram. *)
+  | Dest_unreachable of { code : int; original : string }
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:32 () in
+  let typ, code =
+    match t with
+    | Echo_request _ -> (8, 0)
+    | Echo_reply _ -> (0, 0)
+    | Ttl_exceeded _ -> (11, 0)
+    | Dest_unreachable { code; _ } -> (3, code)
+  in
+  Wire.Writer.u8 w typ;
+  Wire.Writer.u8 w code;
+  let cksum_off = Wire.Writer.reserve w 2 in
+  (match t with
+  | Echo_request { id; seq; payload } | Echo_reply { id; seq; payload } ->
+      Wire.Writer.u16 w id;
+      Wire.Writer.u16 w seq;
+      Wire.Writer.string w payload
+  | Ttl_exceeded { original } | Dest_unreachable { original; _ } ->
+      Wire.Writer.u32 w 0l;
+      Wire.Writer.string w original);
+  let body = Wire.Writer.contents w in
+  Wire.Writer.patch_u16 w cksum_off (Checksum.of_string body);
+  Wire.Writer.contents w
+
+let decode data =
+  try
+    if not (Checksum.verify data) then Error "icmp: bad checksum"
+    else
+      let r = Wire.Reader.of_string data in
+      let typ = Wire.Reader.u8 r in
+      let code = Wire.Reader.u8 r in
+      let _cksum = Wire.Reader.u16 r in
+      match typ with
+      | 8 | 0 ->
+          let id = Wire.Reader.u16 r in
+          let seq = Wire.Reader.u16 r in
+          let payload = Wire.Reader.take_rest r in
+          if typ = 8 then Ok (Echo_request { id; seq; payload })
+          else Ok (Echo_reply { id; seq; payload })
+      | 11 ->
+          Wire.Reader.skip r 4;
+          Ok (Ttl_exceeded { original = Wire.Reader.take_rest r })
+      | 3 ->
+          Wire.Reader.skip r 4;
+          Ok (Dest_unreachable { code; original = Wire.Reader.take_rest r })
+      | _ -> Error (Printf.sprintf "icmp: unsupported type %d" typ)
+  with Wire.Truncated what -> Error (Printf.sprintf "icmp: truncated %s" what)
+
+let pp ppf = function
+  | Echo_request { id; seq; _ } -> Fmt.pf ppf "icmp echo-request %d/%d" id seq
+  | Echo_reply { id; seq; _ } -> Fmt.pf ppf "icmp echo-reply %d/%d" id seq
+  | Ttl_exceeded _ -> Fmt.string ppf "icmp ttl-exceeded"
+  | Dest_unreachable { code; _ } -> Fmt.pf ppf "icmp unreachable code=%d" code

@@ -1,0 +1,18 @@
+(** The ICMP subset the testbed needs: echo (connectivity probes), TTL
+    exceeded (traceroute — the reason PEERING's controller manages primary
+    addresses, paper §5), and destination unreachable. *)
+
+type t =
+  | Echo_request of { id : int; seq : int; payload : string }
+  | Echo_reply of { id : int; seq : int; payload : string }
+  | Ttl_exceeded of { original : string }
+      (** [original] carries the leading bytes of the expired datagram. *)
+  | Dest_unreachable of { code : int; original : string }
+
+val encode : t -> string
+(** Includes the ICMP checksum. *)
+
+val decode : string -> (t, string) result
+(** Verifies the checksum. *)
+
+val pp : Format.formatter -> t -> unit

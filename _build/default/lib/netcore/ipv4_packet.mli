@@ -1,0 +1,42 @@
+(** IPv4 packets (RFC 791; no options, no fragmentation).
+
+    Header checksums are computed on encode and verified on decode so
+    corruption in the simulated network is detectable. *)
+
+type protocol = Icmp | Tcp | Udp | Other of int
+
+val protocol_to_int : protocol -> int
+val protocol_of_int : int -> protocol
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  ttl : int;
+  protocol : protocol;
+  ident : int;
+  dscp : int;
+  payload : string;
+}
+
+val header_size : int
+
+val make :
+  ?ttl:int ->
+  ?ident:int ->
+  ?dscp:int ->
+  src:Ipv4.t ->
+  dst:Ipv4.t ->
+  protocol:protocol ->
+  string ->
+  t
+(** [make ~src ~dst ~protocol payload] with TTL defaulting to 64. *)
+
+val decrement_ttl : t -> t
+(** A copy with TTL decremented; forwarding engines re-encode it. *)
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Verifies version, IHL, total length, and the header checksum. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+(* IPv6 addresses as a pair of big-endian 64-bit halves. PEERING allocates a
+   single IPv6 /32; we support enough of IPv6 to carry MP-BGP NLRI and to
+   allocate experiment prefixes. *)
+
+type t = { hi : int64; lo : int64 }
+
+let make hi lo = { hi; lo }
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare_u64 a b =
+  Int64.compare (Int64.logxor a Int64.min_int) (Int64.logxor b Int64.min_int)
+
+let compare a b =
+  match compare_u64 a.hi b.hi with 0 -> compare_u64 a.lo b.lo | c -> c
+
+let any = { hi = 0L; lo = 0L }
+let localhost = { hi = 0L; lo = 1L }
+
+(* The sixteen-bit group at position [i] (0 = most significant). *)
+let group v i =
+  if i < 0 || i > 7 then invalid_arg "Ipv6.group";
+  let half = if i < 4 then v.hi else v.lo in
+  let shift = 48 - (i mod 4 * 16) in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical half shift) 0xffffL)
+
+let of_groups gs =
+  if Array.length gs <> 8 then invalid_arg "Ipv6.of_groups";
+  let pack a b c d =
+    let g x = Int64.of_int (x land 0xffff) in
+    Int64.logor
+      (Int64.logor (Int64.shift_left (g a) 48) (Int64.shift_left (g b) 32))
+      (Int64.logor (Int64.shift_left (g c) 16) (g d))
+  in
+  { hi = pack gs.(0) gs.(1) gs.(2) gs.(3); lo = pack gs.(4) gs.(5) gs.(6) gs.(7) }
+
+let groups v = Array.init 8 (fun i -> group v i)
+
+(* Render with the standard longest-run-of-zeros "::" compression. *)
+let to_string v =
+  let gs = groups v in
+  (* Find the longest run of zero groups (length >= 2). *)
+  let best_start = ref (-1) and best_len = ref 0 in
+  let i = ref 0 in
+  while !i < 8 do
+    if gs.(!i) = 0 then begin
+      let j = ref !i in
+      while !j < 8 && gs.(!j) = 0 do
+        incr j
+      done;
+      if !j - !i > !best_len then begin
+        best_start := !i;
+        best_len := !j - !i
+      end;
+      i := !j
+    end
+    else incr i
+  done;
+  if !best_len < 2 then
+    String.concat ":" (List.map (Printf.sprintf "%x") (Array.to_list gs))
+  else begin
+    let before = Array.to_list (Array.sub gs 0 !best_start) in
+    let after =
+      Array.to_list
+        (Array.sub gs (!best_start + !best_len) (8 - !best_start - !best_len))
+    in
+    let part l = String.concat ":" (List.map (Printf.sprintf "%x") l) in
+    part before ^ "::" ^ part after
+  end
+
+let of_string s =
+  let parse_groups str =
+    if str = "" then Some []
+    else
+      let parts = String.split_on_char ':' str in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest ->
+            if p = "" || String.length p > 4 then None
+            else (
+              match int_of_string_opt ("0x" ^ p) with
+              | Some v when v >= 0 && v <= 0xffff -> go (v :: acc) rest
+              | _ -> None)
+      in
+      go [] parts
+  in
+  let build left right =
+    match (parse_groups left, parse_groups right) with
+    | Some l, Some r when List.length l + List.length r <= 8 ->
+        let zeros = 8 - List.length l - List.length r in
+        let gs = Array.of_list (l @ List.init zeros (fun _ -> 0) @ r) in
+        Some (of_groups gs)
+    | _ -> None
+  in
+  match
+    let len = String.length s in
+    let rec find i =
+      if i + 1 >= len then None
+      else if s.[i] = ':' && s.[i + 1] = ':' then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | Some i ->
+      let left = String.sub s 0 i in
+      let right = String.sub s (i + 2) (String.length s - i - 2) in
+      if
+        String.length right >= 1
+        && (String.contains right ':' && right.[0] = ':')
+      then None
+      else build left right
+  | None -> (
+      match parse_groups s with
+      | Some gs when List.length gs = 8 -> Some (of_groups (Array.of_list gs))
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Ipv6.of_string_exn: %S" s)
+
+(* Bit [i] (0 = most significant of the whole 128-bit address). *)
+let bit v i =
+  if i < 0 || i > 127 then invalid_arg "Ipv6.bit";
+  let half = if i < 64 then v.hi else v.lo in
+  let off = i mod 64 in
+  Int64.logand (Int64.shift_right_logical half (63 - off)) 1L = 1L
+
+let set_bit v i b =
+  if i < 0 || i > 127 then invalid_arg "Ipv6.set_bit";
+  let mask half off =
+    let m = Int64.shift_left 1L (63 - off) in
+    if b then Int64.logor half m else Int64.logand half (Int64.lognot m)
+  in
+  if i < 64 then { v with hi = mask v.hi i } else { v with lo = mask v.lo (i - 64) }
+
+let pp ppf v = Fmt.string ppf (to_string v)

@@ -1,0 +1,41 @@
+(** IPv6 addresses (two big-endian 64-bit halves).
+
+    PEERING allocates a single IPv6 /32 (paper §4.2); enough IPv6 is
+    supported to carry MP-BGP NLRI and allocate experiment prefixes. *)
+
+type t = { hi : int64; lo : int64 }
+
+val make : int64 -> int64 -> t
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Unsigned 128-bit order. *)
+
+val any : t
+(** [::]. *)
+
+val localhost : t
+(** [::1]. *)
+
+val group : t -> int -> int
+(** [group v i] is the [i]-th 16-bit group, [0] most significant. *)
+
+val of_groups : int array -> t
+(** From eight 16-bit groups. *)
+
+val groups : t -> int array
+
+val to_string : t -> string
+(** Standard rendering with longest-zero-run [::] compression. *)
+
+val of_string : string -> t option
+(** Parses full and [::]-compressed forms. *)
+
+val of_string_exn : string -> t
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] of the 128, [0] most significant. *)
+
+val set_bit : t -> int -> bool -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(* 48-bit Ethernet MAC addresses packed into an OCaml [int].
+
+   vBGP assigns a distinct locally-administered MAC to every BGP neighbor; an
+   experiment's per-packet routing decision is the destination MAC it puts on
+   the frame (paper §3.2.2), so these addresses are the core signalling
+   primitive of the data plane. *)
+
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash v = v land max_int
+
+let of_int v =
+  if v < 0 || v > 0xffffffffffff then invalid_arg "Mac.of_int";
+  v
+
+let to_int v = v
+
+let broadcast = 0xffffffffffff
+let zero = 0
+let is_broadcast v = v = broadcast
+
+(* Locally-administered unicast bit pattern: x2:xx:... *)
+let local_admin_bit = 0x020000000000
+
+let is_local_admin v = v land local_admin_bit <> 0
+let is_multicast v = v land 0x010000000000 <> 0
+
+(* The [n]-th address of a locally-administered pool tagged by [pool]
+   (0-255). Used for vBGP's per-neighbor MAC assignment. *)
+let local ~pool n =
+  if pool < 0 || pool > 0xff then invalid_arg "Mac.local: pool";
+  if n < 0 || n > 0xffffffff then invalid_arg "Mac.local: index";
+  local_admin_bit lor (pool lsl 32) lor n
+
+let to_string v =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((v lsr 40) land 0xff)
+    ((v lsr 32) land 0xff)
+    ((v lsr 24) land 0xff)
+    ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff)
+    (v land 0xff)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] -> (
+      let parse x =
+        if String.length x <> 2 then None
+        else
+          match int_of_string_opt ("0x" ^ x) with
+          | Some v when v >= 0 && v <= 255 -> Some v
+          | _ -> None
+      in
+      let rec combine acc = function
+        | [] -> Some acc
+        | p :: rest -> (
+            match parse p with
+            | Some v -> combine ((acc lsl 8) lor v) rest
+            | None -> None)
+      in
+      combine 0 [ a; b; c; d; e; f ])
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Mac.of_string_exn: %S" s)
+
+let pp ppf v = Fmt.string ppf (to_string v)

@@ -1,0 +1,40 @@
+(** 48-bit Ethernet MAC addresses.
+
+    vBGP assigns a distinct locally-administered MAC to every BGP neighbor;
+    the destination MAC of a frame is how an experiment encodes its
+    per-packet routing decision (paper §3.2.2). *)
+
+type t
+(** A MAC address. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [0, 2{^48}). *)
+
+val to_int : t -> int
+
+val broadcast : t
+(** [ff:ff:ff:ff:ff:ff]. *)
+
+val zero : t
+
+val is_broadcast : t -> bool
+val is_multicast : t -> bool
+
+val is_local_admin : t -> bool
+(** The locally-administered bit is set (all pool-allocated MACs). *)
+
+val local : pool:int -> int -> t
+(** [local ~pool n] is the [n]-th locally-administered address of the
+    8-bit [pool] tag; distinct pools never collide. *)
+
+val to_string : t -> string
+(** Colon-separated lowercase hex. *)
+
+val of_string : string -> t option
+val of_string_exn : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* IPv6 prefixes, mirroring {!Prefix} for the v6 address family. *)
+
+type t = { network : Ipv6.t; len : int }
+
+let mask_half bits =
+  if bits <= 0 then 0L
+  else if bits >= 64 then -1L
+  else Int64.shift_left (-1L) (64 - bits)
+
+let make addr len =
+  if len < 0 || len > 128 then invalid_arg "Prefix_v6.make: length";
+  let hi_mask = mask_half len and lo_mask = mask_half (len - 64) in
+  let network =
+    Ipv6.make
+      (Int64.logand addr.Ipv6.hi hi_mask)
+      (Int64.logand addr.Ipv6.lo lo_mask)
+  in
+  { network; len }
+
+let network p = p.network
+let length p = p.len
+
+let equal a b = Ipv6.equal a.network b.network && a.len = b.len
+
+let compare a b =
+  match Ipv6.compare a.network b.network with
+  | 0 -> Int.compare a.len b.len
+  | c -> c
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv6.to_string p.network) p.len
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv6.of_string addr, int_of_string_opt len) with
+      | Some addr, Some len when len >= 0 && len <= 128 ->
+          Some (make addr len)
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix_v6.of_string_exn: %S" s)
+
+let mem addr p =
+  let m = make addr p.len in
+  Ipv6.equal m.network p.network
+
+let subset ~sub ~super = sub.len >= super.len && mem sub.network super
+
+let bit p i = Ipv6.bit p.network i
+
+(* The [n]-th /[sub] subprefix of [p]; used for experiment allocations. *)
+let subnet p sub n =
+  if sub < p.len || sub > 128 then invalid_arg "Prefix_v6.subnet";
+  if n < 0 || (sub - p.len < 62 && n >= 1 lsl (sub - p.len)) then
+    invalid_arg "Prefix_v6.subnet: index";
+  (* Add [n] at bit position [sub]: set bits [p.len, sub) from [n]. *)
+  let rec apply addr bitpos v =
+    if bitpos < p.len then addr
+    else
+      apply (Ipv6.set_bit addr bitpos (v land 1 = 1)) (bitpos - 1) (v lsr 1)
+  in
+  { network = apply p.network (sub - 1) n; len = sub }
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,0 +1,23 @@
+(** IPv6 prefixes, mirroring {!Prefix} for the v6 address family. *)
+
+type t
+
+val make : Ipv6.t -> int -> t
+(** [make addr len], host bits cleared. Raises outside [0, 128]. *)
+
+val network : t -> Ipv6.t
+val length : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t option
+val of_string_exn : string -> t
+val mem : Ipv6.t -> t -> bool
+val subset : sub:t -> super:t -> bool
+val bit : t -> int -> bool
+
+val subnet : t -> int -> int -> t
+(** [subnet p len n] is the [n]-th /[len] subprefix of [p] (experiment
+    allocations out of the platform /32). *)
+
+val pp : Format.formatter -> t -> unit

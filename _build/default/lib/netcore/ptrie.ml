@@ -1,0 +1,165 @@
+(* A binary trie keyed by bit-prefixes, used for every routing and
+   forwarding table in the repository (longest-prefix match is the data
+   plane's core operation, and per-neighbor FIBs are what Figure 6a sizes).
+
+   The structure is functorized over the key so the same code backs IPv4 and
+   IPv6 tables. *)
+
+module type KEY = sig
+  type t
+
+  val length : t -> int
+  (** Number of significant bits. *)
+
+  val bit : t -> int -> bool
+  (** [bit k i] is bit [i] (0 = most significant); [i < length k]. *)
+
+  val equal : t -> t -> bool
+end
+
+module Make (K : KEY) = struct
+  type 'a t =
+    | Empty
+    | Node of { binding : (K.t * 'a) option; zero : 'a t; one : 'a t }
+
+  let empty = Empty
+  let is_empty t = t = Empty
+
+  (* Smart constructor that collapses fully-empty nodes so that removal
+     leaves no dead branches behind. *)
+  let node binding zero one =
+    match (binding, zero, one) with
+    | None, Empty, Empty -> Empty
+    | _ -> Node { binding; zero; one }
+
+  let add key value t =
+    let len = K.length key in
+    let rec go depth t =
+      match t with
+      | Empty ->
+          if depth = len then node (Some (key, value)) Empty Empty
+          else if K.bit key depth then node None Empty (go (depth + 1) Empty)
+          else node None (go (depth + 1) Empty) Empty
+      | Node { binding; zero; one } ->
+          if depth = len then node (Some (key, value)) zero one
+          else if K.bit key depth then node binding zero (go (depth + 1) one)
+          else node binding (go (depth + 1) zero) one
+    in
+    go 0 t
+
+  let remove key t =
+    let len = K.length key in
+    let rec go depth t =
+      match t with
+      | Empty -> Empty
+      | Node { binding; zero; one } ->
+          if depth = len then node None zero one
+          else if K.bit key depth then node binding zero (go (depth + 1) one)
+          else node binding (go (depth + 1) zero) one
+    in
+    go 0 t
+
+  let find key t =
+    let len = K.length key in
+    let rec go depth t =
+      match t with
+      | Empty -> None
+      | Node { binding; zero; one } ->
+          if depth = len then
+            match binding with
+            | Some (k, v) when K.equal k key -> Some v
+            | _ -> None
+          else go (depth + 1) (if K.bit key depth then one else zero)
+    in
+    go 0 t
+
+  let mem key t = find key t <> None
+
+  (* The binding of the longest stored key that is a prefix of [key]. *)
+  let longest_match key t =
+    let len = K.length key in
+    let rec go depth best t =
+      match t with
+      | Empty -> best
+      | Node { binding; zero; one } ->
+          let best = match binding with Some b -> Some b | None -> best in
+          if depth = len then best
+          else go (depth + 1) best (if K.bit key depth then one else zero)
+    in
+    go 0 None t
+
+  (* All stored bindings whose key is a prefix of [key], shortest first. *)
+  let matches key t =
+    let len = K.length key in
+    let rec go depth acc t =
+      match t with
+      | Empty -> List.rev acc
+      | Node { binding; zero; one } ->
+          let acc = match binding with Some b -> b :: acc | None -> acc in
+          if depth = len then List.rev acc
+          else go (depth + 1) acc (if K.bit key depth then one else zero)
+    in
+    go 0 [] t
+
+  let rec fold f t acc =
+    match t with
+    | Empty -> acc
+    | Node { binding; zero; one } ->
+        let acc =
+          match binding with Some (k, v) -> f k v acc | None -> acc
+        in
+        fold f one (fold f zero acc)
+
+  let iter f t = fold (fun k v () -> f k v) t ()
+
+  let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let of_list bindings =
+    List.fold_left (fun t (k, v) -> add k v t) empty bindings
+
+  let rec map f t =
+    match t with
+    | Empty -> Empty
+    | Node { binding; zero; one } ->
+        Node
+          {
+            binding = Option.map (fun (k, v) -> (k, f k v)) binding;
+            zero = map f zero;
+            one = map f one;
+          }
+
+  let rec filter f t =
+    match t with
+    | Empty -> Empty
+    | Node { binding; zero; one } ->
+        let binding =
+          match binding with
+          | Some (k, v) when f k v -> Some (k, v)
+          | _ -> None
+        in
+        node binding (filter f zero) (filter f one)
+end
+
+(* IPv4 routing tables. *)
+module V4 = Make (struct
+  type t = Prefix.t
+
+  let length = Prefix.length
+  let bit = Prefix.bit
+  let equal = Prefix.equal
+end)
+
+(* IPv6 routing tables. *)
+module V6 = Make (struct
+  type t = Prefix_v6.t
+
+  let length = Prefix_v6.length
+  let bit = Prefix_v6.bit
+  let equal = Prefix_v6.equal
+end)
+
+(* Longest-prefix match against a host address. *)
+let lookup_v4 addr table = V4.longest_match (Prefix.make addr 32) table
+let lookup_v6 addr table = V6.longest_match (Prefix_v6.make addr 128) table

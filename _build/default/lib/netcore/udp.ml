@@ -1,0 +1,32 @@
+(* A minimal UDP codec, used by example experiments that host services
+   reachable from the simulated Internet (paper §2.1). Checksums are elided
+   (legal for UDP over IPv4). *)
+
+type t = { src_port : int; dst_port : int; payload : string }
+
+let header_size = 8
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:(header_size + String.length t.payload) () in
+  Wire.Writer.u16 w t.src_port;
+  Wire.Writer.u16 w t.dst_port;
+  Wire.Writer.u16 w (header_size + String.length t.payload);
+  Wire.Writer.u16 w 0;
+  Wire.Writer.string w t.payload;
+  Wire.Writer.contents w
+
+let decode data =
+  try
+    let r = Wire.Reader.of_string data in
+    let src_port = Wire.Reader.u16 r in
+    let dst_port = Wire.Reader.u16 r in
+    let len = Wire.Reader.u16 r in
+    let _cksum = Wire.Reader.u16 r in
+    if len < header_size || len > String.length data then
+      Error "udp: bad length"
+    else Ok { src_port; dst_port; payload = Wire.Reader.take r (len - header_size) }
+  with Wire.Truncated what -> Error (Printf.sprintf "udp: truncated %s" what)
+
+let pp ppf t =
+  Fmt.pf ppf "udp %d -> %d (%d bytes)" t.src_port t.dst_port
+    (String.length t.payload)

@@ -1,0 +1,10 @@
+(** A minimal UDP codec, used by experiments that host services reachable
+    from the simulated Internet (paper §2.1). Checksums are elided (legal
+    for UDP over IPv4). *)
+
+type t = { src_port : int; dst_port : int; payload : string }
+
+val header_size : int
+val encode : t -> string
+val decode : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

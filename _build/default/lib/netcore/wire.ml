@@ -1,0 +1,133 @@
+(* Byte-level big-endian reader/writer shared by every wire codec in the
+   repository (Ethernet, ARP, IPv4, ICMP, UDP, and all of BGP). *)
+
+exception Truncated of string
+(** Raised by {!Reader} operations that run past the end of input. *)
+
+(** Growable big-endian byte buffer. *)
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    { buf = Bytes.create (max capacity 1); len = 0 }
+
+  let length w = w.len
+
+  let ensure w extra =
+    let needed = w.len + extra in
+    if needed > Bytes.length w.buf then begin
+      let capacity = ref (Bytes.length w.buf * 2) in
+      while !capacity < needed do
+        capacity := !capacity * 2
+      done;
+      let buf = Bytes.create !capacity in
+      Bytes.blit w.buf 0 buf 0 w.len;
+      w.buf <- buf
+    end
+
+  let u8 w v =
+    ensure w 1;
+    Bytes.unsafe_set w.buf w.len (Char.chr (v land 0xff));
+    w.len <- w.len + 1
+
+  let u16 w v =
+    ensure w 2;
+    Bytes.set_uint16_be w.buf w.len (v land 0xffff);
+    w.len <- w.len + 2
+
+  let u32 w v =
+    ensure w 4;
+    Bytes.set_int32_be w.buf w.len v;
+    w.len <- w.len + 4
+
+  let u64 w v =
+    ensure w 8;
+    Bytes.set_int64_be w.buf w.len v;
+    w.len <- w.len + 8
+
+  let string w s =
+    let n = String.length s in
+    ensure w n;
+    Bytes.blit_string s 0 w.buf w.len n;
+    w.len <- w.len + n
+
+  let bytes w b = string w (Bytes.unsafe_to_string b)
+
+  (* Reserve [n] bytes and return their offset, for length fields that are
+     only known once the body has been written. *)
+  let reserve w n =
+    let off = w.len in
+    ensure w n;
+    Bytes.fill w.buf off n '\000';
+    w.len <- w.len + n;
+    off
+
+  let patch_u8 w off v = Bytes.set_uint8 w.buf off (v land 0xff)
+  let patch_u16 w off v = Bytes.set_uint16_be w.buf off (v land 0xffff)
+
+  let contents w = Bytes.sub_string w.buf 0 w.len
+
+  let clear w = w.len <- 0
+end
+
+(** Bounded big-endian cursor over an immutable string. *)
+module Reader = struct
+  type t = { data : string; mutable pos : int; limit : int }
+
+  let of_string ?(pos = 0) ?len data =
+    let limit =
+      match len with None -> String.length data | Some l -> pos + l
+    in
+    if pos < 0 || limit > String.length data || pos > limit then
+      invalid_arg "Wire.Reader.of_string: bounds";
+    { data; pos; limit }
+
+  let remaining r = r.limit - r.pos
+  let eof r = r.pos >= r.limit
+  let position r = r.pos
+
+  let need r n what = if remaining r < n then raise (Truncated what)
+
+  let u8 r =
+    need r 1 "u8";
+    let v = Char.code (String.unsafe_get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    need r 2 "u16";
+    let v = String.get_uint16_be r.data r.pos in
+    r.pos <- r.pos + 2;
+    v
+
+  let u32 r =
+    need r 4 "u32";
+    let v = String.get_int32_be r.data r.pos in
+    r.pos <- r.pos + 4;
+    v
+
+  let u64 r =
+    need r 8 "u64";
+    let v = String.get_int64_be r.data r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let take r n =
+    need r n "take";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let take_rest r = take r (remaining r)
+
+  (* A sub-reader over the next [n] bytes; the parent cursor skips them. *)
+  let sub r n =
+    need r n "sub";
+    let s = { data = r.data; pos = r.pos; limit = r.pos + n } in
+    r.pos <- r.pos + n;
+    s
+
+  let skip r n =
+    need r n "skip";
+    r.pos <- r.pos + n
+end

@@ -1,0 +1,58 @@
+(** Byte-level big-endian reader/writer shared by every wire codec
+    (Ethernet, ARP, IPv4, ICMP, UDP, and all of BGP). *)
+
+exception Truncated of string
+(** Raised by {!Reader} operations that run past the end of input; the
+    payload names the read that failed. *)
+
+(** Growable big-endian byte buffer. *)
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bytes : t -> Bytes.t -> unit
+
+  val reserve : t -> int -> int
+  (** [reserve w n] appends [n] zero bytes and returns their offset, for
+      length fields only known once the body is written. *)
+
+  val patch_u8 : t -> int -> int -> unit
+  val patch_u16 : t -> int -> int -> unit
+
+  val contents : t -> string
+  val clear : t -> unit
+end
+
+(** Bounded big-endian cursor over an immutable string. *)
+module Reader : sig
+  type t
+
+  val of_string : ?pos:int -> ?len:int -> string -> t
+  (** A cursor over [string.[pos, pos+len)]. Raises [Invalid_argument] on
+      bad bounds. *)
+
+  val remaining : t -> int
+  val eof : t -> bool
+  val position : t -> int
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val u64 : t -> int64
+
+  val take : t -> int -> string
+  val take_rest : t -> string
+
+  val sub : t -> int -> t
+  (** [sub r n] is a sub-reader over the next [n] bytes; the parent cursor
+      skips past them (attribute/parameter framing). *)
+
+  val skip : t -> int -> unit
+end

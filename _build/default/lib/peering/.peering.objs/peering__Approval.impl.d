@@ -1,0 +1,1 @@
+lib/peering/approval.ml: Fmt List Printf Vbgp

@@ -1,0 +1,1 @@
+lib/peering/approval.mli: Bgp Format Netcore Vbgp

@@ -1,0 +1,1 @@
+lib/peering/config_model.ml: Approval Asn Bgp Ipv4 List Neighbor_host Netcore Platform Pop Prefix String Vbgp

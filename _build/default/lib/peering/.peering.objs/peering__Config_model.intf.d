@@ -1,0 +1,1 @@
+lib/peering/config_model.mli: Asn Bgp Ipv4 Netcore Platform Prefix Vbgp

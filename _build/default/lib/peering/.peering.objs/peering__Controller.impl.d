@@ -1,0 +1,1 @@
+lib/peering/controller.ml: Fmt Hashtbl Ipv4 List Netcore Prefix Printf String

@@ -1,0 +1,1 @@
+lib/peering/controller.mli: Format Ipv4 Netcore Prefix

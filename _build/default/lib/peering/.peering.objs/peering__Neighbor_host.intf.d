@@ -1,0 +1,1 @@
+lib/peering/neighbor_host.mli: Asn Aspath Attr Bgp Bgp_wire Engine Hashtbl Ipv4 Ipv4_packet Netcore Prefix Prefix_v6 Session Sim Vbgp

@@ -1,0 +1,1 @@
+lib/peering/platform.ml: Approval Asn Bgp Engine Ipv4 Lan List Neighbor_host Netcore Pop Prefix Prefix_v6 Printf Sim String Topo Trace Vbgp

@@ -1,0 +1,1 @@
+lib/peering/platform.mli: Approval Asn Bgp Engine Neighbor_host Netcore Pop Prefix Sim Topo Trace Vbgp

@@ -1,0 +1,1 @@
+lib/peering/pop.ml: Asn Bgp Engine List Neighbor_host Netcore Prefix Printf Sim Vbgp

@@ -1,0 +1,1 @@
+lib/peering/pop.mli: Asn Bgp Engine Ipv4 Neighbor_host Netcore Prefix Sim Trace Vbgp

@@ -1,0 +1,1 @@
+lib/peering/template.ml: Array Asn Bgp Buffer Config_model Ipv4 List Netcore Prefix Printf String Vbgp

@@ -1,0 +1,1 @@
+lib/peering/template.mli: Config_model

@@ -1,0 +1,1 @@
+lib/peering/toolkit.ml: Asn Aspath Attr Bgp Bgp_wire Buffer Engine Eth Format Fsm Hashtbl Icmp Ipv4 Ipv4_packet Ipv6 Lan List Mac Msg Netcore Option Pop Prefix Printf Rib Session Sim String Udp Vbgp

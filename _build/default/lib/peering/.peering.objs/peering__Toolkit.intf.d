@@ -1,0 +1,1 @@
+lib/peering/toolkit.mli: Asn Bgp Community Engine Fsm Ipv4 Ipv4_packet Mac Netcore Pop Prefix Prefix_v6 Rib Sim Udp Vbgp

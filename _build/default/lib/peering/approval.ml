@@ -1,0 +1,100 @@
+(* The experiment lifecycle (paper §4.6): researchers submit a proposal via
+   a web form; administrators review it, granting capabilities per the
+   principle of least privilege; approval allocates prefixes and an ASN and
+   produces the grant the enforcement engines consult. The paper reports
+   rejecting proposals needing very large numbers of poisonings or
+   pathologically long paths — the automatic review encodes those norms. *)
+
+type proposal = {
+  title : string;
+  team : string;
+  goals : string;
+  pops : string list;  (** requested PoPs, [] = any *)
+  prefix_count : int;
+  want_ipv6 : bool;
+  requested_caps : Vbgp.Experiment_caps.t;
+  max_announced_path_len : int;
+      (** longest AS path the experiment intends to announce *)
+}
+
+let proposal ?(pops = []) ?(prefix_count = 1) ?(want_ipv6 = false)
+    ?(requested_caps = Vbgp.Experiment_caps.default)
+    ?(max_announced_path_len = 8) ~title ~team ~goals () =
+  {
+    title;
+    team;
+    goals;
+    pops;
+    prefix_count;
+    want_ipv6;
+    requested_caps;
+    max_announced_path_len;
+  }
+
+type decision =
+  | Approve of { notes : string }
+  | Reject of { reason : string }
+
+(* Risk review. The thresholds mirror the paper's reported practice:
+   experiments needing a large number of AS poisonings, or announcing
+   paths with thousands of ASes, are rejected as risky; everything else is
+   approved, with capabilities granted exactly as requested. *)
+let review ?(max_poisonings = 3) ?(max_path_len = 32) (p : proposal) =
+  if p.requested_caps.Vbgp.Experiment_caps.max_poisoned > max_poisonings then
+    Reject
+      {
+        reason =
+          Printf.sprintf
+            "requested %d AS poisonings exceeds the platform's risk limit \
+             of %d"
+            p.requested_caps.Vbgp.Experiment_caps.max_poisoned max_poisonings;
+      }
+  else if p.max_announced_path_len > max_path_len then
+    Reject
+      {
+        reason =
+          Printf.sprintf
+            "announced paths of %d ASes risk triggering router bugs (limit \
+             %d)"
+            p.max_announced_path_len max_path_len;
+      }
+  else if p.goals = "" then
+    Reject { reason = "proposal must state experiment goals" }
+  else
+    Approve
+      {
+        notes =
+          (if
+             p.requested_caps.Vbgp.Experiment_caps.max_poisoned > 0
+             || p.requested_caps.Vbgp.Experiment_caps.allow_transit
+           then "granted with elevated capabilities after review"
+           else "basic announcement capabilities");
+      }
+
+(* Resources granted to an approved experiment. *)
+type record = {
+  id : int;
+  proposal : proposal;
+  grant : Vbgp.Control_enforcer.grant;
+  approved_at : float;
+}
+
+(* Allocate prefixes and an ASN for an approved proposal. [prefixes] and
+   [asns] are the platform's free pools. *)
+let allocate ~id ~now ~prefixes ~prefixes_v6 ~asn (p : proposal) =
+  let name = Printf.sprintf "exp%03d-%s" id p.team in
+  let v4 =
+    if List.length prefixes < p.prefix_count then
+      invalid_arg "Approval.allocate: IPv4 space exhausted"
+    else List.filteri (fun i _ -> i < p.prefix_count) prefixes
+  in
+  let v6 = if p.want_ipv6 then prefixes_v6 else [] in
+  let grant =
+    Vbgp.Control_enforcer.grant ~asns:[ asn ] ~prefixes:v4 ~prefixes_v6:v6
+      ~caps:p.requested_caps name
+  in
+  { id; proposal = p; grant; approved_at = now }
+
+let pp_decision ppf = function
+  | Approve { notes } -> Fmt.pf ppf "approved (%s)" notes
+  | Reject { reason } -> Fmt.pf ppf "rejected: %s" reason

@@ -1,0 +1,54 @@
+(** The experiment lifecycle (paper §4.6): proposal via a web form, manual
+    review granting capabilities per the principle of least privilege, and
+    resource allocation on approval. The automatic review encodes the
+    paper's reported practice: mass poisonings and pathologically long
+    paths are rejected as risky. *)
+
+type proposal = {
+  title : string;
+  team : string;
+  goals : string;
+  pops : string list;  (** requested PoPs; [[]] = any *)
+  prefix_count : int;
+  want_ipv6 : bool;
+  requested_caps : Vbgp.Experiment_caps.t;
+  max_announced_path_len : int;
+      (** the longest AS path the experiment intends to announce *)
+}
+
+val proposal :
+  ?pops:string list ->
+  ?prefix_count:int ->
+  ?want_ipv6:bool ->
+  ?requested_caps:Vbgp.Experiment_caps.t ->
+  ?max_announced_path_len:int ->
+  title:string ->
+  team:string ->
+  goals:string ->
+  unit ->
+  proposal
+
+type decision = Approve of { notes : string } | Reject of { reason : string }
+
+val review : ?max_poisonings:int -> ?max_path_len:int -> proposal -> decision
+
+type record = {
+  id : int;
+  proposal : proposal;
+  grant : Vbgp.Control_enforcer.grant;
+  approved_at : float;
+}
+(** Resources granted to an approved experiment. *)
+
+val allocate :
+  id:int ->
+  now:float ->
+  prefixes:Netcore.Prefix.t list ->
+  prefixes_v6:Netcore.Prefix_v6.t list ->
+  asn:Bgp.Asn.t ->
+  proposal ->
+  record
+(** Carve prefixes and an ASN out of the platform's free pools. Raises
+    when the IPv4 pool cannot satisfy [prefix_count]. *)
+
+val pp_decision : Format.formatter -> decision -> unit

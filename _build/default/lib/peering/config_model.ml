@@ -1,0 +1,95 @@
+(* The intent-based configuration model (paper §5): a declarative snapshot
+   of what every PoP should look like — interconnections, experiments and
+   their capabilities, bandwidth limits — stored centrally and rendered
+   into per-service configuration by the templating engine. *)
+
+open Netcore
+open Bgp
+
+type session_intent = {
+  peer_name : string;
+  peer_ip : Ipv4.t;
+  peer_asn : Asn.t;
+  kind : string;  (** "transit" | "peer" | "route-server" | "mesh" *)
+  add_path : bool;
+}
+
+type experiment_intent = {
+  exp_name : string;
+  exp_asn : Asn.t;
+  exp_prefixes : Prefix.t list;
+  caps : Vbgp.Experiment_caps.t;
+  vpn_port : int;
+}
+
+type pop_intent = {
+  pop_name : string;
+  router_id : Ipv4.t;
+  mux_asn : Asn.t;
+  sessions : session_intent list;
+  experiments : experiment_intent list;
+  bandwidth_limit_mbps : int option;
+      (** §4.7: only bandwidth-constrained sites shape traffic *)
+}
+
+type t = { pops : pop_intent list; version : int }
+
+let make ?(version = 1) pops = { pops; version }
+
+let pop t name = List.find_opt (fun p -> String.equal p.pop_name name) t.pops
+
+(* Snapshot the intent of a live platform: this is the "desired
+   configuration database" the paper stores centrally. *)
+let of_platform (platform : Platform.t) =
+  let records = Platform.records platform in
+  let experiments =
+    List.mapi
+      (fun i (r : Approval.record) ->
+        let g = r.Approval.grant in
+        {
+          exp_name = g.Vbgp.Control_enforcer.name;
+          exp_asn =
+            (match g.Vbgp.Control_enforcer.asns with
+            | a :: _ -> a
+            | [] -> Asn.of_int 0);
+          exp_prefixes = g.Vbgp.Control_enforcer.prefixes;
+          caps = g.Vbgp.Control_enforcer.caps;
+          vpn_port = 10000 + i;
+        })
+      records
+  in
+  let pops =
+    List.map
+      (fun pop ->
+        let router = Pop.router pop in
+        let sessions =
+          List.map
+            (fun h ->
+              {
+                peer_name = h.Neighbor_host.name;
+                peer_ip = h.Neighbor_host.ip;
+                peer_asn = h.Neighbor_host.asn;
+                kind =
+                  (match Vbgp.Router.neighbor router (Neighbor_host.neighbor_id h) with
+                  | Some ns ->
+                      Vbgp.Neighbor.kind_to_string ns.Vbgp.Router.info.Vbgp.Neighbor.kind
+                  | None -> "peer");
+                add_path = false;
+              })
+            (Pop.neighbors pop)
+        in
+        {
+          pop_name = Pop.name pop;
+          router_id = Ipv4.of_octets 10 255 0 1;
+          mux_asn = Platform.mux_asn platform;
+          sessions;
+          experiments;
+          bandwidth_limit_mbps =
+            (* Two university sites have contractual shaping (§4.7). *)
+            (match Pop.site pop with
+            | Pop.University -> Some 1000
+            | Pop.Ixp -> None);
+        })
+      (Platform.pops platform)
+  in
+  make pops

@@ -1,0 +1,42 @@
+(** The intent-based configuration model (paper §5): a declarative
+    snapshot of what every PoP should look like — interconnections,
+    experiments and their capabilities, bandwidth limits — stored centrally
+    and rendered into per-service configuration by {!Template}. *)
+
+open Netcore
+open Bgp
+
+type session_intent = {
+  peer_name : string;
+  peer_ip : Ipv4.t;
+  peer_asn : Asn.t;
+  kind : string;  (** "transit" | "peer" | "route-server" | "mesh" *)
+  add_path : bool;
+}
+
+type experiment_intent = {
+  exp_name : string;
+  exp_asn : Asn.t;
+  exp_prefixes : Prefix.t list;
+  caps : Vbgp.Experiment_caps.t;
+  vpn_port : int;
+}
+
+type pop_intent = {
+  pop_name : string;
+  router_id : Ipv4.t;
+  mux_asn : Asn.t;
+  sessions : session_intent list;
+  experiments : experiment_intent list;
+  bandwidth_limit_mbps : int option;
+      (** §4.7: only bandwidth-constrained sites shape traffic *)
+}
+
+type t = { pops : pop_intent list; version : int }
+
+val make : ?version:int -> pop_intent list -> t
+val pop : t -> string -> pop_intent option
+
+val of_platform : Platform.t -> t
+(** Snapshot the live platform's intent (the "desired configuration
+    database" of §5). *)

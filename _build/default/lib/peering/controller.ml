@@ -1,0 +1,358 @@
+(* The network controller with transactional semantics (paper §5).
+
+   vBGP's network configuration — virtual interfaces, one routing table and
+   rule per neighbor, filters — is dynamic, but the kernel interface
+   (Netlink in the paper, the [Kernel] module here) only offers
+   add/remove/query primitives. The controller reconciles the kernel's
+   current state with the intended state by computing a minimal plan:
+   (i) remove configuration incompatible with the intent, (ii) keep what is
+   compatible, (iii) add what is missing. Plans apply transactionally —
+   either every operation lands or the applied prefix is rolled back — so a
+   PoP is never left half-configured.
+
+   One Linux quirk the paper calls out is modelled faithfully: an
+   interface's *primary* address is simply the first one added and cannot
+   be changed in place, yet PEERING must control it because it sources
+   ICMP (traceroute) replies. When the primary is wrong but present, the
+   plan removes and re-adds addresses in the proper order. *)
+
+open Netcore
+
+(* -- state model ------------------------------------------------------------ *)
+
+type iface = {
+  ifname : string;
+  addresses : Ipv4.t list;  (** primary first *)
+  up : bool;
+}
+
+type route = { table : int; prefix : Prefix.t; via : Ipv4.t }
+
+type rule = { priority : int; selector : string; table : int }
+
+type state = { ifaces : iface list; routes : route list; rules : rule list }
+
+let empty_state = { ifaces = []; routes = []; rules = [] }
+
+let route_equal (a : route) (b : route) =
+  a.table = b.table && Prefix.equal a.prefix b.prefix && Ipv4.equal a.via b.via
+
+let rule_equal (a : rule) (b : rule) =
+  a.priority = b.priority
+  && String.equal a.selector b.selector
+  && a.table = b.table
+
+(* -- kernel primitives -------------------------------------------------------- *)
+
+type op =
+  | Create_iface of string
+  | Delete_iface of string
+  | Set_link of string * bool
+  | Add_address of string * Ipv4.t
+  | Del_address of string * Ipv4.t
+  | Add_route of route
+  | Del_route of route
+  | Add_rule of rule
+  | Del_rule of rule
+
+let pp_op ppf = function
+  | Create_iface n -> Fmt.pf ppf "link add %s" n
+  | Delete_iface n -> Fmt.pf ppf "link del %s" n
+  | Set_link (n, up) -> Fmt.pf ppf "link set %s %s" n (if up then "up" else "down")
+  | Add_address (n, ip) -> Fmt.pf ppf "addr add %a dev %s" Ipv4.pp ip n
+  | Del_address (n, ip) -> Fmt.pf ppf "addr del %a dev %s" Ipv4.pp ip n
+  | Add_route r ->
+      Fmt.pf ppf "route add %a via %a table %d" Prefix.pp r.prefix Ipv4.pp
+        r.via r.table
+  | Del_route r ->
+      Fmt.pf ppf "route del %a via %a table %d" Prefix.pp r.prefix Ipv4.pp
+        r.via r.table
+  | Add_rule r ->
+      Fmt.pf ppf "rule add pref %d from %s lookup %d" r.priority r.selector
+        r.table
+  | Del_rule r ->
+      Fmt.pf ppf "rule del pref %d from %s lookup %d" r.priority r.selector
+        r.table
+
+(* A Netlink-like kernel: request/response only, no intent, primary address
+   = first added. Failure injection lets tests exercise rollback. *)
+module Kernel = struct
+  type k_iface = {
+    mutable k_addresses : Ipv4.t list;  (** insertion order = primary first *)
+    mutable k_up : bool;
+  }
+
+  type t = {
+    ifaces : (string, k_iface) Hashtbl.t;
+    mutable routes : route list;
+    mutable rules : rule list;
+    mutable fail_after : int option;
+        (** fail the Nth next operation (0 = the next one) *)
+    mutable ops_applied : op list;  (** newest first, for inspection *)
+  }
+
+  let create () =
+    {
+      ifaces = Hashtbl.create 8;
+      routes = [];
+      rules = [];
+      fail_after = None;
+      ops_applied = [];
+    }
+
+  let inject_failure t ~after = t.fail_after <- Some after
+
+  let observe t : state =
+    let ifaces =
+      Hashtbl.fold
+        (fun ifname k acc ->
+          { ifname; addresses = k.k_addresses; up = k.k_up } :: acc)
+        t.ifaces []
+      |> List.sort (fun a b -> String.compare a.ifname b.ifname)
+    in
+    { ifaces; routes = t.routes; rules = t.rules }
+
+  let apply t op =
+    match t.fail_after with
+    | Some 0 ->
+        t.fail_after <- None;
+        Error (Fmt.str "EINVAL applying: %a" pp_op op)
+    | _ ->
+        (match t.fail_after with
+        | Some n -> t.fail_after <- Some (n - 1)
+        | None -> ());
+        let result =
+          match op with
+          | Create_iface n ->
+              if Hashtbl.mem t.ifaces n then Error "iface exists"
+              else begin
+                Hashtbl.replace t.ifaces n { k_addresses = []; k_up = false };
+                Ok ()
+              end
+          | Delete_iface n ->
+              if Hashtbl.mem t.ifaces n then begin
+                Hashtbl.remove t.ifaces n;
+                Ok ()
+              end
+              else Error "no such iface"
+          | Set_link (n, up) -> (
+              match Hashtbl.find_opt t.ifaces n with
+              | Some k ->
+                  k.k_up <- up;
+                  Ok ()
+              | None -> Error "no such iface")
+          | Add_address (n, ip) -> (
+              match Hashtbl.find_opt t.ifaces n with
+              | Some k ->
+                  if List.exists (Ipv4.equal ip) k.k_addresses then
+                    Error "address exists"
+                  else begin
+                    (* Primary = first added: append. *)
+                    k.k_addresses <- k.k_addresses @ [ ip ];
+                    Ok ()
+                  end
+              | None -> Error "no such iface")
+          | Del_address (n, ip) -> (
+              match Hashtbl.find_opt t.ifaces n with
+              | Some k ->
+                  if List.exists (Ipv4.equal ip) k.k_addresses then begin
+                    k.k_addresses <-
+                      List.filter
+                        (fun a -> not (Ipv4.equal a ip))
+                        k.k_addresses;
+                    Ok ()
+                  end
+                  else Error "no such address"
+              | None -> Error "no such iface")
+          | Add_route r ->
+              if List.exists (route_equal r) t.routes then Error "route exists"
+              else begin
+                t.routes <- t.routes @ [ r ];
+                Ok ()
+              end
+          | Del_route r ->
+              if List.exists (route_equal r) t.routes then begin
+                t.routes <- List.filter (fun x -> not (route_equal x r)) t.routes;
+                Ok ()
+              end
+              else Error "no such route"
+          | Add_rule r ->
+              if List.exists (rule_equal r) t.rules then Error "rule exists"
+              else begin
+                t.rules <- t.rules @ [ r ];
+                Ok ()
+              end
+          | Del_rule r ->
+              if List.exists (rule_equal r) t.rules then begin
+                t.rules <- List.filter (fun x -> not (rule_equal x r)) t.rules;
+                Ok ()
+              end
+              else Error "no such rule"
+        in
+        (match result with Ok () -> t.ops_applied <- op :: t.ops_applied | Error _ -> ());
+        result
+end
+
+(* -- planning ------------------------------------------------------------------ *)
+
+(* The inverse of an operation, for rollback. [before] is the kernel state
+   the operation executed against. *)
+let invert ~(before : state) = function
+  | Create_iface n -> [ Delete_iface n ]
+  | Delete_iface n -> (
+      match List.find_opt (fun i -> String.equal i.ifname n) before.ifaces with
+      | Some i ->
+          Create_iface n
+          :: List.map (fun a -> Add_address (n, a)) i.addresses
+          @ (if i.up then [ Set_link (n, true) ] else [])
+      | None -> [])
+  | Set_link (n, _) -> (
+      match List.find_opt (fun i -> String.equal i.ifname n) before.ifaces with
+      | Some i -> [ Set_link (n, i.up) ]
+      | None -> [])
+  | Add_address (n, ip) -> [ Del_address (n, ip) ]
+  | Del_address (n, ip) -> [ Add_address (n, ip) ]
+  | Add_route r -> [ Del_route r ]
+  | Del_route r -> [ Add_route r ]
+  | Add_rule r -> [ Del_rule r ]
+  | Del_rule r -> [ Add_rule r ]
+
+(* Compute the minimal plan transforming [current] into [desired]:
+   configuration compatible with the intent is untouched (so BGP sessions
+   and VPN connections over those interfaces survive, §5). *)
+let plan ~(current : state) ~(desired : state) =
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let find_iface st n =
+    List.find_opt (fun i -> String.equal i.ifname n) st.ifaces
+  in
+  (* Interfaces to delete. *)
+  List.iter
+    (fun (i : iface) ->
+      if find_iface desired i.ifname = None then emit (Delete_iface i.ifname))
+    current.ifaces;
+  (* Interfaces to create or fix. *)
+  List.iter
+    (fun (want : iface) ->
+      match find_iface current want.ifname with
+      | None ->
+          emit (Create_iface want.ifname);
+          List.iter (fun a -> emit (Add_address (want.ifname, a))) want.addresses;
+          if want.up then emit (Set_link (want.ifname, true))
+      | Some have ->
+          let primary_wrong =
+            match (have.addresses, want.addresses) with
+            | h :: _, w :: _ -> not (Ipv4.equal h w)
+            | [], _ :: _ -> false
+            | _, [] -> false
+          in
+          if primary_wrong then begin
+            (* The kernel cannot change the primary in place: remove every
+               address and re-add in the intended order (§5). *)
+            List.iter
+              (fun a -> emit (Del_address (want.ifname, a)))
+              have.addresses;
+            List.iter
+              (fun a -> emit (Add_address (want.ifname, a)))
+              want.addresses
+          end
+          else begin
+            (* Keep compatible addresses; drop extras; add missing. *)
+            List.iter
+              (fun a ->
+                if not (List.exists (Ipv4.equal a) want.addresses) then
+                  emit (Del_address (want.ifname, a)))
+              have.addresses;
+            List.iter
+              (fun a ->
+                if not (List.exists (Ipv4.equal a) have.addresses) then
+                  emit (Add_address (want.ifname, a)))
+              want.addresses
+          end;
+          if have.up <> want.up then emit (Set_link (want.ifname, want.up)))
+    desired.ifaces;
+  (* Routes. *)
+  List.iter
+    (fun r ->
+      if not (List.exists (route_equal r) desired.routes) then
+        emit (Del_route r))
+    current.routes;
+  List.iter
+    (fun r ->
+      if not (List.exists (route_equal r) current.routes) then
+        emit (Add_route r))
+    desired.routes;
+  (* Rules. *)
+  List.iter
+    (fun r ->
+      if not (List.exists (rule_equal r) desired.rules) then emit (Del_rule r))
+    current.rules;
+  List.iter
+    (fun r ->
+      if not (List.exists (rule_equal r) current.rules) then emit (Add_rule r))
+    desired.rules;
+  List.rev !ops
+
+type apply_result =
+  | Applied of op list
+  | Rolled_back of { failed : op; error : string; undone : int }
+
+(* Apply [ops] transactionally: on any failure, roll back the applied
+   prefix (in reverse) and report. *)
+let apply_transaction kernel ops =
+  let rec go applied = function
+    | [] -> Applied (List.rev_map fst applied)
+    | op :: rest -> (
+        let before = Kernel.observe kernel in
+        match Kernel.apply kernel op with
+        | Ok () -> go ((op, before) :: applied) rest
+        | Error error ->
+            (* Roll back everything applied so far. *)
+            let undone = ref 0 in
+            List.iter
+              (fun (op, before) ->
+                List.iter
+                  (fun inverse ->
+                    match Kernel.apply kernel inverse with
+                    | Ok () -> incr undone
+                    | Error _ -> ())
+                  (invert ~before op))
+              applied;
+            Rolled_back { failed = op; error; undone = !undone })
+  in
+  go [] ops
+
+(* One-shot reconciliation: observe, plan, apply. *)
+let reconcile kernel ~desired =
+  let current = Kernel.observe kernel in
+  let ops = plan ~current ~desired in
+  (ops, apply_transaction kernel ops)
+
+(* Does the kernel now match the intent (ignoring ordering beyond the
+   primary address)? *)
+let converged kernel ~(desired : state) =
+  let current = Kernel.observe kernel in
+  plan ~current ~desired = []
+
+(* The desired state for a vBGP deployment: one tap interface per
+   experiment, one routing table + rule per neighbor (paper §3.2.2). *)
+let vbgp_desired_state ~experiments ~neighbors =
+  let ifaces =
+    List.map
+      (fun (name, addr) ->
+        { ifname = Printf.sprintf "tap_%s" name; addresses = [ addr ]; up = true })
+      experiments
+  in
+  let routes, rules =
+    List.split
+      (List.map
+         (fun (id, virtual_ip, real_ip) ->
+           ( { table = id; prefix = Prefix.default; via = real_ip },
+             {
+               priority = 100 + id;
+               selector = Ipv4.to_string virtual_ip;
+               table = id;
+             } ))
+         neighbors)
+  in
+  { ifaces; routes; rules }

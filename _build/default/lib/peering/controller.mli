@@ -1,0 +1,89 @@
+(** The network controller with transactional semantics (paper §5).
+
+    Reconciles a Netlink-like kernel (add/remove/query primitives only)
+    with an intended state by computing a minimal plan — remove
+    incompatible configuration, keep what is compatible (so BGP sessions
+    and VPNs survive), add what is missing — and applying it atomically:
+    on any failure the applied prefix rolls back.
+
+    One Linux quirk is modelled faithfully: an interface's primary address
+    is simply the first one added and cannot be swapped in place, yet
+    PEERING must control it because it sources ICMP (traceroute) replies.
+    When the primary is wrong, the plan removes and re-adds addresses in
+    the intended order. *)
+
+open Netcore
+
+(** {1 State model} *)
+
+type iface = {
+  ifname : string;
+  addresses : Ipv4.t list;  (** primary first *)
+  up : bool;
+}
+
+type route = { table : int; prefix : Prefix.t; via : Ipv4.t }
+type rule = { priority : int; selector : string; table : int }
+type state = { ifaces : iface list; routes : route list; rules : rule list }
+
+val empty_state : state
+val route_equal : route -> route -> bool
+val rule_equal : rule -> rule -> bool
+
+(** {1 Kernel primitives} *)
+
+type op =
+  | Create_iface of string
+  | Delete_iface of string
+  | Set_link of string * bool
+  | Add_address of string * Ipv4.t
+  | Del_address of string * Ipv4.t
+  | Add_route of route
+  | Del_route of route
+  | Add_rule of rule
+  | Del_rule of rule
+
+val pp_op : Format.formatter -> op -> unit
+
+(** A Netlink-like kernel: request/response only, primary address = first
+    added, with failure injection for rollback tests. *)
+module Kernel : sig
+  type t
+
+  val create : unit -> t
+
+  val inject_failure : t -> after:int -> unit
+  (** Fail the operation [after] successful ones from now. *)
+
+  val observe : t -> state
+  val apply : t -> op -> (unit, string) result
+end
+
+(** {1 Planning and transactions} *)
+
+val invert : before:state -> op -> op list
+(** The inverse operations for rollback, given the pre-state. *)
+
+val plan : current:state -> desired:state -> op list
+(** Minimal plan transforming [current] into [desired]; empty when
+    converged. Compatible configuration is never touched. *)
+
+type apply_result =
+  | Applied of op list
+  | Rolled_back of { failed : op; error : string; undone : int }
+
+val apply_transaction : Kernel.t -> op list -> apply_result
+(** All-or-nothing application. *)
+
+val reconcile : Kernel.t -> desired:state -> op list * apply_result
+(** Observe, plan, apply. *)
+
+val converged : Kernel.t -> desired:state -> bool
+
+val vbgp_desired_state :
+  experiments:(string * Ipv4.t) list ->
+  neighbors:(int * Ipv4.t * Ipv4.t) list ->
+  state
+(** The intent for a vBGP deployment: one tap interface per experiment,
+    one routing table + rule per neighbor (paper §3.2.2); neighbors are
+    (table id, virtual IP, real IP). *)

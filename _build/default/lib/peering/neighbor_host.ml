@@ -1,0 +1,135 @@
+(* A simulated external network adjacent to a PEERING PoP: one BGP speaker
+   plus a data-plane endpoint. It announces the routes the synthetic
+   Internet computed for its AS, records the experiment announcements it
+   hears, and can originate traffic toward experiment prefixes (entering the
+   platform at this neighbor). *)
+
+open Netcore
+open Bgp
+open Sim
+
+type t = {
+  name : string;
+  asn : Asn.t;
+  ip : Ipv4.t;
+  engine : Engine.t;
+  router : Vbgp.Router.t;
+  neighbor_id : int;
+  pair : Bgp_wire.pair;
+  mutable pending : (Prefix.t * Aspath.t) list;
+      (** routes queued until the session establishes *)
+  mutable table : (Prefix.t * Aspath.t) list;
+      (** everything this AS currently originates toward the platform;
+          re-announced in full whenever the session (re)establishes *)
+  heard : (Prefix.t, Attr.set) Hashtbl.t;
+      (** announcements received from the platform *)
+  heard_v6 : (Prefix_v6.t, Attr.set) Hashtbl.t;
+  mutable received_packets : Ipv4_packet.t list;
+  mutable established : bool;
+}
+
+let session t = t.pair.Bgp_wire.active
+let neighbor_id t = t.neighbor_id
+let is_established t = t.established
+let received_packets t = List.rev t.received_packets
+
+let heard_route t prefix = Hashtbl.find_opt t.heard prefix
+let heard_route_v6 t prefix = Hashtbl.find_opt t.heard_v6 prefix
+let heard_count t = Hashtbl.length t.heard
+
+let announce_now t routes =
+  let s = session t in
+  List.iter
+    (fun (prefix, as_path) ->
+      Session.send_update s
+        (Msg.update
+           ~attrs:(Attr.origin_attrs ~as_path ~next_hop:t.ip ())
+           ~announced:[ Msg.nlri prefix ]
+           ()))
+    routes
+
+(* Announce routes (immediately if established, else on session-up). The
+   routes join this AS's table and survive session flaps: a fresh session
+   always receives the full table, as in real BGP. *)
+let announce t routes =
+  t.table <-
+    routes
+    @ List.filter
+        (fun (p, _) -> not (List.exists (fun (q, _) -> Prefix.equal p q) routes))
+        t.table;
+  if t.established then announce_now t routes
+  else t.pending <- t.pending @ routes
+
+let withdraw t prefixes =
+  t.table <-
+    List.filter
+      (fun (p, _) -> not (List.exists (Prefix.equal p) prefixes))
+      t.table;
+  let s = session t in
+  if t.established then
+    List.iter
+      (fun prefix ->
+        Session.send_update s (Msg.update ~withdrawn:[ Msg.nlri prefix ] ()))
+      prefixes
+
+(* Originate a packet toward [dst] (typically an experiment address),
+   entering the platform at this neighbor. *)
+let send_packet t ?(ttl = 64) ?(protocol = Ipv4_packet.Udp) ~src ~dst payload =
+  let packet = Ipv4_packet.make ~ttl ~src ~dst ~protocol payload in
+  Vbgp.Router.inject_from_neighbor t.router ~neighbor_id:t.neighbor_id packet
+
+let create ~engine ~router ~name ~asn ~ip ~kind ?(latency = 0.002) () =
+  let neighbor_id, pair =
+    Vbgp.Router.add_neighbor router ~asn ~ip ~kind ~remote_id:ip ~latency ()
+  in
+  let t =
+    {
+      name;
+      asn;
+      ip;
+      engine;
+      router;
+      neighbor_id;
+      pair;
+      pending = [];
+      table = [];
+      heard = Hashtbl.create 16;
+      heard_v6 = Hashtbl.create 4;
+      received_packets = [];
+      established = false;
+    }
+  in
+  Vbgp.Router.set_neighbor_deliver router ~neighbor_id (fun packet ->
+      t.received_packets <- packet :: t.received_packets);
+  Session.set_handlers (session t)
+    {
+      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+      on_update =
+        (fun u ->
+          List.iter
+            (fun (n : Msg.nlri) -> Hashtbl.remove t.heard n.prefix)
+            u.withdrawn;
+          List.iter
+            (fun (n : Msg.nlri) -> Hashtbl.replace t.heard n.prefix u.attrs)
+            u.announced;
+          List.iter
+            (fun attr ->
+              match attr with
+              | Attr.Mp_reach { nlri; _ } ->
+                  List.iter
+                    (fun (p, _) -> Hashtbl.replace t.heard_v6 p u.attrs)
+                    nlri
+              | Attr.Mp_unreach nlri ->
+                  List.iter (fun (p, _) -> Hashtbl.remove t.heard_v6 p) nlri
+              | _ -> ())
+            u.attrs);
+      on_established =
+        (fun () ->
+          t.established <- true;
+          t.pending <- [];
+          (* Full table exchange on every (re)establishment. *)
+          announce_now t t.table);
+      on_down = (fun _ -> t.established <- false);
+    };
+  Bgp_wire.start pair;
+  t

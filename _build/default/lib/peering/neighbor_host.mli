@@ -1,0 +1,70 @@
+(** A simulated external network adjacent to a PEERING PoP: one BGP speaker
+    plus a data-plane endpoint. It announces the routes the synthetic
+    Internet computed for its AS, records the experiment announcements it
+    hears, and can originate traffic toward experiment prefixes. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type t = {
+  name : string;
+  asn : Asn.t;
+  ip : Ipv4.t;  (** interface address on the interconnection *)
+  engine : Engine.t;
+  router : Vbgp.Router.t;
+  neighbor_id : int;
+  pair : Bgp_wire.pair;
+  mutable pending : (Prefix.t * Aspath.t) list;
+  mutable table : (Prefix.t * Aspath.t) list;
+  heard : (Prefix.t, Attr.set) Hashtbl.t;
+  heard_v6 : (Prefix_v6.t, Attr.set) Hashtbl.t;
+  mutable received_packets : Ipv4_packet.t list;
+  mutable established : bool;
+}
+
+val create :
+  engine:Engine.t ->
+  router:Vbgp.Router.t ->
+  name:string ->
+  asn:Asn.t ->
+  ip:Ipv4.t ->
+  kind:Vbgp.Neighbor.kind ->
+  ?latency:float ->
+  unit ->
+  t
+(** Registers with the router, starts the BGP session. *)
+
+val session : t -> Session.t
+(** The neighbor-side (active) session. *)
+
+val neighbor_id : t -> int
+val is_established : t -> bool
+
+val announce : t -> (Prefix.t * Aspath.t) list -> unit
+(** Announce routes (queued until the session establishes; the full table
+    is re-sent on every re-establishment, as in real BGP). *)
+
+val withdraw : t -> Prefix.t list -> unit
+
+val heard_route : t -> Prefix.t -> Attr.set option
+(** The platform's last announcement of [prefix] to this neighbor, if
+    any. *)
+
+val heard_route_v6 : t -> Prefix_v6.t -> Attr.set option
+
+val heard_count : t -> int
+
+val send_packet :
+  t ->
+  ?ttl:int ->
+  ?protocol:Ipv4_packet.protocol ->
+  src:Ipv4.t ->
+  dst:Ipv4.t ->
+  string ->
+  unit
+(** Originate a packet toward [dst], entering the platform here. *)
+
+val received_packets : t -> Ipv4_packet.t list
+(** Packets the platform forwarded out through this neighbor, oldest
+    first. *)

@@ -1,0 +1,203 @@
+(* The PEERING platform (paper §4): a set of PoPs built on vBGP, numbered
+   resources (ASNs and prefixes, §4.2), a backbone interconnecting PoPs
+   (§4.3-4.4), a synthetic Internet of neighbor networks, and the
+   experiment lifecycle. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  mux_asn : Asn.t;  (** the main platform ASN (AS47065 in deployment) *)
+  experiment_asns : Asn.t list;  (** ASNs assignable to experiments *)
+  global_pool : Vbgp.Addr_pool.t;  (** §4.4 pool shared by all PoPs *)
+  backbone : Lan.t;
+  mutable pops : Pop.t list;
+  mutable free_prefixes : Prefix.t list;
+  mutable free_v6 : Prefix_v6.t list;
+  mutable free_asns : Asn.t list;
+  mutable records : Approval.record list;
+  mutable next_experiment_id : int;
+  mutable next_router_id : int;
+}
+
+(* PEERING's numbered resources (§4.2): 8 ASNs (three 4-byte) and 40 /24s,
+   modelled with documentation/benchmark address space. *)
+let default_asns =
+  List.map Asn.of_int [ 47065; 61574; 61575; 61576; 263842; 263843; 263844; 917 ]
+
+let default_prefixes =
+  (* 40 /24s drawn from 184.164.224.0/19 plus 184.164.0.0/21. *)
+  Prefix.subnets (Prefix.of_string_exn "184.164.224.0/19") 24
+  @ Prefix.subnets (Prefix.of_string_exn "184.164.0.0/21") 24
+
+let default_v6 =
+  (* /48s carved from the platform /32, one per IPv6-using experiment. *)
+  List.init 16 (fun i ->
+      Prefix_v6.subnet (Prefix_v6.of_string_exn "2804:269c::/32") 48 (i + 1))
+
+let create ?(trace = Trace.create ~capacity:100_000 ()) () =
+  let engine = Engine.create () in
+  match default_asns with
+  | [] -> assert false
+  | mux_asn :: experiment_asns ->
+      {
+        engine;
+        trace;
+        mux_asn;
+        experiment_asns;
+        global_pool =
+          Vbgp.Addr_pool.create
+            ~base:(Prefix.of_string_exn "127.127.0.0/16")
+            ~mac_pool:0x7f;
+        backbone = Lan.create ~latency:0.01 engine;
+        pops = [];
+        free_prefixes = default_prefixes;
+        free_v6 = default_v6;
+        free_asns = experiment_asns;
+        records = [];
+        next_experiment_id = 1;
+        next_router_id = 1;
+      }
+
+let engine t = t.engine
+let trace t = t.trace
+let mux_asn t = t.mux_asn
+let pops t = List.rev t.pops
+let global_pool t = t.global_pool
+let records t = List.rev t.records
+
+let find_pop t name =
+  List.find_opt (fun p -> String.equal (Pop.name p) name) t.pops
+
+let pop_exn t name =
+  match find_pop t name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Platform.pop_exn: no PoP %S" name)
+
+(* Bring up a new PoP. *)
+let add_pop t ~name ~site ?bandwidth_limit_mbps () =
+  if find_pop t name <> None then invalid_arg "Platform.add_pop: duplicate";
+  let router_id = Ipv4.of_octets 10 255 0 t.next_router_id in
+  t.next_router_id <- t.next_router_id + 1;
+  let pop =
+    Pop.create ~engine:t.engine ~trace:t.trace ~name ~site ~asn:t.mux_asn
+      ~router_id ~global_pool:t.global_pool ?bandwidth_limit_mbps ()
+  in
+  t.pops <- pop :: t.pops;
+  pop
+
+(* Attach every PoP to the backbone segment and bring up the full BGP mesh
+   (§4.3). Call after PoPs and their neighbors are in place. *)
+let connect_backbone t =
+  let pops = pops t in
+  List.iter (fun p -> Vbgp.Router.attach_backbone (Pop.router p) t.backbone) pops;
+  let rec mesh = function
+    | [] -> ()
+    | p :: rest ->
+        List.iter
+          (fun q ->
+            ignore
+              (Vbgp.Router.connect_mesh (Pop.router p) (Pop.router q) ()))
+          rest;
+        mesh rest
+  in
+  mesh pops;
+  Engine.run_until t.engine (Engine.now t.engine +. 5.)
+
+(* Run the simulation forward (convenience). *)
+let run t ~seconds = Engine.run_until t.engine (Engine.now t.engine +. seconds)
+
+(* -- experiment lifecycle -------------------------------------------------- *)
+
+type submission =
+  | Granted of Approval.record
+  | Denied of string
+
+(* Submit a proposal through review; approval allocates resources. *)
+let submit t (proposal : Approval.proposal) =
+  match Approval.review proposal with
+  | Approval.Reject { reason } -> Denied reason
+  | Approval.Approve _ -> (
+      match (t.free_prefixes, t.free_asns) with
+      | [], _ -> Denied "no IPv4 prefixes available"
+      | _, [] -> Denied "no experiment ASNs available"
+      | _, asn :: rest_asns ->
+          (* One /48 per IPv6-wanting experiment, carved from the /32. *)
+          let v6_offer =
+            match t.free_v6 with p :: _ -> [ p ] | [] -> []
+          in
+          let record =
+            Approval.allocate ~id:t.next_experiment_id
+              ~now:(Engine.now t.engine) ~prefixes:t.free_prefixes
+              ~prefixes_v6:v6_offer ~asn proposal
+          in
+          let used = record.Approval.grant.Vbgp.Control_enforcer.prefixes in
+          let used_v6 = record.Approval.grant.Vbgp.Control_enforcer.prefixes_v6 in
+          t.free_prefixes <-
+            List.filter
+              (fun p -> not (List.exists (Prefix.equal p) used))
+              t.free_prefixes;
+          t.free_v6 <-
+            List.filter
+              (fun p -> not (List.exists (Prefix_v6.equal p) used_v6))
+              t.free_v6;
+          t.free_asns <- rest_asns;
+          t.next_experiment_id <- t.next_experiment_id + 1;
+          t.records <- record :: t.records;
+          Trace.record t.trace ~time:(Engine.now t.engine)
+            ~category:"platform" "approved experiment %s"
+            record.Approval.grant.Vbgp.Control_enforcer.name;
+          Granted record)
+
+(* Release an experiment's resources when it concludes. *)
+let conclude t (record : Approval.record) =
+  let g = record.Approval.grant in
+  t.free_prefixes <- t.free_prefixes @ g.Vbgp.Control_enforcer.prefixes;
+  t.free_v6 <- t.free_v6 @ g.Vbgp.Control_enforcer.prefixes_v6;
+  t.free_asns <- t.free_asns @ g.Vbgp.Control_enforcer.asns;
+  t.records <-
+    List.filter (fun r -> r.Approval.id <> record.Approval.id) t.records
+
+(* -- synthetic Internet wiring ---------------------------------------------- *)
+
+(* Populate a PoP's neighbors from a synthetic Internet: pick [transits]
+   transit ASes and [peers] lateral ASes from the graph, connect them, and
+   have each announce the routes its AS holds. *)
+let populate_pop _t ~pop ~(internet : Topo.Internet.t) ~transits ~peers () =
+  let graph = Topo.Internet.graph internet in
+  let tier1 =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier <= 2
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let stubs =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier = 3
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let hosts = ref [] in
+  List.iter
+    (fun asn ->
+      let host = Pop.add_transit pop ~asn in
+      Neighbor_host.announce host (Topo.Internet.routes_at internet asn);
+      hosts := host :: !hosts)
+    (take transits tier1);
+  List.iter
+    (fun asn ->
+      let host = Pop.add_peer pop ~asn in
+      Neighbor_host.announce host (Topo.Internet.routes_at internet asn);
+      hosts := host :: !hosts)
+    (take peers stubs);
+  List.rev !hosts

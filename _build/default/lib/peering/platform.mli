@@ -1,0 +1,58 @@
+(** The PEERING platform (paper §4): PoPs built on vBGP, numbered resources
+    (§4.2), a backbone interconnecting PoPs (§§4.3-4.4), and the experiment
+    lifecycle. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type t
+
+val default_asns : Asn.t list
+(** The platform's eight ASNs (three 4-byte), as in §4.2. *)
+
+val default_prefixes : Prefix.t list
+(** The 40 /24s of §4.2 (documentation/benchmark space here). *)
+
+val create : ?trace:Trace.t -> unit -> t
+
+val engine : t -> Engine.t
+val trace : t -> Trace.t
+val mux_asn : t -> Asn.t
+val pops : t -> Pop.t list
+val global_pool : t -> Vbgp.Addr_pool.t
+val records : t -> Approval.record list
+
+val find_pop : t -> string -> Pop.t option
+val pop_exn : t -> string -> Pop.t
+
+val add_pop :
+  t -> name:string -> site:Pop.site -> ?bandwidth_limit_mbps:int -> unit -> Pop.t
+(** [bandwidth_limit_mbps] installs §4.7 traffic shaping at constrained
+    sites. *)
+
+val connect_backbone : t -> unit
+(** Attach every PoP to the backbone segment and bring up the full BGP
+    mesh (§4.3). Call after PoPs and their neighbors are in place. *)
+
+val run : t -> seconds:float -> unit
+(** Advance the simulation. *)
+
+type submission = Granted of Approval.record | Denied of string
+
+val submit : t -> Approval.proposal -> submission
+(** Review, then allocate prefixes and an ASN on approval. *)
+
+val conclude : t -> Approval.record -> unit
+(** Return a finished experiment's resources to the pools. *)
+
+val populate_pop :
+  t ->
+  pop:Pop.t ->
+  internet:Topo.Internet.t ->
+  transits:int ->
+  peers:int ->
+  unit ->
+  Neighbor_host.t list
+(** Connect neighbors drawn from a synthetic Internet and have each
+    announce its AS's routes. *)

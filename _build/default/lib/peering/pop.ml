@@ -1,0 +1,90 @@
+(* A PEERING Point of Presence: a vBGP router at an IXP or university, plus
+   its set of interconnections (paper §4.2). IXP PoPs carry many bilateral
+   peers and route servers; university PoPs typically have a single transit
+   interconnection with the campus AS. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type site = Ixp | University
+
+let site_to_string = function Ixp -> "IXP" | University -> "university"
+
+type t = {
+  name : string;
+  site : site;
+  engine : Engine.t;
+  router : Vbgp.Router.t;
+  mutable neighbors : Neighbor_host.t list;
+  mutable next_neighbor_ip : int;
+      (** allocator for neighbor interface addresses *)
+  neighbor_net : Prefix.t;  (** addresses for neighbor interfaces *)
+}
+
+let name t = t.name
+let site t = t.site
+let router t = t.router
+let neighbors t = List.rev t.neighbors
+let neighbor_count t = List.length t.neighbors
+
+let create ~engine ~trace ~name ~site ~asn ~router_id ~global_pool
+    ?(neighbor_net = Prefix.of_string_exn "100.64.0.0/16")
+    ?bandwidth_limit_mbps () =
+  let router =
+    Vbgp.Router.create ~engine ~trace ~name ~asn ~router_id
+      ~primary_ip:router_id
+      ~local_pool:(Prefix.of_string_exn "127.65.0.0/16")
+      ~global_pool ()
+  in
+  Vbgp.Router.activate router;
+  (* PEERING's default data-plane policy (§4.7): experiments may only
+     source traffic from their own allocation. *)
+  Vbgp.Data_enforcer.add_filter
+    (Vbgp.Router.data_enforcer router)
+    (Vbgp.Data_enforcer.source_validation
+       ~owner_of:(Vbgp.Router.allocation_owner_of router)
+       ());
+  (* §4.7: sites with bandwidth constraints shape experiment traffic to the
+     rate agreed with the site's operators. *)
+  (match bandwidth_limit_mbps with
+  | Some mbps ->
+      let rate = float_of_int mbps *. 1e6 /. 8. in
+      Vbgp.Data_enforcer.add_filter
+        (Vbgp.Router.data_enforcer router)
+        (Vbgp.Data_enforcer.shaper
+           ~name:(Printf.sprintf "%s-shaper" name)
+           ~rate ~burst:(rate /. 10.)
+           ~key_of:(fun _ -> name)
+           ())
+  | None -> ());
+  { name; site; engine; router; neighbors = []; next_neighbor_ip = 10; neighbor_net }
+
+let fresh_neighbor_ip t =
+  let ip = Prefix.host t.neighbor_net t.next_neighbor_ip in
+  t.next_neighbor_ip <- t.next_neighbor_ip + 1;
+  ip
+
+(* Interconnect with network [asn]. Returns the simulated neighbor. *)
+let add_neighbor t ~kind ~asn ?name () =
+  let ip = fresh_neighbor_ip t in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "as%s@%s" (Asn.to_string asn) t.name
+  in
+  let host =
+    Neighbor_host.create ~engine:t.engine ~router:t.router ~name ~asn ~ip
+      ~kind ()
+  in
+  t.neighbors <- host :: t.neighbors;
+  host
+
+let add_transit t ~asn = add_neighbor t ~kind:Vbgp.Neighbor.Transit ~asn ()
+let add_peer t ~asn = add_neighbor t ~kind:Vbgp.Neighbor.Peer ~asn ()
+
+let add_route_server t ~asn =
+  add_neighbor t ~kind:Vbgp.Neighbor.Route_server ~asn ()
+
+let find_neighbor t ~asn =
+  List.find_opt (fun n -> Asn.equal n.Neighbor_host.asn asn) t.neighbors

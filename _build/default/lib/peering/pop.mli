@@ -1,0 +1,42 @@
+(** A PEERING Point of Presence: a vBGP router at an IXP or university
+    plus its interconnections (paper §4.2). *)
+
+open Netcore
+open Bgp
+open Sim
+
+type site = Ixp | University
+
+val site_to_string : site -> string
+
+type t
+
+val create :
+  engine:Engine.t ->
+  trace:Trace.t ->
+  name:string ->
+  site:site ->
+  asn:Asn.t ->
+  router_id:Ipv4.t ->
+  global_pool:Vbgp.Addr_pool.t ->
+  ?neighbor_net:Prefix.t ->
+  ?bandwidth_limit_mbps:int ->
+  unit ->
+  t
+(** Builds the vBGP router with the platform's default data-plane policy
+    (source validation) installed, plus traffic shaping when the site has
+    a bandwidth constraint (§4.7). *)
+
+val name : t -> string
+val site : t -> site
+val router : t -> Vbgp.Router.t
+val neighbors : t -> Neighbor_host.t list
+val neighbor_count : t -> int
+
+val add_neighbor :
+  t -> kind:Vbgp.Neighbor.kind -> asn:Asn.t -> ?name:string -> unit -> Neighbor_host.t
+
+val add_transit : t -> asn:Asn.t -> Neighbor_host.t
+val add_peer : t -> asn:Asn.t -> Neighbor_host.t
+val add_route_server : t -> asn:Asn.t -> Neighbor_host.t
+val find_neighbor : t -> asn:Asn.t -> Neighbor_host.t option

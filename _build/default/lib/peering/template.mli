@@ -1,0 +1,23 @@
+(** The templating engine (paper §5): renders the intent model into
+    service-specific configuration — a BIRD-style routing-engine config
+    (which exceeds 10,000 lines at large PoPs in deployment), an
+    OpenVPN-style tunnel config, and the enforcement-engine policy — plus
+    the line diffs used to review and canary changes. *)
+
+val render_bird : version:int -> Config_model.pop_intent -> string
+(** Filters per experiment (allocation guard + capability marks), one
+    protocol stanza per interconnection, one ADD-PATH stanza per
+    experiment. *)
+
+val render_openvpn : version:int -> Config_model.pop_intent -> string
+val render_policy : version:int -> Config_model.pop_intent -> string
+
+val render_all : Config_model.t -> (string * string * string) list
+(** Every (pop, service, contents) triple for the model. *)
+
+type diff_line = Added of string | Removed of string
+
+val diff : old_config:string -> new_config:string -> diff_line list
+(** LCS-based line diff; empty for identical inputs. *)
+
+val diff_size : diff_line list -> int

@@ -1,0 +1,449 @@
+(* The experiment toolkit (paper §4.5, Table 1): the client-side software an
+   experimenter runs. It wraps tunnel management, BGP session control, and
+   prefix announcement/manipulation behind a turn-key interface, exposes a
+   BIRD-style CLI for inspection, and gives the experiment a real data-plane
+   stack (ARP + IP over the PoP's experiment LAN) with per-packet egress
+   selection by virtual next hop. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type received = {
+  pop : string;
+  src_mac : Mac.t;  (** the delivering neighbor's virtual MAC *)
+  packet : Ipv4_packet.t;
+  at : float;
+}
+
+type tunnel = {
+  tpop : Pop.t;
+  pair : Bgp_wire.pair;
+  arp : Vbgp.Arp_client.t;
+  rib : Rib.Table.t;
+  mutable session_open : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  grant : Vbgp.Control_enforcer.grant;
+  asn : Asn.t;
+  src_ip : Ipv4.t;  (** default source: first host of the allocation *)
+  mac : Mac.t;
+  mutable tunnels : tunnel list;
+  mutable received : received list;
+  mutable echo_replies : (Ipv4.t * int) list;  (** (replier, seq) *)
+  mutable udp_services : (int * (Ipv4_packet.t -> Udp.t -> string option)) list;
+}
+
+let grant t = t.grant
+let received t = List.rev t.received
+let echo_replies t = List.rev t.echo_replies
+
+let create ~engine ~grant =
+  let asn =
+    match grant.Vbgp.Control_enforcer.asns with
+    | a :: _ -> a
+    | [] -> invalid_arg "Toolkit.create: grant has no ASN"
+  in
+  let src_ip =
+    match grant.Vbgp.Control_enforcer.prefixes with
+    | p :: _ -> Prefix.host p 1
+    | [] -> invalid_arg "Toolkit.create: grant has no prefixes"
+  in
+  {
+    engine;
+    grant;
+    asn;
+    src_ip;
+    mac = Mac.local ~pool:0xe0 (Hashtbl.hash grant.Vbgp.Control_enforcer.name land 0xffffff);
+    tunnels = [];
+    received = [];
+    echo_replies = [];
+    udp_services = [];
+  }
+
+let tunnel t pop_name =
+  List.find_opt (fun tn -> String.equal (Pop.name tn.tpop) pop_name) t.tunnels
+
+let tunnel_exn t pop_name =
+  match tunnel t pop_name with
+  | Some tn -> tn
+  | None -> invalid_arg (Printf.sprintf "Toolkit: no tunnel to %S" pop_name)
+
+let tunnels t = t.tunnels
+
+(* Addresses this experiment answers for (ARP/ICMP/UDP). *)
+let owns_address t ip =
+  List.exists (Prefix.mem ip) t.grant.Vbgp.Control_enforcer.prefixes
+
+(* Reply to traffic via the neighbor that delivered it: frame the response
+   straight back to the incoming source MAC (per-packet ingress visibility
+   in action). *)
+let reply_via t tn ~via (packet : Ipv4_packet.t) =
+  Lan.send (Vbgp.Router.experiment_lan (Pop.router tn.tpop))
+    {
+      Eth.dst = via;
+      src = t.mac;
+      ethertype = Eth.Ipv4;
+      payload = Ipv4_packet.encode packet;
+    }
+
+let handle_ip t tn ~src_mac (packet : Ipv4_packet.t) =
+  t.received <-
+    {
+      pop = Pop.name tn.tpop;
+      src_mac;
+      packet;
+      at = Engine.now t.engine;
+    }
+    :: t.received;
+  if owns_address t packet.Ipv4_packet.dst then
+    match packet.Ipv4_packet.protocol with
+    | Ipv4_packet.Icmp -> (
+        match Icmp.decode packet.Ipv4_packet.payload with
+        | Ok (Icmp.Echo_request { id; seq; payload }) ->
+            let reply =
+              Ipv4_packet.make ~src:packet.Ipv4_packet.dst
+                ~dst:packet.Ipv4_packet.src ~protocol:Ipv4_packet.Icmp
+                (Icmp.encode (Icmp.Echo_reply { id; seq; payload }))
+            in
+            reply_via t tn ~via:src_mac reply
+        | Ok (Icmp.Echo_reply { seq; _ }) ->
+            t.echo_replies <- (packet.Ipv4_packet.src, seq) :: t.echo_replies
+        | Ok _ | Error _ -> ())
+    | Ipv4_packet.Udp -> (
+        match Udp.decode packet.Ipv4_packet.payload with
+        | Ok datagram -> (
+            match List.assoc_opt datagram.Udp.dst_port t.udp_services with
+            | Some service -> (
+                match service packet datagram with
+                | Some response ->
+                    let reply =
+                      Ipv4_packet.make ~src:packet.Ipv4_packet.dst
+                        ~dst:packet.Ipv4_packet.src ~protocol:Ipv4_packet.Udp
+                        (Udp.encode
+                           {
+                             Udp.src_port = datagram.Udp.dst_port;
+                             dst_port = datagram.Udp.src_port;
+                             payload = response;
+                           })
+                    in
+                    reply_via t tn ~via:src_mac reply
+                | None -> ())
+            | None -> ())
+        | Error _ -> ())
+    | Ipv4_packet.Tcp | Ipv4_packet.Other _ -> ()
+
+(* Host a UDP service reachable from the Internet (paper §2.1 goal). The
+   handler returns an optional response payload. *)
+let serve_udp t ~port handler =
+  t.udp_services <- (port, handler) :: t.udp_services
+
+(* -- Table 1: OpenVPN tunnels ------------------------------------------------ *)
+
+(* Open the tunnel (VPN + data-plane attach) to [pop] and start BGP. *)
+let open_tunnel t (pop : Pop.t) =
+  if tunnel t (Pop.name pop) <> None then
+    invalid_arg "Toolkit.open_tunnel: already open";
+  let router = Pop.router pop in
+  let pair = Vbgp.Router.connect_experiment router ~grant:t.grant ~mac:t.mac () in
+  let lan = Vbgp.Router.experiment_lan router in
+  let arp =
+    Vbgp.Arp_client.attach lan ~mac:t.mac
+      ~ips:
+        (List.map
+           (fun p -> Prefix.host p 1)
+           t.grant.Vbgp.Control_enforcer.prefixes)
+  in
+  let rib = Rib.Table.create () in
+  let tn = { tpop = pop; pair; arp; rib; session_open = false } in
+  Vbgp.Arp_client.set_ip_handler arp (fun ~src_mac packet ->
+      handle_ip t tn ~src_mac packet);
+  (* Client-side session handlers: maintain the local multi-path RIB. *)
+  let client = pair.Bgp_wire.active in
+  let router_id = Ipv4.of_string_exn "10.255.255.254" in
+  Session.set_handlers client
+    {
+      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+      on_update =
+        (fun u ->
+          List.iter
+            (fun (n : Msg.nlri) ->
+              ignore
+                (Rib.Table.withdraw rib ~prefix:n.prefix ~peer_ip:router_id
+                   ~path_id:n.path_id))
+            u.withdrawn;
+          List.iter
+            (fun (n : Msg.nlri) ->
+              let route =
+                Rib.Route.make ~path_id:n.path_id
+                  ~learned_at:(Engine.now t.engine) ~prefix:n.prefix
+                  ~attrs:u.attrs
+                  ~source:
+                    (Rib.Route.source ~peer_ip:router_id
+                       ~peer_asn:(Vbgp.Router.asn router) ())
+                  ()
+              in
+              ignore (Rib.Table.update rib route))
+            u.announced);
+      on_established = (fun () -> tn.session_open <- true);
+      on_down = (fun _ -> tn.session_open <- false);
+    };
+  t.tunnels <- t.tunnels @ [ tn ];
+  tn
+
+(* Ask the PoP to resend the full table (RFC 2918 route refresh). Resent
+   routes carry the same (peer, path-id) keys and replace the local entries
+   by implicit withdraw. *)
+let refresh_routes t ~pop =
+  let tn = tunnel_exn t pop in
+  Session.send_route_refresh tn.pair.Bgp_wire.active
+
+(* Start (or restart) the BGP session over an open tunnel. *)
+let start_session t ~pop =
+  let tn = tunnel_exn t pop in
+  Bgp_wire.start tn.pair
+
+let stop_session t ~pop =
+  let tn = tunnel_exn t pop in
+  Session.stop tn.pair.Bgp_wire.active
+
+(* Table 1 "status of BGP connections". *)
+let session_status t =
+  List.map
+    (fun tn ->
+      ( Pop.name tn.tpop,
+        Session.state tn.pair.Bgp_wire.active,
+        tn.session_open ))
+    t.tunnels
+
+let established t ~pop =
+  match tunnel t pop with Some tn -> tn.session_open | None -> false
+
+(* -- Table 1: prefix management ---------------------------------------------- *)
+
+(* Build announcement attributes with the requested manipulations. *)
+let build_attrs t ~router ?(prepend = 0) ?(poison = []) ?(communities = [])
+    ?(announce_to = []) ?(block = []) () =
+  let ctl_asn = Vbgp.Router.control_asn router in
+  let base = Aspath.of_asns [ t.asn ] in
+  let path =
+    if poison <> [] then Aspath.poison ~self:t.asn poison Aspath.empty
+    else base
+  in
+  let path = Aspath.prepend_n t.asn prepend path in
+  let control =
+    List.map (Vbgp.Export_control.announce_to ~ctl_asn) announce_to
+    @ List.map (Vbgp.Export_control.block ~ctl_asn) block
+  in
+  Attr.origin_attrs ~as_path:path ~next_hop:t.src_ip ()
+  |> Attr.with_communities (communities @ control)
+
+(* Announce [prefix] from the toolkit's ASN. [pops] defaults to every open
+   tunnel; [path_id] distinguishes parallel variants of the same prefix
+   (e.g. different export policies per neighbor, §2.2.2). *)
+let announce t ?pops ?(path_id = 0) ?prepend ?poison ?communities
+    ?announce_to ?block prefix =
+  let targets =
+    match pops with
+    | None -> t.tunnels
+    | Some names -> List.map (tunnel_exn t) names
+  in
+  List.iter
+    (fun tn ->
+      let attrs =
+        build_attrs t ~router:(Pop.router tn.tpop) ?prepend ?poison
+          ?communities ?announce_to ?block ()
+      in
+      Session.send_update tn.pair.Bgp_wire.active
+        (Msg.update ~attrs ~announced:[ Msg.nlri ~path_id prefix ] ()))
+    targets
+
+(* Announce an IPv6 prefix via MP-BGP (control plane only; PEERING's v6
+   footprint, §4.2/§4.6). *)
+let announce_v6 t ?pops ?(path_id = 0) ?(communities = []) ?announce_to
+    ?block prefix =
+  let targets =
+    match pops with
+    | None -> t.tunnels
+    | Some names -> List.map (tunnel_exn t) names
+  in
+  List.iter
+    (fun tn ->
+      let router = Pop.router tn.tpop in
+      let ctl_asn = Vbgp.Router.control_asn router in
+      let control =
+        List.map
+          (Vbgp.Export_control.announce_to ~ctl_asn)
+          (Option.value ~default:[] announce_to)
+        @ List.map
+            (Vbgp.Export_control.block ~ctl_asn)
+            (Option.value ~default:[] block)
+      in
+      let attrs =
+        [
+          Attr.Origin Attr.Igp;
+          Attr.As_path (Aspath.of_asns [ t.asn ]);
+          Attr.Mp_reach
+            {
+              next_hop = Ipv6.of_string_exn "2804:269c::2";
+              nlri = [ (prefix, Some path_id) ];
+            };
+        ]
+        |> Attr.with_communities (communities @ control)
+      in
+      Session.send_update tn.pair.Bgp_wire.active (Msg.update ~attrs ()))
+    targets
+
+let withdraw_v6 t ?pops ?(path_id = 0) prefix =
+  let targets =
+    match pops with
+    | None -> t.tunnels
+    | Some names -> List.map (tunnel_exn t) names
+  in
+  List.iter
+    (fun tn ->
+      Session.send_update tn.pair.Bgp_wire.active
+        (Msg.update ~attrs:[ Attr.Mp_unreach [ (prefix, Some path_id) ] ] ()))
+    targets
+
+let withdraw t ?pops ?(path_id = 0) prefix =
+  let targets =
+    match pops with
+    | None -> t.tunnels
+    | Some names -> List.map (tunnel_exn t) names
+  in
+  List.iter
+    (fun tn ->
+      Session.send_update tn.pair.Bgp_wire.active
+        (Msg.update ~withdrawn:[ Msg.nlri ~path_id prefix ] ()))
+    targets
+
+(* -- route visibility --------------------------------------------------------- *)
+
+(* All routes received at [pop] (every neighbor's path, via ADD-PATH). *)
+let routes t ~pop =
+  let tn = tunnel_exn t pop in
+  Rib.Table.to_list tn.rib
+
+(* Candidate routes toward [dst] at [pop], best first. *)
+let routes_for t ~pop dst =
+  let tn = tunnel_exn t pop in
+  Rib.Table.lookup_all tn.rib dst
+
+let route_count t ~pop =
+  let tn = tunnel_exn t pop in
+  Rib.Table.route_count tn.rib
+
+(* -- data plane ---------------------------------------------------------------- *)
+
+(* Send [packet] out of [pop] via the route whose next hop is
+   [via] (a neighbor's virtual IP): ARP for the next hop, then frame the
+   packet to the resolved MAC — exactly the paper's §3.2.2 sequence. *)
+let send_packet_via t ~pop ~via packet =
+  let tn = tunnel_exn t pop in
+  Vbgp.Arp_client.send_ip tn.arp ~next_hop:via packet
+
+(* Send choosing the best route (shortest AS path) for the destination. *)
+let send_packet t ~pop ?(ttl = 64) ?(protocol = Ipv4_packet.Udp) ~dst payload =
+  match routes_for t ~pop dst with
+  | [] -> Error "no route to destination"
+  | best :: _ -> (
+      match Rib.Route.next_hop best with
+      | None -> Error "best route has no next hop"
+      | Some via ->
+          let packet =
+            Ipv4_packet.make ~ttl ~src:t.src_ip ~dst ~protocol payload
+          in
+          send_packet_via t ~pop ~via packet;
+          Ok via)
+
+(* ICMP echo toward [dst]; replies land in [echo_replies]. *)
+let ping t ~pop ?via ?(seq = 1) dst =
+  let payload = Icmp.encode (Icmp.Echo_request { id = 1; seq; payload = "peering" }) in
+  let packet =
+    Ipv4_packet.make ~src:t.src_ip ~dst ~protocol:Ipv4_packet.Icmp payload
+  in
+  match via with
+  | Some via ->
+      send_packet_via t ~pop ~via packet;
+      Ok via
+  | None -> (
+      match routes_for t ~pop dst with
+      | [] -> Error "no route to destination"
+      | best :: _ -> (
+          match Rib.Route.next_hop best with
+          | None -> Error "best route has no next hop"
+          | Some via ->
+              send_packet_via t ~pop ~via packet;
+              Ok via))
+
+(* -- Table 1: BIRD-style CLI ---------------------------------------------------- *)
+
+let cli t command =
+  let buf = Buffer.create 256 in
+  let out fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  (match String.split_on_char ' ' (String.trim command) with
+  | [ "show"; "protocols" ] ->
+      out "Name       State        Info\n";
+      List.iter
+        (fun tn ->
+          out "%-10s %-12s updates_in=%d\n" (Pop.name tn.tpop)
+            (Fsm.state_to_string (Session.state tn.pair.Bgp_wire.active))
+            (fst (Session.stats tn.pair.Bgp_wire.active)))
+        t.tunnels
+  | [ "show"; "route" ] ->
+      List.iter
+        (fun tn ->
+          Rib.Table.iter_best
+            (fun prefix r ->
+              out "%s via %s [%s] %s\n" (Prefix.to_string prefix)
+                (match Rib.Route.next_hop r with
+                | Some nh -> Ipv4.to_string nh
+                | None -> "?")
+                (Pop.name tn.tpop)
+                (Aspath.to_string (Rib.Route.as_path r)))
+            tn.rib)
+        t.tunnels
+  | [ "show"; "route"; "all" ] ->
+      List.iter
+        (fun tn ->
+          List.iter
+            (fun (r : Rib.Route.t) ->
+              out "%s via %s [%s] path-id=%s %s\n"
+                (Prefix.to_string r.prefix)
+                (match Rib.Route.next_hop r with
+                | Some nh -> Ipv4.to_string nh
+                | None -> "?")
+                (Pop.name tn.tpop)
+                (match r.path_id with Some i -> string_of_int i | None -> "-")
+                (Aspath.to_string (Rib.Route.as_path r)))
+            (Rib.Table.to_list tn.rib))
+        t.tunnels
+  | [ "show"; "route"; "for"; addr ] -> (
+      match Ipv4.of_string addr with
+      | None -> out "syntax error: bad address %s\n" addr
+      | Some ip ->
+          List.iter
+            (fun tn ->
+              List.iter
+                (fun (r : Rib.Route.t) ->
+                  out "%s via %s [%s] %s\n"
+                    (Prefix.to_string r.prefix)
+                    (match Rib.Route.next_hop r with
+                    | Some nh -> Ipv4.to_string nh
+                    | None -> "?")
+                    (Pop.name tn.tpop)
+                    (Aspath.to_string (Rib.Route.as_path r)))
+                (Rib.Table.lookup_all tn.rib ip))
+            t.tunnels)
+  | [ "show"; "status" ] ->
+      out "PEERING toolkit, experiment %s (as%s)\n"
+        t.grant.Vbgp.Control_enforcer.name (Asn.to_string t.asn);
+      out "tunnels: %d, routes: %d\n" (List.length t.tunnels)
+        (List.fold_left
+           (fun acc tn -> acc + Rib.Table.route_count tn.rib)
+           0 t.tunnels)
+  | _ -> out "syntax error: unknown command %S\n" command);
+  Buffer.contents buf

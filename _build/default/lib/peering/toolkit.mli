@@ -1,0 +1,121 @@
+(** The experiment toolkit (paper §4.5, Table 1): the client-side software
+    an experimenter runs. Tunnel management, BGP session control, prefix
+    announcement and manipulation, a BIRD-style CLI, and a real data-plane
+    stack with per-packet egress selection by virtual next hop. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type received = {
+  pop : string;
+  src_mac : Mac.t;  (** the delivering neighbor's virtual MAC (§3.2.2) *)
+  packet : Ipv4_packet.t;
+  at : float;
+}
+(** An inbound packet as the experiment saw it. *)
+
+type tunnel
+(** The per-PoP attachment (VPN + LAN station + local RIB). *)
+
+type t
+
+val create : engine:Engine.t -> grant:Vbgp.Control_enforcer.grant -> t
+(** The toolkit instance for one approved experiment. *)
+
+val grant : t -> Vbgp.Control_enforcer.grant
+val received : t -> received list
+val echo_replies : t -> (Ipv4.t * int) list
+
+val tunnel : t -> string -> tunnel option
+val tunnels : t -> tunnel list
+
+(** {1 Table 1: tunnels and sessions} *)
+
+val open_tunnel : t -> Pop.t -> tunnel
+(** Provision the VPN + data-plane attachment at [pop] (once per PoP). *)
+
+val start_session : t -> pop:string -> unit
+(** Start (or restart) BGP over the tunnel. *)
+
+val stop_session : t -> pop:string -> unit
+
+val session_status : t -> (string * Fsm.state * bool) list
+(** (PoP, FSM state, established) per tunnel. *)
+
+val established : t -> pop:string -> bool
+
+val refresh_routes : t -> pop:string -> unit
+(** RFC 2918 route refresh: ask the PoP to resend the full table. *)
+
+(** {1 Table 1: prefix management} *)
+
+val announce :
+  t ->
+  ?pops:string list ->
+  ?path_id:int ->
+  ?prepend:int ->
+  ?poison:Asn.t list ->
+  ?communities:Community.t list ->
+  ?announce_to:int list ->
+  ?block:int list ->
+  Prefix.t ->
+  unit
+(** Announce with optional AS-path prepending/poisoning, communities, and
+    export control ([announce_to]/[block] take neighbor export ids).
+    [path_id] distinguishes parallel variants of one prefix (§2.2.2). *)
+
+val withdraw : t -> ?pops:string list -> ?path_id:int -> Prefix.t -> unit
+
+val announce_v6 :
+  t ->
+  ?pops:string list ->
+  ?path_id:int ->
+  ?communities:Community.t list ->
+  ?announce_to:int list ->
+  ?block:int list ->
+  Prefix_v6.t ->
+  unit
+(** Announce an IPv6 prefix via MP-BGP (RFC 4760). Control plane only: it
+    propagates to neighbors at the connected PoPs with the same export
+    control and capability enforcement as IPv4. *)
+
+val withdraw_v6 : t -> ?pops:string list -> ?path_id:int -> Prefix_v6.t -> unit
+
+(** {1 Route visibility} *)
+
+val routes : t -> pop:string -> Rib.Route.t list
+(** Every neighbor's path, via ADD-PATH. *)
+
+val routes_for : t -> pop:string -> Ipv4.t -> Rib.Route.t list
+(** Candidates toward an address, best first. *)
+
+val route_count : t -> pop:string -> int
+
+val cli : t -> string -> string
+(** The BIRD-style CLI: [show protocols], [show route], [show route all],
+    [show route for <ip>], [show status]. *)
+
+(** {1 Data plane} *)
+
+val send_packet_via : t -> pop:string -> via:Ipv4.t -> Ipv4_packet.t -> unit
+(** Emit via the route whose next hop is [via] (a neighbor's virtual IP):
+    ARP, then frame to the resolved MAC — the §3.2.2 sequence. *)
+
+val send_packet :
+  t ->
+  pop:string ->
+  ?ttl:int ->
+  ?protocol:Ipv4_packet.protocol ->
+  dst:Ipv4.t ->
+  string ->
+  (Ipv4.t, string) result
+(** Send via the best route; returns the chosen next hop. *)
+
+val ping :
+  t -> pop:string -> ?via:Ipv4.t -> ?seq:int -> Ipv4.t -> (Ipv4.t, string) result
+(** ICMP echo; replies land in {!echo_replies}. *)
+
+val serve_udp : t -> port:int -> (Ipv4_packet.t -> Udp.t -> string option) -> unit
+(** Host a UDP service reachable from the Internet (paper §2.1); replies
+    route back through the delivering neighbor. *)

@@ -1,0 +1,1 @@
+lib/rib/decision.ml: Asn Aspath Attr Bgp Bool Float Int Ipv4 List Netcore Route Stdlib

@@ -1,0 +1,1 @@
+lib/rib/fib.ml: Hashtbl Ipv4 Netcore Obj Ptrie Sys

@@ -1,0 +1,1 @@
+lib/rib/fib.mli: Ipv4 Netcore Prefix

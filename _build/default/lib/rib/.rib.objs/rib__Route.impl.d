@@ -1,0 +1,1 @@
+lib/rib/route.ml: Asn Aspath Attr Bgp Fmt Ipv4 Netcore Prefix Printf

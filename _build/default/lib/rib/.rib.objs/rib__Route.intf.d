@@ -1,0 +1,1 @@
+lib/rib/route.mli: Asn Aspath Attr Bgp Community Format Ipv4 Netcore Prefix

@@ -1,0 +1,1 @@
+lib/rib/table.ml: Bgp Decision Ipv4 List Netcore Prefix Ptrie Route

@@ -1,0 +1,1 @@
+lib/rib/table.mli: Decision Ipv4 Netcore Prefix Route

@@ -1,0 +1,85 @@
+(* The BGP decision process (RFC 4271 §9.1.2.2): the total order a router
+   uses to pick its single best route per prefix. vBGP deliberately does
+   *not* run this on behalf of experiments — each experiment runs its own —
+   but the simulated Internet's speakers and the experiments' own routers
+   both need it. *)
+
+open Netcore
+open Bgp
+
+type config = {
+  always_compare_med : bool;
+      (** Compare MED even across different neighbor ASes. *)
+  prefer_oldest : bool;
+      (** Route-age tiebreak before router id (common vendor default). *)
+  igp_metric : Ipv4.t option -> int;
+      (** Metric to reach a next hop; constant 0 when there is no IGP. *)
+}
+
+let default_config =
+  { always_compare_med = false; prefer_oldest = false; igp_metric = (fun _ -> 0) }
+
+(* [compare cfg a b] < 0 when [a] is preferred over [b]. *)
+let compare ?(config = default_config) a b =
+  let steps =
+    [
+      (* 1. Highest local preference. *)
+      (fun () -> Int.compare (Route.local_pref b) (Route.local_pref a));
+      (* 2. Shortest AS path. *)
+      (fun () ->
+        Int.compare
+          (Aspath.length (Route.as_path a))
+          (Aspath.length (Route.as_path b)));
+      (* 3. Lowest origin (IGP < EGP < INCOMPLETE). *)
+      (fun () ->
+        Int.compare
+          (Attr.origin_to_int (Route.origin a))
+          (Attr.origin_to_int (Route.origin b)));
+      (* 4. Lowest MED, only among routes from the same neighbor AS. *)
+      (fun () ->
+        if
+          config.always_compare_med
+          || Asn.equal (Route.neighbor_asn a) (Route.neighbor_asn b)
+        then Int.compare (Route.med a) (Route.med b)
+        else 0);
+      (* 5. eBGP-learned over iBGP-learned. *)
+      (fun () ->
+        Bool.compare b.Route.source.ebgp a.Route.source.ebgp);
+      (* 6. Lowest IGP metric to the next hop. *)
+      (fun () ->
+        Int.compare
+          (config.igp_metric (Route.next_hop a))
+          (config.igp_metric (Route.next_hop b)));
+      (* 7. Oldest route, when enabled. *)
+      (fun () ->
+        if config.prefer_oldest then
+          Float.compare a.Route.learned_at b.Route.learned_at
+        else 0);
+      (* 8. Lowest peer BGP identifier. *)
+      (fun () ->
+        Ipv4.compare a.Route.source.peer_id b.Route.source.peer_id);
+      (* 9. Lowest peer address. *)
+      (fun () ->
+        Ipv4.compare a.Route.source.peer_ip b.Route.source.peer_ip);
+      (* 10. Path id as the final total-order tiebreak. *)
+      (fun () ->
+        Stdlib.compare a.Route.path_id b.Route.path_id);
+    ]
+  in
+  let rec go = function
+    | [] -> 0
+    | step :: rest -> ( match step () with 0 -> go rest | c -> c)
+  in
+  go steps
+
+let best ?config routes =
+  match routes with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc r -> if compare ?config r acc < 0 then r else acc)
+           first rest)
+
+(* Candidates ordered best-first; used by looking-glass style inspection. *)
+let rank ?config routes = List.sort (compare ?config) routes

@@ -1,0 +1,31 @@
+(** The BGP decision process (RFC 4271 §9.1.2.2): the total order a router
+    uses to pick its single best route per prefix.
+
+    vBGP deliberately does {e not} run this on behalf of experiments —
+    each experiment runs its own — but the simulated Internet's speakers
+    and the experiments' routers need it. *)
+
+open Netcore
+
+type config = {
+  always_compare_med : bool;
+      (** compare MED even across different neighbor ASes *)
+  prefer_oldest : bool;
+      (** route-age tiebreak before router id (common vendor default) *)
+  igp_metric : Ipv4.t option -> int;
+      (** metric to reach a next hop; constant 0 without an IGP *)
+}
+
+val default_config : config
+
+val compare : ?config:config -> Route.t -> Route.t -> int
+(** [compare a b < 0] when [a] is preferred. The order: local preference,
+    AS-path length, origin, MED (same neighbor AS unless configured),
+    eBGP over iBGP, IGP metric, optional age, peer BGP id, peer address,
+    path id. Total. *)
+
+val best : ?config:config -> Route.t list -> Route.t option
+(** The minimum under {!compare}; [None] on the empty list. *)
+
+val rank : ?config:config -> Route.t list -> Route.t list
+(** Candidates ordered best-first. *)

@@ -1,0 +1,77 @@
+(* Forwarding tables. vBGP keeps one FIB per BGP neighbor — the key design
+   point of the data-plane delegation (paper §3.2.2): the destination MAC of
+   an incoming frame selects the neighbor's table, and the lookup then
+   proceeds exactly as in a conventional router.
+
+   Figure 6a measures the memory cost of this design, so these structures
+   expose an accurate [memory_bytes]. *)
+
+open Netcore
+
+type entry = {
+  next_hop : Ipv4.t;
+  neighbor : int;  (** opaque neighbor/interface identifier *)
+}
+
+type t = { mutable trie : entry Ptrie.V4.t; mutable count : int }
+
+let create () = { trie = Ptrie.V4.empty; count = 0 }
+
+let entry_count t = t.count
+
+let insert t prefix entry =
+  if not (Ptrie.V4.mem prefix t.trie) then t.count <- t.count + 1;
+  t.trie <- Ptrie.V4.add prefix entry t.trie
+
+let remove t prefix =
+  if Ptrie.V4.mem prefix t.trie then begin
+    t.count <- t.count - 1;
+    t.trie <- Ptrie.V4.remove prefix t.trie
+  end
+
+let lookup t addr =
+  match Ptrie.lookup_v4 addr t.trie with
+  | Some (_, e) -> Some e
+  | None -> None
+
+let find t prefix = Ptrie.V4.find prefix t.trie
+
+let fold f t acc = Ptrie.V4.fold f t.trie acc
+
+let clear t =
+  t.trie <- Ptrie.V4.empty;
+  t.count <- 0
+
+(* Heap footprint in bytes (word-accurate via the runtime). *)
+let memory_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)
+
+(* The set of per-neighbor tables of one vBGP router. Table 0 is reserved
+   for the router's own (default) table when it also routes production
+   traffic — the "w/ default" configuration of Figure 6a. *)
+module Set = struct
+  type fib = t
+
+  let create_fib = create
+
+  type t = { tables : (int, fib) Hashtbl.t }
+
+  let create () = { tables = Hashtbl.create 16 }
+
+  let table t id =
+    match Hashtbl.find_opt t.tables id with
+    | Some fib -> fib
+    | None ->
+        let fib = create_fib () in
+        Hashtbl.replace t.tables id fib;
+        fib
+
+  let find t id = Hashtbl.find_opt t.tables id
+  let remove_table t id = Hashtbl.remove t.tables id
+  let table_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.tables []
+  let table_count t = Hashtbl.length t.tables
+
+  let total_entries t =
+    Hashtbl.fold (fun _ fib acc -> acc + entry_count fib) t.tables 0
+
+  let memory_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)
+end

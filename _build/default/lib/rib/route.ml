@@ -1,0 +1,67 @@
+(* A route: a prefix plus path attributes, tagged with the peer it was
+   learned from. The (peer, path_id) pair is the route's identity within a
+   table — exactly the granularity ADD-PATH preserves on the wire. *)
+
+open Netcore
+open Bgp
+
+type source = {
+  peer_ip : Ipv4.t;
+  peer_asn : Asn.t;
+  peer_id : Ipv4.t;  (** peer's BGP identifier, decision-process tiebreak *)
+  ebgp : bool;
+}
+
+let source ?(ebgp = true) ?peer_id ~peer_ip ~peer_asn () =
+  {
+    peer_ip;
+    peer_asn;
+    peer_id = (match peer_id with Some id -> id | None -> peer_ip);
+    ebgp;
+  }
+
+(* A locally-originated route (e.g. an experiment prefix). *)
+let local_source ~asn ~id =
+  { peer_ip = id; peer_asn = asn; peer_id = id; ebgp = false }
+
+type t = {
+  prefix : Prefix.t;
+  path_id : int option;
+  attrs : Attr.set;
+  source : source;
+  learned_at : float;
+}
+
+let make ?(path_id = None) ?(learned_at = 0.) ~prefix ~attrs ~source () =
+  { prefix; path_id; attrs; source; learned_at }
+
+(* Identity of a route within a table: same peer and same path id replace
+   each other (implicit withdraw, RFC 4271 §3.2). *)
+let same_key a b =
+  Ipv4.equal a.source.peer_ip b.source.peer_ip && a.path_id = b.path_id
+
+let key_matches ~peer_ip ~path_id r =
+  Ipv4.equal r.source.peer_ip peer_ip && r.path_id = path_id
+
+let as_path r =
+  match Attr.as_path r.attrs with Some p -> p | None -> Aspath.empty
+
+let next_hop r = Attr.next_hop r.attrs
+let local_pref r = match Attr.local_pref r.attrs with Some l -> l | None -> 100
+let med r = match Attr.med r.attrs with Some m -> m | None -> 0
+let origin r = match Attr.origin r.attrs with Some o -> o | None -> Attr.Incomplete
+let communities r = Attr.communities r.attrs
+
+(* The AS the route points into: first AS of the path, else the peer. *)
+let neighbor_asn r =
+  match Aspath.first (as_path r) with
+  | Some a -> a
+  | None -> r.source.peer_asn
+
+let origin_asn r = Aspath.origin (as_path r)
+
+let pp ppf r =
+  Fmt.pf ppf "%a%s via %a (%a)" Prefix.pp r.prefix
+    (match r.path_id with None -> "" | Some id -> Printf.sprintf "[%d]" id)
+    Fmt.(option ~none:(any "?") Ipv4.pp)
+    (next_hop r) Aspath.pp (as_path r)

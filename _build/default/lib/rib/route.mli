@@ -1,0 +1,66 @@
+(** A route: a prefix plus path attributes, tagged with the peer it came
+    from. The (peer, path id) pair is the route's identity within a table —
+    the granularity ADD-PATH preserves on the wire. *)
+
+open Netcore
+open Bgp
+
+type source = {
+  peer_ip : Ipv4.t;
+  peer_asn : Asn.t;
+  peer_id : Ipv4.t;  (** the peer's BGP identifier (decision tiebreak) *)
+  ebgp : bool;
+}
+
+val source :
+  ?ebgp:bool -> ?peer_id:Ipv4.t -> peer_ip:Ipv4.t -> peer_asn:Asn.t -> unit -> source
+(** [peer_id] defaults to [peer_ip]; [ebgp] to [true]. *)
+
+val local_source : asn:Asn.t -> id:Ipv4.t -> source
+(** A locally-originated route (e.g. an experiment prefix). *)
+
+type t = {
+  prefix : Prefix.t;
+  path_id : int option;
+  attrs : Attr.set;
+  source : source;
+  learned_at : float;
+}
+
+val make :
+  ?path_id:int option ->
+  ?learned_at:float ->
+  prefix:Prefix.t ->
+  attrs:Attr.set ->
+  source:source ->
+  unit ->
+  t
+
+val same_key : t -> t -> bool
+(** Same (peer, path id): the newer route replaces the older (implicit
+    withdraw, RFC 4271 §3.2). *)
+
+val key_matches : peer_ip:Ipv4.t -> path_id:int option -> t -> bool
+
+(** {1 Attribute shortcuts with protocol defaults} *)
+
+val as_path : t -> Aspath.t
+val next_hop : t -> Ipv4.t option
+
+val local_pref : t -> int
+(** Defaults to 100 when absent. *)
+
+val med : t -> int
+(** Defaults to 0 when absent. *)
+
+val origin : t -> Attr.origin
+(** Defaults to [Incomplete] when absent. *)
+
+val communities : t -> Community.t list
+
+val neighbor_asn : t -> Asn.t
+(** The AS the route points into: first AS of the path, else the peer. *)
+
+val origin_asn : t -> Asn.t option
+
+val pp : Format.formatter -> t -> unit

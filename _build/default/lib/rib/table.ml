@@ -1,0 +1,127 @@
+(* A routing table: prefix -> candidate routes, with the per-prefix best
+   maintained incrementally. Used as Adj-RIB-In (one per peer), Loc-RIB
+   (candidates from everywhere), and — with at most one candidate — as
+   Adj-RIB-Out. *)
+
+open Netcore
+
+type entry = { candidates : Route.t list; best : Route.t option }
+
+type change =
+  | Best_changed of Prefix.t * Route.t option
+      (** The best route for the prefix changed (None = now unreachable). *)
+  | Unchanged
+
+type t = {
+  mutable trie : entry Ptrie.V4.t;
+  mutable route_count : int;
+  decision : Decision.config;
+}
+
+let create ?(decision = Decision.default_config) () =
+  { trie = Ptrie.V4.empty; route_count = 0; decision }
+
+let route_count t = t.route_count
+let prefix_count t = Ptrie.V4.cardinal t.trie
+
+let entry t prefix = Ptrie.V4.find prefix t.trie
+
+let candidates t prefix =
+  match entry t prefix with Some e -> e.candidates | None -> []
+
+let best t prefix =
+  match entry t prefix with Some e -> e.best | None -> None
+
+let best_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+      Route.same_key a b && Bgp.Attr.equal_set a.Route.attrs b.Route.attrs
+  | _ -> false
+
+(* Insert or replace (implicit withdraw) a route. *)
+let update t (route : Route.t) =
+  let prefix = route.prefix in
+  let old = candidates t prefix in
+  let kept = List.filter (fun r -> not (Route.same_key r route)) old in
+  let candidates = route :: kept in
+  let previous_best = best t prefix in
+  let best = Decision.best ~config:t.decision candidates in
+  t.trie <- Ptrie.V4.add prefix { candidates; best } t.trie;
+  t.route_count <- t.route_count + List.length candidates - List.length old;
+  if best_equal previous_best best then Unchanged
+  else Best_changed (prefix, best)
+
+(* Withdraw the route identified by (peer, path_id). *)
+let withdraw t ~prefix ~peer_ip ~path_id =
+  let old = candidates t prefix in
+  let kept =
+    List.filter (fun r -> not (Route.key_matches ~peer_ip ~path_id r)) old
+  in
+  if List.length kept = List.length old then Unchanged
+  else begin
+    let previous_best = best t prefix in
+    t.route_count <- t.route_count - (List.length old - List.length kept);
+    let best = Decision.best ~config:t.decision kept in
+    (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
+     else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+    if best_equal previous_best best then Unchanged
+    else Best_changed (prefix, best)
+  end
+
+(* Drop every route learned from [peer_ip] (session teardown); returns the
+   changes produced. *)
+let drop_peer t ~peer_ip =
+  let changes = ref [] in
+  let prefixes =
+    Ptrie.V4.fold
+      (fun p e acc ->
+        if
+          List.exists
+            (fun r -> Ipv4.equal r.Route.source.peer_ip peer_ip)
+            e.candidates
+        then p :: acc
+        else acc)
+      t.trie []
+  in
+  List.iter
+    (fun prefix ->
+      let old = candidates t prefix in
+      let kept =
+        List.filter
+          (fun r -> not (Ipv4.equal r.Route.source.peer_ip peer_ip))
+          old
+      in
+      let previous_best = best t prefix in
+      t.route_count <- t.route_count - (List.length old - List.length kept);
+      let best = Decision.best ~config:t.decision kept in
+      (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
+       else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+      if not (best_equal previous_best best) then
+        changes := Best_changed (prefix, best) :: !changes)
+    prefixes;
+  List.rev !changes
+
+(* Longest-prefix match over best routes. *)
+let lookup t addr =
+  match Ptrie.lookup_v4 addr t.trie with
+  | Some (_, { best = Some r; _ }) -> Some r
+  | _ -> None
+
+(* All candidate routes matching [addr], best-first (control-plane query). *)
+let lookup_all t addr =
+  Ptrie.V4.matches (Prefix.make addr 32) t.trie
+  |> List.concat_map (fun (_, e) -> Decision.rank ~config:t.decision e.candidates)
+
+let fold f t acc = Ptrie.V4.fold f t.trie acc
+
+let iter_best f t =
+  Ptrie.V4.iter
+    (fun prefix e -> match e.best with Some r -> f prefix r | None -> ())
+    t.trie
+
+let iter_routes f t =
+  Ptrie.V4.iter (fun _ e -> List.iter f e.candidates) t.trie
+
+let to_list t =
+  List.rev (fold (fun _ e acc -> List.rev_append e.candidates acc) t [])

@@ -1,0 +1,48 @@
+(** A routing table: prefix → candidate routes, with the per-prefix best
+    maintained incrementally. Serves as Adj-RIB-In (one per peer), Loc-RIB,
+    and (with one candidate per prefix) Adj-RIB-Out. *)
+
+open Netcore
+
+type entry = { candidates : Route.t list; best : Route.t option }
+
+(** The observable effect of a table operation. *)
+type change =
+  | Best_changed of Prefix.t * Route.t option
+      (** the best route changed ([None] = prefix now unreachable) *)
+  | Unchanged
+
+type t
+
+val create : ?decision:Decision.config -> unit -> t
+
+val route_count : t -> int
+(** Total candidates across all prefixes. *)
+
+val prefix_count : t -> int
+
+val entry : t -> Prefix.t -> entry option
+val candidates : t -> Prefix.t -> Route.t list
+val best : t -> Prefix.t -> Route.t option
+
+val update : t -> Route.t -> change
+(** Insert, replacing any candidate with the same (peer, path id). *)
+
+val withdraw :
+  t -> prefix:Prefix.t -> peer_ip:Ipv4.t -> path_id:int option -> change
+
+val drop_peer : t -> peer_ip:Ipv4.t -> change list
+(** Remove every route from [peer_ip] (session teardown); returns the
+    best-path changes produced. *)
+
+val lookup : t -> Ipv4.t -> Route.t option
+(** Longest-prefix match over best routes. *)
+
+val lookup_all : t -> Ipv4.t -> Route.t list
+(** Every candidate covering the address, best-first (looking-glass
+    queries). *)
+
+val fold : (Prefix.t -> entry -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+val iter_best : (Prefix.t -> Route.t -> unit) -> t -> unit
+val iter_routes : (Route.t -> unit) -> t -> unit
+val to_list : t -> Route.t list

@@ -1,0 +1,1 @@
+lib/sim/bgp_wire.ml: Bgp Engine Link Session

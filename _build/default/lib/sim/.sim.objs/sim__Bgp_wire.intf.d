@@ -1,0 +1,1 @@
+lib/sim/bgp_wire.mli: Bgp Engine Link Session

@@ -1,0 +1,1 @@
+lib/sim/flow.ml: Array Float Hashtbl List

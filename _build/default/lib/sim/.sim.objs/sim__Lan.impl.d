@@ -1,0 +1,1 @@
+lib/sim/lan.ml: Engine Eth List Mac Netcore

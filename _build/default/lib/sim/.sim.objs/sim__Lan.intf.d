@@ -1,0 +1,1 @@
+lib/sim/lan.mli: Engine Eth Mac Netcore

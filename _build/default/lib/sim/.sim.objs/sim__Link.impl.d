@@ -1,0 +1,1 @@
+lib/sim/link.ml: Bgp Engine Float Random String

@@ -1,0 +1,1 @@
+lib/sim/tcp.ml: Engine Float Hashtbl Link Printf String

@@ -1,0 +1,1 @@
+lib/sim/tcp.mli: Engine Link

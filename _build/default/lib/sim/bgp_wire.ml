@@ -1,0 +1,47 @@
+(* Glue between BGP sessions and simulated links: create the two endpoints
+   of a session over a fresh link, so that starting the active side brings
+   the pair to Established through the real FSM/codec path. *)
+
+open Bgp
+
+type pair = {
+  active : Session.t;
+  passive : Session.t;
+  link : Link.t;
+}
+
+(* Build a session pair over a new link. [config_active] should have
+   [passive = false]; [config_passive] is forced passive. Handlers can be
+   installed with [Session.set_handlers] before calling [start]. *)
+let make engine ?(latency = 0.001) ?(bandwidth = infinity)
+    ~config_active ~config_passive () =
+  let link = Link.create ~latency ~bandwidth engine in
+  let active_ref = ref None and passive_ref = ref None in
+  let session_up () =
+    match (!active_ref, !passive_ref) with
+    | Some a, Some p ->
+        Session.connection_up p;
+        Session.connection_up a
+    | _ -> ()
+  in
+  let transport_a = Link.transport link Link.A ~session_up in
+  let transport_b = Link.transport link Link.B ~session_up in
+  let active =
+    Session.create ~config:config_active ~transport:transport_a
+      ~timers:(Engine.timers engine) ()
+  in
+  let passive =
+    Session.create
+      ~config:{ config_passive with Session.passive = true }
+      ~transport:transport_b ~timers:(Engine.timers engine) ()
+  in
+  active_ref := Some active;
+  passive_ref := Some passive;
+  Link.attach link Link.A (fun data -> Session.receive_bytes active data);
+  Link.attach link Link.B (fun data -> Session.receive_bytes passive data);
+  { active; passive; link }
+
+(* Start both sides; run the engine afterwards to reach Established. *)
+let start pair =
+  Session.start pair.passive;
+  Session.start pair.active

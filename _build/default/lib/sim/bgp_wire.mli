@@ -1,0 +1,25 @@
+(** Glue between BGP sessions and simulated links: both endpoints of a
+    session over a fresh link, so that starting the active side brings the
+    pair to Established through the real FSM/codec path. *)
+
+open Bgp
+
+type pair = {
+  active : Session.t;  (** the connecting side *)
+  passive : Session.t;  (** the listening side *)
+  link : Link.t;
+}
+
+val make :
+  Engine.t ->
+  ?latency:float ->
+  ?bandwidth:float ->
+  config_active:Session.config ->
+  config_passive:Session.config ->
+  unit ->
+  pair
+(** Sessions are created but not started; install handlers with
+    {!Session.set_handlers} first. [config_passive] is forced passive. *)
+
+val start : pair -> unit
+(** Start both sides; run the engine afterwards to reach Established. *)

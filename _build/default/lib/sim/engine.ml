@@ -1,0 +1,126 @@
+(* A discrete-event simulation engine: a binary min-heap of timestamped
+   callbacks. Everything time-dependent in the testbed — link latencies, BGP
+   hold/keepalive timers, update churn, rate-limit windows — runs on one of
+   these engines, which makes experiments deterministic and fast. *)
+
+type event = { time : float; seq : int; run : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  mutable heap : event array;
+  mutable size : int;
+}
+
+let create () =
+  {
+    now = 0.;
+    next_seq = 0;
+    heap = Array.make 64 { time = 0.; seq = 0; run = ignore; cancelled = true };
+    size = 0;
+  }
+
+let now t = t.now
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  if t.size = Array.length t.heap then begin
+    let heap = Array.make (2 * t.size) t.heap.(0) in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && before t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.size && before t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t event =
+  grow t;
+  t.heap.(t.size) <- event;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+(* Schedule [f] to run [delay] seconds from now; returns a cancel function.
+   Cancellation is lazy: the event stays queued but becomes a no-op. *)
+let schedule t delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  let event =
+    { time = t.now +. delay; seq = t.next_seq; run = f; cancelled = false }
+  in
+  t.next_seq <- t.next_seq + 1;
+  push t event;
+  fun () -> event.cancelled <- true
+
+let schedule_at t time f = schedule t (Float.max 0. (time -. t.now)) f
+
+(* Fire-and-forget scheduling, when the caller never cancels. *)
+let run_after t delay f =
+  let (_ : unit -> unit) = schedule t delay f in
+  ()
+
+let pending t = t.size
+
+(* Run one event; [false] when the queue is empty. *)
+let step t =
+  match pop t with
+  | None -> false
+  | Some e ->
+      t.now <- Float.max t.now e.time;
+      if not e.cancelled then e.run ();
+      true
+
+(* Run until the queue drains or [limit] events have executed. *)
+let run ?(limit = max_int) t =
+  let executed = ref 0 in
+  while !executed < limit && step t do
+    incr executed
+  done;
+  !executed
+
+(* Run every event scheduled at or before [time]; later events stay queued
+   and the clock finishes exactly at [time]. *)
+let run_until t time =
+  let continue = ref true in
+  while !continue do
+    match (if t.size > 0 then Some t.heap.(0) else None) with
+    | Some e when e.time <= time -> ignore (step t)
+    | _ -> continue := false
+  done;
+  t.now <- Float.max t.now time
+
+(* Timer service in the shape BGP sessions expect. *)
+let timers t : Bgp.Session.timers = { Bgp.Session.schedule = schedule t }

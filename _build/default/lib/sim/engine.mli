@@ -1,0 +1,38 @@
+(** A discrete-event simulation engine (binary min-heap of timestamped
+    callbacks). Everything time-dependent in the testbed — link latencies,
+    BGP hold/keepalive timers, churn, rate-limit windows — runs on one of
+    these, making experiments deterministic and fast. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** The simulated clock, seconds. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit -> unit
+(** [schedule t delay f] runs [f] at [now t +. delay] and returns a cancel
+    function (lazy: the slot stays queued but becomes a no-op). Raises on
+    negative delay. Events at equal timestamps run in FIFO order. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit -> unit
+
+val run_after : t -> float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule}, when the caller never cancels. *)
+
+val pending : t -> int
+(** Queued events (including cancelled ones). *)
+
+val step : t -> bool
+(** Run one event; [false] when the queue is empty. *)
+
+val run : ?limit:int -> t -> int
+(** Run until the queue drains (or [limit] events); returns the number
+    executed. *)
+
+val run_until : t -> float -> unit
+(** Run every event at or before [time]; the clock finishes exactly at
+    [time]. *)
+
+val timers : t -> Bgp.Session.timers
+(** The timer service in the shape BGP sessions expect. *)

@@ -1,0 +1,129 @@
+(* Flow-level TCP throughput models, used to reproduce the paper's §6
+   backbone iperf measurements. Two ingredients:
+
+   - the Mathis et al. model: rate = (MSS / RTT) * (C / sqrt(loss)), an
+     upper bound from congestion avoidance behaviour; and
+   - max-min fair sharing of link capacity among concurrent flows
+     (water-filling), which is what competing TCP flows approximate.
+
+   A flow's modelled throughput is the minimum of its Mathis bound and its
+   max-min fair share along its path. *)
+
+(* Mathis model throughput in bytes/second. *)
+let mathis ?(mss = 1460.) ?(constant = sqrt (3. /. 2.)) ~rtt ~loss () =
+  if rtt <= 0. then invalid_arg "Flow.mathis: rtt";
+  if loss <= 0. then infinity
+  else mss /. rtt *. (constant /. sqrt loss)
+
+type link = { capacity : float (* bytes/s *); id : int }
+
+let link ~capacity ~id =
+  if capacity <= 0. then invalid_arg "Flow.link: capacity";
+  { capacity; id }
+
+type flow = { path : link list; demand : float (* bytes/s, may be infinite *) }
+
+let flow ?(demand = infinity) path = { path; demand }
+
+(* Max-min fair allocation by progressive filling: repeatedly saturate the
+   most constrained link and freeze the flows crossing it. Returns per-flow
+   rates in input order. *)
+let max_min_rates flows =
+  let n = List.length flows in
+  let flows = Array.of_list flows in
+  let rates = Array.make n 0. in
+  let frozen = Array.make n false in
+  (* Remaining capacity per link id. *)
+  let remaining = Hashtbl.create 16 in
+  Array.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem remaining l.id) then
+            Hashtbl.replace remaining l.id l.capacity)
+        f.path)
+    flows;
+  let active_on link_id =
+    let count = ref 0 in
+    Array.iteri
+      (fun i f ->
+        if (not frozen.(i)) && List.exists (fun l -> l.id = link_id) f.path
+        then incr count)
+      flows;
+    !count
+  in
+  let continue = ref true in
+  while !continue do
+    (* Smallest fair-share increment over all still-shared links, and the
+       smallest remaining demand of an unfrozen flow. *)
+    let bottleneck = ref None in
+    Hashtbl.iter
+      (fun id cap ->
+        let users = active_on id in
+        if users > 0 then begin
+          let share = cap /. float_of_int users in
+          match !bottleneck with
+          | Some (_, best) when best <= share -> ()
+          | _ -> bottleneck := Some (id, share)
+        end)
+      remaining;
+    let demand_limited = ref None in
+    Array.iteri
+      (fun i f ->
+        if (not frozen.(i)) && f.demand < infinity then begin
+          let need = f.demand -. rates.(i) in
+          match !demand_limited with
+          | Some (_, best) when best <= need -> ()
+          | _ -> demand_limited := Some (i, need)
+        end)
+      flows;
+    match (!bottleneck, !demand_limited) with
+    | None, None -> continue := false
+    | Some (link_id, share), dl
+      when (match dl with Some (_, need) -> share <= need | None -> true) ->
+        (* Give every unfrozen flow [share] more, then freeze the flows on
+           the saturated link. *)
+        Array.iteri
+          (fun i f ->
+            if not frozen.(i) then begin
+              rates.(i) <- rates.(i) +. share;
+              List.iter
+                (fun l ->
+                  let cap = Hashtbl.find remaining l.id in
+                  Hashtbl.replace remaining l.id (Float.max 0. (cap -. share)))
+                f.path
+            end)
+          flows;
+        Array.iteri
+          (fun i f ->
+            if
+              (not frozen.(i))
+              && List.exists (fun l -> l.id = link_id) f.path
+            then frozen.(i) <- true)
+          flows
+    | _, Some (idx, need) ->
+        Array.iteri
+          (fun i f ->
+            if not frozen.(i) then begin
+              rates.(i) <- rates.(i) +. need;
+              List.iter
+                (fun l ->
+                  let cap = Hashtbl.find remaining l.id in
+                  Hashtbl.replace remaining l.id (Float.max 0. (cap -. need)))
+                f.path
+            end)
+          flows;
+        frozen.(idx) <- true
+    | Some _, None ->
+        (* Unreachable: the guard on the bottleneck case accepts whenever
+           there is no demand-limited flow. *)
+        assert false
+  done;
+  Array.to_list rates
+
+(* Modelled throughput of a single TCP flow over [path]. *)
+let tcp_throughput ?(mss = 1460.) ~rtt ~loss path =
+  let cap =
+    List.fold_left (fun acc l -> Float.min acc l.capacity) infinity path
+  in
+  Float.min cap (mathis ~mss ~rtt ~loss ())

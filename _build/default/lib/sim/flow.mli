@@ -1,0 +1,24 @@
+(** Flow-level TCP throughput models (the §6 backbone iperf reproduction):
+    the Mathis congestion-avoidance bound, and max-min fair sharing of link
+    capacity among concurrent flows (water-filling). *)
+
+val mathis : ?mss:float -> ?constant:float -> rtt:float -> loss:float -> unit -> float
+(** Mathis et al. model, bytes/second: [mss/rtt * C/sqrt(loss)];
+    [infinity] at zero loss. *)
+
+type link
+
+val link : capacity:float -> id:int -> link
+(** A capacity-constrained hop, bytes/second. Links sharing [id] share
+    capacity across flows. *)
+
+type flow
+
+val flow : ?demand:float -> link list -> flow
+(** A flow over a path; [demand] caps its rate (default unbounded). *)
+
+val max_min_rates : flow list -> float list
+(** Max-min fair allocation by progressive filling; rates in input order. *)
+
+val tcp_throughput : ?mss:float -> rtt:float -> loss:float -> link list -> float
+(** One TCP flow over [path]: min of path capacity and the Mathis bound. *)

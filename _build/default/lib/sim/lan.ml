@@ -1,0 +1,51 @@
+(* An Ethernet broadcast segment — the layer-2 domain between experiments
+   and a vBGP router, or the shared fabric of an IXP. Frames are delivered
+   by destination MAC; broadcast reaches every other station. This is the
+   medium over which vBGP's MAC-based signalling (paper §3.2.2) runs. *)
+
+open Netcore
+
+type station = { mac : Mac.t; receive : Eth.t -> unit }
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  mutable stations : station list;
+  mutable frames_carried : int;
+}
+
+let create ?(latency = 0.0001) engine =
+  { engine; latency; stations = []; frames_carried = 0 }
+
+(* Attach a station; returns a [send] function for it. Re-attaching a MAC
+   replaces the previous station (like a port flap). *)
+let attach t mac receive =
+  t.stations <-
+    { mac; receive }
+    :: List.filter (fun s -> not (Mac.equal s.mac mac)) t.stations
+
+let detach t mac =
+  t.stations <- List.filter (fun s -> not (Mac.equal s.mac mac)) t.stations
+
+let stations t = List.map (fun s -> s.mac) t.stations
+
+let frames_carried t = t.frames_carried
+
+let deliver t station frame =
+  Engine.run_after t.engine t.latency (fun () -> station.receive frame)
+
+(* Transmit [frame] onto the segment. Unknown unicast is flooded, like a
+   real switch that has not learned the destination. *)
+let send t (frame : Eth.t) =
+  t.frames_carried <- t.frames_carried + 1;
+  if Mac.is_broadcast frame.dst || Mac.is_multicast frame.dst then
+    List.iter
+      (fun s -> if not (Mac.equal s.mac frame.src) then deliver t s frame)
+      t.stations
+  else
+    match List.find_opt (fun s -> Mac.equal s.mac frame.dst) t.stations with
+    | Some s -> deliver t s frame
+    | None ->
+        List.iter
+          (fun s -> if not (Mac.equal s.mac frame.src) then deliver t s frame)
+          t.stations

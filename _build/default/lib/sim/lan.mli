@@ -1,0 +1,24 @@
+(** An Ethernet broadcast segment — the layer-2 domain between experiments
+    and a vBGP router, or the shared fabric of an IXP. Frames are delivered
+    by destination MAC; broadcast reaches every other station; unknown
+    unicast floods (like a switch that has not learned the port). This is
+    the medium over which vBGP's MAC-based signalling runs (paper
+    §3.2.2). *)
+
+open Netcore
+
+type t
+
+val create : ?latency:float -> Engine.t -> t
+
+val attach : t -> Mac.t -> (Eth.t -> unit) -> unit
+(** Attach (or replace) the station owning [mac]. *)
+
+val detach : t -> Mac.t -> unit
+val stations : t -> Mac.t list
+
+val frames_carried : t -> int
+(** Total frames transmitted on the segment. *)
+
+val send : t -> Eth.t -> unit
+(** Transmit; delivery is scheduled after the segment latency. *)

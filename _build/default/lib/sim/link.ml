@@ -1,0 +1,83 @@
+(* A point-to-point duplex byte pipe with latency, capacity, and optional
+   loss. BGP sessions, VPN tunnels, and backbone circuits all ride on links.
+   Serialization delay is modelled per direction: a busy link queues behind
+   its last transmission, which is what bounds backbone throughput in the
+   §6 measurements. *)
+
+type endpoint = A | B
+
+let other = function A -> B | B -> A
+
+type direction = {
+  mutable receive : string -> unit;
+  mutable busy_until : float;
+  mutable bytes_carried : int;
+}
+
+type t = {
+  engine : Engine.t;
+  latency : float;  (** one-way propagation delay, seconds *)
+  bandwidth : float;  (** bytes per second; [infinity] = unconstrained *)
+  loss : float;  (** packet loss probability in [0, 1) *)
+  rng : Random.State.t;
+  a_to_b : direction;
+  b_to_a : direction;
+  mutable up : bool;
+}
+
+let create ?(latency = 0.001) ?(bandwidth = infinity) ?(loss = 0.)
+    ?(seed = 42) engine =
+  let direction () = { receive = ignore; busy_until = 0.; bytes_carried = 0 } in
+  {
+    engine;
+    latency;
+    bandwidth;
+    loss;
+    rng = Random.State.make [| seed |];
+    a_to_b = direction ();
+    b_to_a = direction ();
+    up = true;
+  }
+
+let direction t = function A -> t.a_to_b | B -> t.b_to_a
+
+(* Register the receive callback for the given endpoint (frames sent *to*
+   that endpoint). *)
+let attach t endpoint receive = (direction t (other endpoint)).receive <- receive
+
+let set_up t up = t.up <- up
+let is_up t = t.up
+
+let bytes_carried t endpoint = (direction t endpoint).bytes_carried
+
+(* Send [data] from [endpoint] to its peer. *)
+let send t ~from data =
+  if t.up then begin
+    let dir = direction t from in
+    let dropped = t.loss > 0. && Random.State.float t.rng 1.0 < t.loss in
+    if not dropped then begin
+      let now = Engine.now t.engine in
+      let size = float_of_int (String.length data) in
+      let serialization =
+        if t.bandwidth = infinity then 0. else size /. t.bandwidth
+      in
+      let start = Float.max now dir.busy_until in
+      let delivery = start +. serialization +. t.latency in
+      dir.busy_until <- start +. serialization;
+      dir.bytes_carried <- dir.bytes_carried + String.length data;
+      Engine.run_after t.engine
+        (Float.max 0. (delivery -. now))
+        (fun () -> if t.up then dir.receive data)
+    end
+  end
+
+(* Transports for a BGP session pair running over this link. Connection
+   establishment is immediate (one latency for the handshake). *)
+let transport t endpoint ~(session_up : unit -> unit) : Bgp.Session.transport =
+  {
+    Bgp.Session.connect =
+      (fun () ->
+        Engine.run_after t.engine t.latency (fun () -> session_up ()));
+    send = (fun data -> send t ~from:endpoint data);
+    close = (fun () -> ());
+  }

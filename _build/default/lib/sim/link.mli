@@ -1,0 +1,37 @@
+(** A point-to-point duplex byte pipe with latency, capacity and optional
+    loss. BGP sessions, VPN tunnels and backbone circuits ride on links;
+    serialization delay is modelled per direction, so a busy link queues
+    behind its last transmission. *)
+
+type endpoint = A | B
+
+val other : endpoint -> endpoint
+
+type t
+
+val create :
+  ?latency:float ->
+  ?bandwidth:float ->
+  ?loss:float ->
+  ?seed:int ->
+  Engine.t ->
+  t
+(** [latency] one-way seconds; [bandwidth] bytes/second ([infinity] =
+    unconstrained); [loss] drop probability. *)
+
+val attach : t -> endpoint -> (string -> unit) -> unit
+(** Register the receive callback for frames sent {e to} that endpoint. *)
+
+val set_up : t -> bool -> unit
+(** Administrative up/down; a down link drops silently. *)
+
+val is_up : t -> bool
+
+val bytes_carried : t -> endpoint -> int
+(** Bytes sent {e from} the endpoint. *)
+
+val send : t -> from:endpoint -> string -> unit
+
+val transport : t -> endpoint -> session_up:(unit -> unit) -> Bgp.Session.transport
+(** A BGP-session transport over this link; [session_up] fires one latency
+    after [connect]. *)

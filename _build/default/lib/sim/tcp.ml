@@ -1,0 +1,207 @@
+(* An event-driven TCP-Reno-style sender/receiver pair over a {!Link}:
+   slow start, congestion avoidance (AIMD), cumulative ACKs with
+   out-of-order buffering, and timeout-based loss recovery.
+
+   The §6 backbone measurements in the paper are iperf3 runs; the
+   {!Flow} module reproduces their *steady-state* predictions analytically,
+   while this module actually transfers bytes through the simulated links
+   so the two can be validated against each other (see the throughput
+   bench). It is deliberately a compact Reno, not a full TCP: no handshake,
+   no FIN, segment-granularity sequence numbers. *)
+
+type stats = {
+  bytes_acked : int;
+  duration : float;  (** first send to last ACK, seconds *)
+  goodput : float;  (** bytes per second *)
+  retransmits : int;
+}
+
+type receiver = {
+  mutable next_expected : int;  (** lowest segment not yet received *)
+  out_of_order : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  link : Link.t;
+  mss : int;
+  total_segments : int;
+  on_complete : stats -> unit;
+  (* sender state *)
+  mutable cwnd : float;  (** in segments *)
+  mutable ssthresh : float;
+  mutable next_to_send : int;
+  mutable acked : int;  (** cumulative: all segments < acked delivered *)
+  mutable in_flight : int;
+  mutable srtt : float;
+  mutable retransmits : int;
+  mutable started_at : float;
+  mutable finished : bool;
+  mutable timer_generation : int;
+      (** invalidates outstanding retransmission timeouts *)
+  mutable send_times : (int, float) Hashtbl.t;
+  rx : receiver;
+}
+
+(* Segments and ACKs on the wire: a tiny ad-hoc framing ("D<seq>" data of
+   mss bytes, "A<cum>" acknowledgement). *)
+let encode_data t seq = Printf.sprintf "D%d:%s" seq (String.make t.mss 'x')
+let encode_ack cum = Printf.sprintf "A%d" cum
+
+let decode msg =
+  if String.length msg = 0 then `Junk
+  else
+    match msg.[0] with
+    | 'D' -> (
+        match String.index_opt msg ':' with
+        | Some i -> (
+            match int_of_string_opt (String.sub msg 1 (i - 1)) with
+            | Some seq -> `Data seq
+            | None -> `Junk)
+        | None -> `Junk)
+    | 'A' -> (
+        match int_of_string_opt (String.sub msg 1 (String.length msg - 1)) with
+        | Some cum -> `Ack cum
+        | None -> `Junk)
+    | _ -> `Junk
+
+let rto t = Float.max 0.2 (2.5 *. t.srtt)
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let duration = Engine.now t.engine -. t.started_at in
+    let bytes = t.total_segments * t.mss in
+    t.on_complete
+      {
+        bytes_acked = bytes;
+        duration;
+        goodput = (if duration > 0. then float_of_int bytes /. duration else 0.);
+        retransmits = t.retransmits;
+      }
+  end
+
+let send_segment t seq =
+  Hashtbl.replace t.send_times seq (Engine.now t.engine);
+  Link.send t.link ~from:Link.A (encode_data t seq)
+
+(* Arm the retransmission timeout for the current ACK frontier. *)
+let rec arm_rto t =
+  let generation = t.timer_generation in
+  let frontier = t.acked in
+  Engine.run_after t.engine (rto t) (fun () ->
+      if
+        (not t.finished)
+        && generation = t.timer_generation
+        && t.acked = frontier
+      then begin
+        (* Loss: multiplicative decrease and go-back-N from the frontier. *)
+        t.ssthresh <- Float.max 1. (t.cwnd /. 2.);
+        t.cwnd <- 1.;
+        t.retransmits <- t.retransmits + 1;
+        t.next_to_send <- t.acked;
+        t.in_flight <- 0;
+        t.timer_generation <- t.timer_generation + 1;
+        pump t;
+        arm_rto t
+      end)
+
+(* Send as much as the window allows. *)
+and pump t =
+  while
+    (not t.finished)
+    && t.next_to_send < t.total_segments
+    && t.in_flight < int_of_float t.cwnd
+  do
+    send_segment t t.next_to_send;
+    t.next_to_send <- t.next_to_send + 1;
+    t.in_flight <- t.in_flight + 1
+  done
+
+let handle_ack t cum =
+  if not t.finished then begin
+    if cum > t.acked then begin
+      (* RTT sample from the newest acked segment. *)
+      (match Hashtbl.find_opt t.send_times (cum - 1) with
+      | Some sent ->
+          let sample = Engine.now t.engine -. sent in
+          t.srtt <-
+            (if t.srtt = 0. then sample else (0.875 *. t.srtt) +. (0.125 *. sample))
+      | None -> ());
+      let newly = cum - t.acked in
+      t.acked <- cum;
+      t.in_flight <- max 0 (t.in_flight - newly);
+      t.timer_generation <- t.timer_generation + 1;
+      (* Window growth: slow start below ssthresh, else congestion
+         avoidance (+1 segment per RTT, approximated per-ACK). *)
+      for _ = 1 to newly do
+        if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+        else t.cwnd <- t.cwnd +. (1. /. t.cwnd)
+      done;
+      if t.acked >= t.total_segments then finish t
+      else begin
+        pump t;
+        arm_rto t
+      end
+    end
+  end
+
+let handle_data t seq =
+  let rx = t.rx in
+  if seq = rx.next_expected then begin
+    rx.next_expected <- rx.next_expected + 1;
+    while Hashtbl.mem rx.out_of_order rx.next_expected do
+      Hashtbl.remove rx.out_of_order rx.next_expected;
+      rx.next_expected <- rx.next_expected + 1
+    done
+  end
+  else if seq > rx.next_expected then Hashtbl.replace rx.out_of_order seq ();
+  Link.send t.link ~from:Link.B (encode_ack rx.next_expected)
+
+(* Transfer [bytes] from endpoint A to endpoint B of [link]; the link's
+   receive callbacks are installed by this call. [on_complete] fires with
+   the transfer statistics. *)
+let start engine link ?(mss = 1460) ~bytes ~on_complete () =
+  if bytes <= 0 then invalid_arg "Tcp.start: bytes";
+  let total_segments = (bytes + mss - 1) / mss in
+  let t =
+    {
+      engine;
+      link;
+      mss;
+      total_segments;
+      on_complete;
+      cwnd = 2.;
+      ssthresh = infinity;
+      next_to_send = 0;
+      acked = 0;
+      in_flight = 0;
+      srtt = 0.;
+      retransmits = 0;
+      started_at = Engine.now engine;
+      finished = false;
+      timer_generation = 0;
+      send_times = Hashtbl.create 256;
+      rx = { next_expected = 0; out_of_order = Hashtbl.create 64 };
+    }
+  in
+  Link.attach link Link.B (fun msg ->
+      match decode msg with `Data seq -> handle_data t seq | _ -> ());
+  Link.attach link Link.A (fun msg ->
+      match decode msg with `Ack cum -> handle_ack t cum | _ -> ());
+  pump t;
+  arm_rto t;
+  t
+
+let is_finished t = t.finished
+
+(* Convenience: run a transfer to completion and return its stats. *)
+let run engine ?mss ~latency ~bandwidth ?(loss = 0.) ?(seed = 1) ~bytes () =
+  let link = Link.create ~latency ~bandwidth ~loss ~seed engine in
+  let result = ref None in
+  let _t =
+    start engine link ?mss ~bytes ~on_complete:(fun s -> result := Some s) ()
+  in
+  (* Run with a generous event limit; a stuck transfer returns None. *)
+  ignore (Engine.run ~limit:50_000_000 engine);
+  !result

@@ -1,0 +1,45 @@
+(** An event-driven TCP-Reno-style transfer over a {!Link}: slow start,
+    AIMD congestion avoidance, cumulative ACKs with out-of-order buffering,
+    timeout-based loss recovery.
+
+    The paper's §6 backbone numbers are iperf3 runs; {!Flow} predicts their
+    steady state analytically, while this module actually moves bytes
+    through the simulated links so the two can be validated against each
+    other (the throughput bench does). Deliberately compact: no handshake,
+    no FIN, segment-granularity sequence numbers. *)
+
+type stats = {
+  bytes_acked : int;
+  duration : float;  (** first send to last ACK, seconds *)
+  goodput : float;  (** bytes per second *)
+  retransmits : int;  (** timeout-recovered losses *)
+}
+
+type t
+
+val start :
+  Engine.t ->
+  Link.t ->
+  ?mss:int ->
+  bytes:int ->
+  on_complete:(stats -> unit) ->
+  unit ->
+  t
+(** Transfer [bytes] from endpoint A to endpoint B of the link. Installs
+    both of the link's receive callbacks (the link is dedicated to the
+    transfer). Run the engine to make progress. *)
+
+val is_finished : t -> bool
+
+val run :
+  Engine.t ->
+  ?mss:int ->
+  latency:float ->
+  bandwidth:float ->
+  ?loss:float ->
+  ?seed:int ->
+  bytes:int ->
+  unit ->
+  stats option
+(** Convenience: build a link, transfer to completion, return the stats
+    ([None] if the transfer did not finish within the event budget). *)

@@ -1,0 +1,1 @@
+lib/topo/as_graph.ml: Asn Bgp Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/topo/internet.ml: As_graph Asn Aspath Bgp Hashtbl Int List Netcore Policy Prefix Queue Set

@@ -1,0 +1,1 @@
+lib/topo/internet.mli: As_graph Asn Aspath Bgp Netcore Policy Prefix

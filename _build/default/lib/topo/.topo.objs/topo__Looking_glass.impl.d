@@ -1,0 +1,1 @@
+lib/topo/looking_glass.ml: As_graph Asn Aspath Bgp Fmt Hashtbl Int Internet List Option Random

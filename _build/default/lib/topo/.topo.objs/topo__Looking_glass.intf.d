@@ -1,0 +1,1 @@
+lib/topo/looking_glass.mli: As_graph Asn Aspath Bgp Format

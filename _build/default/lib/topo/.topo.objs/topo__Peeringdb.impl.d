@@ -1,0 +1,1 @@
+lib/topo/peeringdb.ml: Array As_graph Asn Bgp Hashtbl Int List Random String

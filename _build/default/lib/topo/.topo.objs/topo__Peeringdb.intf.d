@@ -1,0 +1,1 @@
+lib/topo/peeringdb.mli: As_graph Asn Bgp

@@ -1,0 +1,1 @@
+lib/topo/policy.ml: Int

@@ -1,0 +1,1 @@
+lib/topo/updates.ml: Array Asn Aspath Bgp Float Int List Msg Netcore Prefix Random

@@ -1,0 +1,1 @@
+lib/topo/updates.mli: Asn Aspath Bgp Ipv4 Msg Netcore Prefix

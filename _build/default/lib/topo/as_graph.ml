@@ -1,0 +1,189 @@
+(* An AS-level Internet topology with business relationships. PEERING's
+   evaluation leans on properties of its real neighbors (peer-type mix,
+   customer cones, path diversity, §4.2); this module generates synthetic
+   topologies with the same structure: a full-mesh tier-1 clique, a transit
+   hierarchy, and a stub fringe, with peering edges concentrated at IXPs. *)
+
+open Bgp
+
+(* Network types, mirroring the PeeringDB classification used in §4.2. *)
+type kind =
+  | Transit
+  | Access_isp
+  | Content
+  | Education
+  | Enterprise
+  | Nonprofit
+  | Route_server
+  | Unclassified
+
+let kind_to_string = function
+  | Transit -> "transit"
+  | Access_isp -> "access/ISP"
+  | Content -> "content"
+  | Education -> "education/research"
+  | Enterprise -> "enterprise"
+  | Nonprofit -> "non-profit"
+  | Route_server -> "route server"
+  | Unclassified -> "unclassified"
+
+type node = { asn : Asn.t; kind : kind; tier : int }
+
+type t = {
+  nodes : (Asn.t, node) Hashtbl.t;
+  (* adjacency: for each AS, its providers, customers and peers *)
+  providers : (Asn.t, Asn.t list) Hashtbl.t;
+  customers : (Asn.t, Asn.t list) Hashtbl.t;
+  peers : (Asn.t, Asn.t list) Hashtbl.t;
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 256;
+    providers = Hashtbl.create 256;
+    customers = Hashtbl.create 256;
+    peers = Hashtbl.create 256;
+  }
+
+let add_node t ~asn ~kind ~tier =
+  if Hashtbl.mem t.nodes asn then invalid_arg "As_graph.add_node: duplicate";
+  Hashtbl.replace t.nodes asn { asn; kind; tier }
+
+let node t asn = Hashtbl.find_opt t.nodes asn
+let mem t asn = Hashtbl.mem t.nodes asn
+
+let adj tbl asn = match Hashtbl.find_opt tbl asn with Some l -> l | None -> []
+
+let providers t asn = adj t.providers asn
+let customers t asn = adj t.customers asn
+let peers t asn = adj t.peers asn
+
+let push tbl key v = Hashtbl.replace tbl key (v :: adj tbl key)
+
+(* [add_customer t ~provider ~customer]: customer pays provider. *)
+let add_customer t ~provider ~customer =
+  if not (mem t provider && mem t customer) then
+    invalid_arg "As_graph.add_customer: unknown AS";
+  if List.exists (Asn.equal customer) (customers t provider) then ()
+  else begin
+    push t.customers provider customer;
+    push t.providers customer provider
+  end
+
+let add_peering t a b =
+  if not (mem t a && mem t b) then invalid_arg "As_graph.add_peering: unknown AS";
+  if List.exists (Asn.equal b) (peers t a) then ()
+  else begin
+    push t.peers a b;
+    push t.peers b a
+  end
+
+let asns t = Hashtbl.fold (fun asn _ acc -> asn :: acc) t.nodes []
+let node_count t = Hashtbl.length t.nodes
+
+let neighbors t asn = providers t asn @ customers t asn @ peers t asn
+
+let edge_count t =
+  let c =
+    Hashtbl.fold (fun _ l acc -> acc + List.length l) t.customers 0
+  in
+  let p = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.peers 0 in
+  c + (p / 2)
+
+(* The customer cone of [asn]: itself plus every AS reachable by repeatedly
+   following provider→customer edges (paper §4.2 uses these to describe the
+   reach of peer announcements). *)
+let customer_cone t asn =
+  let seen = Hashtbl.create 64 in
+  let rec visit asn =
+    if not (Hashtbl.mem seen asn) then begin
+      Hashtbl.replace seen asn ();
+      List.iter visit (customers t asn)
+    end
+  in
+  visit asn;
+  Hashtbl.fold (fun asn () acc -> asn :: acc) seen []
+
+let census t =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ n ->
+      let c = try Hashtbl.find counts n.kind with Not_found -> 0 in
+      Hashtbl.replace counts n.kind (c + 1))
+    t.nodes;
+  Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) counts []
+
+(* -- Synthetic hierarchy generation -------------------------------------- *)
+
+type gen_params = {
+  tier1 : int;  (** fully meshed clique at the top *)
+  transit : int;  (** mid-tier transit providers *)
+  stub : int;  (** edge networks *)
+  peering_degree : float;
+      (** average number of (extra) lateral peering edges per mid/stub AS *)
+  seed : int;
+}
+
+let default_gen = { tier1 = 4; transit = 30; stub = 200; peering_degree = 2.0; seed = 7 }
+
+let pick rng l =
+  match l with
+  | [] -> invalid_arg "As_graph.pick: empty"
+  | _ -> List.nth l (Random.State.int rng (List.length l))
+
+(* Stub kind mix approximating the paper's PeeringDB census (§4.2). *)
+let stub_kind rng =
+  let r = Random.State.float rng 1.0 in
+  if r < 0.30 then Access_isp
+  else if r < 0.55 then Content
+  else if r < 0.65 then Education
+  else if r < 0.75 then Enterprise
+  else if r < 0.80 then Nonprofit
+  else if r < 0.90 then Transit
+  else Unclassified
+
+let generate ?(params = default_gen) () =
+  let rng = Random.State.make [| params.seed |] in
+  let t = create () in
+  let next_asn = ref 100 in
+  let fresh () =
+    let asn = Asn.of_int !next_asn in
+    incr next_asn;
+    asn
+  in
+  (* Tier 1: full mesh of peers. *)
+  let tier1 = List.init params.tier1 (fun _ -> fresh ()) in
+  List.iter (fun asn -> add_node t ~asn ~kind:Transit ~tier:1) tier1;
+  List.iteri
+    (fun i a ->
+      List.iteri (fun j b -> if i < j then add_peering t a b) tier1)
+    tier1;
+  (* Transit tier: one or two providers drawn from tier 1. *)
+  let transit = List.init params.transit (fun _ -> fresh ()) in
+  List.iter
+    (fun asn ->
+      add_node t ~asn ~kind:Transit ~tier:2;
+      add_customer t ~provider:(pick rng tier1) ~customer:asn;
+      if Random.State.bool rng then
+        add_customer t ~provider:(pick rng tier1) ~customer:asn)
+    transit;
+  (* Stubs: one to three providers drawn from the transit tier. *)
+  let stub = List.init params.stub (fun _ -> fresh ()) in
+  List.iter
+    (fun asn ->
+      add_node t ~asn ~kind:(stub_kind rng) ~tier:3;
+      let nproviders = 1 + Random.State.int rng 3 in
+      for _ = 1 to nproviders do
+        add_customer t ~provider:(pick rng transit) ~customer:asn
+      done)
+    stub;
+  (* Lateral peering edges (IXP-style) among transit and stub ASes. *)
+  let lateral = transit @ stub in
+  let extra =
+    int_of_float (params.peering_degree *. float_of_int (List.length lateral) /. 2.)
+  in
+  for _ = 1 to extra do
+    let a = pick rng lateral and b = pick rng lateral in
+    if not (Asn.equal a b) then add_peering t a b
+  done;
+  t

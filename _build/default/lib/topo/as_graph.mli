@@ -1,0 +1,71 @@
+(** An AS-level Internet topology with business relationships.
+
+    PEERING's evaluation leans on properties of its real neighbors — the
+    peer-type mix, customer cones, path diversity (paper §4.2) — so the
+    generator produces topologies with the same structure: a full-mesh
+    tier-1 clique, a transit hierarchy, a stub fringe, and lateral peering
+    concentrated at IXPs. *)
+
+open Bgp
+
+(** Network types, mirroring the PeeringDB classification of §4.2. *)
+type kind =
+  | Transit
+  | Access_isp
+  | Content
+  | Education
+  | Enterprise
+  | Nonprofit
+  | Route_server
+  | Unclassified
+
+val kind_to_string : kind -> string
+
+type node = { asn : Asn.t; kind : kind; tier : int }
+
+type t
+(** A mutable AS graph. *)
+
+val create : unit -> t
+
+val add_node : t -> asn:Asn.t -> kind:kind -> tier:int -> unit
+(** Raises on duplicates. *)
+
+val node : t -> Asn.t -> node option
+val mem : t -> Asn.t -> bool
+
+val providers : t -> Asn.t -> Asn.t list
+val customers : t -> Asn.t -> Asn.t list
+val peers : t -> Asn.t -> Asn.t list
+val neighbors : t -> Asn.t -> Asn.t list
+
+val add_customer : t -> provider:Asn.t -> customer:Asn.t -> unit
+(** [customer] pays [provider]. Idempotent. *)
+
+val add_peering : t -> Asn.t -> Asn.t -> unit
+(** Settlement-free lateral edge. Idempotent. *)
+
+val asns : t -> Asn.t list
+val node_count : t -> int
+val edge_count : t -> int
+
+val customer_cone : t -> Asn.t -> Asn.t list
+(** The AS plus everything reachable following provider→customer edges
+    (§4.2: the reach of peer announcements). *)
+
+val census : t -> (kind * int) list
+
+(** {1 Synthetic generation} *)
+
+type gen_params = {
+  tier1 : int;  (** fully meshed clique at the top *)
+  transit : int;  (** mid-tier transit providers *)
+  stub : int;  (** edge networks *)
+  peering_degree : float;  (** average lateral peering edges per AS *)
+  seed : int;
+}
+
+val default_gen : gen_params
+
+val generate : ?params:gen_params -> unit -> t
+(** Deterministic per seed. *)

@@ -1,0 +1,204 @@
+(* Valley-free route propagation over an AS graph: for an origin AS (or an
+   origin announcing to a chosen subset of its neighbors), compute every
+   AS's best Gao-Rexford-compliant path.
+
+   This is the workload generator for the whole testbed: it produces the
+   routing tables PEERING's simulated neighbors announce to vBGP PoPs, and
+   the ground truth for reachability/propagation questions ("which ASes hear
+   an announcement made only to peer X?" — the paper's §4.2 customer-cone
+   reach, and §7.1 hidden-routes experiments). *)
+
+open Netcore
+open Bgp
+
+type route = {
+  cls : Policy.route_class;
+  hops : int;
+  parent : Asn.t option;  (** next AS toward the origin; None at the origin *)
+}
+
+(* Per-origin propagation result. *)
+type propagation = {
+  origin : Asn.t;
+  routes : (Asn.t, route) Hashtbl.t;
+}
+
+let has_route p asn = Hashtbl.mem p.routes asn
+let route p asn = Hashtbl.find_opt p.routes asn
+
+(* The AS path [asn] uses to reach the origin: [asn; ...; origin]. *)
+let rec path p asn =
+  match route p asn with
+  | None -> None
+  | Some { parent = None; _ } -> Some [ asn ]
+  | Some { parent = Some up; _ } -> (
+      match path p up with Some rest -> Some (asn :: rest) | None -> None)
+
+let reached p = Hashtbl.fold (fun asn _ acc -> asn :: acc) p.routes []
+let reach_count p = Hashtbl.length p.routes
+
+(* Which neighbors an announcement is initially sent to. *)
+type announce_scope =
+  | All_neighbors
+  | Only of Asn.t list
+
+(* [propagate graph ~origin] computes best valley-free routes at every AS.
+
+   [scope] restricts which of the origin's neighbors hear the announcement
+   (vBGP community-based export control); [blocked] ASes discard the route
+   and do not propagate it (AS-path poisoning: their loop detection fires);
+   [filters] are directed edges (from, to) across which the route is
+   dropped — misconfigured or stale route filters in other networks, the
+   debugging headache of the paper's Appendix A. *)
+let propagate ?(scope = All_neighbors) ?(blocked = []) ?(filters = []) graph
+    ~origin =
+  let blocked = Hashtbl.create 8 |> fun h ->
+    List.iter (fun a -> Hashtbl.replace h a ()) blocked;
+    h
+  in
+  let is_blocked asn = Hashtbl.mem blocked asn in
+  let is_filtered ~from ~to_ =
+    List.exists (fun (a, b) -> Asn.equal a from && Asn.equal b to_) filters
+  in
+  let in_scope asn =
+    match scope with
+    | All_neighbors -> true
+    | Only l -> List.exists (Asn.equal asn) l
+  in
+  let routes : (Asn.t, route) Hashtbl.t = Hashtbl.create 256 in
+  let better (cls, hops) existing =
+    match existing with
+    | None -> true
+    | Some e -> Policy.prefer (cls, hops) (e.cls, e.hops) < 0
+  in
+  let offer ~from asn cls hops parent =
+    if
+      (not (is_blocked asn))
+      && (not (is_filtered ~from ~to_:asn))
+      && better (cls, hops) (Hashtbl.find_opt routes asn)
+    then begin
+      Hashtbl.replace routes asn { cls; hops; parent };
+      true
+    end
+    else false
+  in
+  if not (is_blocked origin) then begin
+    Hashtbl.replace routes origin
+      { cls = Policy.From_customer; hops = 0; parent = None };
+    (* Phase 1: customer routes climb provider chains. Seed with the
+       origin's providers that are in scope, then BFS upward. *)
+    let queue = Queue.create () in
+    List.iter
+      (fun p ->
+        if in_scope p && offer ~from:origin p Policy.From_customer 1 (Some origin)
+        then Queue.add p queue)
+      (As_graph.providers graph origin);
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      match Hashtbl.find_opt routes x with
+      | Some { cls = Policy.From_customer; hops; _ } ->
+          List.iter
+            (fun p ->
+              if offer ~from:x p Policy.From_customer (hops + 1) (Some x) then
+                Queue.add p queue)
+            (As_graph.providers graph x)
+      | _ -> ()
+    done;
+    (* Phase 2: peers hear customer routes (and the origin's own
+       announcement) across a single lateral edge. *)
+    let peer_offers = ref [] in
+    List.iter
+      (fun y ->
+        if in_scope y then
+          peer_offers := (y, 1, origin) :: !peer_offers)
+      (As_graph.peers graph origin);
+    Hashtbl.iter
+      (fun x r ->
+        if r.cls = Policy.From_customer && not (Asn.equal x origin) then
+          List.iter
+            (fun y -> peer_offers := (y, r.hops + 1, x) :: !peer_offers)
+            (As_graph.peers graph x))
+      routes;
+    List.iter
+      (fun (y, hops, from) ->
+        ignore (offer ~from y Policy.From_peer hops (Some from)))
+      !peer_offers;
+    (* Phase 3: everything flows down to customers (Dijkstra by hops, since
+       sources start at different depths). *)
+    let module Pq = Set.Make (struct
+      type t = int * Asn.t
+
+      let compare (h1, a1) (h2, a2) =
+        match Int.compare h1 h2 with 0 -> Asn.compare a1 a2 | c -> c
+    end) in
+    let pq = ref Pq.empty in
+    let seed asn r = pq := Pq.add (r.hops, asn) !pq in
+    Hashtbl.iter seed routes;
+    (* The origin's customers hear the announcement directly. *)
+    List.iter
+      (fun c ->
+        if in_scope c && offer ~from:origin c Policy.From_provider 1 (Some origin)
+        then pq := Pq.add (1, c) !pq)
+      (As_graph.customers graph origin);
+    while not (Pq.is_empty !pq) do
+      let ((hops, x) as elt) = Pq.min_elt !pq in
+      pq := Pq.remove elt !pq;
+      match Hashtbl.find_opt routes x with
+      | Some r when r.hops = hops ->
+          (* Export downward regardless of class (customers get all). *)
+          List.iter
+            (fun c ->
+              if offer ~from:x c Policy.From_provider (hops + 1) (Some x) then
+                pq := Pq.add (hops + 1, c) !pq)
+            (As_graph.customers graph x)
+      | _ -> ()
+    done
+  end;
+  { origin; routes }
+
+(* -- Internet-scale state -------------------------------------------------- *)
+
+(* A simulated Internet: a topology plus originated prefixes, with
+   propagation computed per origin and shared across that origin's
+   prefixes. *)
+type t = {
+  graph : As_graph.t;
+  origins : (Prefix.t * Asn.t) list;
+  by_origin : (Asn.t, propagation) Hashtbl.t;
+}
+
+let create graph ~origins =
+  let by_origin = Hashtbl.create 64 in
+  List.iter
+    (fun (_, origin) ->
+      if not (Hashtbl.mem by_origin origin) then
+        Hashtbl.replace by_origin origin (propagate graph ~origin))
+    origins;
+  { graph; origins; by_origin }
+
+let graph t = t.graph
+let origins t = t.origins
+
+(* The routes AS [asn] holds: one per prefix it can reach, with the full AS
+   path. This is what a PEERING neighbor announces to a PoP. *)
+let routes_at t asn =
+  List.filter_map
+    (fun (prefix, origin) ->
+      match Hashtbl.find_opt t.by_origin origin with
+      | None -> None
+      | Some p -> (
+          match path p asn with
+          | Some aspath -> Some (prefix, Aspath.of_asns aspath)
+          | None -> None))
+    t.origins
+
+(* Allocate one prefix per stub AS out of [base], for workload generation. *)
+let assign_prefixes ?(plen = 24) ~base asns =
+  let subnets = Prefix.subnets base plen in
+  let rec zip acc asns subnets =
+    match (asns, subnets) with
+    | [], _ -> List.rev acc
+    | _, [] -> invalid_arg "Internet.assign_prefixes: base prefix too small"
+    | a :: asns, s :: subnets -> zip ((s, a) :: acc) asns subnets
+  in
+  zip [] asns subnets

@@ -1,0 +1,60 @@
+(** Valley-free route propagation over an AS graph: for an origin (or an
+    origin announcing to chosen neighbors), every AS's best
+    Gao-Rexford-compliant path.
+
+    The workload generator for the whole testbed: it produces the routing
+    tables PEERING's simulated neighbors announce to vBGP PoPs, and ground
+    truth for propagation questions — §4.2 customer-cone reach, §7.1 hidden
+    routes, Appendix A filter debugging. *)
+
+open Netcore
+open Bgp
+
+type route = {
+  cls : Policy.route_class;
+  hops : int;
+  parent : Asn.t option;  (** next AS toward the origin; [None] at it *)
+}
+
+type propagation
+(** The per-origin result. *)
+
+val has_route : propagation -> Asn.t -> bool
+val route : propagation -> Asn.t -> route option
+
+val path : propagation -> Asn.t -> Asn.t list option
+(** The AS path [asn] uses toward the origin: [[asn; ...; origin]]. *)
+
+val reached : propagation -> Asn.t list
+val reach_count : propagation -> int
+
+(** Which of the origin's neighbors hear the announcement. *)
+type announce_scope = All_neighbors | Only of Asn.t list
+
+val propagate :
+  ?scope:announce_scope ->
+  ?blocked:Asn.t list ->
+  ?filters:(Asn.t * Asn.t) list ->
+  As_graph.t ->
+  origin:Asn.t ->
+  propagation
+(** Compute best valley-free routes at every AS. [blocked] ASes reject the
+    route entirely (AS-path poisoning: their loop detection fires);
+    [filters] are directed edges [(from, to)] across which the route is
+    silently dropped — the misconfigured remote filters of Appendix A. *)
+
+type t
+(** A simulated Internet: topology plus originated prefixes, with
+    propagation shared per origin. *)
+
+val create : As_graph.t -> origins:(Prefix.t * Asn.t) list -> t
+val graph : t -> As_graph.t
+val origins : t -> (Prefix.t * Asn.t) list
+
+val routes_at : t -> Asn.t -> (Prefix.t * Aspath.t) list
+(** The routes AS [asn] holds — what a PEERING neighbor announces to a
+    PoP. *)
+
+val assign_prefixes :
+  ?plen:int -> base:Prefix.t -> Asn.t list -> (Prefix.t * Asn.t) list
+(** One prefix per AS, carved out of [base]. *)

@@ -1,0 +1,116 @@
+(* Looking-glass services and automated filter troubleshooting.
+
+   Appendix A of the paper describes PEERING's hardest operational problem:
+   announcements sometimes fail to propagate globally because some remote
+   network has a misconfigured or out-of-date route filter. The only
+   diagnosis tools are looking glasses — restricted read-only views into a
+   subset of networks — and even when two adjacent networks both host one,
+   an operator cannot distinguish "A is not exporting to B" from "B is
+   filtering what A sends" (the paper resorts to e-mailing providers). The
+   paper names automated filter troubleshooting as future work; this module
+   implements it over the synthetic Internet:
+
+   - {!create} places looking glasses in a fraction of ASes;
+   - {!show_route} answers the restricted query a real LG would;
+   - {!localize} runs the troubleshooting algorithm: compare expected
+     propagation (no filters) with LG observations, and emit a ranked list
+     of candidate directed edges that must contain every actual filter. *)
+
+open Bgp
+
+type query_result =
+  | Route of Aspath.t  (** the LG's AS holds a route with this path *)
+  | No_route  (** the LG answers, but has no route for the prefix *)
+  | No_looking_glass  (** that network does not host a looking glass *)
+
+type t = {
+  graph : As_graph.t;
+  lg_hosts : (Asn.t, unit) Hashtbl.t;
+  actual : Internet.propagation;
+      (** ground-truth propagation incl. the (unknown) filters *)
+}
+
+(* Deploy looking glasses in [coverage] of ASes (deterministic per seed),
+   over a world where [filters] silently drop the origin's announcement. *)
+let create ?(coverage = 0.3) ?(seed = 17) ?(filters = []) graph ~origin =
+  let rng = Random.State.make [| seed |] in
+  let lg_hosts = Hashtbl.create 64 in
+  List.iter
+    (fun asn ->
+      if Random.State.float rng 1.0 < coverage then
+        Hashtbl.replace lg_hosts asn ())
+    (List.sort Asn.compare (As_graph.asns graph));
+  { graph; lg_hosts; actual = Internet.propagate graph ~origin ~filters }
+
+let hosts t = Hashtbl.fold (fun a () acc -> a :: acc) t.lg_hosts []
+let host_count t = Hashtbl.length t.lg_hosts
+
+(* The restricted query: what does network [at]'s looking glass say about
+   the origin's prefix? *)
+let show_route t ~at =
+  if not (Hashtbl.mem t.lg_hosts at) then No_looking_glass
+  else
+    match Internet.path t.actual at with
+    | Some asns -> Route (Aspath.of_asns asns)
+    | None -> No_route
+
+(* A candidate filter: the directed edge the route failed to cross, with
+   the number of independent observations implicating it. *)
+type suspect = { from_as : Asn.t; to_as : Asn.t; implicated_by : int }
+
+(* Localize filters: for every LG that lacks the route, walk the *expected*
+   path (propagation without filters) from that AS toward the origin; the
+   filter must sit on the segment between the AS and the nearest expected
+   upstream that demonstrably has the route. Edges implicated by more
+   observations rank higher; the true filtered edges are always in the
+   returned set when an LG observes their effect. *)
+let localize t ~origin =
+  let expected = Internet.propagate t.graph ~origin in
+  let votes : (Asn.t * Asn.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let observed_has asn =
+    match show_route t ~at:asn with
+    | Route _ -> Some true
+    | No_route -> Some false
+    | No_looking_glass -> None
+  in
+  List.iter
+    (fun lg ->
+      match (observed_has lg, Internet.path expected lg) with
+      | Some false, Some expected_path ->
+          (* The LG should have the route but does not: some edge on the
+             expected path dropped it. Walk up the path until evidence of
+             the route (an LG that has it); every edge in between is a
+             candidate. *)
+          let rec walk = function
+            | down :: up :: rest ->
+                let edge = (up, down) in
+                Hashtbl.replace votes edge
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt votes edge));
+                if observed_has up = Some true then ()
+                else walk (up :: rest)
+            | _ -> ()
+          in
+          walk expected_path
+      | _ -> ())
+    (List.sort Asn.compare (hosts t));
+  Hashtbl.fold
+    (fun (from_as, to_as) implicated_by acc ->
+      { from_as; to_as; implicated_by } :: acc)
+    votes []
+  |> List.sort (fun a b ->
+         match Int.compare b.implicated_by a.implicated_by with
+         | 0 -> compare (a.from_as, a.to_as) (b.from_as, b.to_as)
+         | c -> c)
+
+(* Did localization keep the true filter(s) among its suspects? *)
+let covers suspects ~filters =
+  List.for_all
+    (fun (a, b) ->
+      List.exists
+        (fun s -> Asn.equal s.from_as a && Asn.equal s.to_as b)
+        suspects)
+    filters
+
+let pp_suspect ppf s =
+  Fmt.pf ppf "as%a -/-> as%a (implicated by %d observations)" Asn.pp s.from_as
+    Asn.pp s.to_as s.implicated_by

@@ -1,0 +1,47 @@
+(** Looking-glass services and automated filter troubleshooting.
+
+    Appendix A of the paper: announcements sometimes fail to propagate
+    because a remote network silently filters them, and looking glasses —
+    restricted read-only views into a subset of networks — cannot even
+    distinguish "A does not export to B" from "B filters A". The paper
+    names automated troubleshooting as future work; this module implements
+    it: compare expected propagation against looking-glass observations and
+    emit a ranked candidate set of filtered edges. *)
+
+open Bgp
+
+type query_result =
+  | Route of Aspath.t  (** the LG's AS holds a route with this path *)
+  | No_route  (** the LG answers but has no route *)
+  | No_looking_glass  (** that network hosts no looking glass *)
+
+type t
+
+val create :
+  ?coverage:float ->
+  ?seed:int ->
+  ?filters:(Asn.t * Asn.t) list ->
+  As_graph.t ->
+  origin:Asn.t ->
+  t
+(** Deploy looking glasses in [coverage] of ASes over a world where
+    [filters] silently drop the origin's announcement. *)
+
+val hosts : t -> Asn.t list
+val host_count : t -> int
+
+val show_route : t -> at:Asn.t -> query_result
+(** The restricted query a real looking glass answers. *)
+
+type suspect = { from_as : Asn.t; to_as : Asn.t; implicated_by : int }
+(** A candidate filtered edge and how many observations implicate it. *)
+
+val localize : t -> origin:Asn.t -> suspect list
+(** The troubleshooting algorithm, most-implicated first: for every LG
+    lacking the route, every edge of its expected path up to the nearest
+    LG demonstrably holding the route is a candidate. *)
+
+val covers : suspect list -> filters:(Asn.t * Asn.t) list -> bool
+(** Did localization keep every true filter among its suspects? *)
+
+val pp_suspect : Format.formatter -> suspect -> unit

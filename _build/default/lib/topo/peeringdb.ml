@@ -1,0 +1,111 @@
+(* A synthetic PeeringDB: per-neighbor interconnection records for a
+   PEERING-like footprint. §4.2 of the paper reports the deployment census
+   (923 unique peers, their type mix, per-IXP bilateral/route-server
+   counts); this module generates and summarizes an equivalent dataset so
+   the census benchmark can reproduce those rows. *)
+
+open Bgp
+
+type via = Bilateral | Route_server_only
+
+type record = {
+  asn : Asn.t;
+  kind : As_graph.kind;
+  via : via;
+  ixp : string;
+}
+
+type t = { records : record list }
+
+(* The paper's per-IXP interconnection counts: (IXP, total peers there,
+   bilateral sessions there). *)
+let paper_footprint =
+  [ ("AMS-IX", 854, 106); ("Seattle-IX", 306, 63); ("Phoenix-IX", 140, 10); ("IX.br/MG", 129, 6) ]
+
+(* Peer-type mix from §4.2 (fractions of unique peers). *)
+let paper_type_mix =
+  [
+    (As_graph.Transit, 0.33);
+    (As_graph.Access_isp, 0.28);
+    (As_graph.Content, 0.23);
+    (As_graph.Unclassified, 0.08);
+    (As_graph.Education, 0.03);
+    (As_graph.Enterprise, 0.03);
+    (As_graph.Nonprofit, 0.01);
+    (As_graph.Route_server, 0.01);
+  ]
+
+let kind_of_draw r =
+  let rec pick acc = function
+    | [] -> As_graph.Unclassified
+    | (kind, frac) :: rest ->
+        if r < acc +. frac then kind else pick (acc +. frac) rest
+  in
+  pick 0. paper_type_mix
+
+(* Generate a census with the paper's footprint shape. Unique peers may
+   appear at several IXPs; [unique_peers] bounds the ASN pool. *)
+let generate ?(seed = 3) ?(unique_peers = 923) ?(footprint = paper_footprint) () =
+  let rng = Random.State.make [| seed |] in
+  let pool =
+    Array.init unique_peers (fun i ->
+        (Asn.of_int (20000 + i), kind_of_draw (Random.State.float rng 1.0)))
+  in
+  let records = ref [] in
+  List.iter
+    (fun (ixp, total, bilateral) ->
+      (* Draw [total] distinct peers for this IXP. *)
+      let chosen = Hashtbl.create total in
+      let drawn = ref 0 in
+      while !drawn < min total unique_peers do
+        let i = Random.State.int rng unique_peers in
+        if not (Hashtbl.mem chosen i) then begin
+          Hashtbl.replace chosen i ();
+          incr drawn
+        end
+      done;
+      let idx = ref 0 in
+      Hashtbl.iter
+        (fun i () ->
+          let asn, kind = pool.(i) in
+          let via = if !idx < bilateral then Bilateral else Route_server_only in
+          incr idx;
+          records := { asn; kind; via; ixp } :: !records)
+        chosen)
+    footprint;
+  { records = !records }
+
+let records t = t.records
+
+(* Unique peers across all IXPs. *)
+let unique_peers t =
+  List.sort_uniq Asn.compare (List.map (fun r -> r.asn) t.records)
+
+(* (IXP, total, bilateral) rows, as in §4.2. *)
+let by_ixp t =
+  let ixps = List.sort_uniq String.compare (List.map (fun r -> r.ixp) t.records) in
+  List.map
+    (fun ixp ->
+      let here = List.filter (fun r -> String.equal r.ixp ixp) t.records in
+      let bilateral = List.filter (fun r -> r.via = Bilateral) here in
+      (ixp, List.length here, List.length bilateral))
+    ixps
+
+(* Peer-type census over unique peers: (kind, count, fraction). *)
+let type_census t =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r -> if not (Hashtbl.mem seen r.asn) then Hashtbl.replace seen r.asn r.kind)
+    t.records;
+  let total = Hashtbl.length seen in
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ kind ->
+      let c = try Hashtbl.find counts kind with Not_found -> 0 in
+      Hashtbl.replace counts kind (c + 1))
+    seen;
+  Hashtbl.fold
+    (fun kind count acc ->
+      (kind, count, float_of_int count /. float_of_int total) :: acc)
+    counts []
+  |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a)

@@ -1,0 +1,33 @@
+(** A synthetic PeeringDB: per-neighbor interconnection records matching
+    the deployment census of paper §4.2 (923 unique peers, their type mix,
+    per-IXP bilateral/route-server splits). *)
+
+open Bgp
+
+type via = Bilateral | Route_server_only
+
+type record = {
+  asn : Asn.t;
+  kind : As_graph.kind;
+  via : via;
+  ixp : string;
+}
+
+type t
+
+val paper_footprint : (string * int * int) list
+(** The paper's per-IXP rows: (IXP, peers there, bilateral sessions). *)
+
+val paper_type_mix : (As_graph.kind * float) list
+(** §4.2's unique-peer type fractions. *)
+
+val generate : ?seed:int -> ?unique_peers:int -> ?footprint:(string * int * int) list -> unit -> t
+
+val records : t -> record list
+val unique_peers : t -> Asn.t list
+
+val by_ixp : t -> (string * int * int) list
+(** (IXP, total, bilateral) rows, as in §4.2. *)
+
+val type_census : t -> (As_graph.kind * int * float) list
+(** (kind, count, fraction) over unique peers, descending. *)

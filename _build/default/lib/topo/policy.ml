@@ -1,0 +1,30 @@
+(* Gao-Rexford routing policy: the standard model of how business
+   relationships shape route selection and export on the real Internet. The
+   simulated Internet's speakers follow it, which is what gives PEERING
+   experiments realistic visibility (e.g. peer routes only reach customer
+   cones, §4.2). *)
+
+(* How a route was learned, in decreasing order of preference. *)
+type route_class = From_customer | From_peer | From_provider
+
+let class_rank = function From_customer -> 0 | From_peer -> 1 | From_provider -> 2
+
+(* Local preference values conventionally used for each class. *)
+let local_pref = function
+  | From_customer -> 300
+  | From_peer -> 200
+  | From_provider -> 100
+
+(* The export rule: an AS exports every route to its customers, but only
+   customer-learned routes to its peers and providers (no valley paths, no
+   free transit). *)
+let exports_to_customers (_ : route_class) = true
+let exports_to_peers_and_providers = function
+  | From_customer -> true
+  | From_peer | From_provider -> false
+
+(* [prefer a b] < 0 when (class, hops) [a] beats [b]. *)
+let prefer (ca, ha) (cb, hb) =
+  match Int.compare (class_rank ca) (class_rank cb) with
+  | 0 -> Int.compare ha hb
+  | c -> c

@@ -1,0 +1,22 @@
+(** Gao-Rexford routing policy: the standard model of how business
+    relationships shape route selection and export on the Internet. The
+    simulated Internet follows it, which is what gives PEERING experiments
+    realistic visibility. *)
+
+(** How a route was learned, in decreasing preference. *)
+type route_class = From_customer | From_peer | From_provider
+
+val class_rank : route_class -> int
+
+val local_pref : route_class -> int
+(** Conventional local-preference values (300/200/100). *)
+
+val exports_to_customers : route_class -> bool
+(** Always [true]: customers receive every route. *)
+
+val exports_to_peers_and_providers : route_class -> bool
+(** Only customer-learned routes (no valleys, no free transit). *)
+
+val prefer : route_class * int -> route_class * int -> int
+(** [(class, hops)] order: class first, then shorter. Negative = first
+    preferred. *)

@@ -1,0 +1,120 @@
+(* BGP churn workload generation. Figure 6b and the AMS-IX operational
+   numbers (§6) are driven by sustained streams of announce/withdraw events;
+   this module synthesizes such streams with Poisson inter-arrivals and
+   occasional bursts (path exploration after a failure looks like a burst of
+   updates for many prefixes at once). *)
+
+open Netcore
+open Bgp
+
+type kind = Announce | Withdraw
+
+type event = {
+  time : float;
+  peer_index : int;  (** which neighbor emits the update *)
+  prefix : Prefix.t;
+  kind : kind;
+  as_path : Aspath.t;
+}
+
+type params = {
+  rate : float;  (** average updates per second *)
+  duration : float;  (** seconds of workload *)
+  burst_fraction : float;  (** fraction of events arriving in bursts *)
+  burst_size : int;
+  withdraw_fraction : float;
+  peers : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    rate = 100.;
+    duration = 10.;
+    burst_fraction = 0.2;
+    burst_size = 50;
+    withdraw_fraction = 0.2;
+    peers = 4;
+    seed = 11;
+  }
+
+(* Exponential inter-arrival sample. *)
+let exponential rng rate = -.log (1. -. Random.State.float rng 1.) /. rate
+
+(* Generate a churn trace over [prefixes]; each event re-announces a prefix
+   with a jittered AS path (new path exploration) or withdraws it. *)
+let generate ?(params = default_params) ~prefixes ~origin_asn () =
+  if prefixes = [] then invalid_arg "Updates.generate: no prefixes";
+  let prefixes = Array.of_list prefixes in
+  let rng = Random.State.make [| params.seed |] in
+  let events = ref [] in
+  let count = ref 0 in
+  let emit time =
+    let prefix = prefixes.(Random.State.int rng (Array.length prefixes)) in
+    let peer_index = Random.State.int rng (max 1 params.peers) in
+    let kind =
+      if Random.State.float rng 1.0 < params.withdraw_fraction then Withdraw
+      else Announce
+    in
+    let as_path =
+      (* 2-5 hops ending at the origin, with random intermediate ASes. *)
+      let hops = 1 + Random.State.int rng 4 in
+      let intermediates =
+        List.init hops (fun _ -> Asn.of_int (1000 + Random.State.int rng 9000))
+      in
+      Aspath.of_asns (intermediates @ [ origin_asn ])
+    in
+    events := { time; peer_index; prefix; kind; as_path } :: !events;
+    incr count
+  in
+  let time = ref 0. in
+  while !time < params.duration do
+    if Random.State.float rng 1.0 < params.burst_fraction then begin
+      (* A burst: [burst_size] events at (nearly) the same instant. *)
+      for i = 0 to params.burst_size - 1 do
+        emit (!time +. (float_of_int i *. 1e-6))
+      done;
+      (* Spacing so the long-run average still matches [rate]. *)
+      time := !time +. exponential rng (params.rate /. float_of_int params.burst_size)
+    end
+    else begin
+      emit !time;
+      time := !time +. exponential rng params.rate
+    end
+  done;
+  List.rev !events
+
+(* Convert a workload event into the UPDATE message a neighbor would send. *)
+let to_update ~next_hop (e : event) : Msg.update =
+  match e.kind with
+  | Withdraw ->
+      Msg.update ~withdrawn:[ Msg.nlri e.prefix ] ()
+  | Announce ->
+      Msg.update
+        ~attrs:(Bgp.Attr.origin_attrs ~as_path:e.as_path ~next_hop ())
+        ~announced:[ Msg.nlri e.prefix ] ()
+
+(* Observed rate statistics of a trace: (average, p99) updates/second over
+   one-second windows — the form §6 reports for AMS-IX. *)
+let rate_stats events =
+  match events with
+  | [] -> (0., 0.)
+  | _ ->
+      let duration =
+        List.fold_left (fun acc e -> Float.max acc e.time) 0. events +. 1.
+      in
+      let buckets = Array.make (int_of_float duration + 1) 0 in
+      List.iter
+        (fun e ->
+          let i = int_of_float e.time in
+          if i >= 0 && i < Array.length buckets then
+            buckets.(i) <- buckets.(i) + 1)
+        events;
+      let total = List.length events in
+      let avg = float_of_int total /. duration in
+      let sorted = Array.copy buckets in
+      Array.sort Int.compare sorted;
+      let p99 = sorted.(min (Array.length sorted - 1)
+                         (int_of_float (0.99 *. float_of_int (Array.length sorted))))
+      in
+      (avg, float_of_int p99)

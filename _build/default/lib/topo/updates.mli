@@ -1,0 +1,40 @@
+(** BGP churn workload generation. Figure 6b and the AMS-IX operational
+    numbers (§6) are driven by sustained announce/withdraw streams; this
+    module synthesizes them with Poisson inter-arrivals and
+    path-exploration-style bursts. *)
+
+open Netcore
+open Bgp
+
+type kind = Announce | Withdraw
+
+type event = {
+  time : float;
+  peer_index : int;  (** which neighbor emits the update *)
+  prefix : Prefix.t;
+  kind : kind;
+  as_path : Aspath.t;
+}
+
+type params = {
+  rate : float;  (** average updates per second *)
+  duration : float;  (** seconds of workload *)
+  burst_fraction : float;  (** fraction of events arriving in bursts *)
+  burst_size : int;
+  withdraw_fraction : float;
+  peers : int;
+  seed : int;
+}
+
+val default_params : params
+
+val generate :
+  ?params:params -> prefixes:Prefix.t list -> origin_asn:Asn.t -> unit -> event list
+(** A time-ordered trace, deterministic per seed. *)
+
+val to_update : next_hop:Ipv4.t -> event -> Msg.update
+(** The UPDATE message a neighbor would send for this event. *)
+
+val rate_stats : event list -> float * float
+(** [(average, p99)] updates/second over one-second windows — the form §6
+    reports for AMS-IX. *)

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Approval Asn Aspath Attr Bgp Ipv4 Ipv4_packet List Mac Neighbor_host Netcore Option Peering Platform Pop Prefix Rib Session Sim Toolkit Topo Vbgp

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Arp Array Bytes Checksum Eth Icmp Int32 Ipv4 Ipv4_packet Ipv6 List Mac Netcore Prefix Prefix_v6 Ptrie QCheck QCheck_alcotest Result Udp Wire

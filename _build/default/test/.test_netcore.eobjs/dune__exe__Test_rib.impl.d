@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Asn Aspath Attr Bgp Hashtbl Int32 Ipv4 List Netcore Prefix Printf QCheck QCheck_alcotest Rib

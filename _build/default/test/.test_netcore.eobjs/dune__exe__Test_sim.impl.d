@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Eth Flow Lan Link List Mac Netcore QCheck QCheck_alcotest Sim String Tcp Trace

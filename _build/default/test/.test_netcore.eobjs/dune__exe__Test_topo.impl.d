@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest As_graph Asn Aspath Attr Bgp Internet Ipv4 List Looking_glass Msg Netcore Option Peeringdb Policy Prefix Printf QCheck QCheck_alcotest Topo Updates

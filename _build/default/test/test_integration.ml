@@ -1,0 +1,402 @@
+(* End-to-end integration tests: whole-platform scenarios exercising BGP
+   sessions over the wire codec, enforcement, multiplexing, the data plane,
+   and the backbone — the paper's headline claims as assertions. *)
+
+open Netcore
+open Bgp
+open Peering
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let asn = Asn.of_int
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let submit platform team =
+  match
+    Platform.submit platform
+      (Approval.proposal ~title:team ~team ~goals:"integration test" ())
+  with
+  | Platform.Granted r -> r.Approval.grant
+  | Platform.Denied reason -> failwith reason
+
+let connect platform pop grant =
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop);
+  Toolkit.start_session kit ~pop:(Pop.name pop);
+  Platform.run platform ~seconds:10.;
+  kit
+
+(* One PoP against a generated Internet. *)
+let build_world () =
+  let graph =
+    Topo.As_graph.generate
+      ~params:{ Topo.As_graph.default_gen with transit = 8; stub = 40; seed = 5 }
+      ()
+  in
+  let stubs =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier = 3
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let origins =
+    Topo.Internet.assign_prefixes
+      ~base:(pfx "192.168.0.0/16")
+      (List.filteri (fun i _ -> i < 20) stubs)
+  in
+  let internet = Topo.Internet.create graph ~origins in
+  let platform = Platform.create () in
+  let pop = Platform.add_pop platform ~name:"pop01" ~site:Pop.Ixp () in
+  let hosts =
+    Platform.populate_pop platform ~pop ~internet ~transits:2 ~peers:2 ()
+  in
+  Platform.run platform ~seconds:10.;
+  (platform, pop, hosts, origins)
+
+let test_full_visibility () =
+  let platform, pop, hosts, origins = build_world () in
+  let grant = submit platform "vis" in
+  let kit = connect platform pop grant in
+  (* Every neighbor announced a route per origin prefix; the experiment
+     must see them all (ADD-PATH), not just a best path. *)
+  let expected =
+    List.fold_left
+      (fun acc h ->
+        acc
+        + List.length
+            (Vbgp.Router.neighbor_routes (Pop.router pop)
+               ~neighbor_id:(Neighbor_host.neighbor_id h)))
+      0 hosts
+  in
+  checki "experiment sees every neighbor's path" expected
+    (Toolkit.route_count kit ~pop:"pop01");
+  checkb "multiple paths for one prefix" true
+    (let dst = Prefix.host (fst (List.hd origins)) 1 in
+     List.length (Toolkit.routes_for kit ~pop:"pop01" dst) >= 2)
+
+let test_announcement_reaches_all_neighbors () =
+  let platform, pop, hosts, _ = build_world () in
+  let grant = submit platform "ann" in
+  let kit = connect platform pop grant in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:5.;
+  List.iter
+    (fun h ->
+      checkb "heard by neighbor" true (Neighbor_host.heard_route h prefix <> None))
+    hosts;
+  (* And the AS path everywhere is [mux; experiment]. *)
+  List.iter
+    (fun h ->
+      match Neighbor_host.heard_route h prefix with
+      | Some attrs ->
+          checkb "mux-prepended path" true
+            (match Attr.as_path attrs with
+            | Some path ->
+                Aspath.first path = Some (Platform.mux_asn platform)
+                && Aspath.origin path
+                   = Some (List.hd grant.Vbgp.Control_enforcer.asns)
+            | None -> false)
+      | None -> ())
+    hosts
+
+let test_parallel_experiments_isolation () =
+  let platform, pop, hosts, _ = build_world () in
+  let g1 = submit platform "one" in
+  let g2 = submit platform "two" in
+  let k1 = connect platform pop g1 in
+  let k2 = connect platform pop g2 in
+  let p1 = List.hd g1.Vbgp.Control_enforcer.prefixes in
+  let p2 = List.hd g2.Vbgp.Control_enforcer.prefixes in
+  (* Experiment 2 cannot announce experiment 1's prefix (hijack guard). *)
+  Toolkit.announce k2 p1;
+  Platform.run platform ~seconds:5.;
+  List.iter
+    (fun h ->
+      checkb "cross-experiment hijack blocked" true
+        (Neighbor_host.heard_route h p1 = None))
+    hosts;
+  (* Both can announce their own space in parallel. *)
+  Toolkit.announce k1 p1;
+  Toolkit.announce k2 p2;
+  Platform.run platform ~seconds:5.;
+  let h = List.hd hosts in
+  checkb "exp1 prefix announced" true (Neighbor_host.heard_route h p1 <> None);
+  checkb "exp2 prefix announced" true (Neighbor_host.heard_route h p2 <> None);
+  (* Distinct origins on the two announcements. *)
+  let origin prefix =
+    match Neighbor_host.heard_route h prefix with
+    | Some attrs -> Option.bind (Attr.as_path attrs) Aspath.origin
+    | None -> None
+  in
+  checkb "distinct origin ASNs" true (origin p1 <> origin p2)
+
+let test_data_plane_end_to_end () =
+  let platform, pop, hosts, origins = build_world () in
+  let grant = submit platform "data" in
+  let kit = connect platform pop grant in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:5.;
+  (* Outbound: a packet toward an Internet prefix leaves via the best
+     route's neighbor. *)
+  let dst = Prefix.host (fst (List.hd origins)) 1 in
+  (match Toolkit.send_packet kit ~pop:"pop01" ~dst "outbound" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Platform.run platform ~seconds:5.;
+  let delivered =
+    List.exists
+      (fun h ->
+        List.exists
+          (fun (p : Ipv4_packet.t) -> Ipv4.equal p.Ipv4_packet.dst dst)
+          (Neighbor_host.received_packets h))
+      hosts
+  in
+  checkb "outbound delivered to a neighbor" true delivered;
+  (* Inbound: a neighbor sends to the experiment prefix; the experiment
+     receives it with the neighbor's virtual MAC as frame source. *)
+  let h = List.hd hosts in
+  Neighbor_host.send_packet h ~src:(ip "192.168.0.200")
+    ~dst:(Prefix.host prefix 1) "inbound";
+  Platform.run platform ~seconds:5.;
+  match Toolkit.received kit with
+  | r :: _ ->
+      let expected_mac =
+        match
+          Vbgp.Router.neighbor (Pop.router pop) (Neighbor_host.neighbor_id h)
+        with
+        | Some ns -> ns.Vbgp.Router.info.Vbgp.Neighbor.virtual_mac
+        | None -> Mac.zero
+      in
+      checkb "ingress neighbor identified by MAC" true
+        (Mac.equal r.Toolkit.src_mac expected_mac)
+  | [] -> Alcotest.fail "no inbound packet"
+
+let test_two_pop_backbone () =
+  let platform = Platform.create () in
+  let engine = Platform.engine platform in
+  let pop_a = Platform.add_pop platform ~name:"popA" ~site:Pop.University () in
+  let pop_b = Platform.add_pop platform ~name:"popB" ~site:Pop.Ixp () in
+  let destination = pfx "192.168.0.0/24" in
+  let n_a = Pop.add_transit pop_a ~asn:(asn 100) in
+  let n_b = Pop.add_transit pop_b ~asn:(asn 200) in
+  Neighbor_host.announce n_a [ (destination, Aspath.of_asns [ asn 100 ]) ];
+  Neighbor_host.announce n_b [ (destination, Aspath.of_asns [ asn 200 ]) ];
+  Platform.run platform ~seconds:5.;
+  Platform.connect_backbone platform;
+  Platform.run platform ~seconds:10.;
+  let grant = submit platform "bb" in
+  let kit = Toolkit.create ~engine ~grant in
+  ignore (Toolkit.open_tunnel kit pop_a);
+  Toolkit.start_session kit ~pop:"popA";
+  Platform.run platform ~seconds:10.;
+  (* Visibility across the backbone. *)
+  let routes = Toolkit.routes_for kit ~pop:"popA" (Prefix.host destination 1) in
+  checki "both PoPs' routes visible at A" 2 (List.length routes);
+  (* Data via the remote neighbor. *)
+  let via_remote =
+    List.find_map
+      (fun (r : Rib.Route.t) ->
+        if Aspath.contains (asn 200) (Rib.Route.as_path r) then
+          Rib.Route.next_hop r
+        else None)
+      routes
+  in
+  (match via_remote with
+  | None -> Alcotest.fail "no route via remote neighbor"
+  | Some via ->
+      Toolkit.send_packet_via kit ~pop:"popA" ~via
+        (Ipv4_packet.make
+           ~src:(Prefix.host (List.hd grant.Vbgp.Control_enforcer.prefixes) 1)
+           ~dst:(Prefix.host destination 1) ~protocol:Ipv4_packet.Udp "x");
+      Platform.run platform ~seconds:5.;
+      checki "delivered via remote PoP's neighbor" 1
+        (List.length (Neighbor_host.received_packets n_b));
+      checki "not via the local neighbor" 0
+        (List.length (Neighbor_host.received_packets n_a)));
+  (* Selective announcement to the remote neighbor only. *)
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  let id_b =
+    Vbgp.Router.export_id (Pop.router pop_b)
+      ~neighbor_id:(Neighbor_host.neighbor_id n_b)
+  in
+  Toolkit.announce kit ~announce_to:[ id_b ] prefix;
+  Platform.run platform ~seconds:5.;
+  checkb "remote neighbor heard" true (Neighbor_host.heard_route n_b prefix <> None);
+  checkb "local neighbor did not" true (Neighbor_host.heard_route n_a prefix = None);
+  (* Inbound from the remote PoP flows back over the backbone. *)
+  Neighbor_host.send_packet n_b ~src:(ip "192.168.0.77")
+    ~dst:(Prefix.host prefix 1) "inbound-from-b";
+  Platform.run platform ~seconds:5.;
+  checki "delivered across the backbone" 1 (List.length (Toolkit.received kit))
+
+let test_session_loss_withdraws_routes () =
+  let platform, pop, hosts, _ = build_world () in
+  let grant = submit platform "loss" in
+  let kit = connect platform pop grant in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:5.;
+  let h = List.hd hosts in
+  checkb "announced" true (Neighbor_host.heard_route h prefix <> None);
+  (* The experiment disconnects: its routes must be withdrawn upstream. *)
+  Toolkit.stop_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:10.;
+  checkb "withdrawn after session loss" true
+    (Neighbor_host.heard_route h prefix = None)
+
+let test_neighbor_flap () =
+  let platform, pop, hosts, _ = build_world () in
+  let grant = submit platform "flap" in
+  let kit = connect platform pop grant in
+  let before = Toolkit.route_count kit ~pop:"pop01" in
+  (* A neighbor session dies: its routes vanish from the experiment RIB. *)
+  let h = List.hd hosts in
+  let lost =
+    List.length
+      (Vbgp.Router.neighbor_routes (Pop.router pop)
+         ~neighbor_id:(Neighbor_host.neighbor_id h))
+  in
+  Session.stop (Neighbor_host.session h);
+  Platform.run platform ~seconds:10.;
+  checki "neighbor's routes withdrawn from experiment" (before - lost)
+    (Toolkit.route_count kit ~pop:"pop01")
+
+let test_misbehaving_experiment_isolation () =
+  (* §4.7 "Impact of misbehaving experiments": one experiment flooding
+     announcements is rate-limited without disturbing another
+     experiment's control plane. *)
+  let platform, pop, hosts, _ = build_world () in
+  let g_noisy = submit platform "noisy" in
+  let g_quiet = submit platform "quiet" in
+  let k_noisy = connect platform pop g_noisy in
+  let k_quiet = connect platform pop g_quiet in
+  let p_noisy = List.hd g_noisy.Vbgp.Control_enforcer.prefixes in
+  let p_quiet = List.hd g_quiet.Vbgp.Control_enforcer.prefixes in
+  (* The noisy experiment burns far past its daily budget. *)
+  for _ = 1 to 300 do
+    Toolkit.announce k_noisy p_noisy
+  done;
+  Platform.run platform ~seconds:10.;
+  (* The quiet experiment still works normally. *)
+  Toolkit.announce k_quiet p_quiet;
+  Platform.run platform ~seconds:5.;
+  let h = List.hd hosts in
+  checkb "quiet experiment unaffected" true
+    (Neighbor_host.heard_route h p_quiet <> None);
+  (* And the noisy one was clamped to its budget. *)
+  let accepted, rejected =
+    Vbgp.Control_enforcer.stats
+      (Vbgp.Router.control_enforcer (Pop.router pop))
+  in
+  checkb "flood rejected beyond budget" true (rejected >= 300 - 144);
+  checkb "within-budget updates processed" true (accepted >= 144)
+
+let test_neighbor_flap_recovery () =
+  (* A neighbor session flaps: routes vanish, then come back in full when
+     the session re-establishes (BGP full-table exchange). *)
+  let platform, pop, hosts, _ = build_world () in
+  let grant = submit platform "flap2" in
+  let kit = connect platform pop grant in
+  let before = Toolkit.route_count kit ~pop:"pop01" in
+  let h = List.hd hosts in
+  Session.stop (Neighbor_host.session h);
+  Platform.run platform ~seconds:10.;
+  checkb "routes dropped while down" true
+    (Toolkit.route_count kit ~pop:"pop01" < before);
+  (* Restart the neighbor's session (both sides). *)
+  Sim.Bgp_wire.start h.Neighbor_host.pair;
+  Platform.run platform ~seconds:15.;
+  checkb "neighbor back up" true (Neighbor_host.is_established h);
+  checki "full table restored" before (Toolkit.route_count kit ~pop:"pop01")
+
+let test_three_pop_propagation () =
+  (* An announcement made at one PoP reaches neighbors at every PoP via the
+     backbone mesh, and the export-control tag for a remote neighbor means
+     the same neighbor from any PoP (global export ids, §4.4). *)
+  let platform = Platform.create () in
+  let engine = Platform.engine platform in
+  let mk name = Platform.add_pop platform ~name ~site:Pop.Ixp () in
+  let pa = mk "pA" and pb = mk "pB" and pc = mk "pC" in
+  let na = Pop.add_transit pa ~asn:(asn 100) in
+  let nb = Pop.add_transit pb ~asn:(asn 200) in
+  let nc = Pop.add_transit pc ~asn:(asn 300) in
+  (* Each neighbor announces a route so remote aliases form at every PoP. *)
+  Neighbor_host.announce na
+    [ (pfx "192.168.1.0/24", Aspath.of_asns [ asn 100 ]) ];
+  Neighbor_host.announce nb
+    [ (pfx "192.168.2.0/24", Aspath.of_asns [ asn 200 ]) ];
+  Neighbor_host.announce nc
+    [ (pfx "192.168.3.0/24", Aspath.of_asns [ asn 300 ]) ];
+  Platform.run platform ~seconds:5.;
+  Platform.connect_backbone platform;
+  Platform.run platform ~seconds:10.;
+  let grant = submit platform "threepop" in
+  let kit = Toolkit.create ~engine ~grant in
+  ignore (Toolkit.open_tunnel kit pa);
+  Toolkit.start_session kit ~pop:"pA";
+  Platform.run platform ~seconds:10.;
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:10.;
+  checkb "local neighbor heard" true (Neighbor_host.heard_route na prefix <> None);
+  checkb "remote neighbor B heard" true
+    (Neighbor_host.heard_route nb prefix <> None);
+  checkb "remote neighbor C heard" true
+    (Neighbor_host.heard_route nc prefix <> None);
+  (* Blacklist exactly the neighbor at C, by its global export id, tagged
+     from A. *)
+  let id_c =
+    Vbgp.Router.export_id (Pop.router pc)
+      ~neighbor_id:(Neighbor_host.neighbor_id nc)
+  in
+  Toolkit.announce kit ~block:[ id_c ] prefix;
+  Platform.run platform ~seconds:10.;
+  checkb "A still announced" true (Neighbor_host.heard_route na prefix <> None);
+  checkb "B still announced" true (Neighbor_host.heard_route nb prefix <> None);
+  checkb "C withdrawn by global tag" true
+    (Neighbor_host.heard_route nc prefix = None);
+  (* The alias at A for C's neighbor shares C's export id — the §4.4
+     invariant that makes the tags location-independent. *)
+  let alias_ids =
+    List.filter_map
+      (fun ns ->
+        if Vbgp.Neighbor.is_alias ns.Vbgp.Router.info then
+          Some ns.Vbgp.Router.export_id
+        else None)
+      (Vbgp.Router.neighbor_states (Pop.router pa))
+  in
+  checkb "alias export ids include C's neighbor" true
+    (List.mem id_c alias_ids)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "full visibility via add-path" `Quick
+            test_full_visibility;
+          Alcotest.test_case "announcement reaches all neighbors" `Quick
+            test_announcement_reaches_all_neighbors;
+          Alcotest.test_case "parallel experiment isolation" `Quick
+            test_parallel_experiments_isolation;
+          Alcotest.test_case "data plane end to end" `Quick
+            test_data_plane_end_to_end;
+          Alcotest.test_case "two-pop backbone" `Quick test_two_pop_backbone;
+          Alcotest.test_case "session loss withdraws" `Quick
+            test_session_loss_withdraws_routes;
+          Alcotest.test_case "neighbor flap" `Quick test_neighbor_flap;
+          Alcotest.test_case "neighbor flap recovery" `Quick
+            test_neighbor_flap_recovery;
+          Alcotest.test_case "misbehaving experiment isolation" `Quick
+            test_misbehaving_experiment_isolation;
+          Alcotest.test_case "three-pop propagation" `Quick
+            test_three_pop_propagation;
+        ] );
+    ]

@@ -1,0 +1,600 @@
+(* Tests for the PEERING platform library: experiment approval and resource
+   allocation, the platform lifecycle, the toolkit (Table 1), intent-based
+   configuration templating, and the transactional network controller. *)
+
+open Netcore
+open Bgp
+open Peering
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let asn = Asn.of_int
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* -- approval --------------------------------------------------------------------- *)
+
+let test_approval_basic () =
+  let p = Approval.proposal ~title:"t" ~team:"team" ~goals:"g" () in
+  checkb "basic approved" true
+    (match Approval.review p with Approval.Approve _ -> true | _ -> false)
+
+let test_approval_risky_rejected () =
+  let caps = Vbgp.Experiment_caps.(default |> with_poisoning 50) in
+  let p =
+    Approval.proposal ~title:"t" ~team:"team" ~goals:"g" ~requested_caps:caps ()
+  in
+  checkb "mass poisoning rejected" true
+    (match Approval.review p with Approval.Reject _ -> true | _ -> false);
+  let p =
+    Approval.proposal ~title:"t" ~team:"team" ~goals:"g"
+      ~max_announced_path_len:3000 ()
+  in
+  checkb "pathological path length rejected" true
+    (match Approval.review p with Approval.Reject _ -> true | _ -> false);
+  let p = Approval.proposal ~title:"t" ~team:"team" ~goals:"" () in
+  checkb "goalless proposal rejected" true
+    (match Approval.review p with Approval.Reject _ -> true | _ -> false)
+
+let test_approval_allocation () =
+  let p = Approval.proposal ~title:"t" ~team:"alpha" ~goals:"g" ~prefix_count:2 () in
+  let record =
+    Approval.allocate ~id:7 ~now:0.
+      ~prefixes:[ pfx "184.164.224.0/24"; pfx "184.164.225.0/24"; pfx "184.164.226.0/24" ]
+      ~prefixes_v6:[] ~asn:(asn 61574) p
+  in
+  let g = record.Approval.grant in
+  checki "two prefixes" 2 (List.length g.Vbgp.Control_enforcer.prefixes);
+  checkb "asn assigned" true
+    (g.Vbgp.Control_enforcer.asns = [ asn 61574 ]);
+  checkb "name embeds team" true
+    (contains ~needle:"alpha" g.Vbgp.Control_enforcer.name)
+
+(* -- platform ---------------------------------------------------------------------- *)
+
+let test_platform_lifecycle () =
+  let platform = Platform.create () in
+  let before = List.length (Platform.records platform) in
+  match
+    Platform.submit platform
+      (Approval.proposal ~title:"t" ~team:"x" ~goals:"g" ())
+  with
+  | Platform.Denied r -> Alcotest.fail r
+  | Platform.Granted record ->
+      checki "recorded" (before + 1) (List.length (Platform.records platform));
+      let g = record.Approval.grant in
+      checki "one prefix" 1 (List.length g.Vbgp.Control_enforcer.prefixes);
+      (* A second experiment gets disjoint resources. *)
+      (match
+         Platform.submit platform
+           (Approval.proposal ~title:"t2" ~team:"y" ~goals:"g" ())
+       with
+      | Platform.Granted record2 ->
+          let g2 = record2.Approval.grant in
+          checkb "prefixes disjoint" true
+            (List.for_all
+               (fun p -> not (List.exists (Prefix.equal p) g2.Vbgp.Control_enforcer.prefixes))
+               g.Vbgp.Control_enforcer.prefixes);
+          checkb "asns disjoint" true
+            (g.Vbgp.Control_enforcer.asns <> g2.Vbgp.Control_enforcer.asns)
+      | Platform.Denied r -> Alcotest.fail r);
+      (* Concluding returns the resources. *)
+      Platform.conclude platform record;
+      (match
+         Platform.submit platform
+           (Approval.proposal ~title:"t3" ~team:"z" ~goals:"g" ())
+       with
+      | Platform.Granted _ -> ()
+      | Platform.Denied r -> Alcotest.fail r)
+
+let test_platform_denies_risky () =
+  let platform = Platform.create () in
+  match
+    Platform.submit platform
+      (Approval.proposal ~title:"t" ~team:"x" ~goals:"g"
+         ~requested_caps:Vbgp.Experiment_caps.(default |> with_poisoning 100)
+         ())
+  with
+  | Platform.Denied _ -> ()
+  | Platform.Granted _ -> Alcotest.fail "risky proposal approved"
+
+(* A small live platform used by the toolkit tests. *)
+let build_pop () =
+  let platform = Platform.create () in
+  let pop = Platform.add_pop platform ~name:"pop01" ~site:Pop.Ixp () in
+  let n1 = Pop.add_transit pop ~asn:(asn 100) in
+  Neighbor_host.announce n1
+    [ (pfx "192.168.0.0/24", Aspath.of_asns [ asn 100; asn 900 ]) ];
+  Platform.run platform ~seconds:5.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"t" ~team:"kit" ~goals:"g" ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied r -> failwith r
+  in
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop);
+  Toolkit.start_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:10.;
+  (platform, pop, n1, kit, grant)
+
+(* -- toolkit (Table 1) ---------------------------------------------------------------- *)
+
+let test_toolkit_session_lifecycle () =
+  let platform, _, _, kit, _ = build_pop () in
+  checkb "established" true (Toolkit.established kit ~pop:"pop01");
+  (match Toolkit.session_status kit with
+  | [ ("pop01", state, true) ] -> checkb "state" true (state = Fsm.Established)
+  | _ -> Alcotest.fail "unexpected status");
+  (* Stop, then restart (Table 1: start/stop sessions). *)
+  Toolkit.stop_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:5.;
+  checkb "down after stop" false (Toolkit.established kit ~pop:"pop01");
+  Toolkit.start_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:10.;
+  checkb "re-established" true (Toolkit.established kit ~pop:"pop01")
+
+let test_toolkit_routes_and_cli () =
+  let _, _, _, kit, _ = build_pop () in
+  checki "one route" 1 (Toolkit.route_count kit ~pop:"pop01");
+  let out = Toolkit.cli kit "show route" in
+  checkb "cli shows prefix" true (contains ~needle:"192.168.0.0/24" out);
+  let out = Toolkit.cli kit "show protocols" in
+  checkb "cli shows pop" true (contains ~needle:"pop01" out);
+  let out = Toolkit.cli kit "show route for 192.168.0.77" in
+  checkb "route lookup" true (contains ~needle:"192.168.0.0/24" out);
+  let out = Toolkit.cli kit "bogus command" in
+  checkb "syntax error" true (contains ~needle:"syntax error" out)
+
+let test_toolkit_announce_withdraw () =
+  let platform, _, n1, kit, grant = build_pop () in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:5.;
+  checkb "announced" true (Neighbor_host.heard_route n1 prefix <> None);
+  Toolkit.withdraw kit prefix;
+  Platform.run platform ~seconds:5.;
+  checkb "withdrawn" true (Neighbor_host.heard_route n1 prefix = None)
+
+let test_toolkit_prepend () =
+  let platform, _, n1, kit, grant = build_pop () in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit ~prepend:2 prefix;
+  Platform.run platform ~seconds:5.;
+  match Neighbor_host.heard_route n1 prefix with
+  | Some attrs ->
+      (* mux + 3x experiment asn (one origin + two prepends) *)
+      checki "path length" 4
+        (match Attr.as_path attrs with
+        | Some p -> Aspath.length p
+        | None -> 0)
+  | None -> Alcotest.fail "not announced"
+
+let test_toolkit_udp_service () =
+  let platform, _, n1, kit, grant = build_pop () in
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit prefix;
+  Platform.run platform ~seconds:5.;
+  (* Host an echo service; a neighbor queries it from the Internet. *)
+  Toolkit.serve_udp kit ~port:7 (fun _ datagram ->
+      Some ("echo:" ^ datagram.Udp.payload));
+  Neighbor_host.send_packet n1 ~src:(ip "192.168.0.10")
+    ~dst:(Prefix.host prefix 1)
+    (Udp.encode { Udp.src_port = 4000; dst_port = 7; payload = "hi" });
+  Platform.run platform ~seconds:5.;
+  (* The reply routes back through the delivering neighbor. *)
+  checkb "service reply reached the neighbor" true
+    (List.exists
+       (fun (p : Ipv4_packet.t) ->
+         match Udp.decode p.Ipv4_packet.payload with
+         | Ok d -> d.Udp.payload = "echo:hi"
+         | Error _ -> false)
+       (Neighbor_host.received_packets n1))
+
+let test_toolkit_ping () =
+  let platform, _, _, kit, _ = build_pop () in
+  (* Ping an address covered by N1's route; N1 won't answer, but the probe
+     must leave via the chosen next hop without error. *)
+  (match Toolkit.ping kit ~pop:"pop01" (ip "192.168.0.1") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Platform.run platform ~seconds:2.;
+  checkb "no replies from silent host" true (Toolkit.echo_replies kit = [])
+
+let test_toolkit_route_refresh () =
+  let platform, _, n1, kit, _ = build_pop () in
+  (* The neighbor withdraws and re-announces while we're connected; then a
+     route refresh must resync the full current table. *)
+  checki "one route initially" 1 (Toolkit.route_count kit ~pop:"pop01");
+  Neighbor_host.announce n1
+    [ (pfx "192.168.1.0/24", Aspath.of_asns [ asn 100 ]) ];
+  Platform.run platform ~seconds:5.;
+  checki "two routes" 2 (Toolkit.route_count kit ~pop:"pop01");
+  Toolkit.refresh_routes kit ~pop:"pop01";
+  Platform.run platform ~seconds:5.;
+  (* Resync replaces entries in place: still exactly two. *)
+  checki "refresh is idempotent" 2 (Toolkit.route_count kit ~pop:"pop01")
+
+let test_toolkit_multi_pop () =
+  let platform = Platform.create () in
+  let engine = Platform.engine platform in
+  let pop_a = Platform.add_pop platform ~name:"popA" ~site:Pop.Ixp () in
+  let pop_b = Platform.add_pop platform ~name:"popB" ~site:Pop.Ixp () in
+  let n_a = Pop.add_transit pop_a ~asn:(asn 100) in
+  let n_b = Pop.add_transit pop_b ~asn:(asn 200) in
+  Platform.run platform ~seconds:5.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"mp" ~team:"mp" ~goals:"g" ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied r -> failwith r
+  in
+  let kit = Toolkit.create ~engine ~grant in
+  ignore (Toolkit.open_tunnel kit pop_a);
+  ignore (Toolkit.open_tunnel kit pop_b);
+  Toolkit.start_session kit ~pop:"popA";
+  Toolkit.start_session kit ~pop:"popB";
+  Platform.run platform ~seconds:10.;
+  checkb "both established" true
+    (Toolkit.established kit ~pop:"popA" && Toolkit.established kit ~pop:"popB");
+  (* Announce only at popB: only popB's neighbor hears it. *)
+  let prefix = List.hd grant.Vbgp.Control_enforcer.prefixes in
+  Toolkit.announce kit ~pops:[ "popB" ] prefix;
+  Platform.run platform ~seconds:5.;
+  checkb "popB neighbor heard" true (Neighbor_host.heard_route n_b prefix <> None);
+  checkb "popA neighbor did not" true (Neighbor_host.heard_route n_a prefix = None)
+
+let test_toolkit_ipv6_announce () =
+  (* MP-BGP IPv6 announcements: enforcement + export end to end (§4.2's
+     v6 footprint, control plane). *)
+  let platform = Platform.create () in
+  let pop = Platform.add_pop platform ~name:"pop01" ~site:Pop.Ixp () in
+  let n1 = Pop.add_transit pop ~asn:(asn 100) in
+  Platform.run platform ~seconds:5.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"v6" ~team:"v6" ~goals:"g" ~want_ipv6:true ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied r -> failwith r
+  in
+  checkb "v6 allocation granted" true
+    (grant.Vbgp.Control_enforcer.prefixes_v6 <> []);
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop);
+  Toolkit.start_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:10.;
+  let p6 = List.hd grant.Vbgp.Control_enforcer.prefixes_v6 in
+  Toolkit.announce_v6 kit p6;
+  Platform.run platform ~seconds:5.;
+  (match Neighbor_host.heard_route_v6 n1 p6 with
+  | Some attrs ->
+      checkb "mux prepended on v6 too" true
+        (match Attr.as_path attrs with
+        | Some path ->
+            Aspath.first path = Some (Platform.mux_asn platform)
+        | None -> false)
+  | None -> Alcotest.fail "v6 prefix not announced");
+  (* Announcing someone else's v6 space is blocked. *)
+  Toolkit.announce_v6 kit (Netcore.Prefix_v6.of_string_exn "2001:db8::/48");
+  Platform.run platform ~seconds:5.;
+  checkb "foreign v6 blocked" true
+    (Neighbor_host.heard_route_v6 n1
+       (Netcore.Prefix_v6.of_string_exn "2001:db8::/48")
+    = None);
+  (* Withdraw. *)
+  Toolkit.withdraw_v6 kit p6;
+  Platform.run platform ~seconds:5.;
+  checkb "v6 withdrawn" true (Neighbor_host.heard_route_v6 n1 p6 = None)
+
+let test_pop_bandwidth_shaping () =
+  (* A bandwidth-constrained site (§4.7): flooding is shaped, and the
+     shaping only affects that site. *)
+  let platform = Platform.create () in
+  let pop =
+    Platform.add_pop platform ~name:"constrained" ~site:Pop.University
+      ~bandwidth_limit_mbps:1 ()
+  in
+  let n1 = Pop.add_transit pop ~asn:(asn 100) in
+  Neighbor_host.announce n1
+    [ (pfx "192.168.0.0/24", Aspath.of_asns [ asn 100 ]) ];
+  Platform.run platform ~seconds:5.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"shape" ~team:"shape" ~goals:"g" ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied r -> failwith r
+  in
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop);
+  Toolkit.start_session kit ~pop:"constrained";
+  Platform.run platform ~seconds:10.;
+  (* Flood: 200 x 1-KB packets in one instant >> the 1 Mbit/s bucket. *)
+  let dst = ip "192.168.0.1" in
+  for _ = 1 to 200 do
+    ignore
+      (Toolkit.send_packet kit ~pop:"constrained" ~dst (String.make 1000 'x'))
+  done;
+  Platform.run platform ~seconds:5.;
+  let delivered = List.length (Neighbor_host.received_packets n1) in
+  let _, blocked =
+    Vbgp.Data_enforcer.stats (Vbgp.Router.data_enforcer (Pop.router pop))
+  in
+  checkb "some traffic passes" true (delivered > 0);
+  checkb "flood is shaped" true (blocked > 100);
+  checki "accounting adds up" 200 (delivered + blocked)
+
+(* -- config model / templating ----------------------------------------------------------- *)
+
+let test_template_bird () =
+  let platform, _, _, _, _ = build_pop () in
+  let model = Config_model.of_platform platform in
+  match Config_model.pop model "pop01" with
+  | None -> Alcotest.fail "pop missing from model"
+  | Some pop_intent ->
+      let bird = Template.render_bird ~version:1 pop_intent in
+      checkb "has mux asn" true (contains ~needle:"47065" bird);
+      checkb "has neighbor stanza" true (contains ~needle:"neighbor 100.64." bird);
+      checkb "experiment filter" true (contains ~needle:"filter exp_" bird);
+      checkb "hijack reject" true (contains ~needle:"reject" bird);
+      checkb "add-path for experiments" true
+        (contains ~needle:"add paths tx rx" bird);
+      let vpn = Template.render_openvpn ~version:1 pop_intent in
+      checkb "vpn server stanza" true (contains ~needle:"server exp_" vpn);
+      let policy = Template.render_policy ~version:1 pop_intent in
+      checkb "budget in policy" true (contains ~needle:"budget 144/day" policy)
+
+let test_template_render_all_and_diff () =
+  let platform, _, _, _, _ = build_pop () in
+  let model = Config_model.of_platform platform in
+  let files = Template.render_all model in
+  checki "three services per pop" 3 (List.length files);
+  (* Identical inputs diff empty; a model change produces a small diff. *)
+  let bird1 =
+    Template.render_bird ~version:1 (Option.get (Config_model.pop model "pop01"))
+  in
+  checki "no self diff" 0
+    (Template.diff_size (Template.diff ~old_config:bird1 ~new_config:bird1));
+  let bird2 =
+    Template.render_bird ~version:2 (Option.get (Config_model.pop model "pop01"))
+  in
+  let d = Template.diff ~old_config:bird1 ~new_config:bird2 in
+  checkb "version bump is a 2-line diff" true (Template.diff_size d = 2)
+
+(* -- controller ---------------------------------------------------------------------------- *)
+
+let iface name addrs up =
+  { Controller.ifname = name; addresses = List.map ip addrs; up }
+
+let test_controller_plan_minimal () =
+  let desired =
+    {
+      Controller.ifaces = [ iface "tap_x" [ "10.0.0.1" ] true ];
+      routes = [ { Controller.table = 1; prefix = Prefix.default; via = ip "100.64.0.1" } ];
+      rules = [ { Controller.priority = 101; selector = "127.65.0.1"; table = 1 } ];
+    }
+  in
+  let kernel = Controller.Kernel.create () in
+  let ops, result = Controller.reconcile kernel ~desired in
+  checkb "applied" true
+    (match result with Controller.Applied _ -> true | _ -> false);
+  checki "ops for fresh kernel" 5 (List.length ops);
+  checkb "converged" true (Controller.converged kernel ~desired);
+  (* Re-reconciling a converged kernel is a no-op (compatible config is
+     never touched, so sessions survive, §5). *)
+  let ops, _ = Controller.reconcile kernel ~desired in
+  checki "idempotent" 0 (List.length ops)
+
+let test_controller_incremental () =
+  let desired1 =
+    {
+      Controller.ifaces = [ iface "tap_x" [ "10.0.0.1" ] true ];
+      routes = [];
+      rules = [];
+    }
+  in
+  let kernel = Controller.Kernel.create () in
+  ignore (Controller.reconcile kernel ~desired:desired1);
+  (* Add an address and a route: only additions planned. *)
+  let desired2 =
+    {
+      Controller.ifaces = [ iface "tap_x" [ "10.0.0.1"; "10.0.0.2" ] true ];
+      routes = [ { Controller.table = 2; prefix = Prefix.default; via = ip "1.1.1.1" } ];
+      rules = [];
+    }
+  in
+  let ops, _ = Controller.reconcile kernel ~desired:desired2 in
+  checki "two additions" 2 (List.length ops);
+  checkb "no deletions" true
+    (List.for_all
+       (function
+         | Controller.Add_address _ | Controller.Add_route _ -> true
+         | _ -> false)
+       ops)
+
+let test_controller_primary_address () =
+  (* Kernel has [B; A]; intent wants primary A. The controller must remove
+     and re-add addresses in order (the kernel cannot swap primaries). *)
+  let kernel = Controller.Kernel.create () in
+  ignore (Controller.Kernel.apply kernel (Controller.Create_iface "eth0"));
+  ignore (Controller.Kernel.apply kernel (Controller.Add_address ("eth0", ip "10.0.0.2")));
+  ignore (Controller.Kernel.apply kernel (Controller.Add_address ("eth0", ip "10.0.0.1")));
+  let desired =
+    {
+      Controller.ifaces = [ iface "eth0" [ "10.0.0.1"; "10.0.0.2" ] false ];
+      routes = [];
+      rules = [];
+    }
+  in
+  let _, result = Controller.reconcile kernel ~desired in
+  checkb "applied" true
+    (match result with Controller.Applied _ -> true | _ -> false);
+  let state = Controller.Kernel.observe kernel in
+  (match state.Controller.ifaces with
+  | [ i ] ->
+      checkb "primary is now 10.0.0.1" true
+        (match i.Controller.addresses with
+        | a :: _ -> Ipv4.equal a (ip "10.0.0.1")
+        | [] -> false)
+  | _ -> Alcotest.fail "expected one interface");
+  checkb "converged" true (Controller.converged kernel ~desired)
+
+let test_controller_rollback () =
+  let kernel = Controller.Kernel.create () in
+  let desired =
+    {
+      Controller.ifaces = [ iface "tap_x" [ "10.0.0.1"; "10.0.0.2" ] true ];
+      routes = [ { Controller.table = 1; prefix = Prefix.default; via = ip "1.1.1.1" } ];
+      rules = [];
+    }
+  in
+  let before = Controller.Kernel.observe kernel in
+  (* Fail the 4th operation: everything already applied must roll back. *)
+  Controller.Kernel.inject_failure kernel ~after:3;
+  let _, result = Controller.reconcile kernel ~desired in
+  checkb "rolled back" true
+    (match result with Controller.Rolled_back _ -> true | _ -> false);
+  let after = Controller.Kernel.observe kernel in
+  checkb "state restored" true (before = after);
+  (* A later attempt (no failure) succeeds and converges. *)
+  let _, result = Controller.reconcile kernel ~desired in
+  checkb "second attempt applies" true
+    (match result with Controller.Applied _ -> true | _ -> false);
+  checkb "converged" true (Controller.converged kernel ~desired)
+
+let test_controller_vbgp_state () =
+  let desired =
+    Controller.vbgp_desired_state
+      ~experiments:[ ("exp001", ip "100.125.1.1") ]
+      ~neighbors:[ (1, ip "127.65.0.1", ip "100.64.0.1"); (2, ip "127.65.0.2", ip "100.64.0.2") ]
+  in
+  checki "one tap iface" 1 (List.length desired.Controller.ifaces);
+  checki "one table per neighbor" 2 (List.length desired.Controller.routes);
+  checki "one rule per neighbor" 2 (List.length desired.Controller.rules);
+  let kernel = Controller.Kernel.create () in
+  let _, result = Controller.reconcile kernel ~desired in
+  checkb "applies cleanly" true
+    (match result with Controller.Applied _ -> true | _ -> false)
+
+(* Property: reconciling any random desired state from any random current
+   state converges, and a second reconcile is a no-op. *)
+let arbitrary_state =
+  let gen_iface =
+    QCheck.map
+      (fun (n, addrs, up) ->
+        {
+          Controller.ifname = Printf.sprintf "tap%d" (n mod 4);
+          addresses =
+            List.sort_uniq Ipv4.compare
+              (List.map (fun a -> ip (Printf.sprintf "10.0.%d.1" (a mod 8))) addrs);
+          up;
+        })
+      QCheck.(triple small_nat (small_list small_nat) bool)
+  in
+  QCheck.map
+    (fun (ifaces, routes) ->
+      let dedup_ifaces =
+        List.fold_left
+          (fun acc (i : Controller.iface) ->
+            if
+              List.exists
+                (fun (j : Controller.iface) ->
+                  String.equal j.Controller.ifname i.Controller.ifname)
+                acc
+            then acc
+            else i :: acc)
+          [] ifaces
+      in
+      {
+        Controller.ifaces = dedup_ifaces;
+        routes =
+          List.sort_uniq Stdlib.compare
+            (List.map
+               (fun r ->
+                 {
+                   Controller.table = r mod 4;
+                   prefix = Prefix.default;
+                   via = ip (Printf.sprintf "1.1.1.%d" (1 + (r mod 4)));
+                 })
+               routes);
+        rules = [];
+      })
+    QCheck.(pair (small_list gen_iface) (small_list small_nat))
+
+let prop_controller_converges =
+  QCheck.Test.make ~name:"reconcile converges from any state" ~count:100
+    (QCheck.pair arbitrary_state arbitrary_state)
+    (fun (first, second) ->
+      let kernel = Controller.Kernel.create () in
+      let _, r1 = Controller.reconcile kernel ~desired:first in
+      let _, r2 = Controller.reconcile kernel ~desired:second in
+      let applied = function Controller.Applied _ -> true | _ -> false in
+      applied r1 && applied r2
+      && Controller.converged kernel ~desired:second
+      && fst (Controller.reconcile kernel ~desired:second) = [])
+
+let controller_props =
+  List.map QCheck_alcotest.to_alcotest [ prop_controller_converges ]
+
+let () =
+  Alcotest.run "peering"
+    [
+      ( "approval",
+        [
+          Alcotest.test_case "basic approved" `Quick test_approval_basic;
+          Alcotest.test_case "risky rejected" `Quick test_approval_risky_rejected;
+          Alcotest.test_case "allocation" `Quick test_approval_allocation;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_platform_lifecycle;
+          Alcotest.test_case "denies risky" `Quick test_platform_denies_risky;
+        ] );
+      ( "toolkit",
+        [
+          Alcotest.test_case "session lifecycle" `Quick
+            test_toolkit_session_lifecycle;
+          Alcotest.test_case "routes and cli" `Quick test_toolkit_routes_and_cli;
+          Alcotest.test_case "announce/withdraw" `Quick
+            test_toolkit_announce_withdraw;
+          Alcotest.test_case "prepend" `Quick test_toolkit_prepend;
+          Alcotest.test_case "udp service" `Quick test_toolkit_udp_service;
+          Alcotest.test_case "ping" `Quick test_toolkit_ping;
+          Alcotest.test_case "route refresh" `Quick test_toolkit_route_refresh;
+          Alcotest.test_case "multi-pop" `Quick test_toolkit_multi_pop;
+          Alcotest.test_case "ipv6 announce" `Quick test_toolkit_ipv6_announce;
+          Alcotest.test_case "bandwidth shaping" `Quick
+            test_pop_bandwidth_shaping;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "bird config" `Quick test_template_bird;
+          Alcotest.test_case "render all + diff" `Quick
+            test_template_render_all_and_diff;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "plan minimal" `Quick test_controller_plan_minimal;
+          Alcotest.test_case "incremental" `Quick test_controller_incremental;
+          Alcotest.test_case "primary address" `Quick
+            test_controller_primary_address;
+          Alcotest.test_case "transactional rollback" `Quick
+            test_controller_rollback;
+          Alcotest.test_case "vbgp desired state" `Quick
+            test_controller_vbgp_state;
+        ] );
+      ("controller-properties", controller_props);
+    ]

@@ -1,0 +1,456 @@
+(* Tests for the synthetic Internet: AS graph generation, Gao-Rexford
+   policy, valley-free propagation, churn workloads, and the PeeringDB
+   census. *)
+
+open Netcore
+open Bgp
+open Topo
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let asn = Asn.of_int
+let pfx = Prefix.of_string_exn
+
+(* A small hand-built topology with known valley-free answers:
+
+        T1 ---- T2          (tier-1 peers)
+        |        |
+        M1      M2          (mid-tier; M1 customer of T1, M2 of T2)
+        |  \   /
+        S1   S2             (stubs; S1 under M1; S2 under M1 and M2)
+
+   plus a lateral peering M1 -- M2. *)
+let build_graph () =
+  let g = As_graph.create () in
+  let add a kind tier = As_graph.add_node g ~asn:(asn a) ~kind ~tier in
+  add 1 As_graph.Transit 1;
+  add 2 As_graph.Transit 1;
+  add 11 As_graph.Transit 2;
+  add 12 As_graph.Transit 2;
+  add 101 As_graph.Access_isp 3;
+  add 102 As_graph.Content 3;
+  As_graph.add_peering g (asn 1) (asn 2);
+  As_graph.add_customer g ~provider:(asn 1) ~customer:(asn 11);
+  As_graph.add_customer g ~provider:(asn 2) ~customer:(asn 12);
+  As_graph.add_customer g ~provider:(asn 11) ~customer:(asn 101);
+  As_graph.add_customer g ~provider:(asn 11) ~customer:(asn 102);
+  As_graph.add_customer g ~provider:(asn 12) ~customer:(asn 102);
+  As_graph.add_peering g (asn 11) (asn 12);
+  g
+
+(* -- as_graph -------------------------------------------------------------------- *)
+
+let test_graph_structure () =
+  let g = build_graph () in
+  checki "nodes" 6 (As_graph.node_count g);
+  checkb "provider edge" true
+    (List.mem (asn 1) (As_graph.providers g (asn 11)));
+  checkb "customer edge" true
+    (List.mem (asn 11) (As_graph.customers g (asn 1)));
+  checkb "peer edge symmetric" true
+    (List.mem (asn 12) (As_graph.peers g (asn 11))
+    && List.mem (asn 11) (As_graph.peers g (asn 12)))
+
+let test_graph_duplicate_edges () =
+  let g = build_graph () in
+  As_graph.add_peering g (asn 11) (asn 12);
+  As_graph.add_customer g ~provider:(asn 1) ~customer:(asn 11);
+  checki "peering not duplicated" 1
+    (List.length
+       (List.filter (Asn.equal (asn 12)) (As_graph.peers g (asn 11))));
+  checki "customer not duplicated" 1
+    (List.length
+       (List.filter (Asn.equal (asn 11)) (As_graph.customers g (asn 1))))
+
+let test_customer_cone () =
+  let g = build_graph () in
+  let cone = As_graph.customer_cone g (asn 1) in
+  checki "T1 cone size" 4 (List.length cone);
+  checkb "contains S2 transitively" true (List.mem (asn 102) cone);
+  checkb "excludes T2" false (List.mem (asn 2) cone);
+  checki "stub cone is itself" 1 (List.length (As_graph.customer_cone g (asn 101)))
+
+let test_generate_invariants () =
+  let params = { As_graph.default_gen with tier1 = 3; transit = 10; stub = 50 } in
+  let g = As_graph.generate ~params () in
+  checki "node count" 63 (As_graph.node_count g);
+  (* Every non-tier-1 AS has at least one provider. *)
+  List.iter
+    (fun a ->
+      match As_graph.node g a with
+      | Some n when n.As_graph.tier > 1 ->
+          checkb "has provider" true (As_graph.providers g a <> [])
+      | _ -> ())
+    (As_graph.asns g);
+  (* Tier-1s form a full peer mesh. *)
+  List.iter
+    (fun a ->
+      match As_graph.node g a with
+      | Some n when n.As_graph.tier = 1 ->
+          checki "tier1 peers" 2
+            (List.length
+               (List.filter
+                  (fun p ->
+                    match As_graph.node g p with
+                    | Some pn -> pn.As_graph.tier = 1
+                    | None -> false)
+                  (As_graph.peers g a)))
+      | _ -> ())
+    (As_graph.asns g)
+
+let test_generate_deterministic () =
+  let g1 = As_graph.generate () in
+  let g2 = As_graph.generate () in
+  checki "same node count" (As_graph.node_count g1) (As_graph.node_count g2);
+  checki "same edge count" (As_graph.edge_count g1) (As_graph.edge_count g2)
+
+(* -- policy ----------------------------------------------------------------------- *)
+
+let test_policy_preference () =
+  checkb "customer over peer" true
+    (Policy.prefer (Policy.From_customer, 5) (Policy.From_peer, 1) < 0);
+  checkb "peer over provider" true
+    (Policy.prefer (Policy.From_peer, 5) (Policy.From_provider, 1) < 0);
+  checkb "shorter within class" true
+    (Policy.prefer (Policy.From_peer, 1) (Policy.From_peer, 2) < 0);
+  checki "local pref mapping" 300 (Policy.local_pref Policy.From_customer)
+
+let test_policy_export () =
+  checkb "customer routes exported to peers" true
+    (Policy.exports_to_peers_and_providers Policy.From_customer);
+  checkb "peer routes not exported to peers" false
+    (Policy.exports_to_peers_and_providers Policy.From_peer);
+  checkb "provider routes not exported to providers" false
+    (Policy.exports_to_peers_and_providers Policy.From_provider);
+  checkb "everything to customers" true
+    (Policy.exports_to_customers Policy.From_provider)
+
+(* -- propagation ------------------------------------------------------------------- *)
+
+let test_propagation_reaches_all () =
+  let g = build_graph () in
+  let p = Internet.propagate g ~origin:(asn 101) in
+  checki "everyone reaches a stub's prefix" 6 (Internet.reach_count p)
+
+let test_propagation_paths () =
+  let g = build_graph () in
+  let p = Internet.propagate g ~origin:(asn 101) in
+  (* M1 is S1's provider: path M1, S1. *)
+  checkb "direct provider path" true
+    (Internet.path p (asn 11) = Some [ asn 11; asn 101 ]);
+  (* M2 reaches S1 via its peer M1 (valley-free: peer of customer route),
+     not via T2-T1 (longer, provider route). *)
+  checkb "peer path preferred" true
+    (Internet.path p (asn 12) = Some [ asn 12; asn 11; asn 101 ]);
+  (* S2 reaches S1 via its provider M1. *)
+  checkb "sibling via shared provider" true
+    (Internet.path p (asn 102) = Some [ asn 102; asn 11; asn 101 ])
+
+let test_propagation_valley_free () =
+  (* Remove the M1-M2 peering and the T1-T2 peering: then M2 must NOT be
+     able to reach S1 via M1 (that would be a valley through a peer), and
+     with no tier-1 peering there is no path at all for T2's side. *)
+  let g = As_graph.create () in
+  let add a = As_graph.add_node g ~asn:(asn a) ~kind:As_graph.Transit ~tier:1 in
+  List.iter add [ 1; 2; 11; 12; 101 ];
+  As_graph.add_customer g ~provider:(asn 1) ~customer:(asn 11);
+  As_graph.add_customer g ~provider:(asn 2) ~customer:(asn 12);
+  As_graph.add_customer g ~provider:(asn 11) ~customer:(asn 101);
+  (* Lateral peering at the bottom only. *)
+  As_graph.add_peering g (asn 11) (asn 12);
+  let p = Internet.propagate g ~origin:(asn 101) in
+  (* M2 hears it from its peer M1 (customer route of M1: exportable). *)
+  checkb "peer hears customer route" true (Internet.has_route p (asn 12));
+  (* But M2 must not export a peer-learned route to its provider T2. *)
+  checkb "no valley through peer" false (Internet.has_route p (asn 2));
+  (* T1 hears it (customer chain). *)
+  checkb "provider chain works" true (Internet.has_route p (asn 1))
+
+let test_propagation_scope () =
+  let g = build_graph () in
+  (* S2 announces only to M2: M1 must not hear it directly; it can still
+     learn the route via... nothing (M2 won't export a customer route to a
+     peer? it will! customer routes go to peers). *)
+  let p =
+    Internet.propagate g ~origin:(asn 102) ~scope:(Internet.Only [ asn 12 ])
+  in
+  checkb "M2 hears" true (Internet.has_route p (asn 12));
+  (* M1 hears via the M1-M2 peering (customer route of M2). *)
+  checkb "M1 hears via peering" true (Internet.has_route p (asn 11));
+  (* S1 hears from its provider M1. *)
+  checkb "S1 hears downstream" true (Internet.has_route p (asn 101));
+  (* Path of T1 must go through T2 (not directly down to M1's announcement,
+     which never happened). *)
+  match Internet.path p (asn 1) with
+  | Some path -> checkb "T1 via T2 or M1" true (List.mem (asn 2) path || List.mem (asn 11) path)
+  | None -> Alcotest.fail "T1 unreachable"
+
+let test_propagation_poisoning () =
+  let g = build_graph () in
+  let p = Internet.propagate g ~origin:(asn 101) ~blocked:[ asn 11 ] in
+  (* M1 is poisoned: S1 becomes unreachable for everyone (M1 is its only
+     provider). *)
+  checki "only the origin retains a route" 1 (Internet.reach_count p)
+
+let test_internet_routes_at () =
+  let g = build_graph () in
+  let origins = [ (pfx "192.168.0.0/24", asn 101); (pfx "192.168.1.0/24", asn 102) ] in
+  let internet = Internet.create g ~origins in
+  let routes = Internet.routes_at internet (asn 12) in
+  checki "M2 has both prefixes" 2 (List.length routes);
+  List.iter
+    (fun (_, path) ->
+      checkb "path starts at M2" true (Aspath.first path = Some (asn 12)))
+    routes
+
+let test_assign_prefixes () =
+  let assigned =
+    Internet.assign_prefixes ~base:(pfx "10.0.0.0/16") [ asn 1; asn 2; asn 3 ]
+  in
+  checki "three prefixes" 3 (List.length assigned);
+  let ps = List.map fst assigned in
+  checki "distinct" 3 (List.length (List.sort_uniq Prefix.compare ps))
+
+(* -- looking glass / filter troubleshooting (Appendix A) --------------------------- *)
+
+let test_propagation_filters () =
+  let g = build_graph () in
+  (* Filter the T1 -> T2 peering edge: T2 must fall back to its other
+     sources or lose the route. Filtering M1 -> T1 cuts the whole provider
+     chain. *)
+  let p =
+    Internet.propagate g ~origin:(asn 101) ~filters:[ (asn 11, asn 1) ]
+  in
+  checkb "T1 cut off by filter" false (Internet.has_route p (asn 1));
+  (* M2 still hears laterally from its peer M1... *)
+  checkb "M2 hears via peering" true (Internet.has_route p (asn 12));
+  (* ...but cannot export a peer-learned route upward, so T2 loses it too:
+     one bad filter partitions the whole tier-1 side (Appendix A's
+     motivating pain). *)
+  checkb "T2 collateral damage" false (Internet.has_route p (asn 2))
+
+let test_looking_glass_query () =
+  let g = build_graph () in
+  let lg = Looking_glass.create ~coverage:1.0 g ~origin:(asn 101) in
+  checki "all ASes host LGs at full coverage" 6 (Looking_glass.host_count lg);
+  (match Looking_glass.show_route lg ~at:(asn 12) with
+  | Looking_glass.Route path ->
+      checkb "path ends at origin" true (Aspath.origin path = Some (asn 101))
+  | _ -> Alcotest.fail "expected a route");
+  let none = Looking_glass.create ~coverage:0.0 g ~origin:(asn 101) in
+  checkb "no LG, no answer" true
+    (Looking_glass.show_route none ~at:(asn 12) = Looking_glass.No_looking_glass)
+
+let test_filter_localization () =
+  let g = build_graph () in
+  (* Break M1 -> T1 (T1 never hears the customer route). With full LG
+     coverage the troubleshooter must implicate exactly that edge. *)
+  let filters = [ (asn 11, asn 1) ] in
+  let lg = Looking_glass.create ~coverage:1.0 ~filters g ~origin:(asn 101) in
+  let suspects = Looking_glass.localize lg ~origin:(asn 101) in
+  checkb "true filter among suspects" true
+    (Looking_glass.covers suspects ~filters);
+  (match suspects with
+  | top :: _ ->
+      checkb "top suspect is the filtered edge" true
+        (Asn.equal top.Looking_glass.from_as (asn 11)
+        && Asn.equal top.Looking_glass.to_as (asn 1))
+  | [] -> Alcotest.fail "no suspects");
+  (* With partial coverage the candidate set is wider but still covers the
+     truth whenever a downstream LG observed the outage. *)
+  let lg =
+    Looking_glass.create ~coverage:0.5 ~seed:3 ~filters g ~origin:(asn 101)
+  in
+  let suspects = Looking_glass.localize lg ~origin:(asn 101) in
+  let t1_observed =
+    Looking_glass.show_route lg ~at:(asn 1) <> Looking_glass.No_looking_glass
+  in
+  if t1_observed then
+    checkb "covered under partial coverage" true
+      (Looking_glass.covers suspects ~filters)
+
+(* -- updates ---------------------------------------------------------------------- *)
+
+let test_updates_generation () =
+  let prefixes = List.init 10 (fun i -> pfx (Printf.sprintf "10.%d.0.0/16" i)) in
+  let params = { Updates.default_params with rate = 50.; duration = 20. } in
+  let events = Updates.generate ~params ~prefixes ~origin_asn:(asn 65000) () in
+  checkb "roughly rate*duration events" true
+    (let n = List.length events in
+     n > 500 && n < 2000);
+  checkb "times within duration" true
+    (List.for_all (fun e -> e.Updates.time >= 0. && e.Updates.time < 21.) events);
+  checkb "monotone times" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a.Updates.time <= b.Updates.time && mono rest
+       | _ -> true
+     in
+     mono events);
+  (* Deterministic per seed. *)
+  let events' = Updates.generate ~params ~prefixes ~origin_asn:(asn 65000) () in
+  checki "deterministic" (List.length events) (List.length events')
+
+let test_updates_to_update () =
+  let prefixes = [ pfx "10.0.0.0/16" ] in
+  let events =
+    Updates.generate
+      ~params:{ Updates.default_params with withdraw_fraction = 0.; duration = 1. }
+      ~prefixes ~origin_asn:(asn 65000) ()
+  in
+  let u = Updates.to_update ~next_hop:(Ipv4.of_string_exn "1.1.1.1") (List.hd events) in
+  checki "announce nlri" 1 (List.length u.Msg.announced);
+  checkb "origin asn at end" true
+    (match Attr.as_path u.Msg.attrs with
+    | Some path -> Aspath.origin path = Some (asn 65000)
+    | None -> false)
+
+let test_rate_stats () =
+  (* A uniform 10/s trace: average 10, p99 near 10. *)
+  let events =
+    List.init 1000 (fun i ->
+        {
+          Updates.time = float_of_int i /. 10.;
+          peer_index = 0;
+          prefix = pfx "10.0.0.0/16";
+          kind = Updates.Announce;
+          as_path = Aspath.of_asns [ asn 1 ];
+        })
+  in
+  let avg, p99 = Updates.rate_stats events in
+  checkb "average near 10" true (avg > 8. && avg < 12.);
+  checkb "p99 near 10" true (p99 >= 9. && p99 <= 11.)
+
+(* -- peeringdb ----------------------------------------------------------------------- *)
+
+let test_peeringdb_footprint () =
+  let db = Peeringdb.generate () in
+  let rows = Peeringdb.by_ixp db in
+  checki "four IXPs" 4 (List.length rows);
+  List.iter
+    (fun (ixp, total, bilateral) ->
+      let expect_total, expect_bi =
+        match
+          List.find_opt (fun (n, _, _) -> n = ixp) Peeringdb.paper_footprint
+        with
+        | Some (_, t, b) -> (t, b)
+        | None -> (0, 0)
+      in
+      checki (ixp ^ " total") expect_total total;
+      checki (ixp ^ " bilateral") expect_bi bilateral)
+    rows
+
+let test_peeringdb_census () =
+  let db = Peeringdb.generate () in
+  let census = Peeringdb.type_census db in
+  let total_fraction = List.fold_left (fun acc (_, _, f) -> acc +. f) 0. census in
+  checkb "fractions sum to 1" true (abs_float (total_fraction -. 1.0) < 1e-9);
+  (* Transit should be the plurality, as in the paper (33%). *)
+  (match census with
+  | (kind, _, frac) :: _ ->
+      checkb "transit plurality" true (kind = As_graph.Transit);
+      checkb "transit around a third" true (frac > 0.2 && frac < 0.45)
+  | [] -> Alcotest.fail "empty census");
+  checkb "unique peers bounded" true
+    (List.length (Peeringdb.unique_peers db) <= 923)
+
+(* Property: every path produced by propagation over a random topology is
+   valley-free — once the route class worsens (customer -> peer ->
+   provider, read from origin outward), it never improves again. Walking a
+   path from AS x to the origin, x's class tells how x learned it; the
+   classes along the path toward the origin must be monotonically
+   non-increasing in rank. *)
+let prop_valley_free =
+  QCheck.Test.make ~name:"propagation paths are valley-free" ~count:25
+    (QCheck.int_bound 1000)
+    (fun seed ->
+      let g =
+        As_graph.generate
+          ~params:{ As_graph.default_gen with transit = 10; stub = 40; seed }
+          ()
+      in
+      let stubs =
+        List.filter
+          (fun a ->
+            match As_graph.node g a with
+            | Some n -> n.As_graph.tier = 3
+            | None -> false)
+          (As_graph.asns g)
+        |> List.sort Asn.compare
+      in
+      match stubs with
+      | [] -> true
+      | origin :: _ ->
+          let p = Internet.propagate g ~origin in
+          List.for_all
+            (fun a ->
+              match Internet.path p a with
+              | None -> true
+              | Some path ->
+                  (* Ranks along the path from [a] toward the origin must
+                     not increase (an increase = a valley). *)
+                  let ranks =
+                    List.filter_map
+                      (fun hop ->
+                        Option.map
+                          (fun r -> Policy.class_rank r.Internet.cls)
+                          (Internet.route p hop))
+                      path
+                  in
+                  let rec non_increasing = function
+                    | x :: (y :: _ as rest) ->
+                        x >= y && non_increasing rest
+                    | _ -> true
+                  in
+                  non_increasing ranks)
+            (As_graph.asns g))
+
+let topo_props = List.map QCheck_alcotest.to_alcotest [ prop_valley_free ]
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "as_graph",
+        [
+          Alcotest.test_case "structure" `Quick test_graph_structure;
+          Alcotest.test_case "duplicate edges" `Quick test_graph_duplicate_edges;
+          Alcotest.test_case "customer cone" `Quick test_customer_cone;
+          Alcotest.test_case "generate invariants" `Quick test_generate_invariants;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "preference" `Quick test_policy_preference;
+          Alcotest.test_case "export rules" `Quick test_policy_export;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "reaches all" `Quick test_propagation_reaches_all;
+          Alcotest.test_case "paths" `Quick test_propagation_paths;
+          Alcotest.test_case "valley-free" `Quick test_propagation_valley_free;
+          Alcotest.test_case "selective scope" `Quick test_propagation_scope;
+          Alcotest.test_case "poisoning" `Quick test_propagation_poisoning;
+          Alcotest.test_case "routes_at" `Quick test_internet_routes_at;
+          Alcotest.test_case "assign prefixes" `Quick test_assign_prefixes;
+        ] );
+      ( "looking_glass",
+        [
+          Alcotest.test_case "propagation filters" `Quick
+            test_propagation_filters;
+          Alcotest.test_case "query" `Quick test_looking_glass_query;
+          Alcotest.test_case "filter localization" `Quick
+            test_filter_localization;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "generation" `Quick test_updates_generation;
+          Alcotest.test_case "to_update" `Quick test_updates_to_update;
+          Alcotest.test_case "rate stats" `Quick test_rate_stats;
+        ] );
+      ( "peeringdb",
+        [
+          Alcotest.test_case "footprint" `Quick test_peeringdb_footprint;
+          Alcotest.test_case "census" `Quick test_peeringdb_census;
+        ] );
+      ("properties", topo_props);
+    ]
