@@ -1,0 +1,21 @@
+# Tier-1 verification: build, formatting, tests.
+
+.PHONY: all build fmt test bench check
+
+all: build
+
+build:
+	dune build
+
+# Formatting is enforced for dune files (ocamlformat is not a dependency
+# of this repo; see dune-project's (formatting) stanza).
+fmt:
+	dune build @fmt
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check: fmt build test

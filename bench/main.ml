@@ -7,7 +7,7 @@
    or a single one by name:
 
      dune exec bench/main.exe -- fig6a fig6b throughput amsix table1 census
-                                 security ratelimit micro
+                                 security ratelimit burst fleet ablate micro
 
    Paper-vs-measured numbers for each experiment are recorded in
    EXPERIMENTS.md. Absolute numbers differ from the paper's (their substrate
@@ -175,7 +175,7 @@ let time_per_update name f stream =
 (* A vBGP router fixture with [experiments] connected experiment sessions
    and optionally a backbone mesh peer. Session sends are synchronous, so
    the pipeline can be driven and timed without running the event engine. *)
-let make_bench_router ~experiments ~mesh () =
+let make_bench_router ?caps ~experiments ~mesh () =
   let engine = Sim.Engine.create () in
   let global_pool =
     Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
@@ -195,6 +195,7 @@ let make_bench_router ~experiments ~mesh () =
     let grant =
       Vbgp.Control_enforcer.grant ~asns:[ asn 61574 ]
         ~prefixes:[ pfx "184.164.224.0/24" ]
+        ?caps
         (Printf.sprintf "bench%d" i)
     in
     let pair =
@@ -863,6 +864,69 @@ let fleet () =
     "cost grows linearly with the ADD-PATH fan-out; at the paper's typical 3-6 concurrent experiments the router keeps >100k upd/s of headroom@."
 
 (* ------------------------------------------------------------------------- *)
+(* Update bursts: the batched dirty-prefix re-export queue vs eager         *)
+(* per-update re-export (flush after every update).                         *)
+(* ------------------------------------------------------------------------- *)
+
+let burst () =
+  section "update bursts: batched dirty-prefix re-export";
+  let caps = Vbgp.Experiment_caps.(default |> with_update_budget max_int) in
+  let n_prefixes = 16 and per_prefix = 100 in
+  (* More-specifics of the experiment's /24 allocation. *)
+  let prefixes =
+    Array.init n_prefixes (fun i ->
+        pfx (Printf.sprintf "184.164.224.%d/28" (i * 16)))
+  in
+  let mk_update p j =
+    Msg.update
+      ~attrs:
+        (Attr.origin_attrs
+           ~as_path:(Aspath.of_asns [ asn 61574 ])
+           ~next_hop:(ip "184.164.224.1") ()
+        |> Attr.with_med (j mod 100))
+      ~announced:[ Msg.nlri p ]
+      ()
+  in
+  let total = n_prefixes * per_prefix in
+  let run ~eager =
+    let router, _ = make_bench_router ~caps ~experiments:1 ~mesh:false () in
+    let c0 = (Vbgp.Router.counters router).Vbgp.Router.reexport_computations in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun p ->
+        for j = 1 to per_prefix do
+          (match
+             Vbgp.Router.process_experiment_update router ~experiment:"bench1"
+               (mk_update p j)
+           with
+          | Ok () -> ()
+          | Error e -> failwith (String.concat "; " e));
+          if eager then Vbgp.Router.flush_reexports router
+        done)
+      prefixes;
+    Vbgp.Router.flush_reexports router;
+    let dt = Unix.gettimeofday () -. t0 in
+    let computed =
+      (Vbgp.Router.counters router).Vbgp.Router.reexport_computations - c0
+    in
+    (dt, computed)
+  in
+  let dt_eager, comp_eager = run ~eager:true in
+  let dt_batched, comp_batched = run ~eager:false in
+  Fmt.pr "%d updates (%d prefixes x %d updates each), 1 neighbor:@." total
+    n_prefixes per_prefix;
+  Fmt.pr "  eager (flush per update):  %.2f us/update, %d recomputations@."
+    (dt_eager /. float_of_int total *. 1e6)
+    comp_eager;
+  Fmt.pr "  batched (flush per tick):  %.2f us/update, %d recomputations@."
+    (dt_batched /. float_of_int total *. 1e6)
+    comp_batched;
+  Fmt.pr
+    "  the queue dedupes %.0fx of the variant recomputation on bursts to \
+     the same prefix@."
+    (float_of_int comp_eager /. float_of_int (max 1 comp_batched))
+
+(* ------------------------------------------------------------------------- *)
 (* Ablations: the design choices DESIGN.md calls out, each against its      *)
 (* obvious alternative.                                                     *)
 (* ------------------------------------------------------------------------- *)
@@ -991,6 +1055,7 @@ let experiments =
     ("census", census);
     ("security", security);
     ("ratelimit", ratelimit);
+    ("burst", burst);
     ("fleet", fleet);
     ("ablate", ablate);
     ("micro", micro);

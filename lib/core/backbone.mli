@@ -1,0 +1,49 @@
+(** The inter-PoP backbone (§4.4): mesh BGP sessions between PoP routers,
+    global-pool aliasing of remote neighbors, and the backbone-segment
+    stations that carry cross-PoP traffic hop by hop.
+
+    Operates on the shared {!Router_state.t}; mesh UPDATE processing
+    itself lives in {!Control_out} and is injected into
+    {!connect_mesh}. *)
+
+open Netcore
+open Bgp
+open Sim
+
+val alias_for_global :
+  Router_state.t ->
+  pop:string ->
+  Ipv4.t ->
+  Router_state.neighbor_state * bool
+(** Find or create the local alias pseudo-neighbor for a remote
+    neighbor's global IP; [true] when freshly created. The alias shares
+    the remote neighbor's platform-global export id. *)
+
+val register_global_station :
+  Router_state.t ->
+  Lan.t ->
+  g:Ipv4.t ->
+  receive:(Ipv4_packet.t -> unit) ->
+  unit
+(** Put a station for global IP [g] on the backbone segment: answers ARP
+    for [g] and hands arriving packets to [receive]. *)
+
+val backbone_station_for_neighbor : Router_state.t -> int -> Ipv4_packet.t -> unit
+(** The receive path of a local neighbor's global station: TTL check,
+    then delivery to the neighbor. *)
+
+val attach_backbone : Router_state.t -> Lan.t -> unit
+(** Join the backbone segment shared by all PoPs: answer ARP for local
+    neighbors' (and experiments') global IPs and accept cross-PoP
+    traffic. *)
+
+val connect_mesh :
+  Router_state.t ->
+  Router_state.t ->
+  on_update:(Router_state.t -> pop:string -> Msg.update -> unit) ->
+  ?latency:float ->
+  unit ->
+  Bgp_wire.pair
+(** Bring up the backbone BGP mesh session between two PoP routers (both
+    directions installed; started internally). [on_update] processes
+    mesh imports on behalf of the receiving router. *)

@@ -1,0 +1,217 @@
+(* Control plane, inbound (paper §3.2.1, Figure 2a): routes learned from
+   each neighbor are stored per neighbor, their BGP next-hop rewritten to
+   the neighbor's virtual IP, and exported to every experiment over
+   ADD-PATH sessions (path id = the neighbor's table id). The same routes
+   go to the backbone mesh with the neighbor's *global* IP as next hop so
+   remote PoPs can alias it (§4.4). *)
+
+open Bgp
+open Sim
+open Router_state
+
+(* -- experiment-facing export --------------------------------------------- *)
+
+let send_to_experiment (e : experiment_state) update =
+  if Session.established e.exp_session then
+    Session.send_update e.exp_session update
+
+(* Export a route learned from neighbor [ns] to all experiments: next hop
+   becomes the neighbor's virtual IP, the path id its table id. *)
+let export_route_to_experiments t (ns : neighbor_state) prefix attrs =
+  let attrs = Attr.with_next_hop ns.info.Neighbor.virtual_ip attrs in
+  let update =
+    Msg.update ~attrs
+      ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
+      ()
+  in
+  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
+
+let export_withdraw_to_experiments t (ns : neighbor_state) prefix =
+  let update =
+    Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ()
+  in
+  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
+
+(* Full-table sync when an experiment session reaches Established: every
+   route from every (real and alias) neighbor, with rewritten next hops. *)
+let sync_experiment t (e : experiment_state) =
+  if not e.exp_synced then begin
+    e.exp_synced <- true;
+    List.iter
+      (fun ns ->
+        Rib.Table.iter_routes
+          (fun (r : Rib.Route.t) ->
+            let attrs =
+              Attr.with_next_hop ns.info.Neighbor.virtual_ip r.attrs
+            in
+            send_to_experiment e
+              (Msg.update ~attrs
+                 ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id r.prefix ]
+                 ()))
+          ns.rib_in)
+      (neighbor_states t);
+    log t "synced full table to experiment %s" e.grant.Control_enforcer.name
+  end
+
+(* -- mesh export ----------------------------------------------------------- *)
+
+let send_to_mesh t update =
+  List.iter
+    (fun m ->
+      if Session.established m.mesh_session then
+        Session.send_update m.mesh_session update)
+    t.mesh
+
+(* Neighbor-learned routes go to the mesh with the neighbor's *global* IP
+   as next hop, so remote PoPs can alias it (§4.4). *)
+let export_route_to_mesh t (ns : neighbor_state) prefix attrs =
+  match ns.info.Neighbor.global_ip with
+  | None -> ()
+  | Some g ->
+      let attrs = Attr.with_next_hop g attrs in
+      send_to_mesh t
+        (Msg.update ~attrs
+           ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
+           ())
+
+let export_withdraw_to_mesh t (ns : neighbor_state) prefix =
+  if ns.info.Neighbor.global_ip <> None then
+    send_to_mesh t
+      (Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ())
+
+(* -- neighbor route learning ----------------------------------------------- *)
+
+(* Process one UPDATE from neighbor [id]; public so benchmarks can drive the
+   pipeline without sessions. *)
+let process_neighbor_update t ~neighbor_id (u : Msg.update) =
+  match neighbor t neighbor_id with
+  | None -> invalid_arg "Router.process_neighbor_update: unknown neighbor"
+  | Some ns ->
+      t.counters.updates_from_neighbors <-
+        t.counters.updates_from_neighbors + 1;
+      let now = Engine.now t.engine in
+      let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
+      List.iter
+        (fun (n : Msg.nlri) ->
+          ignore
+            (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
+               ~peer_ip:ns.info.Neighbor.ip ~path_id:None);
+          Rib.Fib.remove fib n.prefix;
+          export_withdraw_to_experiments t ns n.prefix;
+          export_withdraw_to_mesh t ns n.prefix)
+        u.withdrawn;
+      if u.announced <> [] then begin
+        let source =
+          Rib.Route.source ~peer_ip:ns.info.Neighbor.ip
+            ~peer_asn:ns.info.Neighbor.asn ()
+        in
+        List.iter
+          (fun (n : Msg.nlri) ->
+            let route =
+              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                ~source ()
+            in
+            ignore (Rib.Table.update ns.rib_in route);
+            Rib.Fib.insert fib n.prefix
+              {
+                Rib.Fib.next_hop = ns.info.Neighbor.ip;
+                neighbor = ns.info.Neighbor.id;
+              };
+            export_route_to_experiments t ns n.prefix u.attrs;
+            export_route_to_mesh t ns n.prefix u.attrs)
+          u.announced
+      end
+
+(* -- neighbor wiring -------------------------------------------------------- *)
+
+(* Register a real BGP neighbor. Returns (neighbor id, session pair); the
+   caller drives the remote (active) side of the pair. *)
+let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
+    ?(deliver = fun _ -> ()) () =
+  let id = t.next_neighbor_id in
+  t.next_neighbor_id <- t.next_neighbor_id + 1;
+  let local =
+    Addr_pool.allocate t.local_pool (Printf.sprintf "neighbor:%d" id)
+  in
+  let global =
+    Addr_pool.allocate t.global_pool
+      (Printf.sprintf "%s/neighbor:%d" t.name id)
+  in
+  let info =
+    {
+      Neighbor.id;
+      asn;
+      ip;
+      kind;
+      virtual_ip = local.Addr_pool.ip;
+      virtual_mac = local.Addr_pool.mac;
+      global_ip = Some global.Addr_pool.ip;
+    }
+  in
+  let config_router =
+    Session.config ~local_asn:t.asn ~local_id:t.router_id
+      ~capabilities:(session_capabilities t) ()
+  in
+  let config_remote =
+    Session.config ~local_asn:asn ~local_id:remote_id
+      ~capabilities:
+        [
+          Capability.Multiprotocol
+            { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
+          Capability.As4 asn;
+        ]
+      ()
+  in
+  let pair =
+    Sim.Bgp_wire.make t.engine ~latency ~config_active:config_remote
+      ~config_passive:config_router ()
+  in
+  let ns =
+    {
+      info;
+      rib_in = Rib.Table.create ();
+      session = Some pair.Sim.Bgp_wire.passive;
+      deliver;
+      export_id = global.Addr_pool.index;
+    }
+  in
+  Hashtbl.replace t.neighbors id ns;
+  Hashtbl.replace t.by_vmac info.Neighbor.virtual_mac id;
+  Hashtbl.replace t.by_vip info.Neighbor.virtual_ip id;
+  Hashtbl.replace t.by_global_ip global.Addr_pool.ip id;
+  (* If the backbone is already attached, expose the new neighbor there. *)
+  (match t.bb with
+  | Some bb ->
+      Backbone.register_global_station t bb.Arp_client.lan
+        ~g:global.Addr_pool.ip
+        ~receive:(Backbone.backbone_station_for_neighbor t id)
+  | None -> ());
+  (* The neighbor's virtual MAC is a station on the experiment LAN; frames
+     sent to it are routed through the neighbor's table. *)
+  Lan.attach t.exp_lan info.Neighbor.virtual_mac
+    (Data_plane.handle_exp_lan_frame t ~station_neighbor:(Some id));
+  Session.set_handlers pair.Sim.Bgp_wire.passive
+    {
+      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+      on_update = (fun u -> process_neighbor_update t ~neighbor_id:id u);
+      on_established =
+        (fun () -> log t "neighbor %d (as%a) established" id Asn.pp asn);
+      on_down =
+        (fun reason ->
+          log t "neighbor %d down: %s" id reason;
+          let changes = Rib.Table.drop_peer ns.rib_in ~peer_ip:ip in
+          Rib.Fib.clear (Rib.Fib.Set.table t.fibs id);
+          List.iter
+            (function
+              | Rib.Table.Best_changed (prefix, None) ->
+                  export_withdraw_to_experiments t ns prefix;
+                  export_withdraw_to_mesh t ns prefix
+              | _ -> ())
+            changes);
+    };
+  (id, pair)
+
+let set_neighbor_deliver t ~neighbor_id deliver =
+  match neighbor t neighbor_id with
+  | Some ns -> ns.deliver <- deliver
+  | None -> invalid_arg "Router.set_neighbor_deliver"

@@ -1,0 +1,54 @@
+(** Control plane, inbound (§3.2.1, Figure 2a): per-neighbor RIB-in
+    maintenance, next-hop rewriting to the neighbor's virtual IP, and
+    ADD-PATH export to experiments and the backbone mesh.
+
+    Operates on the shared {!Router_state.t}. *)
+
+open Netcore
+open Bgp
+open Sim
+
+val send_to_experiment : Router_state.experiment_state -> Msg.update -> unit
+
+val export_route_to_experiments :
+  Router_state.t -> Router_state.neighbor_state -> Prefix.t -> Attr.set -> unit
+(** Announce a neighbor-learned route to all experiments: next hop
+    becomes the neighbor's virtual IP, path id its table id. *)
+
+val export_withdraw_to_experiments :
+  Router_state.t -> Router_state.neighbor_state -> Prefix.t -> unit
+
+val sync_experiment : Router_state.t -> Router_state.experiment_state -> unit
+(** Full-table sync when an experiment session reaches Established (or on
+    ROUTE-REFRESH). *)
+
+val send_to_mesh : Router_state.t -> Msg.update -> unit
+
+val export_route_to_mesh :
+  Router_state.t -> Router_state.neighbor_state -> Prefix.t -> Attr.set -> unit
+(** Announce toward the mesh with the neighbor's global IP as next hop
+    (§4.4). *)
+
+val export_withdraw_to_mesh :
+  Router_state.t -> Router_state.neighbor_state -> Prefix.t -> unit
+
+val process_neighbor_update :
+  Router_state.t -> neighbor_id:int -> Msg.update -> unit
+(** The full vBGP ingress pipeline: per-neighbor RIB and FIB maintenance,
+    next-hop rewriting, ADD-PATH export to experiments, backbone export. *)
+
+val add_neighbor :
+  Router_state.t ->
+  asn:Asn.t ->
+  ip:Ipv4.t ->
+  kind:Neighbor.kind ->
+  remote_id:Ipv4.t ->
+  ?latency:float ->
+  ?deliver:(Ipv4_packet.t -> unit) ->
+  unit ->
+  int * Bgp_wire.pair
+(** Register a real BGP neighbor; returns its table id and the session
+    pair (the caller drives the remote, active side). *)
+
+val set_neighbor_deliver :
+  Router_state.t -> neighbor_id:int -> (Ipv4_packet.t -> unit) -> unit

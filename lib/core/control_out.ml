@@ -1,0 +1,484 @@
+(* Control plane, outbound (paper §3.2.1 + §3.3 + §4.7): experiment
+   announcements pass through the control-plane enforcement engine, then
+   propagate to the neighbors selected by export-control communities, to
+   the backbone mesh, and onward to neighbors at remote PoPs (§4.4).
+
+   Re-export is batched: instead of recomputing every neighbor's view of
+   a prefix on every update that touches it, updates mark the prefix
+   dirty and one flush per engine tick drains the queue. A burst of
+   updates to one prefix costs a single variant recomputation per
+   neighbor; deltas are still computed against the per-neighbor
+   Adj-RIB-Out, so the wire sees exactly the final state. *)
+
+open Netcore
+open Bgp
+open Sim
+open Router_state
+
+(* -- variant selection ------------------------------------------------------ *)
+
+(* All live announcement variants for [prefix], local and remote. *)
+let variants_for_prefix t prefix =
+  let local =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match Hashtbl.find_opt e.routes prefix with
+        | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
+        | None -> acc)
+      t.experiments []
+  in
+  let remote =
+    Hashtbl.fold
+      (fun _ (p, attrs) acc ->
+        if Prefix.equal p prefix then attrs :: acc else acc)
+      t.remote_exp_routes []
+  in
+  local @ remote
+
+let variants_for_prefix_v6 t prefix =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match Hashtbl.find_opt e.routes_v6 prefix with
+      | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
+      | None -> acc)
+    t.experiments []
+
+(* Attributes as announced to a real eBGP neighbor: platform ASN prepended,
+   next hop set to our interface, control communities and iBGP-only
+   attributes stripped. *)
+let neighbor_facing_attrs t attrs =
+  let _control, attrs =
+    Control_enforcer.split_control_communities t.control attrs
+  in
+  let path =
+    match Attr.as_path attrs with Some p -> p | None -> Aspath.empty
+  in
+  attrs
+  |> Attr.with_as_path (Aspath.prepend t.asn path)
+  |> Attr.with_next_hop t.primary_ip
+  |> Attr.remove_code 5 (* LOCAL_PREF is iBGP-only *)
+
+(* The variants of [variants] that neighbor [ns] is allowed to hear:
+   export-control tags plus the well-known NO_EXPORT (RFC 1997), which
+   keeps a route inside the platform. *)
+let allowed_for_neighbor t (ns : neighbor_state) variants =
+  let ctl_asn = control_asn t in
+  List.filter
+    (fun attrs ->
+      let communities = Attr.communities attrs in
+      (not (List.exists (Community.equal Community.no_export) communities))
+      && Export_control.allows ~ctl_asn ~export_id:ns.export_id communities)
+    variants
+
+(* Recompute what neighbor [ns] should currently hear for [prefix] among
+   [variants], and send the delta against its Adj-RIB-Out. *)
+let reexport_prefix_to_neighbor t (ns : neighbor_state) ~variants prefix =
+  match ns.info.Neighbor.kind with
+  | Neighbor.Backbone_alias _ -> ()
+  | _ -> (
+      t.counters.reexport_computations <-
+        t.counters.reexport_computations + 1;
+      let allowed = allowed_for_neighbor t ns variants in
+      let out = adj_out_table t ns.info.Neighbor.id in
+      let previously = Hashtbl.find_opt out prefix in
+      match (allowed, previously) with
+      | [], None -> ()
+      | [], Some _ ->
+          Hashtbl.remove out prefix;
+          (match ns.session with
+          | Some s when Session.established s ->
+              Session.send_update s
+                (Msg.update ~withdrawn:[ Msg.nlri prefix ] ())
+          | _ -> ());
+          log t "withdraw %a from neighbor %d" Prefix.pp prefix
+            ns.info.Neighbor.id
+      | attrs :: _, _ ->
+          let facing = neighbor_facing_attrs t attrs in
+          let changed =
+            match previously with
+            | Some old -> not (Attr.equal_set old facing)
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace out prefix facing;
+            (match ns.session with
+            | Some s when Session.established s ->
+                Session.send_update s
+                  (Msg.update ~attrs:facing ~announced:[ Msg.nlri prefix ] ())
+            | _ -> ());
+            log t "announce %a to neighbor %d" Prefix.pp prefix
+              ns.info.Neighbor.id
+          end)
+
+(* Recompute [prefix] for every real neighbor. Variants are computed once
+   and shared across neighbors; only the export-control filter and the
+   Adj-RIB-Out delta are per neighbor. *)
+let reexport_prefix_now t prefix =
+  let variants = variants_for_prefix t prefix in
+  List.iter
+    (fun ns -> reexport_prefix_to_neighbor t ns ~variants prefix)
+    (real_neighbors t)
+
+(* -- IPv6 (MP-BGP) experiment announcements: control plane only ----------- *)
+
+let reexport_prefix_v6_to_neighbor t (ns : neighbor_state) ~variants prefix =
+  match ns.info.Neighbor.kind with
+  | Neighbor.Backbone_alias _ -> ()
+  | _ -> (
+      t.counters.reexport_computations <-
+        t.counters.reexport_computations + 1;
+      let allowed = allowed_for_neighbor t ns variants in
+      match ns.session with
+      | Some s when Session.established s -> (
+          match allowed with
+          | [] ->
+              Session.send_update s
+                (Msg.update ~attrs:[ Attr.Mp_unreach [ (prefix, None) ] ] ())
+          | attrs :: _ ->
+              let facing =
+                neighbor_facing_attrs t attrs
+                |> Attr.remove_code 3 (* v4 NEXT_HOP is meaningless here *)
+                |> Attr.set_attr
+                     (Attr.Mp_reach
+                        {
+                          next_hop = t.v6_next_hop;
+                          nlri = [ (prefix, None) ];
+                        })
+              in
+              Session.send_update s (Msg.update ~attrs:facing ()))
+      | _ -> ())
+
+let reexport_prefix_v6_now t prefix =
+  let variants = variants_for_prefix_v6 t prefix in
+  List.iter
+    (fun ns -> reexport_prefix_v6_to_neighbor t ns ~variants prefix)
+    (real_neighbors t)
+
+(* -- the dirty-prefix re-export queue -------------------------------------- *)
+
+(* Drain the queue: recompute every dirty prefix once per neighbor. The
+   queue is snapshotted and reset first so sends that dirty further
+   prefixes (none do today, but sessions are free to) land in the next
+   flush rather than an unbounded loop. *)
+let flush_reexports t =
+  t.reexport_scheduled <- false;
+  if Hashtbl.length t.dirty > 0 then begin
+    let v4 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
+    Hashtbl.reset t.dirty;
+    List.iter (reexport_prefix_now t) (List.sort Prefix.compare v4)
+  end;
+  if Hashtbl.length t.dirty_v6 > 0 then begin
+    let v6 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty_v6 [] in
+    Hashtbl.reset t.dirty_v6;
+    List.iter (reexport_prefix_v6_now t) (List.sort Prefix_v6.compare v6)
+  end
+
+(* Arrange for one flush at the current engine tick. Every update
+   processed at the same timestamp lands before the flush (equal-time
+   events run FIFO), so a burst dedupes into a single recomputation. *)
+let schedule_flush t =
+  if not t.reexport_scheduled then begin
+    t.reexport_scheduled <- true;
+    Engine.run_after t.engine 0. (fun () -> flush_reexports t)
+  end
+
+let request_reexport t prefix =
+  Hashtbl.replace t.dirty prefix ();
+  schedule_flush t
+
+let request_reexport_v6 t prefix =
+  Hashtbl.replace t.dirty_v6 prefix ();
+  schedule_flush t
+
+(* -- experiment announcements ---------------------------------------------- *)
+
+let export_exp_route_to_mesh t (e : experiment_state) prefix (v : variant) =
+  let ctl_asn = control_asn t in
+  let attrs =
+    v.v_attrs
+    |> Attr.with_next_hop e.g_ip
+    |> Attr.add_community (Export_control.experiment_marker ~ctl_asn)
+  in
+  Control_in.send_to_mesh t
+    (Msg.update ~attrs
+       ~announced:[ Msg.nlri ~path_id:(mesh_path_id e v.v_path_id) prefix ]
+       ())
+
+let export_exp_withdraw_to_mesh t (e : experiment_state) prefix v_path_id =
+  Control_in.send_to_mesh t
+    (Msg.update
+       ~withdrawn:[ Msg.nlri ~path_id:(mesh_path_id e v_path_id) prefix ]
+       ())
+
+(* Record/withdraw the v6 NLRI of an accepted experiment update. *)
+let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
+  List.iter
+    (fun attr ->
+      match attr with
+      | Attr.Mp_unreach nlri ->
+          List.iter
+            (fun (prefix, path_id) ->
+              let pid = match path_id with Some p -> p | None -> 0 in
+              (match Hashtbl.find_opt e.routes_v6 prefix with
+              | Some vs ->
+                  vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
+                  if !vs = [] then Hashtbl.remove e.routes_v6 prefix
+              | None -> ());
+              request_reexport_v6 t prefix)
+            nlri
+      | Attr.Mp_reach { nlri; _ } ->
+          let base_attrs = Attr.remove_code 14 u.Msg.attrs in
+          List.iter
+            (fun (prefix, path_id) ->
+              let pid = match path_id with Some p -> p | None -> 0 in
+              let v = { v_path_id = pid; v_attrs = base_attrs } in
+              let vs =
+                match Hashtbl.find_opt e.routes_v6 prefix with
+                | Some vs -> vs
+                | None ->
+                    let vs = ref [] in
+                    Hashtbl.replace e.routes_v6 prefix vs;
+                    vs
+              in
+              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
+              request_reexport_v6 t prefix)
+            nlri
+      | _ -> ())
+    u.Msg.attrs
+
+(* Process one UPDATE from experiment [name] through the enforcement
+   engine; public for direct benchmarking of the security pipeline. *)
+let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
+  match experiment t exp_name with
+  | None -> invalid_arg "Router.process_experiment_update: unknown experiment"
+  | Some e -> (
+      t.counters.updates_from_experiments <-
+        t.counters.updates_from_experiments + 1;
+      let now = Engine.now t.engine in
+      match Control_enforcer.check t.control ~now ~pop:t.name e.grant u with
+      | Control_enforcer.Rejected reasons ->
+          log t "rejected update from %s: %s" exp_name
+            (String.concat "; " reasons);
+          Error reasons
+      | Control_enforcer.Accepted u ->
+          (* Withdrawals: remove the matching variant. *)
+          List.iter
+            (fun (n : Msg.nlri) ->
+              let pid = match n.path_id with Some p -> p | None -> 0 in
+              match Hashtbl.find_opt e.routes n.prefix with
+              | None -> ()
+              | Some vs ->
+                  vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
+                  if !vs = [] then begin
+                    Hashtbl.remove e.routes n.prefix;
+                    t.owner_trie <- Ptrie.V4.remove n.prefix t.owner_trie
+                  end;
+                  export_exp_withdraw_to_mesh t e n.prefix pid;
+                  request_reexport t n.prefix)
+            u.withdrawn;
+          (* Announcements: record/replace the variant. *)
+          List.iter
+            (fun (n : Msg.nlri) ->
+              let pid = match n.path_id with Some p -> p | None -> 0 in
+              let v = { v_path_id = pid; v_attrs = u.attrs } in
+              let vs =
+                match Hashtbl.find_opt e.routes n.prefix with
+                | Some vs -> vs
+                | None ->
+                    let vs = ref [] in
+                    Hashtbl.replace e.routes n.prefix vs;
+                    vs
+              in
+              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
+              t.owner_trie <-
+                Ptrie.V4.add n.prefix (Local_exp exp_name) t.owner_trie;
+              export_exp_route_to_mesh t e n.prefix v;
+              request_reexport t n.prefix)
+            u.announced;
+          process_experiment_v6 t e u;
+          Ok ())
+
+(* -- mesh import ------------------------------------------------------------ *)
+
+let process_mesh_update t ~pop (u : Msg.update) =
+  t.counters.updates_from_mesh <- t.counters.updates_from_mesh + 1;
+  let now = Engine.now t.engine in
+  let ctl_asn = control_asn t in
+  (* Withdrawals are resolved through the import map. *)
+  List.iter
+    (fun (n : Msg.nlri) ->
+      let pid = match n.path_id with Some p -> p | None -> 0 in
+      match Hashtbl.find_opt t.mesh_imports (pop, pid) with
+      | Some (Ialias { alias_id }) -> (
+          match neighbor t alias_id with
+          | Some ns ->
+              ignore
+                (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
+                   ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None);
+              Rib.Fib.remove (Rib.Fib.Set.table t.fibs alias_id) n.prefix;
+              Control_in.export_withdraw_to_experiments t ns n.prefix
+          | None -> ())
+      | Some (Iremote_exp { prefix }) ->
+          Hashtbl.remove t.remote_exp_routes (pop, pid);
+          t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
+          request_reexport t prefix
+      | None -> ())
+    u.withdrawn;
+  if u.announced <> [] then begin
+    let next_hop = Attr.next_hop u.attrs in
+    let is_exp =
+      List.exists
+        (Export_control.is_marker ~ctl_asn)
+        (Attr.communities u.attrs)
+    in
+    match next_hop with
+    | None -> ()
+    | Some g when not is_exp ->
+        (* A remote neighbor's route: alias it and expose to experiments. *)
+        let ns, _created = Backbone.alias_for_global t ~pop g in
+        let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
+        let source =
+          Rib.Route.source ~peer_ip:ns.info.Neighbor.virtual_ip ~peer_asn:t.asn
+            ~ebgp:false ()
+        in
+        List.iter
+          (fun (n : Msg.nlri) ->
+            let pid = match n.path_id with Some p -> p | None -> 0 in
+            Hashtbl.replace t.mesh_imports (pop, pid)
+              (Ialias { alias_id = ns.info.Neighbor.id });
+            let route =
+              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                ~source ()
+            in
+            ignore (Rib.Table.update ns.rib_in route);
+            Rib.Fib.insert fib n.prefix
+              { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
+            Control_in.export_route_to_experiments t ns n.prefix u.attrs)
+          u.announced
+    | Some g ->
+        (* A remote experiment's announcement: remember it for neighbor
+           export here, and route its traffic toward the remote PoP. *)
+        let attrs =
+          Attr.remove_communities
+            ~keep:(fun c -> not (Export_control.is_marker ~ctl_asn c))
+            u.attrs
+        in
+        List.iter
+          (fun (n : Msg.nlri) ->
+            let pid = match n.path_id with Some p -> p | None -> 0 in
+            Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
+            Hashtbl.replace t.mesh_imports (pop, pid)
+              (Iremote_exp { prefix = n.prefix });
+            t.owner_trie <-
+              Ptrie.V4.add n.prefix
+                (Remote_exp { pop; via_global = g })
+                t.owner_trie;
+            request_reexport t n.prefix)
+          u.announced
+  end
+
+(* -- experiment wiring ------------------------------------------------------ *)
+
+(* Connect an experiment: BGP over a VPN-like link, data over the
+   experiment LAN. Returns the client-side session (ADD-PATH capable);
+   start it with [Bgp_wire.start] via the returned pair. *)
+let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
+  let exp_name = grant.Control_enforcer.name in
+  if Hashtbl.mem t.experiments exp_name then
+    invalid_arg "Router.connect_experiment: already connected";
+  let g =
+    Addr_pool.allocate t.global_pool
+      (Printf.sprintf "%s/experiment:%s" t.name exp_name)
+  in
+  let client_asn =
+    match grant.Control_enforcer.asns with
+    | a :: _ -> a
+    | [] -> invalid_arg "Router.connect_experiment: grant has no ASN"
+  in
+  let client_id =
+    match grant.Control_enforcer.prefixes with
+    | p :: _ -> Prefix.host p 1
+    | [] -> Ipv4.of_string_exn "192.0.2.1"
+  in
+  let config_router =
+    Session.config ~local_asn:t.asn ~local_id:t.router_id
+      ~capabilities:(session_capabilities ~add_path:true t) ()
+  in
+  let config_client =
+    Session.config ~local_asn:client_asn ~local_id:client_id
+      ~capabilities:
+        [
+          Capability.Multiprotocol
+            { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
+          Capability.As4 client_asn;
+          Capability.Add_path
+            [
+              ( Capability.afi_ipv4,
+                Capability.safi_unicast,
+                Capability.Send_receive );
+            ];
+        ]
+      ()
+  in
+  let pair =
+    Sim.Bgp_wire.make t.engine ~latency ~config_active:config_client
+      ~config_passive:config_router ()
+  in
+  let e =
+    {
+      grant;
+      exp_session = pair.Sim.Bgp_wire.passive;
+      exp_mac = mac;
+      g_ip = g.Addr_pool.ip;
+      g_idx = g.Addr_pool.index;
+      routes = Hashtbl.create 8;
+      routes_v6 = Hashtbl.create 4;
+      exp_synced = false;
+      att_packets_out = 0;
+      att_bytes_out = 0;
+      att_packets_in = 0;
+    }
+  in
+  Hashtbl.replace t.experiments exp_name e;
+  Hashtbl.replace t.by_exp_mac mac exp_name;
+  (match t.bb with
+  | Some bb ->
+      Backbone.register_global_station t bb.Arp_client.lan ~g:e.g_ip
+        ~receive:(Data_plane.deliver_inbound t)
+  | None -> ());
+  Session.set_handlers pair.Sim.Bgp_wire.passive
+    {
+      Session.on_route_refresh =
+        (fun ~afi:_ ~safi:_ ->
+          (* RFC 2918: the experiment asked for the table again. *)
+          log t "route refresh from experiment %s" exp_name;
+          e.exp_synced <- false;
+          Control_in.sync_experiment t e);
+      on_update =
+        (fun u -> ignore (process_experiment_update t ~experiment:exp_name u));
+      on_established =
+        (fun () ->
+          log t "experiment %s established" exp_name;
+          Control_in.sync_experiment t e);
+      on_down =
+        (fun reason ->
+          log t "experiment %s down: %s" exp_name reason;
+          (* Withdraw everything the experiment announced: clear its state
+             first so the re-export pass sees no live variants. *)
+          let announced =
+            Hashtbl.fold
+              (fun prefix vs acc -> (prefix, !vs) :: acc)
+              e.routes []
+          in
+          Hashtbl.reset e.routes;
+          List.iter
+            (fun (prefix, vs) ->
+              List.iter
+                (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
+                vs;
+              t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
+              request_reexport t prefix)
+            announced;
+          e.exp_synced <- false);
+    };
+  pair

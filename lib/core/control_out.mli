@@ -1,0 +1,59 @@
+(** Control plane, outbound (§3.2.1, §3.3, §4.7): experiment update
+    processing through the enforcement engine, announcement-variant
+    selection, mesh import, and batched per-neighbor re-export.
+
+    Re-export runs through a dirty-prefix queue: updates mark prefixes
+    dirty ({!request_reexport}) and one flush per engine tick
+    ({!flush_reexports}, self-scheduled at zero delay) recomputes each
+    dirty prefix exactly once per neighbor. Deltas against the
+    per-neighbor Adj-RIB-Out keep the wire identical to eager
+    re-export. *)
+
+open Netcore
+open Bgp
+open Sim
+
+val variants_for_prefix : Router_state.t -> Prefix.t -> Attr.set list
+(** All live announcement variants for a prefix (local experiments plus
+    remote-experiment imports), unfiltered. *)
+
+val neighbor_facing_attrs : Router_state.t -> Attr.set -> Attr.set
+(** Attributes as announced to a real eBGP neighbor: platform ASN
+    prepended, next hop rewritten, control communities stripped. *)
+
+val request_reexport : Router_state.t -> Prefix.t -> unit
+(** Mark an IPv4 prefix dirty and schedule a flush at the current engine
+    tick (no-op if one is already scheduled). *)
+
+val request_reexport_v6 : Router_state.t -> Prefix_v6.t -> unit
+
+val flush_reexports : Router_state.t -> unit
+(** Drain the dirty-prefix queues now: recompute each dirty prefix once
+    per neighbor (deterministic prefix order) and send Adj-RIB-Out
+    deltas. Runs automatically once per engine tick after updates; call
+    directly only when driving the router without the engine. *)
+
+val process_experiment_update :
+  Router_state.t ->
+  experiment:string ->
+  Msg.update ->
+  (unit, string list) result
+(** Run one UPDATE from a connected experiment through the control-plane
+    enforcement engine (§3.3); on acceptance, record the variant, export
+    to the mesh, and mark affected prefixes dirty. *)
+
+val process_mesh_update : Router_state.t -> pop:string -> Msg.update -> unit
+(** Import one UPDATE from the backbone mesh: alias remote neighbors'
+    routes (§4.4) or record remote experiment announcements for local
+    re-export. *)
+
+val connect_experiment :
+  Router_state.t ->
+  grant:Control_enforcer.grant ->
+  mac:Mac.t ->
+  ?latency:float ->
+  unit ->
+  Bgp_wire.pair
+(** Connect an experiment's BGP client (ADD-PATH both directions); data
+    flows over the experiment LAN via [mac]. The caller starts the
+    returned pair. *)

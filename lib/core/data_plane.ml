@@ -1,0 +1,177 @@
+(* The vBGP data plane (paper §3.2.2): each neighbor owns a virtual MAC
+   and a forwarding table; the destination MAC of a frame from an
+   experiment selects the table, so an experiment's per-packet routing
+   decision rides in the layer-2 header with no encapsulation. Frames
+   toward experiments carry the delivering neighbor's virtual MAC as
+   source, giving experiments per-packet ingress visibility. *)
+
+open Netcore
+open Sim
+open Router_state
+
+let send_frame_on_exp_lan t ~src ~dst payload =
+  Lan.send t.exp_lan { Eth.dst; src; ethertype = Eth.Ipv4; payload }
+
+(* Deliver a packet to a local experiment, rewriting the source MAC to the
+   virtual MAC of the neighbor that brought it (paper §3.2.2). *)
+let deliver_to_local_experiment t ~via_mac exp_name packet =
+  match experiment t exp_name with
+  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+  | Some e ->
+      t.counters.packets_to_experiments <-
+        t.counters.packets_to_experiments + 1;
+      e.att_packets_in <- e.att_packets_in + 1;
+      send_frame_on_exp_lan t ~src:via_mac ~dst:e.exp_mac
+        (Ipv4_packet.encode packet)
+
+let icmp_ttl_exceeded t (expired : Ipv4_packet.t) =
+  let original =
+    let full = Ipv4_packet.encode expired in
+    String.sub full 0 (min (String.length full) 28)
+  in
+  t.counters.icmp_sent <- t.counters.icmp_sent + 1;
+  Ipv4_packet.make ~src:t.primary_ip ~dst:expired.src
+    ~protocol:Ipv4_packet.Icmp
+    (Icmp.encode (Icmp.Ttl_exceeded { original }))
+
+(* Forward a packet over the backbone toward [global_ip] (ARP on the
+   backbone segment, then a frame to the owning PoP; §4.4). *)
+let forward_over_backbone t ~global_ip packet =
+  match t.bb with
+  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+  | Some bb ->
+      t.counters.packets_over_backbone <-
+        t.counters.packets_over_backbone + 1;
+      Arp_client.send_ip bb ~next_hop:global_ip packet
+
+(* An inbound packet destined to experiment space, arriving from local
+   neighbor [via] (or from the backbone when [via] is None). *)
+let deliver_inbound t ?via packet =
+  let dst = packet.Ipv4_packet.dst in
+  match Ptrie.lookup_v4 dst t.owner_trie with
+  | Some (_, Local_exp exp_name) ->
+      let via_mac =
+        match via with
+        | Some ns -> ns.info.Neighbor.virtual_mac
+        | None -> t.router_mac
+      in
+      deliver_to_local_experiment t ~via_mac exp_name packet
+  | Some (_, Remote_exp { via_global; _ }) ->
+      forward_over_backbone t ~global_ip:via_global packet
+  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+
+(* Entry point for packets handed to us by a real neighbor (traffic from
+   the Internet toward experiment prefixes). *)
+let inject_from_neighbor t ~neighbor_id packet =
+  match neighbor t neighbor_id with
+  | None -> invalid_arg "Router.inject_from_neighbor: unknown neighbor"
+  | Some ns -> deliver_inbound t ~via:ns packet
+
+(* Forward a frame an experiment put on the wire: the destination MAC
+   picks the neighbor table (the heart of §3.2.2). *)
+let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
+  match (neighbor t neighbor_id, Ipv4_packet.decode frame.payload) with
+  | None, _ | _, Error _ ->
+      t.counters.packets_dropped <- t.counters.packets_dropped + 1
+  | Some ns, Ok packet -> (
+      let now = Engine.now t.engine in
+      let ingress =
+        match Hashtbl.find_opt t.by_exp_mac frame.src with
+        | Some name -> name
+        | None -> Printf.sprintf "unknown:%s" (Mac.to_string frame.src)
+      in
+      match
+        Data_enforcer.check t.data ~now ~meta:{ Data_enforcer.ingress } packet
+      with
+      | Data_enforcer.Blocked _ ->
+          t.counters.packets_dropped <- t.counters.packets_dropped + 1
+      | Data_enforcer.Allowed packet ->
+          (match Hashtbl.find_opt t.by_exp_mac frame.src with
+          | Some name -> (
+              match experiment t name with
+              | Some e ->
+                  e.att_packets_out <- e.att_packets_out + 1;
+                  e.att_bytes_out <-
+                    e.att_bytes_out + Ipv4_packet.header_size
+                    + String.length packet.Ipv4_packet.payload
+              | None -> ())
+          | None -> ());
+          if packet.Ipv4_packet.ttl <= 1 then begin
+            let icmp = icmp_ttl_exceeded t packet in
+            deliver_inbound t icmp
+          end
+          else begin
+            let packet = Ipv4_packet.decrement_ttl packet in
+            let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
+            match Rib.Fib.lookup fib packet.Ipv4_packet.dst with
+            | None ->
+                t.counters.packets_dropped <- t.counters.packets_dropped + 1
+            | Some entry ->
+                if Neighbor.is_alias ns.info then
+                  forward_over_backbone t ~global_ip:entry.Rib.Fib.next_hop
+                    packet
+                else begin
+                  t.counters.packets_to_neighbors <-
+                    t.counters.packets_to_neighbors + 1;
+                  ns.deliver packet
+                end
+          end)
+
+(* Handle a frame arriving on the experiment LAN addressed to one of our
+   stations (a neighbor's virtual MAC or the router itself). *)
+let handle_exp_lan_frame t ~station_neighbor (frame : Eth.t) =
+  match frame.ethertype with
+  | Eth.Arp -> (
+      match Arp.decode frame.payload with
+      | Ok ({ op = Arp.Request; _ } as a) -> (
+          (* Answer for the virtual IP this station owns. *)
+          match Hashtbl.find_opt t.by_vip a.target_ip with
+          | Some id when station_neighbor = Some id -> (
+              match neighbor t id with
+              | Some ns ->
+                  Lan.send t.exp_lan
+                    {
+                      Eth.dst = a.sender_mac;
+                      src = ns.info.Neighbor.virtual_mac;
+                      ethertype = Eth.Arp;
+                      payload =
+                        Arp.encode
+                          (Arp.reply ~sender_mac:ns.info.Neighbor.virtual_mac
+                             ~sender_ip:a.target_ip ~target_mac:a.sender_mac
+                             ~target_ip:a.sender_ip);
+                    }
+              | None -> ())
+          | _ ->
+              (* The router answers for its own primary address. *)
+              if
+                station_neighbor = None
+                && Ipv4.equal a.target_ip t.primary_ip
+              then
+                Lan.send t.exp_lan
+                  {
+                    Eth.dst = a.sender_mac;
+                    src = t.router_mac;
+                    ethertype = Eth.Arp;
+                    payload =
+                      Arp.encode
+                        (Arp.reply ~sender_mac:t.router_mac
+                           ~sender_ip:t.primary_ip ~target_mac:a.sender_mac
+                           ~target_ip:a.sender_ip);
+                  })
+      | Ok _ | Error _ -> ())
+  | Eth.Ipv4 -> (
+      match station_neighbor with
+      | Some id -> forward_experiment_frame t ~neighbor_id:id frame
+      | None -> (
+          (* Addressed to the router itself: experiment-to-experiment or
+             diagnostic traffic; route it like inbound. *)
+          match Ipv4_packet.decode frame.payload with
+          | Ok packet -> deliver_inbound t packet
+          | Error _ -> ()))
+  | Eth.Ipv6 | Eth.Other _ -> ()
+
+(* The router's own station on the experiment LAN (answers for the primary
+   address, receives router-addressed traffic). Call after creation. *)
+let activate t =
+  Lan.attach t.exp_lan t.router_mac
+    (handle_exp_lan_frame t ~station_neighbor:None)

@@ -1,75 +1,28 @@
-(* The vBGP router (paper §3): virtualizes one BGP edge router's data and
-   control planes across parallel experiments.
+(* The vBGP router facade (paper §3).
 
-   Control plane:
-   - Routes learned from each neighbor are stored per neighbor, their BGP
-     next-hop rewritten to the neighbor's virtual IP, and exported to every
-     experiment over ADD-PATH sessions (path id = the neighbor's table id).
-   - Experiment announcements pass through the control-plane enforcement
-     engine, then propagate to the neighbors selected by export-control
-     communities, to the backbone mesh, and onward to neighbors at remote
-     PoPs (§4.4).
-
-   Data plane:
-   - Each neighbor owns a virtual MAC and a forwarding table; the
-     destination MAC of a frame from an experiment selects the table, so an
-     experiment's per-packet routing decision rides in the layer-2 header
-     with no encapsulation (§3.2.2).
-   - Frames toward experiments carry the delivering neighbor's virtual MAC
-     as source, giving experiments per-packet ingress visibility.
-   - Backbone forwarding repeats the same trick hop by hop using the shared
-     global pool (§4.4): a local alias (IP, MAC) is minted for each remote
-     neighbor, and its table's next hop is the neighbor's global IP,
-     resolved over the backbone segment with ARP. *)
+   The implementation lives in the plane modules — [Router_state] (the
+   shared state record and inspection), [Control_in] (neighbor RIB-in,
+   next-hop rewriting, ADD-PATH export), [Control_out] (experiment/mesh
+   update processing, variant selection, batched per-neighbor
+   re-export), [Data_plane] (experiment-LAN frames, MAC-keyed FIB
+   selection, ICMP), [Backbone] (mesh sessions and global-pool
+   aliasing, §4.4). This module re-exports the public surface so
+   callers keep a single [Router] entry point. *)
 
 open Netcore
 open Bgp
-open Sim
 
-(* -- per-peer state ------------------------------------------------------- *)
-
-type neighbor_state = {
+(* Re-exported as transparent records so callers can keep pattern
+   matching and field access through [Router]. *)
+type neighbor_state = Router_state.neighbor_state = {
   info : Neighbor.t;
   rib_in : Rib.Table.t;
-  mutable session : Session.t option;  (** None for backbone aliases *)
+  mutable session : Session.t option;
   mutable deliver : Ipv4_packet.t -> unit;
-      (** hand an outbound packet to the (real) neighbor *)
-  export_id : int;  (** platform-global id used in export-control tags *)
+  export_id : int;
 }
 
-type variant = {
-  v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
-  v_attrs : Attr.set;  (** post-enforcement, control communities intact *)
-}
-
-type experiment_state = {
-  grant : Control_enforcer.grant;
-  exp_session : Session.t;
-  exp_mac : Mac.t;  (** experiment's station on the experiment LAN *)
-  g_ip : Ipv4.t;  (** global-pool identity for cross-PoP delivery *)
-  g_idx : int;
-  routes : (Prefix.t, variant list ref) Hashtbl.t;
-  routes_v6 : (Prefix_v6.t, variant list ref) Hashtbl.t;
-      (** IPv6 announcements (MP-BGP); control plane only *)
-  mutable exp_synced : bool;
-  (* PlanetFlow-style attribution (§3.1): per-experiment traffic totals. *)
-  mutable att_packets_out : int;
-  mutable att_bytes_out : int;
-  mutable att_packets_in : int;
-}
-
-type mesh_peer = { pop_name : string; mesh_session : Session.t }
-
-type mesh_import =
-  | Ialias of { alias_id : int }
-      (** a remote neighbor's route; the alias carries its traffic *)
-  | Iremote_exp of { prefix : Prefix.t }
-
-type owner =
-  | Local_exp of string
-  | Remote_exp of { pop : string; via_global : Ipv4.t }
-
-type counters = {
+type counters = Router_state.counters = {
   mutable updates_from_neighbors : int;
   mutable updates_from_experiments : int;
   mutable updates_from_mesh : int;
@@ -78,1186 +31,60 @@ type counters = {
   mutable packets_over_backbone : int;
   mutable packets_dropped : int;
   mutable icmp_sent : int;
+  mutable reexport_computations : int;
 }
 
-type t = {
-  engine : Engine.t;
-  trace : Trace.t;
-  name : string;  (** PoP name, e.g. "amsterdam01" *)
-  asn : Asn.t;  (** the platform (mux) ASN prepended on neighbor export *)
-  router_id : Ipv4.t;
-  primary_ip : Ipv4.t;  (** sources ICMP errors (paper §5) *)
-  mutable exp_lan : Lan.t;
-  router_mac : Mac.t;
-  mutable bb : Arp_client.t option;  (** backbone segment attachment *)
-  local_pool : Addr_pool.t;
-  global_pool : Addr_pool.t;  (** shared across all PoPs *)
-  control : Control_enforcer.t;
-  data : Data_enforcer.t;
-  fibs : Rib.Fib.Set.t;
-  neighbors : (int, neighbor_state) Hashtbl.t;
-  mutable next_neighbor_id : int;
-  by_vmac : (Mac.t, int) Hashtbl.t;
-  by_vip : (Ipv4.t, int) Hashtbl.t;
-  by_global_ip : (Ipv4.t, int) Hashtbl.t;  (** local neighbors only *)
-  alias_by_global : (Ipv4.t, int) Hashtbl.t;  (** remote neighbors *)
-  experiments : (string, experiment_state) Hashtbl.t;
-  by_exp_mac : (Mac.t, string) Hashtbl.t;
-  mutable owner_trie : owner Ptrie.V4.t;
-  mutable mesh : mesh_peer list;
-  mesh_imports : (string * int, mesh_import) Hashtbl.t;
-  remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
-  adj_out : (int, (Prefix.t, Attr.set) Hashtbl.t) Hashtbl.t;
-      (** per-neighbor last-sent attributes *)
-  counters : counters;
-}
-
-let mesh_exp_id_base = 100_000
-
-let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
-    ~primary_ip ~local_pool ~global_pool ?control ?data () =
-  let control =
-    match control with
-    | Some c -> c
-    | None -> Control_enforcer.create ~platform_asns:[ asn ] ~trace ()
-  in
-  let data = match data with Some d -> d | None -> Data_enforcer.create ~trace () in
-  let t =
-    {
-      engine;
-      trace;
-      name;
-      asn;
-      router_id;
-      primary_ip;
-      exp_lan = Lan.create engine;
-      router_mac = Mac.local ~pool:0xee (Hashtbl.hash name land 0xffffff);
-      bb = None;
-      local_pool = Addr_pool.create ~base:local_pool ~mac_pool:0x65;
-      global_pool;
-      control;
-      data;
-      fibs = Rib.Fib.Set.create ();
-      neighbors = Hashtbl.create 32;
-      next_neighbor_id = 1;
-      by_vmac = Hashtbl.create 32;
-      by_vip = Hashtbl.create 32;
-      by_global_ip = Hashtbl.create 32;
-      alias_by_global = Hashtbl.create 32;
-      experiments = Hashtbl.create 8;
-      by_exp_mac = Hashtbl.create 8;
-      owner_trie = Ptrie.V4.empty;
-      mesh = [];
-      mesh_imports = Hashtbl.create 64;
-      remote_exp_routes = Hashtbl.create 16;
-      adj_out = Hashtbl.create 32;
-      counters =
-        {
-          updates_from_neighbors = 0;
-          updates_from_experiments = 0;
-          updates_from_mesh = 0;
-          packets_to_neighbors = 0;
-          packets_to_experiments = 0;
-          packets_over_backbone = 0;
-          packets_dropped = 0;
-          icmp_sent = 0;
-        };
-    }
-  in
-  t
-
-let name t = t.name
-let asn t = t.asn
-let experiment_lan t = t.exp_lan
-let router_mac t = t.router_mac
-let counters t = t.counters
-let trace t = t.trace
-let control_enforcer t = t.control
-let data_enforcer t = t.data
-let fib_set t = t.fibs
-let control_asn t = Control_enforcer.control_community_asn t.control
-
-let log t fmt =
-  Trace.record t.trace ~time:(Engine.now t.engine) ~category:"router" fmt
-
-let neighbor t id = Hashtbl.find_opt t.neighbors id
-
-let neighbor_states t =
-  Hashtbl.fold (fun _ ns acc -> ns :: acc) t.neighbors []
-  |> List.sort (fun a b -> Int.compare a.info.Neighbor.id b.info.Neighbor.id)
-
-let real_neighbors t =
-  List.filter (fun ns -> not (Neighbor.is_alias ns.info)) (neighbor_states t)
-
-let experiment t name = Hashtbl.find_opt t.experiments name
-
-(* -- experiment-facing export --------------------------------------------- *)
-
-let send_to_experiment (e : experiment_state) update =
-  if Session.established e.exp_session then
-    Session.send_update e.exp_session update
-
-(* Export a route learned from neighbor [ns] to all experiments: next hop
-   becomes the neighbor's virtual IP, the path id its table id. *)
-let export_route_to_experiments t (ns : neighbor_state) prefix attrs =
-  let attrs = Attr.with_next_hop ns.info.Neighbor.virtual_ip attrs in
-  let update =
-    Msg.update ~attrs
-      ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
-      ()
-  in
-  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
-
-let export_withdraw_to_experiments t (ns : neighbor_state) prefix =
-  let update =
-    Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ()
-  in
-  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
-
-(* Full-table sync when an experiment session reaches Established: every
-   route from every (real and alias) neighbor, with rewritten next hops. *)
-let sync_experiment t (e : experiment_state) =
-  if not e.exp_synced then begin
-    e.exp_synced <- true;
-    List.iter
-      (fun ns ->
-        Rib.Table.iter_routes
-          (fun (r : Rib.Route.t) ->
-            let attrs = Attr.with_next_hop ns.info.Neighbor.virtual_ip r.attrs in
-            send_to_experiment e
-              (Msg.update ~attrs
-                 ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id r.prefix ]
-                 ()))
-          ns.rib_in)
-      (neighbor_states t);
-    log t "synced full table to experiment %s" e.grant.Control_enforcer.name
-  end
-
-(* -- mesh export ----------------------------------------------------------- *)
-
-let send_to_mesh t update =
-  List.iter
-    (fun m ->
-      if Session.established m.mesh_session then
-        Session.send_update m.mesh_session update)
-    t.mesh
-
-(* Neighbor-learned routes go to the mesh with the neighbor's *global* IP
-   as next hop, so remote PoPs can alias it (§4.4). *)
-let export_route_to_mesh t (ns : neighbor_state) prefix attrs =
-  match ns.info.Neighbor.global_ip with
-  | None -> ()
-  | Some g ->
-      let attrs = Attr.with_next_hop g attrs in
-      send_to_mesh t
-        (Msg.update ~attrs
-           ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
-           ())
-
-let export_withdraw_to_mesh t (ns : neighbor_state) prefix =
-  if ns.info.Neighbor.global_ip <> None then
-    send_to_mesh t
-      (Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ())
-
-(* -- neighbor-facing export (experiment announcements) --------------------- *)
-
-let adj_out_table t neighbor_id =
-  match Hashtbl.find_opt t.adj_out neighbor_id with
-  | Some tbl -> tbl
-  | None ->
-      let tbl = Hashtbl.create 16 in
-      Hashtbl.replace t.adj_out neighbor_id tbl;
-      tbl
-
-(* All live announcement variants for [prefix], local and remote. *)
-let variants_for_prefix t prefix =
-  let local =
-    Hashtbl.fold
-      (fun _ e acc ->
-        match Hashtbl.find_opt e.routes prefix with
-        | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
-        | None -> acc)
-      t.experiments []
-  in
-  let remote =
-    Hashtbl.fold
-      (fun _ (p, attrs) acc ->
-        if Prefix.equal p prefix then attrs :: acc else acc)
-      t.remote_exp_routes []
-  in
-  local @ remote
-
-(* Attributes as announced to a real eBGP neighbor: platform ASN prepended,
-   next hop set to our interface, control communities and iBGP-only
-   attributes stripped. *)
-let neighbor_facing_attrs t attrs =
-  let _control, attrs =
-    Control_enforcer.split_control_communities t.control attrs
-  in
-  let path =
-    match Attr.as_path attrs with Some p -> p | None -> Aspath.empty
-  in
-  attrs
-  |> Attr.with_as_path (Aspath.prepend t.asn path)
-  |> Attr.with_next_hop t.primary_ip
-  |> Attr.remove_code 5 (* LOCAL_PREF is iBGP-only *)
-
-(* Recompute what neighbor [ns] should currently hear for [prefix], and
-   send the delta. *)
-let reexport_prefix_to_neighbor t (ns : neighbor_state) prefix =
-  match ns.info.Neighbor.kind with
-  | Neighbor.Backbone_alias _ -> ()
-  | _ ->
-      let ctl_asn = control_asn t in
-      let allowed =
-        List.filter
-          (fun attrs ->
-            let communities = Attr.communities attrs in
-            (* NO_EXPORT (RFC 1997) keeps the route inside the platform:
-               never exported to any eBGP neighbor. *)
-            (not (List.exists (Community.equal Community.no_export) communities))
-            && Export_control.allows ~ctl_asn ~export_id:ns.export_id
-                 communities)
-          (variants_for_prefix t prefix)
-      in
-      let out = adj_out_table t ns.info.Neighbor.id in
-      let previously = Hashtbl.find_opt out prefix in
-      match (allowed, previously) with
-      | [], None -> ()
-      | [], Some _ ->
-          Hashtbl.remove out prefix;
-          (match ns.session with
-          | Some s when Session.established s ->
-              Session.send_update s (Msg.update ~withdrawn:[ Msg.nlri prefix ] ())
-          | _ -> ());
-          log t "withdraw %a from neighbor %d" Prefix.pp prefix
-            ns.info.Neighbor.id
-      | attrs :: _, _ ->
-          let facing = neighbor_facing_attrs t attrs in
-          let changed =
-            match previously with
-            | Some old -> not (Attr.equal_set old facing)
-            | None -> true
-          in
-          if changed then begin
-            Hashtbl.replace out prefix facing;
-            (match ns.session with
-            | Some s when Session.established s ->
-                Session.send_update s
-                  (Msg.update ~attrs:facing ~announced:[ Msg.nlri prefix ] ())
-            | _ -> ());
-            log t "announce %a to neighbor %d" Prefix.pp prefix
-              ns.info.Neighbor.id
-          end
-
-let reexport_prefix t prefix =
-  List.iter (fun ns -> reexport_prefix_to_neighbor t ns prefix) (real_neighbors t)
-
-(* -- IPv6 (MP-BGP) experiment announcements: control plane only ----------- *)
-
-(* The router's IPv6 next hop as seen by neighbors (PEERING's /32). *)
-let v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
-
-let variants_for_prefix_v6 t prefix =
-  Hashtbl.fold
-    (fun _ e acc ->
-      match Hashtbl.find_opt e.routes_v6 prefix with
-      | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
-      | None -> acc)
-    t.experiments []
-
-let reexport_prefix_v6_to_neighbor t (ns : neighbor_state) prefix =
-  match ns.info.Neighbor.kind with
-  | Neighbor.Backbone_alias _ -> ()
-  | _ -> (
-      let ctl_asn = control_asn t in
-      let allowed =
-        List.filter
-          (fun attrs ->
-            let communities = Attr.communities attrs in
-            (not
-               (List.exists (Community.equal Community.no_export) communities))
-            && Export_control.allows ~ctl_asn ~export_id:ns.export_id
-                 communities)
-          (variants_for_prefix_v6 t prefix)
-      in
-      match ns.session with
-      | Some s when Session.established s -> (
-          match allowed with
-          | [] ->
-              Session.send_update s
-                (Msg.update
-                   ~attrs:[ Attr.Mp_unreach [ (prefix, None) ] ]
-                   ())
-          | attrs :: _ ->
-              let facing =
-                neighbor_facing_attrs t attrs
-                |> Attr.remove_code 3 (* v4 NEXT_HOP is meaningless here *)
-                |> Attr.set_attr
-                     (Attr.Mp_reach
-                        { next_hop = v6_next_hop; nlri = [ (prefix, None) ] })
-              in
-              Session.send_update s (Msg.update ~attrs:facing ()))
-      | _ -> ())
-
-let reexport_prefix_v6 t prefix =
-  List.iter
-    (fun ns -> reexport_prefix_v6_to_neighbor t ns prefix)
-    (real_neighbors t)
-
-(* Record/withdraw the v6 NLRI of an accepted experiment update. *)
-let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
-  List.iter
-    (fun attr ->
-      match attr with
-      | Attr.Mp_unreach nlri ->
-          List.iter
-            (fun (prefix, path_id) ->
-              let pid = match path_id with Some p -> p | None -> 0 in
-              (match Hashtbl.find_opt e.routes_v6 prefix with
-              | Some vs ->
-                  vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
-                  if !vs = [] then Hashtbl.remove e.routes_v6 prefix
-              | None -> ());
-              reexport_prefix_v6 t prefix)
-            nlri
-      | Attr.Mp_reach { nlri; _ } ->
-          let base_attrs = Attr.remove_code 14 u.Msg.attrs in
-          List.iter
-            (fun (prefix, path_id) ->
-              let pid = match path_id with Some p -> p | None -> 0 in
-              let v = { v_path_id = pid; v_attrs = base_attrs } in
-              let vs =
-                match Hashtbl.find_opt e.routes_v6 prefix with
-                | Some vs -> vs
-                | None ->
-                    let vs = ref [] in
-                    Hashtbl.replace e.routes_v6 prefix vs;
-                    vs
-              in
-              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
-              reexport_prefix_v6 t prefix)
-            nlri
-      | _ -> ())
-    u.Msg.attrs
-
-(* -- neighbor route learning ----------------------------------------------- *)
-
-(* Process one UPDATE from neighbor [id]; public so benchmarks can drive the
-   pipeline without sessions. *)
-let process_neighbor_update t ~neighbor_id (u : Msg.update) =
-  match neighbor t neighbor_id with
-  | None -> invalid_arg "Router.process_neighbor_update: unknown neighbor"
-  | Some ns ->
-      t.counters.updates_from_neighbors <-
-        t.counters.updates_from_neighbors + 1;
-      let now = Engine.now t.engine in
-      let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
-      List.iter
-        (fun (n : Msg.nlri) ->
-          ignore
-            (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
-               ~peer_ip:ns.info.Neighbor.ip ~path_id:None);
-          Rib.Fib.remove fib n.prefix;
-          export_withdraw_to_experiments t ns n.prefix;
-          export_withdraw_to_mesh t ns n.prefix)
-        u.withdrawn;
-      if u.announced <> [] then begin
-        let source =
-          Rib.Route.source ~peer_ip:ns.info.Neighbor.ip
-            ~peer_asn:ns.info.Neighbor.asn ()
-        in
-        List.iter
-          (fun (n : Msg.nlri) ->
-            let route =
-              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
-                ~source ()
-            in
-            ignore (Rib.Table.update ns.rib_in route);
-            Rib.Fib.insert fib n.prefix
-              {
-                Rib.Fib.next_hop = ns.info.Neighbor.ip;
-                neighbor = ns.info.Neighbor.id;
-              };
-            export_route_to_experiments t ns n.prefix u.attrs;
-            export_route_to_mesh t ns n.prefix u.attrs)
-          u.announced
-      end
-
-(* -- experiment announcements ---------------------------------------------- *)
-
-let mesh_path_id (e : experiment_state) v_path_id =
-  mesh_exp_id_base + (e.g_idx * 64) + (v_path_id land 63)
-
-let export_exp_route_to_mesh t (e : experiment_state) prefix (v : variant) =
-  let ctl_asn = control_asn t in
-  let attrs =
-    v.v_attrs
-    |> Attr.with_next_hop e.g_ip
-    |> Attr.add_community (Export_control.experiment_marker ~ctl_asn)
-  in
-  send_to_mesh t
-    (Msg.update ~attrs
-       ~announced:[ Msg.nlri ~path_id:(mesh_path_id e v.v_path_id) prefix ]
-       ())
-
-let export_exp_withdraw_to_mesh t (e : experiment_state) prefix v_path_id =
-  send_to_mesh t
-    (Msg.update
-       ~withdrawn:[ Msg.nlri ~path_id:(mesh_path_id e v_path_id) prefix ]
-       ())
-
-(* Process one UPDATE from experiment [name] through the enforcement
-   engine; public for direct benchmarking of the security pipeline. *)
-let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
-  match experiment t exp_name with
-  | None -> invalid_arg "Router.process_experiment_update: unknown experiment"
-  | Some e -> (
-      t.counters.updates_from_experiments <-
-        t.counters.updates_from_experiments + 1;
-      let now = Engine.now t.engine in
-      match
-        Control_enforcer.check t.control ~now ~pop:t.name e.grant u
-      with
-      | Control_enforcer.Rejected reasons ->
-          log t "rejected update from %s: %s" exp_name
-            (String.concat "; " reasons);
-          Error reasons
-      | Control_enforcer.Accepted u ->
-          (* Withdrawals: remove the matching variant. *)
-          List.iter
-            (fun (n : Msg.nlri) ->
-              let pid = match n.path_id with Some p -> p | None -> 0 in
-              match Hashtbl.find_opt e.routes n.prefix with
-              | None -> ()
-              | Some vs ->
-                  vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
-                  if !vs = [] then begin
-                    Hashtbl.remove e.routes n.prefix;
-                    t.owner_trie <- Ptrie.V4.remove n.prefix t.owner_trie
-                  end;
-                  export_exp_withdraw_to_mesh t e n.prefix pid;
-                  reexport_prefix t n.prefix)
-            u.withdrawn;
-          (* Announcements: record/replace the variant. *)
-          List.iter
-            (fun (n : Msg.nlri) ->
-              let pid = match n.path_id with Some p -> p | None -> 0 in
-              let v = { v_path_id = pid; v_attrs = u.attrs } in
-              let vs =
-                match Hashtbl.find_opt e.routes n.prefix with
-                | Some vs -> vs
-                | None ->
-                    let vs = ref [] in
-                    Hashtbl.replace e.routes n.prefix vs;
-                    vs
-              in
-              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
-              t.owner_trie <-
-                Ptrie.V4.add n.prefix (Local_exp exp_name) t.owner_trie;
-              export_exp_route_to_mesh t e n.prefix v;
-              reexport_prefix t n.prefix)
-            u.announced;
-          process_experiment_v6 t e u;
-          Ok ())
-
-(* -- mesh import ------------------------------------------------------------ *)
-
-(* Forward reference: the experiment-LAN frame handler is defined with the
-   data plane below, but alias creation (control plane) must attach LAN
-   stations that use it. *)
-let exp_lan_frame_handler :
-    (t -> station_neighbor:int option -> Eth.t -> unit) ref =
-  ref (fun _ ~station_neighbor:_ _ -> ())
-
-(* Find or create the local alias pseudo-neighbor for a remote neighbor's
-   global IP (§4.4). *)
-let alias_for_global t ~pop global_ip =
-  match Hashtbl.find_opt t.alias_by_global global_ip with
-  | Some id -> (Hashtbl.find t.neighbors id, false)
-  | None ->
-      let id = t.next_neighbor_id in
-      t.next_neighbor_id <- t.next_neighbor_id + 1;
-      let a =
-        Addr_pool.allocate t.local_pool
-          (Printf.sprintf "global:%s" (Ipv4.to_string global_ip))
-      in
-      (* The alias shares the remote neighbor's export id so export-control
-         tags mean the same thing at every PoP. *)
-      let export_id =
-        match Addr_pool.of_ip t.global_pool global_ip with
-        | Some g -> g.Addr_pool.index
-        | None -> 0
-      in
-      let info =
-        {
-          Neighbor.id;
-          asn = t.asn;
-          ip = global_ip;
-          kind = Neighbor.Backbone_alias { remote_pop = pop };
-          virtual_ip = a.Addr_pool.ip;
-          virtual_mac = a.Addr_pool.mac;
-          global_ip = Some global_ip;
-        }
-      in
-      let ns =
-        {
-          info;
-          rib_in = Rib.Table.create ();
-          session = None;
-          deliver = (fun _ -> ());
-          export_id;
-        }
-      in
-      Hashtbl.replace t.neighbors id ns;
-      Hashtbl.replace t.by_vmac info.Neighbor.virtual_mac id;
-      Hashtbl.replace t.by_vip info.Neighbor.virtual_ip id;
-      Hashtbl.replace t.alias_by_global global_ip id;
-      (* The alias answers on the experiment LAN like any neighbor. *)
-      Lan.attach t.exp_lan info.Neighbor.virtual_mac
-        (fun frame -> !exp_lan_frame_handler t ~station_neighbor:(Some id) frame);
-      log t "alias neighbor %d for global %a (%s)" id Ipv4.pp global_ip pop;
-      (ns, true)
-
-let process_mesh_update t ~pop (u : Msg.update) =
-  t.counters.updates_from_mesh <- t.counters.updates_from_mesh + 1;
-  let now = Engine.now t.engine in
-  let ctl_asn = control_asn t in
-  (* Withdrawals are resolved through the import map. *)
-  List.iter
-    (fun (n : Msg.nlri) ->
-      let pid = match n.path_id with Some p -> p | None -> 0 in
-      match Hashtbl.find_opt t.mesh_imports (pop, pid) with
-      | Some (Ialias { alias_id }) -> (
-          match neighbor t alias_id with
-          | Some ns ->
-              ignore
-                (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
-                   ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None);
-              Rib.Fib.remove
-                (Rib.Fib.Set.table t.fibs alias_id)
-                n.prefix;
-              export_withdraw_to_experiments t ns n.prefix
-          | None -> ())
-      | Some (Iremote_exp { prefix }) ->
-          Hashtbl.remove t.remote_exp_routes (pop, pid);
-          t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
-          reexport_prefix t prefix
-      | None -> ())
-    u.withdrawn;
-  if u.announced <> [] then begin
-    let next_hop = Attr.next_hop u.attrs in
-    let is_exp =
-      List.exists
-        (Export_control.is_marker ~ctl_asn)
-        (Attr.communities u.attrs)
-    in
-    match next_hop with
-    | None -> ()
-    | Some g when not is_exp ->
-        (* A remote neighbor's route: alias it and expose to experiments. *)
-        let ns, _created = alias_for_global t ~pop g in
-        let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
-        let source =
-          Rib.Route.source ~peer_ip:ns.info.Neighbor.virtual_ip
-            ~peer_asn:t.asn ~ebgp:false ()
-        in
-        List.iter
-          (fun (n : Msg.nlri) ->
-            let pid = match n.path_id with Some p -> p | None -> 0 in
-            Hashtbl.replace t.mesh_imports (pop, pid)
-              (Ialias { alias_id = ns.info.Neighbor.id });
-            let route =
-              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
-                ~source ()
-            in
-            ignore (Rib.Table.update ns.rib_in route);
-            Rib.Fib.insert fib n.prefix
-              { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
-            export_route_to_experiments t ns n.prefix u.attrs)
-          u.announced
-    | Some g ->
-        (* A remote experiment's announcement: remember it for neighbor
-           export here, and route its traffic toward the remote PoP. *)
-        let attrs =
-          Attr.remove_communities
-            ~keep:(fun c -> not (Export_control.is_marker ~ctl_asn c))
-            u.attrs
-        in
-        List.iter
-          (fun (n : Msg.nlri) ->
-            let pid = match n.path_id with Some p -> p | None -> 0 in
-            Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
-            Hashtbl.replace t.mesh_imports (pop, pid)
-              (Iremote_exp { prefix = n.prefix });
-            t.owner_trie <-
-              Ptrie.V4.add n.prefix
-                (Remote_exp { pop; via_global = g })
-                t.owner_trie;
-            reexport_prefix t n.prefix)
-          u.announced
-  end
-
-(* -- data plane -------------------------------------------------------------- *)
-
-let send_frame_on_exp_lan t ~src ~dst payload =
-  Lan.send t.exp_lan { Eth.dst; src; ethertype = Eth.Ipv4; payload }
-
-(* Deliver a packet to a local experiment, rewriting the source MAC to the
-   virtual MAC of the neighbor that brought it (paper §3.2.2). *)
-let deliver_to_local_experiment t ~via_mac exp_name packet =
-  match experiment t exp_name with
-  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
-  | Some e ->
-      t.counters.packets_to_experiments <-
-        t.counters.packets_to_experiments + 1;
-      e.att_packets_in <- e.att_packets_in + 1;
-      send_frame_on_exp_lan t ~src:via_mac ~dst:e.exp_mac
-        (Ipv4_packet.encode packet)
-
-let icmp_ttl_exceeded t (expired : Ipv4_packet.t) =
-  let original =
-    let full = Ipv4_packet.encode expired in
-    String.sub full 0 (min (String.length full) 28)
-  in
-  t.counters.icmp_sent <- t.counters.icmp_sent + 1;
-  Ipv4_packet.make ~src:t.primary_ip ~dst:expired.src
-    ~protocol:Ipv4_packet.Icmp
-    (Icmp.encode (Icmp.Ttl_exceeded { original }))
-
-(* Forward a packet over the backbone toward [global_ip] (ARP on the
-   backbone segment, then a frame to the owning PoP; §4.4). *)
-let forward_over_backbone t ~global_ip packet =
-  match t.bb with
-  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
-  | Some bb ->
-      t.counters.packets_over_backbone <-
-        t.counters.packets_over_backbone + 1;
-      Arp_client.send_ip bb ~next_hop:global_ip packet
-
-(* An inbound packet destined to experiment space, arriving from local
-   neighbor [via] (or from the backbone when [via] is None). *)
-let deliver_inbound t ?via packet =
-  let dst = packet.Ipv4_packet.dst in
-  match Ptrie.lookup_v4 dst t.owner_trie with
-  | Some (_, Local_exp exp_name) ->
-      let via_mac =
-        match via with
-        | Some ns -> ns.info.Neighbor.virtual_mac
-        | None -> t.router_mac
-      in
-      deliver_to_local_experiment t ~via_mac exp_name packet
-  | Some (_, Remote_exp { via_global; _ }) ->
-      forward_over_backbone t ~global_ip:via_global packet
-  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
-
-(* Put a station for global IP [g] on the backbone segment: it answers ARP
-   for [g] and hands arriving packets to [receive] (§4.4). *)
-let register_global_station t lan ~g ~receive =
-  let gmac =
-    match Addr_pool.of_ip t.global_pool g with
-    | Some a -> a.Addr_pool.mac
-    | None -> Mac.zero
-  in
-  let station = Arp_client.attach lan ~mac:gmac ~ips:[ g ] in
-  Arp_client.set_ip_handler station (fun ~src_mac:_ packet -> receive packet)
-
-(* Backbone delivery toward local neighbor [id]. *)
-let backbone_station_for_neighbor t id packet =
-  match neighbor t id with
-  | Some ns when not (Neighbor.is_alias ns.info) ->
-      if packet.Ipv4_packet.ttl <= 1 then
-        deliver_inbound t (icmp_ttl_exceeded t packet)
-      else begin
-        t.counters.packets_to_neighbors <- t.counters.packets_to_neighbors + 1;
-        ns.deliver (Ipv4_packet.decrement_ttl packet)
-      end
-  | _ -> ()
-
-(* Entry point for packets handed to us by a real neighbor (traffic from
-   the Internet toward experiment prefixes). *)
-let inject_from_neighbor t ~neighbor_id packet =
-  match neighbor t neighbor_id with
-  | None -> invalid_arg "Router.inject_from_neighbor: unknown neighbor"
-  | Some ns -> deliver_inbound t ~via:ns packet
-
-(* Forward a frame an experiment put on the wire: the destination MAC
-   picks the neighbor table (the heart of §3.2.2). *)
-let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
-  match (neighbor t neighbor_id, Ipv4_packet.decode frame.payload) with
-  | None, _ | _, Error _ ->
-      t.counters.packets_dropped <- t.counters.packets_dropped + 1
-  | Some ns, Ok packet -> (
-      let now = Engine.now t.engine in
-      let ingress =
-        match Hashtbl.find_opt t.by_exp_mac frame.src with
-        | Some name -> name
-        | None -> Printf.sprintf "unknown:%s" (Mac.to_string frame.src)
-      in
-      match
-        Data_enforcer.check t.data ~now ~meta:{ Data_enforcer.ingress } packet
-      with
-      | Data_enforcer.Blocked _ ->
-          t.counters.packets_dropped <- t.counters.packets_dropped + 1
-      | Data_enforcer.Allowed packet ->
-          (match Hashtbl.find_opt t.by_exp_mac frame.src with
-          | Some name -> (
-              match experiment t name with
-              | Some e ->
-                  e.att_packets_out <- e.att_packets_out + 1;
-                  e.att_bytes_out <-
-                    e.att_bytes_out + Ipv4_packet.header_size
-                    + String.length packet.Ipv4_packet.payload
-              | None -> ())
-          | None -> ());
-          if packet.Ipv4_packet.ttl <= 1 then begin
-            let icmp = icmp_ttl_exceeded t packet in
-            deliver_inbound t icmp
-          end
-          else begin
-            let packet = Ipv4_packet.decrement_ttl packet in
-            let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
-            match Rib.Fib.lookup fib packet.Ipv4_packet.dst with
-            | None ->
-                t.counters.packets_dropped <- t.counters.packets_dropped + 1
-            | Some entry ->
-                if Neighbor.is_alias ns.info then
-                  forward_over_backbone t ~global_ip:entry.Rib.Fib.next_hop
-                    packet
-                else begin
-                  t.counters.packets_to_neighbors <-
-                    t.counters.packets_to_neighbors + 1;
-                  ns.deliver packet
-                end
-          end)
-
-(* Handle a frame arriving on the experiment LAN addressed to one of our
-   stations (a neighbor's virtual MAC or the router itself). *)
-let handle_exp_lan_frame t ~station_neighbor (frame : Eth.t) =
-  match frame.ethertype with
-  | Eth.Arp -> (
-      match Arp.decode frame.payload with
-      | Ok ({ op = Arp.Request; _ } as a) -> (
-          (* Answer for the virtual IP this station owns. *)
-          match Hashtbl.find_opt t.by_vip a.target_ip with
-          | Some id when station_neighbor = Some id -> (
-              match neighbor t id with
-              | Some ns ->
-                  Lan.send t.exp_lan
-                    {
-                      Eth.dst = a.sender_mac;
-                      src = ns.info.Neighbor.virtual_mac;
-                      ethertype = Eth.Arp;
-                      payload =
-                        Arp.encode
-                          (Arp.reply ~sender_mac:ns.info.Neighbor.virtual_mac
-                             ~sender_ip:a.target_ip ~target_mac:a.sender_mac
-                             ~target_ip:a.sender_ip);
-                    }
-              | None -> ())
-          | _ ->
-              (* The router answers for its own primary address. *)
-              if
-                station_neighbor = None
-                && Ipv4.equal a.target_ip t.primary_ip
-              then
-                Lan.send t.exp_lan
-                  {
-                    Eth.dst = a.sender_mac;
-                    src = t.router_mac;
-                    ethertype = Eth.Arp;
-                    payload =
-                      Arp.encode
-                        (Arp.reply ~sender_mac:t.router_mac
-                           ~sender_ip:t.primary_ip ~target_mac:a.sender_mac
-                           ~target_ip:a.sender_ip);
-                  })
-      | Ok _ | Error _ -> ())
-  | Eth.Ipv4 -> (
-      match station_neighbor with
-      | Some id -> forward_experiment_frame t ~neighbor_id:id frame
-      | None -> (
-          (* Addressed to the router itself: experiment-to-experiment or
-             diagnostic traffic; route it like inbound. *)
-          match Ipv4_packet.decode frame.payload with
-          | Ok packet -> deliver_inbound t packet
-          | Error _ -> ()))
-  | Eth.Ipv6 | Eth.Other _ -> ()
-
-let () = exp_lan_frame_handler := handle_exp_lan_frame
-
-(* -- wiring: neighbors, experiments, backbone, mesh ------------------------- *)
-
-let session_capabilities ?(add_path = false) t =
-  let base =
-    [
-      Capability.Multiprotocol
-        { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
-      Capability.Multiprotocol
-        { afi = Capability.afi_ipv6; safi = Capability.safi_unicast };
-      Capability.As4 t.asn;
-    ]
-  in
-  if add_path then
-    base
-    @ [
-        Capability.Add_path
-          [
-            ( Capability.afi_ipv4,
-              Capability.safi_unicast,
-              Capability.Send_receive );
-          ];
-      ]
-  else base
-
-(* Register a real BGP neighbor. Returns (neighbor id, session pair); the
-   caller drives the remote (active) side of the pair. *)
-let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
-    ?(deliver = fun _ -> ()) () =
-  let id = t.next_neighbor_id in
-  t.next_neighbor_id <- t.next_neighbor_id + 1;
-  let local = Addr_pool.allocate t.local_pool (Printf.sprintf "neighbor:%d" id) in
-  let global =
-    Addr_pool.allocate t.global_pool
-      (Printf.sprintf "%s/neighbor:%d" t.name id)
-  in
-  let info =
-    {
-      Neighbor.id;
-      asn;
-      ip;
-      kind;
-      virtual_ip = local.Addr_pool.ip;
-      virtual_mac = local.Addr_pool.mac;
-      global_ip = Some global.Addr_pool.ip;
-    }
-  in
-  let config_router =
-    Session.config ~local_asn:t.asn ~local_id:t.router_id
-      ~capabilities:(session_capabilities t) ()
-  in
-  let config_remote =
-    Session.config ~local_asn:asn ~local_id:remote_id
-      ~capabilities:
-        [
-          Capability.Multiprotocol
-            { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
-          Capability.As4 asn;
-        ]
-      ()
-  in
-  let pair =
-    Sim.Bgp_wire.make t.engine ~latency ~config_active:config_remote
-      ~config_passive:config_router ()
-  in
-  let ns =
-    { info; rib_in = Rib.Table.create (); session = Some pair.Sim.Bgp_wire.passive; deliver; export_id = global.Addr_pool.index }
-  in
-  Hashtbl.replace t.neighbors id ns;
-  Hashtbl.replace t.by_vmac info.Neighbor.virtual_mac id;
-  Hashtbl.replace t.by_vip info.Neighbor.virtual_ip id;
-  Hashtbl.replace t.by_global_ip global.Addr_pool.ip id;
-  (* If the backbone is already attached, expose the new neighbor there. *)
-  (match t.bb with
-  | Some bb ->
-      register_global_station t bb.Arp_client.lan ~g:global.Addr_pool.ip
-        ~receive:(backbone_station_for_neighbor t id)
-  | None -> ());
-  (* The neighbor's virtual MAC is a station on the experiment LAN; frames
-     sent to it are routed through the neighbor's table. *)
-  Lan.attach t.exp_lan info.Neighbor.virtual_mac
-    (handle_exp_lan_frame t ~station_neighbor:(Some id));
-  Session.set_handlers pair.Sim.Bgp_wire.passive
-    {
-      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
-      on_update = (fun u -> process_neighbor_update t ~neighbor_id:id u);
-      on_established =
-        (fun () -> log t "neighbor %d (as%a) established" id Asn.pp asn);
-      on_down =
-        (fun reason ->
-          log t "neighbor %d down: %s" id reason;
-          let changes = Rib.Table.drop_peer ns.rib_in ~peer_ip:ip in
-          Rib.Fib.clear (Rib.Fib.Set.table t.fibs id);
-          List.iter
-            (function
-              | Rib.Table.Best_changed (prefix, None) ->
-                  export_withdraw_to_experiments t ns prefix;
-                  export_withdraw_to_mesh t ns prefix
-              | _ -> ())
-            changes);
-    };
-  (id, pair)
-
-let set_neighbor_deliver t ~neighbor_id deliver =
-  match neighbor t neighbor_id with
-  | Some ns -> ns.deliver <- deliver
-  | None -> invalid_arg "Router.set_neighbor_deliver"
-
-(* Attach this router to the backbone segment shared by all PoPs. *)
-let attach_backbone t lan =
-  let bb_mac = Mac.local ~pool:0xbb (Hashtbl.hash t.name land 0xffffff) in
-  let bb = Arp_client.attach lan ~mac:bb_mac ~ips:[] in
-  Arp_client.set_ip_handler bb (fun ~src_mac:_ packet ->
-      (* Traffic to one of our neighbors' global MACs or to a local
-         experiment arrives here. *)
-      deliver_inbound t packet);
-  t.bb <- Some bb;
-  (* Answer ARP for the global IPs of our local neighbors and deliver
-     frames addressed to them straight to the neighbor. *)
-  Hashtbl.iter
-    (fun g id ->
-      register_global_station t lan ~g
-        ~receive:(backbone_station_for_neighbor t id))
-    t.by_global_ip;
-  (* Local experiments also have global identities on the backbone. *)
-  Hashtbl.iter
-    (fun _ e ->
-      register_global_station t lan ~g:e.g_ip ~receive:(deliver_inbound t))
-    t.experiments
-
-
-(* Establish the backbone BGP mesh session toward another PoP's router.
-   Call once per unordered pair; [Bgp_wire.start] is invoked internally. *)
-let connect_mesh t other ?(latency = 0.02) () =
-  let config a =
-    Session.config ~local_asn:a.asn ~local_id:a.router_id ~hold_time:180
-      ~capabilities:(session_capabilities ~add_path:true a) ()
-  in
-  let pair =
-    Sim.Bgp_wire.make t.engine ~latency ~config_active:(config t)
-      ~config_passive:(config other) ()
-  in
-  let install self peer_name session =
-    let mp = { pop_name = peer_name; mesh_session = session } in
-    self.mesh <- mp :: self.mesh;
-    Session.set_handlers session
-      {
-        Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
-      on_update = (fun u -> process_mesh_update self ~pop:peer_name u);
-        on_established =
-          (fun () ->
-            log self "mesh to %s established" peer_name;
-            (* Sync: all neighbor-learned routes plus local experiment
-               announcements. *)
-            List.iter
-              (fun ns ->
-                if not (Neighbor.is_alias ns.info) then
-                  Rib.Table.iter_routes
-                    (fun (r : Rib.Route.t) ->
-                      match ns.info.Neighbor.global_ip with
-                      | Some g ->
-                          Session.send_update session
-                            (Msg.update
-                               ~attrs:(Attr.with_next_hop g r.attrs)
-                               ~announced:
-                                 [
-                                   Msg.nlri ~path_id:ns.info.Neighbor.id
-                                     r.prefix;
-                                 ]
-                               ())
-                      | None -> ())
-                    ns.rib_in)
-              (neighbor_states self);
-            Hashtbl.iter
-              (fun _ e ->
-                Hashtbl.iter
-                  (fun prefix vs ->
-                    List.iter
-                      (fun v ->
-                        let ctl_asn = control_asn self in
-                        let attrs =
-                          v.v_attrs
-                          |> Attr.with_next_hop e.g_ip
-                          |> Attr.add_community
-                               (Export_control.experiment_marker ~ctl_asn)
-                        in
-                        Session.send_update session
-                          (Msg.update ~attrs
-                             ~announced:
-                               [
-                                 Msg.nlri
-                                   ~path_id:(mesh_path_id e v.v_path_id)
-                                   prefix;
-                               ]
-                             ()))
-                      !vs)
-                  e.routes)
-              self.experiments);
-        on_down = (fun reason -> log self "mesh to %s down: %s" peer_name reason);
-      }
-  in
-  install t other.name pair.Sim.Bgp_wire.active;
-  install other t.name pair.Sim.Bgp_wire.passive;
-  Sim.Bgp_wire.start pair;
-  pair
-
-(* Connect an experiment: BGP over a VPN-like link, data over the
-   experiment LAN. Returns the client-side session (ADD-PATH capable);
-   start it with [Bgp_wire.start] via the returned pair. *)
-let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
-  let exp_name = grant.Control_enforcer.name in
-  if Hashtbl.mem t.experiments exp_name then
-    invalid_arg "Router.connect_experiment: already connected";
-  let g =
-    Addr_pool.allocate t.global_pool
-      (Printf.sprintf "%s/experiment:%s" t.name exp_name)
-  in
-  let client_asn =
-    match grant.Control_enforcer.asns with
-    | a :: _ -> a
-    | [] -> invalid_arg "Router.connect_experiment: grant has no ASN"
-  in
-  let client_id =
-    match grant.Control_enforcer.prefixes with
-    | p :: _ -> Prefix.host p 1
-    | [] -> Ipv4.of_string_exn "192.0.2.1"
-  in
-  let config_router =
-    Session.config ~local_asn:t.asn ~local_id:t.router_id
-      ~capabilities:(session_capabilities ~add_path:true t) ()
-  in
-  let config_client =
-    Session.config ~local_asn:client_asn ~local_id:client_id
-      ~capabilities:
-        [
-          Capability.Multiprotocol
-            { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
-          Capability.As4 client_asn;
-          Capability.Add_path
-            [
-              ( Capability.afi_ipv4,
-                Capability.safi_unicast,
-                Capability.Send_receive );
-            ];
-        ]
-      ()
-  in
-  let pair =
-    Sim.Bgp_wire.make t.engine ~latency ~config_active:config_client
-      ~config_passive:config_router ()
-  in
-  let e =
-    {
-      grant;
-      exp_session = pair.Sim.Bgp_wire.passive;
-      exp_mac = mac;
-      g_ip = g.Addr_pool.ip;
-      g_idx = g.Addr_pool.index;
-      routes = Hashtbl.create 8;
-      routes_v6 = Hashtbl.create 4;
-      exp_synced = false;
-      att_packets_out = 0;
-      att_bytes_out = 0;
-      att_packets_in = 0;
-    }
-  in
-  Hashtbl.replace t.experiments exp_name e;
-  Hashtbl.replace t.by_exp_mac mac exp_name;
-  (match t.bb with
-  | Some bb ->
-      register_global_station t bb.Arp_client.lan ~g:e.g_ip
-        ~receive:(deliver_inbound t)
-  | None -> ());
-  Session.set_handlers pair.Sim.Bgp_wire.passive
-    {
-      Session.on_route_refresh =
-        (fun ~afi:_ ~safi:_ ->
-          (* RFC 2918: the experiment asked for the table again. *)
-          log t "route refresh from experiment %s" exp_name;
-          e.exp_synced <- false;
-          sync_experiment t e);
-      on_update =
-        (fun u -> ignore (process_experiment_update t ~experiment:exp_name u));
-      on_established =
-        (fun () ->
-          log t "experiment %s established" exp_name;
-          sync_experiment t e);
-      on_down =
-        (fun reason ->
-          log t "experiment %s down: %s" exp_name reason;
-          (* Withdraw everything the experiment announced: clear its state
-             first so the re-export pass sees no live variants. *)
-          let announced =
-            Hashtbl.fold
-              (fun prefix vs acc -> (prefix, !vs) :: acc)
-              e.routes []
-          in
-          Hashtbl.reset e.routes;
-          List.iter
-            (fun (prefix, vs) ->
-              List.iter
-                (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
-                vs;
-              t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
-              reexport_prefix t prefix)
-            announced;
-          e.exp_synced <- false);
-    };
-  pair
-
-(* The router's own station on the experiment LAN (answers for the primary
-   address, receives router-addressed traffic). Call after creation. *)
-let activate t =
-  Lan.attach t.exp_lan t.router_mac
-    (handle_exp_lan_frame t ~station_neighbor:None)
-
-(* -- inspection -------------------------------------------------------------- *)
-
-(* Total routes across all per-neighbor RIBs. *)
-let route_count t =
-  List.fold_left
-    (fun acc ns -> acc + Rib.Table.route_count ns.rib_in)
-    0 (neighbor_states t)
-
-let fib_entry_count t = Rib.Fib.Set.total_entries t.fibs
-
-(* Memory footprint (bytes) of control-plane state (RIBs). *)
-let control_plane_bytes t =
-  let words =
-    List.fold_left
-      (fun acc ns -> acc + Obj.reachable_words (Obj.repr ns.rib_in))
-      0 (neighbor_states t)
-  in
-  words * (Sys.word_size / 8)
-
-(* Memory footprint (bytes) of per-neighbor FIBs. *)
-let data_plane_bytes t = Rib.Fib.Set.memory_bytes t.fibs
-
-(* PlanetFlow-style attribution (§3.1): per-experiment traffic totals as
-   (experiment, packets out, bytes out, packets in). *)
-let attribution t =
-  Hashtbl.fold
-    (fun name e acc ->
-      (name, e.att_packets_out, e.att_bytes_out, e.att_packets_in) :: acc)
-    t.experiments []
-  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
-
-(* The experiment owning [ip], when it is local experiment space. *)
-let owner_of t ip =
-  match Ptrie.lookup_v4 ip t.owner_trie with
-  | Some (_, Local_exp name) -> Some name
-  | Some (_, Remote_exp _) | None -> None
-
-(* The experiment whose *allocation* covers [ip] (connected at this PoP),
-   regardless of whether it has announced yet — the basis for data-plane
-   source validation. *)
-let allocation_owner_of t ip =
-  Hashtbl.fold
-    (fun name e acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-          if Control_enforcer.owns_address e.grant ip then Some name else None)
-    t.experiments None
-
-(* The platform-global export id of a neighbor (the value used in
-   export-control community tags). *)
-let export_id t ~neighbor_id =
-  match neighbor t neighbor_id with
-  | Some ns -> ns.export_id
-  | None -> invalid_arg "Router.export_id: unknown neighbor"
-
-let neighbor_routes t ~neighbor_id =
-  match neighbor t neighbor_id with
-  | Some ns -> Rib.Table.to_list ns.rib_in
-  | None -> []
+type t = Router_state.t
+
+let create = Router_state.create
+let activate = Data_plane.activate
+
+(* -- inspection ------------------------------------------------------------- *)
+
+let name = Router_state.name
+let asn = Router_state.asn
+let experiment_lan = Router_state.experiment_lan
+let router_mac = Router_state.router_mac
+let counters = Router_state.counters
+let trace = Router_state.trace
+let control_enforcer = Router_state.control_enforcer
+let data_enforcer = Router_state.data_enforcer
+let fib_set = Router_state.fib_set
+let v6_next_hop = Router_state.v6_next_hop
+let control_asn = Router_state.control_asn
+let neighbor = Router_state.neighbor
+let neighbor_states = Router_state.neighbor_states
+let real_neighbors = Router_state.real_neighbors
+let export_id = Router_state.export_id
+let neighbor_routes = Router_state.neighbor_routes
+let route_count = Router_state.route_count
+let fib_entry_count = Router_state.fib_entry_count
+let control_plane_bytes = Router_state.control_plane_bytes
+let data_plane_bytes = Router_state.data_plane_bytes
+let attribution = Router_state.attribution
+let owner_of = Router_state.owner_of
+let allocation_owner_of = Router_state.allocation_owner_of
+
+(* -- control plane ---------------------------------------------------------- *)
+
+let process_neighbor_update = Control_in.process_neighbor_update
+let process_experiment_update = Control_out.process_experiment_update
+let process_mesh_update = Control_out.process_mesh_update
+let flush_reexports = Control_out.flush_reexports
+
+(* -- data plane ------------------------------------------------------------- *)
+
+let inject_from_neighbor = Data_plane.inject_from_neighbor
+let forward_experiment_frame = Data_plane.forward_experiment_frame
+
+(* -- wiring ----------------------------------------------------------------- *)
+
+let add_neighbor = Control_in.add_neighbor
+let set_neighbor_deliver = Control_in.set_neighbor_deliver
+let attach_backbone = Backbone.attach_backbone
+
+let connect_mesh t other ?latency () =
+  Backbone.connect_mesh t other ~on_update:Control_out.process_mesh_update
+    ?latency ()
+
+let connect_experiment = Control_out.connect_experiment

@@ -1,18 +1,18 @@
 (** The vBGP router (paper §3): virtualization of one BGP edge router's
     data and control planes across parallel experiments.
 
-    Control plane: routes learned from each neighbor are stored per
-    neighbor, their next hops rewritten to the neighbor's virtual IP, and
-    exported to every experiment over ADD-PATH (path id = neighbor table
-    id). Experiment announcements pass the enforcement engine, then reach
-    the neighbors selected by export-control communities — locally and,
-    via the backbone mesh, at every other PoP (§4.4).
+    This is a facade over the plane modules, kept as the single entry
+    point for callers:
 
-    Data plane: each neighbor owns a virtual MAC and a forwarding table;
-    the destination MAC of a frame selects the table (§3.2.2). Frames
-    toward experiments carry the delivering neighbor's virtual MAC as
-    source. Backbone forwarding repeats the trick hop by hop with the
-    shared global pool. *)
+    - {!Router_state} — the shared state record, constructor, inspection
+    - {!Control_in} — neighbor RIB-in, next-hop rewriting, ADD-PATH
+      export to experiments and the mesh (§3.2.1, Figure 2a)
+    - {!Control_out} — experiment/mesh update processing, enforcement
+      (§3.3), variant selection, and the batched dirty-prefix re-export
+      queue toward neighbors
+    - {!Data_plane} — experiment-LAN frames, MAC-keyed FIB selection
+      (§3.2.2), inbound source-MAC rewriting, ICMP
+    - {!Backbone} — mesh sessions and global-pool aliasing (§4.4) *)
 
 open Netcore
 open Bgp
@@ -20,7 +20,7 @@ open Sim
 
 (** Per-neighbor state (the [info] and [rib_in] fields are the public
     surface; the rest is wiring). *)
-type neighbor_state = {
+type neighbor_state = Router_state.neighbor_state = {
   info : Neighbor.t;
   rib_in : Rib.Table.t;
   mutable session : Session.t option;  (** [None] for backbone aliases *)
@@ -28,7 +28,7 @@ type neighbor_state = {
   export_id : int;  (** platform-global id used in export-control tags *)
 }
 
-type counters = {
+type counters = Router_state.counters = {
   mutable updates_from_neighbors : int;
   mutable updates_from_experiments : int;
   mutable updates_from_mesh : int;
@@ -37,9 +37,13 @@ type counters = {
   mutable packets_over_backbone : int;
   mutable packets_dropped : int;
   mutable icmp_sent : int;
+  mutable reexport_computations : int;
+      (** per-(prefix, neighbor) re-export recomputations; a burst of
+          updates to one prefix costs one per neighbor, not one per
+          update *)
 }
 
-type t
+type t = Router_state.t
 
 val create :
   engine:Engine.t ->
@@ -48,6 +52,7 @@ val create :
   asn:Asn.t ->
   router_id:Ipv4.t ->
   primary_ip:Ipv4.t ->
+  ?v6_next_hop:Ipv6.t ->
   local_pool:Prefix.t ->
   global_pool:Addr_pool.t ->
   ?control:Control_enforcer.t ->
@@ -56,7 +61,8 @@ val create :
   t
 (** [local_pool] is this router's virtual next-hop space (127.65/16 in the
     paper); [global_pool] must be the single pool shared by every PoP
-    (§4.4). *)
+    (§4.4). [v6_next_hop] is the next hop placed in MP_REACH_NLRI on
+    IPv6 re-export (defaults to PEERING's 2804:269c::1). *)
 
 val activate : t -> unit
 (** Attach the router's own station to the experiment LAN (answers ARP for
@@ -76,6 +82,9 @@ val trace : t -> Trace.t
 val control_enforcer : t -> Control_enforcer.t
 val data_enforcer : t -> Data_enforcer.t
 val fib_set : t -> Rib.Fib.Set.t
+
+val v6_next_hop : t -> Ipv6.t
+(** The router's IPv6 next hop as announced to neighbors. *)
 
 val control_asn : t -> int
 (** The community namespace for export control. *)
@@ -122,10 +131,18 @@ val process_neighbor_update : t -> neighbor_id:int -> Msg.update -> unit
 
 val process_experiment_update :
   t -> experiment:string -> Msg.update -> (unit, string list) result
-(** An experiment announcement through the enforcement engine and out to
-    the selected neighbors and the mesh. *)
+(** An experiment announcement through the enforcement engine; affected
+    prefixes are marked dirty and re-exported to the selected neighbors
+    at the next flush (scheduled automatically at the current engine
+    tick). *)
 
 val process_mesh_update : t -> pop:string -> Msg.update -> unit
+
+val flush_reexports : t -> unit
+(** Drain the dirty-prefix re-export queue now, recomputing each dirty
+    prefix once per neighbor. Runs automatically once per engine tick
+    after updates; call directly only when driving the router without
+    running the engine. *)
 
 (** {1 Data-plane entry points} *)
 

@@ -1,0 +1,292 @@
+(* The state record shared by the vBGP router's plane modules (paper §3).
+
+   The router is split along the paper's planes — [Control_in] (routes
+   from neighbors toward experiments), [Control_out] (experiment
+   announcements toward neighbors and the mesh), [Data_plane] (frames on
+   the experiment LAN), [Backbone] (the inter-PoP segment and mesh
+   sessions) — with [Router] as the facade. All of them operate on the
+   single [t] defined here; this module owns the record, its
+   constructor, and the read-only inspection surface. *)
+
+open Netcore
+open Bgp
+open Sim
+
+(* -- per-peer state ------------------------------------------------------- *)
+
+type neighbor_state = {
+  info : Neighbor.t;
+  rib_in : Rib.Table.t;
+  mutable session : Session.t option;  (** None for backbone aliases *)
+  mutable deliver : Ipv4_packet.t -> unit;
+      (** hand an outbound packet to the (real) neighbor *)
+  export_id : int;  (** platform-global id used in export-control tags *)
+}
+
+type variant = {
+  v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
+  v_attrs : Attr.set;  (** post-enforcement, control communities intact *)
+}
+
+type experiment_state = {
+  grant : Control_enforcer.grant;
+  exp_session : Session.t;
+  exp_mac : Mac.t;  (** experiment's station on the experiment LAN *)
+  g_ip : Ipv4.t;  (** global-pool identity for cross-PoP delivery *)
+  g_idx : int;
+  routes : (Prefix.t, variant list ref) Hashtbl.t;
+  routes_v6 : (Prefix_v6.t, variant list ref) Hashtbl.t;
+      (** IPv6 announcements (MP-BGP); control plane only *)
+  mutable exp_synced : bool;
+  (* PlanetFlow-style attribution (§3.1): per-experiment traffic totals. *)
+  mutable att_packets_out : int;
+  mutable att_bytes_out : int;
+  mutable att_packets_in : int;
+}
+
+type mesh_peer = { pop_name : string; mesh_session : Session.t }
+
+type mesh_import =
+  | Ialias of { alias_id : int }
+      (** a remote neighbor's route; the alias carries its traffic *)
+  | Iremote_exp of { prefix : Prefix.t }
+
+type owner =
+  | Local_exp of string
+  | Remote_exp of { pop : string; via_global : Ipv4.t }
+
+type counters = {
+  mutable updates_from_neighbors : int;
+  mutable updates_from_experiments : int;
+  mutable updates_from_mesh : int;
+  mutable packets_to_neighbors : int;
+  mutable packets_to_experiments : int;
+  mutable packets_over_backbone : int;
+  mutable packets_dropped : int;
+  mutable icmp_sent : int;
+  mutable reexport_computations : int;
+      (** per-(prefix, neighbor) re-export recomputations; a burst of
+          updates to one prefix costs one per neighbor, not one per
+          update (the dirty-prefix queue) *)
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  name : string;  (** PoP name, e.g. "amsterdam01" *)
+  asn : Asn.t;  (** the platform (mux) ASN prepended on neighbor export *)
+  router_id : Ipv4.t;
+  primary_ip : Ipv4.t;  (** sources ICMP errors (paper §5) *)
+  v6_next_hop : Ipv6.t;
+      (** the router's IPv6 next hop as seen by neighbors (PEERING's /32) *)
+  mutable exp_lan : Lan.t;
+  router_mac : Mac.t;
+  mutable bb : Arp_client.t option;  (** backbone segment attachment *)
+  local_pool : Addr_pool.t;
+  global_pool : Addr_pool.t;  (** shared across all PoPs *)
+  control : Control_enforcer.t;
+  data : Data_enforcer.t;
+  fibs : Rib.Fib.Set.t;
+  neighbors : (int, neighbor_state) Hashtbl.t;
+  mutable next_neighbor_id : int;
+  by_vmac : (Mac.t, int) Hashtbl.t;
+  by_vip : (Ipv4.t, int) Hashtbl.t;
+  by_global_ip : (Ipv4.t, int) Hashtbl.t;  (** local neighbors only *)
+  alias_by_global : (Ipv4.t, int) Hashtbl.t;  (** remote neighbors *)
+  experiments : (string, experiment_state) Hashtbl.t;
+  by_exp_mac : (Mac.t, string) Hashtbl.t;
+  mutable owner_trie : owner Ptrie.V4.t;
+  mutable mesh : mesh_peer list;
+  mesh_imports : (string * int, mesh_import) Hashtbl.t;
+  remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
+  adj_out : (int, (Prefix.t, Attr.set) Hashtbl.t) Hashtbl.t;
+      (** per-neighbor last-sent attributes *)
+  (* The dirty-prefix re-export queue (drained by [Control_out]): updates
+     mark prefixes dirty; one flush per engine tick recomputes each dirty
+     prefix once per neighbor. *)
+  dirty : (Prefix.t, unit) Hashtbl.t;
+  dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
+  mutable reexport_scheduled : bool;
+  counters : counters;
+}
+
+let mesh_exp_id_base = 100_000
+
+let mesh_path_id (e : experiment_state) v_path_id =
+  mesh_exp_id_base + (e.g_idx * 64) + (v_path_id land 63)
+
+let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
+
+let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
+    ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
+    ?control ?data () =
+  let control =
+    match control with
+    | Some c -> c
+    | None -> Control_enforcer.create ~platform_asns:[ asn ] ~trace ()
+  in
+  let data =
+    match data with Some d -> d | None -> Data_enforcer.create ~trace ()
+  in
+  {
+    engine;
+    trace;
+    name;
+    asn;
+    router_id;
+    primary_ip;
+    v6_next_hop;
+    exp_lan = Lan.create engine;
+    router_mac = Mac.local ~pool:0xee (Hashtbl.hash name land 0xffffff);
+    bb = None;
+    local_pool = Addr_pool.create ~base:local_pool ~mac_pool:0x65;
+    global_pool;
+    control;
+    data;
+    fibs = Rib.Fib.Set.create ();
+    neighbors = Hashtbl.create 32;
+    next_neighbor_id = 1;
+    by_vmac = Hashtbl.create 32;
+    by_vip = Hashtbl.create 32;
+    by_global_ip = Hashtbl.create 32;
+    alias_by_global = Hashtbl.create 32;
+    experiments = Hashtbl.create 8;
+    by_exp_mac = Hashtbl.create 8;
+    owner_trie = Ptrie.V4.empty;
+    mesh = [];
+    mesh_imports = Hashtbl.create 64;
+    remote_exp_routes = Hashtbl.create 16;
+    adj_out = Hashtbl.create 32;
+    dirty = Hashtbl.create 64;
+    dirty_v6 = Hashtbl.create 16;
+    reexport_scheduled = false;
+    counters =
+      {
+        updates_from_neighbors = 0;
+        updates_from_experiments = 0;
+        updates_from_mesh = 0;
+        packets_to_neighbors = 0;
+        packets_to_experiments = 0;
+        packets_over_backbone = 0;
+        packets_dropped = 0;
+        icmp_sent = 0;
+        reexport_computations = 0;
+      };
+  }
+
+let name t = t.name
+let asn t = t.asn
+let experiment_lan t = t.exp_lan
+let router_mac t = t.router_mac
+let counters t = t.counters
+let trace t = t.trace
+let control_enforcer t = t.control
+let data_enforcer t = t.data
+let fib_set t = t.fibs
+let v6_next_hop t = t.v6_next_hop
+let control_asn t = Control_enforcer.control_community_asn t.control
+
+let log t fmt =
+  Trace.record t.trace ~time:(Engine.now t.engine) ~category:"router" fmt
+
+let neighbor t id = Hashtbl.find_opt t.neighbors id
+
+let neighbor_states t =
+  Hashtbl.fold (fun _ ns acc -> ns :: acc) t.neighbors []
+  |> List.sort (fun a b -> Int.compare a.info.Neighbor.id b.info.Neighbor.id)
+
+let real_neighbors t =
+  List.filter (fun ns -> not (Neighbor.is_alias ns.info)) (neighbor_states t)
+
+let experiment t name = Hashtbl.find_opt t.experiments name
+
+let adj_out_table t neighbor_id =
+  match Hashtbl.find_opt t.adj_out neighbor_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace t.adj_out neighbor_id tbl;
+      tbl
+
+let session_capabilities ?(add_path = false) t =
+  let base =
+    [
+      Capability.Multiprotocol
+        { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
+      Capability.Multiprotocol
+        { afi = Capability.afi_ipv6; safi = Capability.safi_unicast };
+      Capability.As4 t.asn;
+    ]
+  in
+  if add_path then
+    base
+    @ [
+        Capability.Add_path
+          [
+            ( Capability.afi_ipv4,
+              Capability.safi_unicast,
+              Capability.Send_receive );
+          ];
+      ]
+  else base
+
+(* -- inspection -------------------------------------------------------------- *)
+
+(* Total routes across all per-neighbor RIBs. *)
+let route_count t =
+  List.fold_left
+    (fun acc ns -> acc + Rib.Table.route_count ns.rib_in)
+    0 (neighbor_states t)
+
+let fib_entry_count t = Rib.Fib.Set.total_entries t.fibs
+
+(* Memory footprint (bytes) of control-plane state (RIBs). *)
+let control_plane_bytes t =
+  let words =
+    List.fold_left
+      (fun acc ns -> acc + Obj.reachable_words (Obj.repr ns.rib_in))
+      0 (neighbor_states t)
+  in
+  words * (Sys.word_size / 8)
+
+(* Memory footprint (bytes) of per-neighbor FIBs. *)
+let data_plane_bytes t = Rib.Fib.Set.memory_bytes t.fibs
+
+(* PlanetFlow-style attribution (§3.1): per-experiment traffic totals as
+   (experiment, packets out, bytes out, packets in). *)
+let attribution t =
+  Hashtbl.fold
+    (fun name e acc ->
+      (name, e.att_packets_out, e.att_bytes_out, e.att_packets_in) :: acc)
+    t.experiments []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+(* The experiment owning [ip], when it is local experiment space. *)
+let owner_of t ip =
+  match Ptrie.lookup_v4 ip t.owner_trie with
+  | Some (_, Local_exp name) -> Some name
+  | Some (_, Remote_exp _) | None -> None
+
+(* The experiment whose *allocation* covers [ip] (connected at this PoP),
+   regardless of whether it has announced yet — the basis for data-plane
+   source validation. *)
+let allocation_owner_of t ip =
+  Hashtbl.fold
+    (fun name e acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Control_enforcer.owns_address e.grant ip then Some name else None)
+    t.experiments None
+
+(* The platform-global export id of a neighbor (the value used in
+   export-control community tags). *)
+let export_id t ~neighbor_id =
+  match neighbor t neighbor_id with
+  | Some ns -> ns.export_id
+  | None -> invalid_arg "Router.export_id: unknown neighbor"
+
+let neighbor_routes t ~neighbor_id =
+  match neighbor t neighbor_id with
+  | Some ns -> Rib.Table.to_list ns.rib_in
+  | None -> []

@@ -1,0 +1,158 @@
+(** The state record shared by the vBGP router's plane modules (§3).
+
+    The router is decomposed along the paper's planes: {!Control_in}
+    (neighbor RIB-in and export toward experiments/mesh), {!Control_out}
+    (experiment and mesh announcements toward neighbors, with the
+    dirty-prefix re-export queue), {!Data_plane} (experiment-LAN frames,
+    MAC-keyed forwarding), {!Backbone} (inter-PoP segment, aliasing and
+    mesh sessions), and {!Router} as the stable facade. This module owns
+    the record those planes share, its constructor, and the inspection
+    surface; it implements no plane logic itself. *)
+
+open Netcore
+open Bgp
+open Sim
+
+type neighbor_state = {
+  info : Neighbor.t;
+  rib_in : Rib.Table.t;
+  mutable session : Session.t option;  (** [None] for backbone aliases *)
+  mutable deliver : Ipv4_packet.t -> unit;
+  export_id : int;  (** platform-global id used in export-control tags *)
+}
+
+type variant = {
+  v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
+  v_attrs : Attr.set;  (** post-enforcement, control communities intact *)
+}
+
+type experiment_state = {
+  grant : Control_enforcer.grant;
+  exp_session : Session.t;
+  exp_mac : Mac.t;
+  g_ip : Ipv4.t;
+  g_idx : int;
+  routes : (Prefix.t, variant list ref) Hashtbl.t;
+  routes_v6 : (Prefix_v6.t, variant list ref) Hashtbl.t;
+  mutable exp_synced : bool;
+  mutable att_packets_out : int;
+  mutable att_bytes_out : int;
+  mutable att_packets_in : int;
+}
+
+type mesh_peer = { pop_name : string; mesh_session : Session.t }
+
+type mesh_import =
+  | Ialias of { alias_id : int }
+  | Iremote_exp of { prefix : Prefix.t }
+
+type owner =
+  | Local_exp of string
+  | Remote_exp of { pop : string; via_global : Ipv4.t }
+
+type counters = {
+  mutable updates_from_neighbors : int;
+  mutable updates_from_experiments : int;
+  mutable updates_from_mesh : int;
+  mutable packets_to_neighbors : int;
+  mutable packets_to_experiments : int;
+  mutable packets_over_backbone : int;
+  mutable packets_dropped : int;
+  mutable icmp_sent : int;
+  mutable reexport_computations : int;
+      (** per-(prefix, neighbor) re-export recomputations performed by
+          the dirty-prefix queue *)
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  name : string;
+  asn : Asn.t;
+  router_id : Ipv4.t;
+  primary_ip : Ipv4.t;
+  v6_next_hop : Ipv6.t;
+  mutable exp_lan : Lan.t;
+  router_mac : Mac.t;
+  mutable bb : Arp_client.t option;
+  local_pool : Addr_pool.t;
+  global_pool : Addr_pool.t;
+  control : Control_enforcer.t;
+  data : Data_enforcer.t;
+  fibs : Rib.Fib.Set.t;
+  neighbors : (int, neighbor_state) Hashtbl.t;
+  mutable next_neighbor_id : int;
+  by_vmac : (Mac.t, int) Hashtbl.t;
+  by_vip : (Ipv4.t, int) Hashtbl.t;
+  by_global_ip : (Ipv4.t, int) Hashtbl.t;
+  alias_by_global : (Ipv4.t, int) Hashtbl.t;
+  experiments : (string, experiment_state) Hashtbl.t;
+  by_exp_mac : (Mac.t, string) Hashtbl.t;
+  mutable owner_trie : owner Ptrie.V4.t;
+  mutable mesh : mesh_peer list;
+  mesh_imports : (string * int, mesh_import) Hashtbl.t;
+  remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
+  adj_out : (int, (Prefix.t, Attr.set) Hashtbl.t) Hashtbl.t;
+  dirty : (Prefix.t, unit) Hashtbl.t;
+  dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
+  mutable reexport_scheduled : bool;
+  counters : counters;
+}
+
+val mesh_exp_id_base : int
+
+val mesh_path_id : experiment_state -> int -> int
+(** The ADD-PATH id carried on the mesh for an experiment variant. *)
+
+val default_v6_next_hop : Ipv6.t
+
+val create :
+  engine:Engine.t ->
+  ?trace:Trace.t ->
+  name:string ->
+  asn:Asn.t ->
+  router_id:Ipv4.t ->
+  primary_ip:Ipv4.t ->
+  ?v6_next_hop:Ipv6.t ->
+  local_pool:Prefix.t ->
+  global_pool:Addr_pool.t ->
+  ?control:Control_enforcer.t ->
+  ?data:Data_enforcer.t ->
+  unit ->
+  t
+
+val name : t -> string
+val asn : t -> Asn.t
+val experiment_lan : t -> Lan.t
+val router_mac : t -> Mac.t
+val counters : t -> counters
+val trace : t -> Trace.t
+val control_enforcer : t -> Control_enforcer.t
+val data_enforcer : t -> Data_enforcer.t
+val fib_set : t -> Rib.Fib.Set.t
+val v6_next_hop : t -> Ipv6.t
+val control_asn : t -> int
+
+val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val neighbor : t -> int -> neighbor_state option
+val neighbor_states : t -> neighbor_state list
+val real_neighbors : t -> neighbor_state list
+val experiment : t -> string -> experiment_state option
+
+val adj_out_table : t -> int -> (Prefix.t, Attr.set) Hashtbl.t
+(** The per-neighbor Adj-RIB-Out table, created on first use. *)
+
+val session_capabilities : ?add_path:bool -> t -> Capability.t list
+
+(** {1 Inspection} *)
+
+val route_count : t -> int
+val fib_entry_count : t -> int
+val control_plane_bytes : t -> int
+val data_plane_bytes : t -> int
+val attribution : t -> (string * int * int * int) list
+val owner_of : t -> Ipv4.t -> string option
+val allocation_owner_of : t -> Ipv4.t -> string option
+val export_id : t -> neighbor_id:int -> int
+val neighbor_routes : t -> neighbor_id:int -> Rib.Route.t list

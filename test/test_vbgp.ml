@@ -485,7 +485,7 @@ type fixture = {
   n2_delivered : Ipv4_packet.t list ref;
 }
 
-let make_fixture () =
+let make_fixture ?v6_next_hop () =
   let engine = Sim.Engine.create () in
   let global_pool =
     Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
@@ -493,7 +493,7 @@ let make_fixture () =
   let router =
     Router.create ~engine ~name:"testpop" ~asn:(asn 47065)
       ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
-      ~local_pool:(pfx "127.65.0.0/16") ~global_pool ()
+      ?v6_next_hop ~local_pool:(pfx "127.65.0.0/16") ~global_pool ()
   in
   Router.activate router;
   let n1_delivered = ref [] and n2_delivered = ref [] in
@@ -950,6 +950,151 @@ let test_router_variant_selection () =
   checkb "N1 did not" false
     (List.exists (fun (u : Msg.update) -> u.Msg.withdrawn <> []) !heard_n1)
 
+let test_router_burst_single_recompute () =
+  (* A burst of updates to one prefix inside one engine tick costs exactly
+     one re-export recomputation per neighbor (the dirty-prefix queue),
+     and each neighbor hears only the final variant. *)
+  let fx = make_fixture () in
+  let heard_n1 = ref [] and heard_n2 = ref [] in
+  let listen session heard =
+    Session.set_handlers session.Sim.Bgp_wire.active
+      {
+        Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+        on_update = (fun u -> heard := u :: !heard);
+        on_established = ignore;
+        on_down = ignore;
+      }
+  in
+  listen fx.n1_session heard_n1;
+  listen fx.n2_session heard_n2;
+  let pair =
+    Router.connect_experiment fx.router ~grant:(grant ())
+      ~mac:(Mac.local ~pool:2 1) ()
+  in
+  Sim.Bgp_wire.start pair;
+  Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
+  checki "no recomputation before the burst" 0
+    (Router.counters fx.router).Router.reexport_computations;
+  (* 20 updates to the same prefix, engine not run in between: all land at
+     the same tick, before the single scheduled flush. *)
+  for i = 1 to 20 do
+    match
+      Router.process_experiment_update fx.router ~experiment:"exp001"
+        (announce ~path:(List.init ((i mod 3) + 1) (fun _ -> 61574)) ())
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (String.concat "; " e)
+  done;
+  Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
+  checki "one recomputation per neighbor for the whole burst" 2
+    (Router.counters fx.router).Router.reexport_computations;
+  let announces heard =
+    List.filter (fun (u : Msg.update) -> u.Msg.announced <> []) !heard
+  in
+  checki "N1 heard exactly one announcement" 1 (List.length (announces heard_n1));
+  checki "N2 heard exactly one announcement" 1 (List.length (announces heard_n2));
+  (* The surviving announcement is the burst's final variant: path of
+     length 3 (20 mod 3 + 1) plus the mux prepend. *)
+  List.iter
+    (fun (u : Msg.update) ->
+      checkb "final variant won" true
+        (match Attr.as_path u.Msg.attrs with
+        | Some path -> Aspath.length path = 4
+        | None -> false))
+    (announces heard_n1)
+
+let mp_reach_heard heard =
+  List.find_map
+    (fun (u : Msg.update) ->
+      List.find_map
+        (function
+          | Attr.Mp_reach { next_hop; nlri } -> Some (next_hop, nlri)
+          | _ -> None)
+        u.Msg.attrs)
+    !heard
+
+let mp_unreach_heard heard =
+  List.find_map
+    (fun (u : Msg.update) ->
+      List.find_map
+        (function Attr.Mp_unreach nlri -> Some nlri | _ -> None)
+        u.Msg.attrs)
+    !heard
+
+let v6_pfx = Prefix_v6.of_string_exn "2804:269c:1::/48"
+
+let announce_v6 () =
+  Msg.update
+    ~attrs:
+      [
+        Attr.Origin Attr.Igp;
+        Attr.As_path (Aspath.of_asns [ asn 61574 ]);
+        Attr.Mp_reach
+          {
+            next_hop = Ipv6.of_string_exn "2001:db8::1";
+            nlri = [ (v6_pfx, None) ];
+          };
+      ]
+    ()
+
+let run_v6_reexport ?v6_next_hop () =
+  let fx = make_fixture ?v6_next_hop () in
+  let heard_n1 = ref [] in
+  Session.set_handlers fx.n1_session.Sim.Bgp_wire.active
+    {
+      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+      on_update = (fun u -> heard_n1 := u :: !heard_n1);
+      on_established = ignore;
+      on_down = ignore;
+    };
+  let pair =
+    Router.connect_experiment fx.router ~grant:(grant ())
+      ~mac:(Mac.local ~pool:2 1) ()
+  in
+  Sim.Bgp_wire.start pair;
+  Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
+  (match
+     Router.process_experiment_update fx.router ~experiment:"exp001"
+       (announce_v6 ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e));
+  Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
+  (match mp_reach_heard heard_n1 with
+  | Some (next_hop, nlri) ->
+      checkb "v6 next hop is the router's" true
+        (Ipv6.equal next_hop (Router.v6_next_hop fx.router));
+      checkb "v6 prefix announced" true
+        (List.exists (fun (p, _) -> Prefix_v6.equal p v6_pfx) nlri)
+  | None -> Alcotest.fail "neighbor heard no MP_REACH");
+  (* Withdrawing the v6 prefix reaches the neighbor as MP_UNREACH. *)
+  (match
+     Router.process_experiment_update fx.router ~experiment:"exp001"
+       (Msg.update ~attrs:[ Attr.Mp_unreach [ (v6_pfx, None) ] ] ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e));
+  Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
+  (match mp_unreach_heard heard_n1 with
+  | Some nlri ->
+      checkb "v6 prefix withdrawn" true
+        (List.exists (fun (p, _) -> Prefix_v6.equal p v6_pfx) nlri)
+  | None -> Alcotest.fail "neighbor heard no MP_UNREACH");
+  fx.router
+
+let test_router_v6_reexport () =
+  let router = run_v6_reexport () in
+  checkb "default next hop is PEERING's" true
+    (Ipv6.equal (Router.v6_next_hop router)
+       (Ipv6.of_string_exn "2804:269c::1"))
+
+let test_router_v6_next_hop_config () =
+  (* The IPv6 next hop is per-router configuration, not a constant. *)
+  let custom = Ipv6.of_string_exn "2001:db8:ffff::1" in
+  let router = run_v6_reexport ~v6_next_hop:custom () in
+  checkb "configured next hop used" true
+    (Ipv6.equal (Router.v6_next_hop router) custom)
+
 let () =
   Alcotest.run "vbgp"
     [
@@ -1023,5 +1168,10 @@ let () =
             test_router_blacklist_export;
           Alcotest.test_case "per-neighbor variants" `Quick
             test_router_variant_selection;
+          Alcotest.test_case "burst recomputes once" `Quick
+            test_router_burst_single_recompute;
+          Alcotest.test_case "ipv6 re-export" `Quick test_router_v6_reexport;
+          Alcotest.test_case "ipv6 next hop config" `Quick
+            test_router_v6_next_hop_config;
         ] );
     ]
