@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench check
+.PHONY: all build fmt test bench bench-json bench-smoke check
 
 all: build
 
@@ -18,4 +18,12 @@ test:
 bench:
 	dune exec bench/main.exe
 
-check: fmt build test
+# Machine-readable headline metrics (micro ns/op, fig6a memory bytes).
+bench-json:
+	dune exec bench/main.exe -- --json bench.json micro fig6a
+
+# Fast smoke run of the microbenchmarks (used by `make check`).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke micro
+
+check: fmt build test bench-smoke

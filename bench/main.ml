@@ -24,6 +24,32 @@ let pfx = Prefix.of_string_exn
 
 let section title = Fmt.pr "@.=== %s ===@." title
 
+(* -- machine-readable output (--json) and CI smoke mode (--smoke) --------- *)
+
+let json_out : string option ref = ref None
+let smoke = ref false
+let records : (string * string * float * string) list ref = ref []
+
+(* Record a headline metric; written as JSON when --json is given. *)
+let record ~experiment ~metric ~unit_ value =
+  records := (experiment, metric, value, unit_) :: !records
+
+let write_json path =
+  let oc = open_out path in
+  let rows = List.rev !records in
+  Printf.fprintf oc "[\n";
+  List.iteri
+    (fun i (experiment, metric, value, unit_) ->
+      Printf.fprintf oc
+        "  {\"experiment\": %S, \"metric\": %S, \"value\": %.6g, \"unit\": \
+         %S}%s\n"
+        experiment metric value unit_
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "]\n";
+  close_out oc;
+  Fmt.pr "@.wrote %d metric records to %s@." (List.length rows) path
+
 let words_to_mb words = float_of_int (words * (Sys.word_size / 8)) /. 1e6
 
 (* Synthetic route attributes, unshared per route (as in a real RIB). *)
@@ -115,6 +141,15 @@ let fig6a () =
       let dp_mb = words_to_mb (Obj.reachable_words (Obj.repr dp)) in
       let dpd = build_data_plane_with_default n in
       let dpd_mb = words_to_mb (Obj.reachable_words (Obj.repr dpd)) in
+      record ~experiment:"fig6a"
+        ~metric:(Printf.sprintf "control_plane_bytes_%d" n)
+        ~unit_:"bytes" (cp_mb *. 1e6);
+      record ~experiment:"fig6a"
+        ~metric:(Printf.sprintf "data_plane_bytes_%d" n)
+        ~unit_:"bytes" (dp_mb *. 1e6);
+      record ~experiment:"fig6a"
+        ~metric:(Printf.sprintf "data_plane_default_bytes_%d" n)
+        ~unit_:"bytes" (dpd_mb *. 1e6);
       per_route := (n, cp_mb, dp_mb, dpd_mb) :: !per_route;
       Fmt.pr "%-10d %-16s %-22s %-26s@." n
         (Fmt.str "%.1f MB" cp_mb)
@@ -759,6 +794,17 @@ let micro () =
     !t
   in
   let lookup_addr = Prefix.host (synth_prefix 4321) 1 in
+  (* The same 10k-route table behind the FIB's destination cache: after
+     the first packet of a flow, lookups skip the trie entirely. *)
+  let fib10k =
+    let f = Rib.Fib.create () in
+    for i = 0 to 9_999 do
+      Rib.Fib.insert f (synth_prefix i)
+        { Rib.Fib.next_hop = ip "100.64.0.1"; neighbor = 1 }
+    done;
+    f
+  in
+  let fib_addr = Prefix.host (synth_prefix 4321) 1 in
   let candidates =
     List.init 10 (fun i ->
         Rib.Route.make ~prefix:(synth_prefix 1) ~attrs:(synth_attrs i)
@@ -798,6 +844,34 @@ let micro () =
                ~protocol:Ipv4_packet.Udp "data");
       }
   in
+  (* The full data-plane fast path: decode + enforce + MAC-selected FIB
+     lookup against a 10k-route table, repeated on a single flow (the
+     destination-cache case). *)
+  let fwd_router, fwd_neighbor_id =
+    make_bench_router ~experiments:0 ~mesh:false ()
+  in
+  for i = 0 to 9_999 do
+    Vbgp.Router.process_neighbor_update fwd_router
+      ~neighbor_id:fwd_neighbor_id
+      (Msg.update ~attrs:(synth_attrs i)
+         ~announced:[ Msg.nlri (synth_prefix i) ]
+         ())
+  done;
+  let fwd_frame =
+    {
+      Eth.dst =
+        (match Vbgp.Router.neighbor fwd_router fwd_neighbor_id with
+        | Some ns -> ns.Vbgp.Router.info.Vbgp.Neighbor.virtual_mac
+        | None -> Mac.zero);
+      src = Mac.local ~pool:0xe0 1;
+      ethertype = Eth.Ipv4;
+      payload =
+        Ipv4_packet.encode
+          (Ipv4_packet.make ~src:(ip "184.164.224.1")
+             ~dst:(Prefix.host (synth_prefix 4321) 9)
+             ~protocol:Ipv4_packet.Udp "x");
+    }
+  in
   let tests =
     Test.make_grouped ~name:"peering"
       [
@@ -807,6 +881,8 @@ let micro () =
           (Staged.stage (fun () -> Codec.decode_exn encoded));
         Test.make ~name:"trie-longest-match-10k"
           (Staged.stage (fun () -> Ptrie.lookup_v4 lookup_addr lookup_table));
+        Test.make ~name:"fib-lookup-10k-cached"
+          (Staged.stage (fun () -> Rib.Fib.lookup fib10k fib_addr));
         Test.make ~name:"decision-best-of-10"
           (Staged.stage (fun () -> Rib.Decision.best candidates));
         Test.make ~name:"enforcer-check"
@@ -818,9 +894,16 @@ let micro () =
                match Eth.decode frame with
                | Ok f -> ignore (Ipv4_packet.decode f.Eth.payload)
                | Error _ -> ()));
+        Test.make ~name:"data-plane-forward"
+          (Staged.stage (fun () ->
+               Vbgp.Router.forward_experiment_frame fwd_router
+                 ~neighbor_id:fwd_neighbor_id fwd_frame));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let cfg =
+    if !smoke then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ()
+    else Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ()
+  in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -830,7 +913,9 @@ let micro () =
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some [ ns ] -> Fmt.pr "  %-36s %10.0f ns/op@." name ns
+      | Some [ ns ] ->
+          record ~experiment:"micro" ~metric:name ~unit_:"ns/op" ns;
+          Fmt.pr "  %-36s %10.0f ns/op@." name ns
       | _ -> Fmt.pr "  %-36s (no estimate)@." name)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
@@ -1062,10 +1147,23 @@ let experiments =
   ]
 
 let () =
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse acc rest
+    | [ "--json" ] ->
+        Fmt.epr "--json requires an output path@.";
+        exit 1
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse acc rest
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -1075,4 +1173,5 @@ let () =
           Fmt.epr "unknown experiment %S; available: %s@." name
             (String.concat " " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  match !json_out with Some path -> write_json path | None -> ()

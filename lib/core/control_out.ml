@@ -271,7 +271,7 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
                   vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
                   if !vs = [] then begin
                     Hashtbl.remove e.routes n.prefix;
-                    t.owner_trie <- Ptrie.V4.remove n.prefix t.owner_trie
+                    owner_remove t n.prefix
                   end;
                   export_exp_withdraw_to_mesh t e n.prefix pid;
                   request_reexport t n.prefix)
@@ -290,8 +290,7 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
                     vs
               in
               vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
-              t.owner_trie <-
-                Ptrie.V4.add n.prefix (Local_exp exp_name) t.owner_trie;
+              owner_insert t n.prefix (Local_exp exp_name);
               export_exp_route_to_mesh t e n.prefix v;
               request_reexport t n.prefix)
             u.announced;
@@ -320,7 +319,7 @@ let process_mesh_update t ~pop (u : Msg.update) =
           | None -> ())
       | Some (Iremote_exp { prefix }) ->
           Hashtbl.remove t.remote_exp_routes (pop, pid);
-          t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
+          owner_remove t prefix;
           request_reexport t prefix
       | None -> ())
     u.withdrawn;
@@ -369,10 +368,7 @@ let process_mesh_update t ~pop (u : Msg.update) =
             Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
             Hashtbl.replace t.mesh_imports (pop, pid)
               (Iremote_exp { prefix = n.prefix });
-            t.owner_trie <-
-              Ptrie.V4.add n.prefix
-                (Remote_exp { pop; via_global = g })
-                t.owner_trie;
+            owner_insert t n.prefix (Remote_exp { pop; via_global = g });
             request_reexport t n.prefix)
           u.announced
   end
@@ -476,7 +472,7 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
               List.iter
                 (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
                 vs;
-              t.owner_trie <- Ptrie.V4.remove prefix t.owner_trie;
+              owner_remove t prefix;
               request_reexport t prefix)
             announced;
           e.exp_synced <- false);

@@ -48,15 +48,15 @@ let forward_over_backbone t ~global_ip packet =
    neighbor [via] (or from the backbone when [via] is None). *)
 let deliver_inbound t ?via packet =
   let dst = packet.Ipv4_packet.dst in
-  match Ptrie.lookup_v4 dst t.owner_trie with
-  | Some (_, Local_exp exp_name) ->
+  match owner_lookup t dst with
+  | Some (Local_exp exp_name) ->
       let via_mac =
         match via with
         | Some ns -> ns.info.Neighbor.virtual_mac
         | None -> t.router_mac
       in
       deliver_to_local_experiment t ~via_mac exp_name packet
-  | Some (_, Remote_exp { via_global; _ }) ->
+  | Some (Remote_exp { via_global; _ }) ->
       forward_over_backbone t ~global_ip:via_global packet
   | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
 
@@ -75,8 +75,9 @@ let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
       t.counters.packets_dropped <- t.counters.packets_dropped + 1
   | Some ns, Ok packet -> (
       let now = Engine.now t.engine in
+      let sender = Hashtbl.find_opt t.by_exp_mac frame.src in
       let ingress =
-        match Hashtbl.find_opt t.by_exp_mac frame.src with
+        match sender with
         | Some name -> name
         | None -> Printf.sprintf "unknown:%s" (Mac.to_string frame.src)
       in
@@ -86,7 +87,7 @@ let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
       | Data_enforcer.Blocked _ ->
           t.counters.packets_dropped <- t.counters.packets_dropped + 1
       | Data_enforcer.Allowed packet ->
-          (match Hashtbl.find_opt t.by_exp_mac frame.src with
+          (match sender with
           | Some name -> (
               match experiment t name with
               | Some e ->

@@ -96,6 +96,9 @@ type t = {
   experiments : (string, experiment_state) Hashtbl.t;
   by_exp_mac : (Mac.t, string) Hashtbl.t;
   mutable owner_trie : owner Ptrie.V4.t;
+  owner_cache : owner Dcache.t;
+      (** destination cache over [owner_trie]; mutate the trie only via
+          [owner_insert]/[owner_remove] so the generation stays coherent *)
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
   remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
@@ -153,6 +156,7 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     experiments = Hashtbl.create 8;
     by_exp_mac = Hashtbl.create 8;
     owner_trie = Ptrie.V4.empty;
+    owner_cache = Dcache.create ();
     mesh = [];
     mesh_imports = Hashtbl.create 64;
     remote_exp_routes = Hashtbl.create 16;
@@ -188,6 +192,36 @@ let control_asn t = Control_enforcer.control_community_asn t.control
 
 let log t fmt =
   Trace.record t.trace ~time:(Engine.now t.engine) ~category:"router" fmt
+
+(* -- owner trie -------------------------------------------------------------- *)
+
+(* All owner-trie mutation goes through these two, which keep the
+   destination cache coherent by bumping its generation. *)
+
+let owner_insert t prefix owner =
+  t.owner_trie <- Ptrie.V4.add prefix owner t.owner_trie;
+  Dcache.invalidate t.owner_cache
+
+let owner_remove t prefix =
+  let trie = Ptrie.V4.remove prefix t.owner_trie in
+  if trie != t.owner_trie then begin
+    t.owner_trie <- trie;
+    Dcache.invalidate t.owner_cache
+  end
+
+(* Longest-prefix match of the owner of [ip], through the cache — the
+   per-packet operation of [Data_plane.deliver_inbound]. *)
+let owner_lookup t ip =
+  match Dcache.find t.owner_cache ip with
+  | Some cached -> cached
+  | None ->
+      let result =
+        match Ptrie.lookup_v4 ip t.owner_trie with
+        | Some (_, owner) -> Some owner
+        | None -> None
+      in
+      Dcache.store t.owner_cache ip result;
+      result
 
 let neighbor t id = Hashtbl.find_opt t.neighbors id
 
@@ -263,9 +297,9 @@ let attribution t =
 
 (* The experiment owning [ip], when it is local experiment space. *)
 let owner_of t ip =
-  match Ptrie.lookup_v4 ip t.owner_trie with
-  | Some (_, Local_exp name) -> Some name
-  | Some (_, Remote_exp _) | None -> None
+  match owner_lookup t ip with
+  | Some (Local_exp name) -> Some name
+  | Some (Remote_exp _) | None -> None
 
 (* The experiment whose *allocation* covers [ip] (connected at this PoP),
    regardless of whether it has announced yet — the basis for data-plane

@@ -89,6 +89,7 @@ type t = {
   experiments : (string, experiment_state) Hashtbl.t;
   by_exp_mac : (Mac.t, string) Hashtbl.t;
   mutable owner_trie : owner Ptrie.V4.t;
+  owner_cache : owner Dcache.t;
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
   remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
@@ -134,6 +135,17 @@ val v6_next_hop : t -> Ipv6.t
 val control_asn : t -> int
 
 val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val owner_insert : t -> Prefix.t -> owner -> unit
+(** Bind a prefix in the owner trie. All mutation must go through
+    [owner_insert]/[owner_remove]: they bump the destination cache's
+    generation so [owner_lookup] never serves a stale owner. *)
+
+val owner_remove : t -> Prefix.t -> unit
+
+val owner_lookup : t -> Ipv4.t -> owner option
+(** Longest-prefix match of the owner of an address, through the
+    generation-stamped destination cache (the per-packet inbound path). *)
 
 val neighbor : t -> int -> neighbor_state option
 val neighbor_states : t -> neighbor_state list

@@ -1,0 +1,48 @@
+(* A small direct-mapped cache in front of a longest-prefix-match
+   structure, keyed by destination host address. Repeated flows to the
+   same destination skip the trie walk entirely.
+
+   Coherence is by generation stamp: every slot records the generation it
+   was filled under, and [invalidate] bumps the cache's generation, making
+   all slots stale in O(1). The owner of the backing trie must call
+   [invalidate] on every mutation (insert, remove, clear); lookups then
+   never observe pre-mutation results. *)
+
+type 'a slot = {
+  mutable gen : int;
+  mutable addr : Ipv4.t;
+  mutable value : 'a option;  (** negative results are cached too *)
+}
+
+type 'a t = { slots : 'a slot array; mask : int; mutable generation : int }
+
+let default_slots = 256
+
+let create ?(slots = default_slots) () =
+  let n =
+    let rec up p = if p >= slots || p >= 1 lsl 20 then p else up (p * 2) in
+    up 1
+  in
+  {
+    (* Array.init, not Array.make: each slot must be a distinct record. *)
+    slots = Array.init n (fun _ -> { gen = 0; addr = Ipv4.any; value = None });
+    mask = n - 1;
+    (* Slots start at generation 0, the cache at 1: everything stale. *)
+    generation = 1;
+  }
+
+let generation t = t.generation
+let invalidate t = t.generation <- t.generation + 1
+
+(* [Some result] on a hit ([result] itself is the cached lookup outcome,
+   possibly [None]); [None] on a miss. *)
+let find t addr =
+  let s = t.slots.(Ipv4.hash addr land t.mask) in
+  if s.gen = t.generation && Ipv4.equal s.addr addr then Some s.value
+  else None
+
+let store t addr value =
+  let s = t.slots.(Ipv4.hash addr land t.mask) in
+  s.gen <- t.generation;
+  s.addr <- addr;
+  s.value <- value

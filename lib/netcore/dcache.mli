@@ -1,0 +1,28 @@
+(** A direct-mapped destination cache for longest-prefix-match results.
+
+    Sits in front of a {!Ptrie} (a FIB or the owner trie) so repeated
+    flows to the same destination address skip the trie walk. Stale
+    entries are never served: the owning structure bumps the generation
+    counter with {!invalidate} on every mutation, which invalidates all
+    slots in O(1). *)
+
+type 'a t
+
+val create : ?slots:int -> unit -> 'a t
+(** [slots] (default 256) is rounded up to a power of two. *)
+
+val find : 'a t -> Ipv4.t -> 'a option option
+(** [Some result] when the cache holds a current-generation entry for the
+    address — [result] is the cached lookup outcome, possibly [None]
+    (negative results are cached). [None] means miss: consult the trie and
+    {!store} the outcome. *)
+
+val store : 'a t -> Ipv4.t -> 'a option -> unit
+(** Record a lookup outcome under the current generation. *)
+
+val invalidate : 'a t -> unit
+(** Bump the generation, making every cached entry stale. Call on any
+    mutation of the backing structure. *)
+
+val generation : 'a t -> int
+(** The current generation (exposed for tests and diagnostics). *)

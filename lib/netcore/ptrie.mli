@@ -1,9 +1,11 @@
-(** Bit-prefix tries with longest-prefix match.
+(** Path-compressed (Patricia) bit-prefix tries with longest-prefix match.
 
     Backs every routing and forwarding table in the repository: per-neighbor
     FIBs (vBGP's data-plane delegation, paper §3.2.2), RIBs, and the
-    experiment-ownership map the enforcement engines consult. Functorized
-    over the key, with IPv4 and IPv6 instances provided. *)
+    experiment-ownership map the enforcement engines consult. Each node
+    stores the bit-index where its subtree diverges, so lookups touch
+    O(distinct branch points) heap nodes instead of one per prefix bit.
+    Functorized over the key, with IPv4 and IPv6 instances provided. *)
 
 module type KEY = sig
   type t
@@ -16,6 +18,13 @@ module type KEY = sig
       [i < length k]. *)
 
   val equal : t -> t -> bool
+
+  val diverge : t -> t -> int -> int -> int
+  (** [diverge a b lo hi] is the smallest [i] in [lo, hi) where bit [i] of
+      [a] and [b] differ, or [hi] when they agree on the whole range.
+      Requires [hi <= min (length a) (length b)]. Implementations should
+      compare words, not bits — this is the hot comparison of every trie
+      walk. *)
 end
 
 module Make (K : KEY) : sig
@@ -28,8 +37,14 @@ module Make (K : KEY) : sig
   val add : K.t -> 'a -> 'a t -> 'a t
   (** Insert or replace the binding for the key. *)
 
+  val add' : K.t -> 'a -> 'a t -> 'a t * bool
+  (** Like {!add}, also reporting whether the key was already bound — a
+      single walk where [mem] followed by [add] would take two. *)
+
   val remove : K.t -> 'a t -> 'a t
-  (** Remove the binding; dead branches are collapsed. *)
+  (** Remove the binding; dead branches are collapsed. Returns a
+      physically equal trie when the key is unbound, so callers can detect
+      a no-op without a separate [mem] walk. *)
 
   val find : K.t -> 'a t -> 'a option
   (** Exact-key lookup. *)
@@ -61,6 +76,7 @@ module V4 : sig
   val empty : 'a t
   val is_empty : 'a t -> bool
   val add : Prefix.t -> 'a -> 'a t -> 'a t
+  val add' : Prefix.t -> 'a -> 'a t -> 'a t * bool
   val remove : Prefix.t -> 'a t -> 'a t
   val find : Prefix.t -> 'a t -> 'a option
   val mem : Prefix.t -> 'a t -> bool
@@ -82,6 +98,7 @@ module V6 : sig
   val empty : 'a t
   val is_empty : 'a t -> bool
   val add : Prefix_v6.t -> 'a -> 'a t -> 'a t
+  val add' : Prefix_v6.t -> 'a -> 'a t -> 'a t * bool
   val remove : Prefix_v6.t -> 'a t -> 'a t
   val find : Prefix_v6.t -> 'a t -> 'a option
   val mem : Prefix_v6.t -> 'a t -> bool

@@ -4,7 +4,12 @@
    proceeds exactly as in a conventional router.
 
    Figure 6a measures the memory cost of this design, so these structures
-   expose an accurate [memory_bytes]. *)
+   expose an accurate [memory_bytes].
+
+   Lookups go through a generation-stamped destination cache (Dcache):
+   repeated flows to one destination skip the trie entirely, and every
+   mutation — [insert], a binding-removing [remove], [clear] — bumps the
+   generation so no stale result is ever served. *)
 
 open Netcore
 
@@ -13,26 +18,44 @@ type entry = {
   neighbor : int;  (** opaque neighbor/interface identifier *)
 }
 
-type t = { mutable trie : entry Ptrie.V4.t; mutable count : int }
+type t = {
+  mutable trie : entry Ptrie.V4.t;
+  mutable count : int;
+  cache : entry Dcache.t;
+}
 
-let create () = { trie = Ptrie.V4.empty; count = 0 }
+let create () =
+  { trie = Ptrie.V4.empty; count = 0; cache = Dcache.create () }
 
 let entry_count t = t.count
 
 let insert t prefix entry =
-  if not (Ptrie.V4.mem prefix t.trie) then t.count <- t.count + 1;
-  t.trie <- Ptrie.V4.add prefix entry t.trie
+  let trie, was_bound = Ptrie.V4.add' prefix entry t.trie in
+  if not was_bound then t.count <- t.count + 1;
+  t.trie <- trie;
+  Dcache.invalidate t.cache
 
 let remove t prefix =
-  if Ptrie.V4.mem prefix t.trie then begin
+  (* [Ptrie.remove] returns a physically equal trie on a no-op, so one
+     walk both removes and tells us whether anything changed. *)
+  let trie = Ptrie.V4.remove prefix t.trie in
+  if trie != t.trie then begin
     t.count <- t.count - 1;
-    t.trie <- Ptrie.V4.remove prefix t.trie
+    t.trie <- trie;
+    Dcache.invalidate t.cache
   end
 
 let lookup t addr =
-  match Ptrie.lookup_v4 addr t.trie with
-  | Some (_, e) -> Some e
-  | None -> None
+  match Dcache.find t.cache addr with
+  | Some cached -> cached
+  | None ->
+      let result =
+        match Ptrie.lookup_v4 addr t.trie with
+        | Some (_, e) -> Some e
+        | None -> None
+      in
+      Dcache.store t.cache addr result;
+      result
 
 let find t prefix = Ptrie.V4.find prefix t.trie
 
@@ -40,7 +63,8 @@ let fold f t acc = Ptrie.V4.fold f t.trie acc
 
 let clear t =
   t.trie <- Ptrie.V4.empty;
-  t.count <- 0
+  t.count <- 0;
+  Dcache.invalidate t.cache
 
 (* Heap footprint in bytes (word-accurate via the runtime). *)
 let memory_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)

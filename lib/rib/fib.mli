@@ -23,7 +23,9 @@ val insert : t -> Prefix.t -> entry -> unit
 val remove : t -> Prefix.t -> unit
 
 val lookup : t -> Ipv4.t -> entry option
-(** Longest-prefix match. *)
+(** Longest-prefix match, through a generation-stamped destination cache:
+    repeated lookups of one address skip the trie, and any [insert],
+    [remove], or [clear] invalidates the cache before the next lookup. *)
 
 val find : t -> Prefix.t -> entry option
 val fold : (Prefix.t -> entry -> 'acc -> 'acc) -> t -> 'acc -> 'acc

@@ -39,13 +39,15 @@ let best_equal a b =
       Route.same_key a b && Bgp.Attr.equal_set a.Route.attrs b.Route.attrs
   | _ -> false
 
-(* Insert or replace (implicit withdraw) a route. *)
+(* Insert or replace (implicit withdraw) a route. One trie walk fetches
+   both the candidate list and the previous best. *)
 let update t (route : Route.t) =
   let prefix = route.prefix in
-  let old = candidates t prefix in
+  let old_entry = Ptrie.V4.find prefix t.trie in
+  let old = match old_entry with Some e -> e.candidates | None -> [] in
+  let previous_best = match old_entry with Some e -> e.best | None -> None in
   let kept = List.filter (fun r -> not (Route.same_key r route)) old in
   let candidates = route :: kept in
-  let previous_best = best t prefix in
   let best = Decision.best ~config:t.decision candidates in
   t.trie <- Ptrie.V4.add prefix { candidates; best } t.trie;
   t.route_count <- t.route_count + List.length candidates - List.length old;
@@ -54,20 +56,23 @@ let update t (route : Route.t) =
 
 (* Withdraw the route identified by (peer, path_id). *)
 let withdraw t ~prefix ~peer_ip ~path_id =
-  let old = candidates t prefix in
-  let kept =
-    List.filter (fun r -> not (Route.key_matches ~peer_ip ~path_id r)) old
-  in
-  if List.length kept = List.length old then Unchanged
-  else begin
-    let previous_best = best t prefix in
-    t.route_count <- t.route_count - (List.length old - List.length kept);
-    let best = Decision.best ~config:t.decision kept in
-    (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
-     else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
-    if best_equal previous_best best then Unchanged
-    else Best_changed (prefix, best)
-  end
+  match Ptrie.V4.find prefix t.trie with
+  | None -> Unchanged
+  | Some e ->
+      let old = e.candidates in
+      let kept =
+        List.filter (fun r -> not (Route.key_matches ~peer_ip ~path_id r)) old
+      in
+      if List.length kept = List.length old then Unchanged
+      else begin
+        let previous_best = e.best in
+        t.route_count <- t.route_count - (List.length old - List.length kept);
+        let best = Decision.best ~config:t.decision kept in
+        (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
+         else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+        if best_equal previous_best best then Unchanged
+        else Best_changed (prefix, best)
+      end
 
 (* Drop every route learned from [peer_ip] (session teardown); returns the
    changes produced. *)
@@ -86,19 +91,24 @@ let drop_peer t ~peer_ip =
   in
   List.iter
     (fun prefix ->
-      let old = candidates t prefix in
-      let kept =
-        List.filter
-          (fun r -> not (Ipv4.equal r.Route.source.peer_ip peer_ip))
-          old
-      in
-      let previous_best = best t prefix in
-      t.route_count <- t.route_count - (List.length old - List.length kept);
-      let best = Decision.best ~config:t.decision kept in
-      (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
-       else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
-      if not (best_equal previous_best best) then
-        changes := Best_changed (prefix, best) :: !changes)
+      match Ptrie.V4.find prefix t.trie with
+      | None -> ()
+      | Some e ->
+          let old = e.candidates in
+          let kept =
+            List.filter
+              (fun r -> not (Ipv4.equal r.Route.source.peer_ip peer_ip))
+              old
+          in
+          let previous_best = e.best in
+          t.route_count <-
+            t.route_count - (List.length old - List.length kept);
+          let best = Decision.best ~config:t.decision kept in
+          (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
+           else
+             t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+          if not (best_equal previous_best best) then
+            changes := Best_changed (prefix, best) :: !changes)
     prefixes;
   List.rev !changes
 

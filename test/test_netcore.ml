@@ -355,6 +355,167 @@ let test_ptrie_map_filter () =
   let odd = Ptrie.V4.filter (fun _ v -> v mod 2 = 1) t in
   checki "filter" 2 (Ptrie.V4.cardinal odd)
 
+(* Differential tests: drive the Patricia trie and a naive assoc-list model
+   through the same randomized add'/remove schedule, checking the add'
+   was-bound flag, the remove physical-equality no-op contract, and the
+   cardinal at every step; then compare exact finds and longest matches.
+   The prefix pools are biased toward nesting (prefix-of-prefix chains,
+   including /0 and full-length host keys) to exercise span splits. *)
+
+let test_ptrie_differential_v4 () =
+  let rng = Random.State.make [| 0x9e37 |] in
+  let lengths = [| 0; 8; 12; 16; 20; 24; 28; 30; 31; 32 |] in
+  let bases =
+    [|
+      "10.0.0.0"; "10.1.0.0"; "10.1.2.0"; "10.1.2.3"; "172.16.5.0";
+      "172.16.5.128"; "0.0.0.0"; "255.255.255.255";
+    |]
+  in
+  let pool =
+    Array.init 64 (fun i ->
+        Prefix.make
+          (Ipv4.of_string_exn bases.(i mod Array.length bases))
+          lengths.(Random.State.int rng (Array.length lengths)))
+  in
+  let model = ref [] in
+  let trie = ref Ptrie.V4.empty in
+  let model_mem q = List.exists (fun (r, _) -> Prefix.equal r q) !model in
+  let model_drop q =
+    List.filter (fun (r, _) -> not (Prefix.equal r q)) !model
+  in
+  for step = 1 to 2_000 do
+    let q = pool.(Random.State.int rng (Array.length pool)) in
+    if Random.State.bool rng then begin
+      let t', was_bound = Ptrie.V4.add' q step !trie in
+      checkb "add' was-bound flag" (model_mem q) was_bound;
+      trie := t';
+      model := (q, step) :: model_drop q
+    end
+    else begin
+      let t' = Ptrie.V4.remove q !trie in
+      checkb "remove no-op is physically equal" (not (model_mem q))
+        (t' == !trie);
+      trie := t';
+      model := model_drop q
+    end;
+    checki "cardinal tracks model" (List.length !model)
+      (Ptrie.V4.cardinal !trie)
+  done;
+  Array.iter
+    (fun q ->
+      let expect =
+        List.find_opt (fun (r, _) -> Prefix.equal r q) !model
+        |> Option.map snd
+      in
+      checkb "exact find agrees" true (Ptrie.V4.find q !trie = expect))
+    pool;
+  for _ = 1 to 500 do
+    let addr =
+      Ipv4.add
+        (Ipv4.of_string_exn bases.(Random.State.int rng (Array.length bases)))
+        (Random.State.int rng 512)
+    in
+    let expected =
+      List.fold_left
+        (fun best (q, v) ->
+          if Prefix.mem addr q then
+            match best with
+            | Some (bq, _) when Prefix.length bq >= Prefix.length q -> best
+            | _ -> Some (q, v)
+          else best)
+        None !model
+    in
+    match (expected, Ptrie.lookup_v4 addr !trie) with
+    | None, None -> ()
+    | Some (q1, v1), Some (q2, v2) ->
+        checkb "lpm prefix agrees" true (Prefix.equal q1 q2);
+        checki "lpm value agrees" v1 v2
+    | Some _, None -> Alcotest.fail "trie missed a match the model found"
+    | None, Some _ -> Alcotest.fail "trie matched where the model found none"
+  done
+
+let test_ptrie_differential_v6 () =
+  let rng = Random.State.make [| 0x6b8b |] in
+  (* Lengths straddle the 64-bit half boundary; bases differ in both
+     halves so diverge points land in each word. *)
+  let lengths = [| 0; 16; 32; 48; 63; 64; 65; 96; 112; 127; 128 |] in
+  let bases =
+    [|
+      Ipv6.make 0x2001_0db8_0000_0000L 0L;
+      Ipv6.make 0x2001_0db8_0000_0000L 0x8000_0000_0000_0000L;
+      Ipv6.make 0x2001_0db8_ffff_0000L 1L;
+      Ipv6.make 0x2804_269c_0000_0000L (-1L);
+      Ipv6.make 0x2804_269c_0000_0001L 0L;
+      Ipv6.make (-1L) (-1L);
+      Ipv6.make 0L 1L;
+      Ipv6.make 0L 0L;
+    |]
+  in
+  let pool =
+    Array.init 64 (fun i ->
+        Prefix_v6.make
+          bases.(i mod Array.length bases)
+          lengths.(Random.State.int rng (Array.length lengths)))
+  in
+  let model = ref [] in
+  let trie = ref Ptrie.V6.empty in
+  let model_mem q = List.exists (fun (r, _) -> Prefix_v6.equal r q) !model in
+  let model_drop q =
+    List.filter (fun (r, _) -> not (Prefix_v6.equal r q)) !model
+  in
+  for step = 1 to 2_000 do
+    let q = pool.(Random.State.int rng (Array.length pool)) in
+    if Random.State.bool rng then begin
+      let t', was_bound = Ptrie.V6.add' q step !trie in
+      checkb "add' was-bound flag" (model_mem q) was_bound;
+      trie := t';
+      model := (q, step) :: model_drop q
+    end
+    else begin
+      let t' = Ptrie.V6.remove q !trie in
+      checkb "remove no-op is physically equal" (not (model_mem q))
+        (t' == !trie);
+      trie := t';
+      model := model_drop q
+    end;
+    checki "cardinal tracks model" (List.length !model)
+      (Ptrie.V6.cardinal !trie)
+  done;
+  Array.iter
+    (fun q ->
+      let expect =
+        List.find_opt (fun (r, _) -> Prefix_v6.equal r q) !model
+        |> Option.map snd
+      in
+      checkb "exact find agrees" true (Ptrie.V6.find q !trie = expect))
+    pool;
+  for _ = 1 to 500 do
+    let addr =
+      Ipv6.set_bit
+        bases.(Random.State.int rng (Array.length bases))
+        (Random.State.int rng 128)
+        (Random.State.bool rng)
+    in
+    let expected =
+      List.fold_left
+        (fun best (q, v) ->
+          if Prefix_v6.mem addr q then
+            match best with
+            | Some (bq, _) when Prefix_v6.length bq >= Prefix_v6.length q ->
+                best
+            | _ -> Some (q, v)
+          else best)
+        None !model
+    in
+    match (expected, Ptrie.lookup_v6 addr !trie) with
+    | None, None -> ()
+    | Some (q1, v1), Some (q2, v2) ->
+        checkb "lpm prefix agrees" true (Prefix_v6.equal q1 q2);
+        checki "lpm value agrees" v1 v2
+    | Some _, None -> Alcotest.fail "trie missed a match the model found"
+    | None, Some _ -> Alcotest.fail "trie matched where the model found none"
+  done
+
 (* -- properties ----------------------------------------------------------------- *)
 
 let arbitrary_prefix =
@@ -534,6 +695,8 @@ let () =
           Alcotest.test_case "remove" `Quick test_ptrie_remove;
           Alcotest.test_case "matches order" `Quick test_ptrie_matches_order;
           Alcotest.test_case "map/filter" `Quick test_ptrie_map_filter;
+          Alcotest.test_case "differential v4" `Quick test_ptrie_differential_v4;
+          Alcotest.test_case "differential v6" `Quick test_ptrie_differential_v6;
         ] );
       ("properties", qcheck_cases);
     ]

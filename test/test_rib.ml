@@ -243,6 +243,33 @@ let test_fib_memory_grows () =
   done;
   checkb "memory grows with entries" true (Rib.Fib.memory_bytes f > before)
 
+(* The destination cache never serves a stale result: every mutation
+   (insert of a more-specific, remove, clear) must be visible to the very
+   next lookup of an address whose answer it changes. *)
+let test_fib_cache_invalidation () =
+  let f = Rib.Fib.create () in
+  let neighbor_at addr =
+    match Rib.Fib.lookup f (ip addr) with
+    | Some e -> e.Rib.Fib.neighbor
+    | None -> -1
+  in
+  Rib.Fib.insert f (pfx "10.0.0.0/8")
+    { Rib.Fib.next_hop = ip "1.1.1.1"; neighbor = 1 };
+  (* Prime the cache on the /8, then shadow it with a more-specific. *)
+  checki "primed via /8" 1 (neighbor_at "10.1.2.3");
+  Rib.Fib.insert f (pfx "10.1.0.0/16")
+    { Rib.Fib.next_hop = ip "2.2.2.2"; neighbor = 2 };
+  checki "insert invalidates" 2 (neighbor_at "10.1.2.3");
+  Rib.Fib.remove f (pfx "10.1.0.0/16");
+  checki "remove invalidates" 1 (neighbor_at "10.1.2.3");
+  (* Negative results are cached too, and must also be invalidated. *)
+  checki "miss" (-1) (neighbor_at "11.0.0.1");
+  Rib.Fib.insert f (pfx "11.0.0.0/8")
+    { Rib.Fib.next_hop = ip "3.3.3.3"; neighbor = 3 };
+  checki "cached miss invalidated by insert" 3 (neighbor_at "11.0.0.1");
+  Rib.Fib.clear f;
+  checki "clear invalidates" (-1) (neighbor_at "10.1.2.3")
+
 (* -- properties --------------------------------------------------------------------- *)
 
 let arbitrary_route =
@@ -326,6 +353,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_fib_basics;
           Alcotest.test_case "per-neighbor set" `Quick test_fib_set;
           Alcotest.test_case "memory accounting" `Quick test_fib_memory_grows;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_fib_cache_invalidation;
         ] );
       ("properties", qcheck_cases);
     ]
