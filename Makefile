@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke check
+.PHONY: all build fmt test bench bench-json bench-smoke chaos check
 
 all: build
 
@@ -18,12 +18,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Machine-readable headline metrics (micro ns/op, fig6a memory bytes).
+# Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
+# flap withdrawal-storm counts).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap
 
 # Fast smoke run of the microbenchmarks (used by `make check`).
 bench-smoke:
-	dune exec bench/main.exe -- --smoke micro
+	dune exec bench/main.exe -- --smoke micro flap
 
-check: fmt build test bench-smoke
+# Fault-injection convergence suite (also part of `dune runtest`).
+chaos:
+	dune exec test/test_chaos.exe
+
+check: fmt build test chaos bench-smoke

@@ -8,6 +8,7 @@
 
      dune exec bench/main.exe -- fig6a fig6b throughput amsix table1 census
                                  security ratelimit burst fleet ablate micro
+                                 flap
 
    Paper-vs-measured numbers for each experiment are recorded in
    EXPERIMENTS.md. Absolute numbers differ from the paper's (their substrate
@@ -1130,6 +1131,102 @@ let ablate () =
     "4. full data-plane forward (decode + enforce + MAC-selected FIB): %.0f ns/packet — %.1f Mpps per core@."
     t_forward (1e3 /. t_forward)
 
+(* ------------------------------------------------------------------------- *)
+(* Flap: wire cost of a neighbor session flap, with and without graceful     *)
+(* restart. GR retains the neighbor's routes as stale across the flap and    *)
+(* sweeps against the replayed table, so experiments hear nothing; a hard    *)
+(* drop storms one withdrawal per route and re-announces everything.         *)
+(* ------------------------------------------------------------------------- *)
+
+let flap () =
+  section "flap: withdrawal storm on session loss, GR on vs off";
+  let n = if !smoke then 200 else 2_000 in
+  let null_handlers =
+    {
+      Session.on_update = ignore;
+      on_established = ignore;
+      on_down = ignore;
+      on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+    }
+  in
+  let run ~gr_window =
+    let engine = Sim.Engine.create () in
+    let global_pool =
+      Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
+    in
+    let router =
+      Vbgp.Router.create ~engine ~name:"flap" ~asn:(asn 47065)
+        ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
+        ~local_pool:(pfx "127.65.0.0/16") ~global_pool
+        ~gr_restart_time:gr_window ()
+    in
+    Vbgp.Router.activate router;
+    let _neighbor_id, npair =
+      Vbgp.Router.add_neighbor router ~asn:(asn 100) ~ip:(ip "100.64.0.1")
+        ~kind:Vbgp.Neighbor.Transit ~remote_id:(ip "100.64.0.1") ()
+    in
+    (* The neighbor replays its full table, closed with End-of-RIB, on
+       every establishment — the behavior of a GR-aware peer. *)
+    Session.set_handlers npair.Sim.Bgp_wire.active
+      {
+        null_handlers with
+        Session.on_established =
+          (fun () ->
+            for i = 0 to n - 1 do
+              Session.send_update npair.Sim.Bgp_wire.active
+                (Msg.update ~attrs:(synth_attrs i)
+                   ~announced:[ Msg.nlri (synth_prefix i) ]
+                   ())
+            done;
+            Session.send_update npair.Sim.Bgp_wire.active (Msg.update ()));
+      };
+    Sim.Bgp_wire.start npair;
+    let grant =
+      Vbgp.Control_enforcer.grant ~asns:[ asn 61574 ]
+        ~prefixes:[ pfx "184.164.224.0/24" ]
+        "flap"
+    in
+    let epair =
+      Vbgp.Router.connect_experiment router ~grant
+        ~mac:(Mac.local ~pool:0xe0 1) ()
+    in
+    let withdrawals = ref 0 and messages = ref 0 in
+    Session.set_handlers epair.Sim.Bgp_wire.active
+      {
+        null_handlers with
+        Session.on_update =
+          (fun u ->
+            if not (Msg.is_end_of_rib u) then begin
+              incr messages;
+              withdrawals := !withdrawals + List.length u.Msg.withdrawn
+            end);
+      };
+    Sim.Bgp_wire.start epair;
+    Sim.Engine.run_until engine 30.;
+    (* Initial sync is not the measurement. *)
+    withdrawals := 0;
+    messages := 0;
+    let fault = Sim.Fault.create engine in
+    Sim.Fault.kill_pair fault ~at:1.0 npair;
+    Sim.Engine.run_until engine 120.;
+    (!withdrawals, !messages)
+  in
+  let w_gr, m_gr = run ~gr_window:120 in
+  let w_hard, m_hard = run ~gr_window:0 in
+  Fmt.pr "  heard by the experiment across a neighbor flap (%d routes):@." n;
+  Fmt.pr "  %-28s %6d withdrawals in %6d updates@." "with graceful restart"
+    w_gr m_gr;
+  Fmt.pr "  %-28s %6d withdrawals in %6d updates@." "without (hard drop)"
+    w_hard m_hard;
+  record ~experiment:"flap" ~metric:"withdrawals_with_gr" ~unit_:"prefixes"
+    (float_of_int w_gr);
+  record ~experiment:"flap" ~metric:"withdrawals_without_gr" ~unit_:"prefixes"
+    (float_of_int w_hard);
+  record ~experiment:"flap" ~metric:"updates_with_gr" ~unit_:"messages"
+    (float_of_int m_gr);
+  record ~experiment:"flap" ~metric:"updates_without_gr" ~unit_:"messages"
+    (float_of_int m_hard)
+
 let experiments =
   [
     ("fig6a", fig6a);
@@ -1144,6 +1241,7 @@ let experiments =
     ("fleet", fleet);
     ("ablate", ablate);
     ("micro", micro);
+    ("flap", flap);
   ]
 
 let () =

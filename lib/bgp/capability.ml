@@ -25,6 +25,9 @@ let safi_unicast = 1
 type t =
   | Multiprotocol of { afi : int; safi : int }
   | Route_refresh
+  | Graceful_restart of { restart_time : int; afis : (int * int) list }
+      (** RFC 4724: restart time in seconds (12 bits on the wire) and the
+          (afi, safi) pairs whose forwarding state is preserved. *)
   | As4 of Asn.t
   | Add_path of (int * int * add_path_mode) list
       (** (afi, safi, mode) tuples. *)
@@ -33,6 +36,7 @@ type t =
 let code = function
   | Multiprotocol _ -> 1
   | Route_refresh -> 2
+  | Graceful_restart _ -> 64
   | As4 _ -> 65
   | Add_path _ -> 69
   | Unknown { code; _ } -> code
@@ -45,6 +49,16 @@ let encode_value cap =
       Wire.Writer.u8 w 0;
       Wire.Writer.u8 w safi
   | Route_refresh -> ()
+  | Graceful_restart { restart_time; afis } ->
+      (* Flags nibble zero, restart time in the low 12 bits; each tuple's
+         flags octet carries 0x80 (forwarding state preserved). *)
+      Wire.Writer.u16 w (restart_time land 0xfff);
+      List.iter
+        (fun (afi, safi) ->
+          Wire.Writer.u16 w afi;
+          Wire.Writer.u8 w safi;
+          Wire.Writer.u8 w 0x80)
+        afis
   | As4 asn -> Wire.Writer.u32 w (Int32.of_int (Asn.to_int asn))
   | Add_path entries ->
       List.iter
@@ -65,6 +79,17 @@ let decode_value ~code ~data =
       let safi = Wire.Reader.u8 r in
       Multiprotocol { afi; safi }
   | 2 -> Route_refresh
+  | 64 ->
+      let restart_time = Wire.Reader.u16 r land 0xfff in
+      let rec afis acc =
+        if Wire.Reader.eof r then List.rev acc
+        else
+          let afi = Wire.Reader.u16 r in
+          let safi = Wire.Reader.u8 r in
+          let _flags = Wire.Reader.u8 r in
+          afis ((afi, safi) :: acc)
+      in
+      Graceful_restart { restart_time; afis = afis [] }
   | 65 -> As4 (Asn.of_int (Int32.to_int (Wire.Reader.u32 r) land 0xffffffff))
   | 69 ->
       let rec entries acc =
@@ -105,6 +130,13 @@ let add_path_receive caps ~afi ~safi =
 let as4 caps =
   List.find_map (function As4 asn -> Some asn | _ -> None) caps
 
+(* The advertised graceful-restart window, if any. *)
+let graceful_restart caps =
+  List.find_map
+    (function
+      | Graceful_restart { restart_time; _ } -> Some restart_time | _ -> None)
+    caps
+
 (* The ADD-PATH directions both sides agreed on: we may send with path IDs
    iff we advertised Send(+receive) and the peer advertised Receive(+send). *)
 let negotiate_add_path ~local ~peer ~afi ~safi =
@@ -117,6 +149,9 @@ let negotiate_add_path ~local ~peer ~afi ~safi =
 let pp ppf = function
   | Multiprotocol { afi; safi } -> Fmt.pf ppf "mp(%d,%d)" afi safi
   | Route_refresh -> Fmt.string ppf "route-refresh"
+  | Graceful_restart { restart_time; afis } ->
+      Fmt.pf ppf "graceful-restart(%ds, %d afis)" restart_time
+        (List.length afis)
   | As4 asn -> Fmt.pf ppf "as4(%a)" Asn.pp asn
   | Add_path entries ->
       Fmt.pf ppf "add-path(%d entries)" (List.length entries)

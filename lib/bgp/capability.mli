@@ -16,6 +16,9 @@ val safi_unicast : int
 type t =
   | Multiprotocol of { afi : int; safi : int }  (** RFC 4760 *)
   | Route_refresh  (** RFC 2918 *)
+  | Graceful_restart of { restart_time : int; afis : (int * int) list }
+      (** RFC 4724: restart time (seconds, 12 bits on the wire) and the
+          (afi, safi) pairs whose forwarding state is preserved *)
   | As4 of Asn.t  (** RFC 6793: the speaker's real (4-byte) ASN *)
   | Add_path of (int * int * add_path_mode) list
       (** RFC 7911, one entry per (afi, safi) *)
@@ -33,6 +36,9 @@ val add_path_send : t list -> afi:int -> safi:int -> bool
 val add_path_receive : t list -> afi:int -> safi:int -> bool
 
 val as4 : t list -> Asn.t option
+
+val graceful_restart : t list -> int option
+(** The advertised graceful-restart window in seconds, if any. *)
 
 val negotiate_add_path :
   local:t list -> peer:t list -> afi:int -> safi:int -> bool * bool

@@ -26,6 +26,29 @@ type event =
   | Keepalive_timer_expired
   | Connect_retry_expired
 
+(* Why a session went down. The distinction matters to the consumers:
+   transport losses and hold-timer expiries are the transient failures
+   graceful restart (RFC 4724) is allowed to paper over, while
+   administrative stops and protocol errors must tear state down hard. *)
+type down_reason =
+  | Admin_stop
+  | Transport_failed
+  | Hold_expired
+  | Peer_notification of { code : int; subcode : int }
+  | Protocol_error of string
+
+let down_reason_to_string = function
+  | Admin_stop -> "stopped"
+  | Transport_failed -> "connection failed"
+  | Hold_expired -> "hold timer expired"
+  | Peer_notification { code; subcode } ->
+      Printf.sprintf "notification %d/%d" code subcode
+  | Protocol_error msg -> msg
+
+let graceful = function
+  | Transport_failed | Hold_expired -> true
+  | Admin_stop | Peer_notification _ | Protocol_error _ -> false
+
 type action =
   | Connect_transport
   | Close_transport
@@ -38,7 +61,7 @@ type action =
   | Deliver_route_refresh of int * int
       (** (afi, safi): the peer asked for re-advertisement (RFC 2918). *)
   | Session_established
-  | Session_down of string
+  | Session_down of down_reason
   | Arm_hold_timer
   | Arm_keepalive_timer
   | Arm_connect_retry
@@ -57,9 +80,9 @@ let step state event =
         [
           Send_notification (Msg.err_cease, 0);
           Close_transport;
-          Session_down "stopped";
+          Session_down Admin_stop;
         ] )
-  | _, Stop -> down "stopped"
+  | _, Stop -> down Admin_stop
   (* -- transport events -- *)
   | (Connect | Active), Connection_up ->
       (Open_sent, [ Send_open; Arm_hold_timer ])
@@ -67,12 +90,12 @@ let step state event =
   | (Connect | Active), Connect_retry_expired ->
       (Connect, [ Connect_transport; Arm_connect_retry ])
   | (Open_sent | Open_confirm | Established), Connection_failed ->
-      down "connection lost"
-  | _, Connection_failed -> down "connection failed"
+      down Transport_failed
+  | _, Connection_failed -> down Transport_failed
   | _, Connection_up ->
       (* A connection while already negotiating: RFC handles collision;
          we treat it as an error and reset. *)
-      down "unexpected connection"
+      down (Protocol_error "unexpected connection")
   (* -- message events -- *)
   | Open_sent, Received (Msg.Open o) ->
       ( Open_confirm,
@@ -86,15 +109,16 @@ let step state event =
   | Established, Received (Msg.Route_refresh { afi; safi }) ->
       (Established, [ Deliver_route_refresh (afi, safi); Arm_hold_timer ])
   | _, Received (Msg.Notification n) ->
-      down (Printf.sprintf "notification %d/%d" n.code n.subcode)
+      down (Peer_notification { code = n.code; subcode = n.subcode })
   | _, Received m ->
       ( Idle,
         [
           Send_notification (Msg.err_fsm, 0);
           Close_transport;
           Session_down
-            (Fmt.str "unexpected message in %s: %a" (state_to_string state)
-               Msg.pp m);
+            (Protocol_error
+               (Fmt.str "unexpected message in %s: %a" (state_to_string state)
+                  Msg.pp m));
         ] )
   (* -- timer events -- *)
   | _, Hold_timer_expired ->
@@ -102,7 +126,7 @@ let step state event =
         [
           Send_notification (Msg.err_hold_timer_expired, 0);
           Close_transport;
-          Session_down "hold timer expired";
+          Session_down Hold_expired;
         ] )
   | (Open_confirm | Established), Keepalive_timer_expired ->
       (state, [ Send_keepalive; Arm_keepalive_timer ])

@@ -18,6 +18,22 @@ type event =
   | Keepalive_timer_expired
   | Connect_retry_expired
 
+(** Why a session went down. Transport losses and hold-timer expiries are
+    the transient failures graceful restart (RFC 4724) may paper over;
+    administrative stops and protocol errors tear state down hard. *)
+type down_reason =
+  | Admin_stop
+  | Transport_failed
+  | Hold_expired
+  | Peer_notification of { code : int; subcode : int }
+  | Protocol_error of string
+
+val down_reason_to_string : down_reason -> string
+
+val graceful : down_reason -> bool
+(** May the consumer retain routes as stale (graceful restart) for this
+    kind of failure? *)
+
 (** What the session layer must do after a transition. *)
 type action =
   | Connect_transport
@@ -31,7 +47,7 @@ type action =
   | Deliver_route_refresh of int * int
       (** (afi, safi): the peer asked for re-advertisement (RFC 2918) *)
   | Session_established
-  | Session_down of string
+  | Session_down of down_reason
   | Arm_hold_timer
   | Arm_keepalive_timer
   | Arm_connect_retry

@@ -31,6 +31,10 @@ type update = {
 let update ?(withdrawn = []) ?(attrs = []) ?(announced = []) () =
   { withdrawn; attrs; announced }
 
+(* RFC 4724 §2: an UPDATE with no withdrawn routes, no attributes and no
+   NLRI marks the end of the initial routing update after a restart. *)
+let is_end_of_rib u = u.withdrawn = [] && u.attrs = [] && u.announced = []
+
 type notification = { code : int; subcode : int; data : string }
 
 (* Notification error codes (RFC 4271 §6.1). *)

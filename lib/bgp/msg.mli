@@ -26,6 +26,10 @@ type update = {
 val update :
   ?withdrawn:nlri list -> ?attrs:Attr.set -> ?announced:nlri list -> unit -> update
 
+val is_end_of_rib : update -> bool
+(** RFC 4724 §2: an empty UPDATE marks the end of the initial routing
+    update after a restart (mark-and-sweep resync boundary). *)
+
 type notification = { code : int; subcode : int; data : string }
 
 (** Notification error codes (RFC 4271 §6.1). *)

@@ -21,6 +21,19 @@ type timers = {
           cancel function. *)
 }
 
+(* Automatic re-Start after non-administrative session loss: capped
+   exponential backoff, with jitter drawn from a caller-seeded RNG so
+   simulated runs stay reproducible. *)
+type reconnect_policy = {
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_max : float;  (** backoff cap, seconds *)
+  jitter : Random.State.t option;
+      (** multiply each delay by a factor in [0.75, 1.25) *)
+}
+
+let reconnect_policy ?(backoff_base = 0.5) ?(backoff_max = 30.) ?jitter () =
+  { backoff_base; backoff_max; jitter }
+
 type config = {
   local_asn : Asn.t;
   local_id : Ipv4.t;
@@ -31,16 +44,27 @@ type config = {
   mrai : float;
       (** minimum route advertisement interval, seconds; 0 = send
           immediately *)
+  reconnect : reconnect_policy option;
+      (** re-Start automatically after non-administrative downs *)
 }
 
 let config ?(hold_time = 90) ?(capabilities = []) ?(connect_retry = 5.0)
-    ?(passive = false) ?(mrai = 0.) ~local_asn ~local_id () =
-  { local_asn; local_id; hold_time; capabilities; connect_retry; passive; mrai }
+    ?(passive = false) ?(mrai = 0.) ?reconnect ~local_asn ~local_id () =
+  {
+    local_asn;
+    local_id;
+    hold_time;
+    capabilities;
+    connect_retry;
+    passive;
+    mrai;
+    reconnect;
+  }
 
 type handlers = {
   on_update : Msg.update -> unit;
   on_established : unit -> unit;
-  on_down : string -> unit;
+  on_down : Fsm.down_reason -> unit;
   on_route_refresh : afi:int -> safi:int -> unit;
 }
 
@@ -65,12 +89,21 @@ type t = {
   mutable cancel_hold : unit -> unit;
   mutable cancel_keepalive : unit -> unit;
   mutable cancel_connect_retry : unit -> unit;
+  mutable cancel_mrai : unit -> unit;
+  mutable cancel_reconnect : unit -> unit;
   mutable out_queue : Msg.update list;  (** newest first, MRAI buffering *)
   mutable mrai_armed : bool;
+  mutable admin_down : bool;  (** a deliberate [stop]; no auto-reconnect *)
+  mutable backoff_level : int;  (** consecutive failed cycles; 0 when up *)
   (* Counters surfaced by the platform's status tooling. *)
   mutable updates_in : int;
   mutable updates_out : int;
+  mutable flap_count : int;  (** non-administrative Session_downs *)
+  mutable dropped_updates : int;  (** MRAI-queued updates lost to teardown *)
   mutable last_error : string option;
+  mutable pending_error : string option;
+      (** a codec error recorded before the Stop injection, so the
+          resulting Session_down reports it instead of "stopped" *)
 }
 
 let create ~config ~transport ~timers ?(handlers = null_handlers) () =
@@ -87,11 +120,18 @@ let create ~config ~transport ~timers ?(handlers = null_handlers) () =
     cancel_hold = ignore;
     cancel_keepalive = ignore;
     cancel_connect_retry = ignore;
+    cancel_mrai = ignore;
+    cancel_reconnect = ignore;
     out_queue = [];
     mrai_armed = false;
+    admin_down = false;
+    backoff_level = 0;
     updates_in = 0;
     updates_out = 0;
+    flap_count = 0;
+    dropped_updates = 0;
     last_error = None;
+    pending_error = None;
   }
 
 let set_handlers t handlers = t.handlers <- handlers
@@ -102,6 +142,33 @@ let peer_open t = t.peer_open
 let send_params t = t.send_params
 let stats t = (t.updates_in, t.updates_out)
 let last_error t = t.last_error
+let flap_count t = t.flap_count
+let dropped_updates t = t.dropped_updates
+let backoff_level t = t.backoff_level
+
+(* The next reconnect delay before jitter: capped exponential in the
+   number of consecutive failed cycles. *)
+let next_backoff t =
+  match t.config.reconnect with
+  | None -> None
+  | Some p ->
+      Some
+        (Float.min p.backoff_max
+           (p.backoff_base *. (2. ** float_of_int t.backoff_level)))
+
+(* The graceful-restart window negotiated with the peer (RFC 4724): both
+   sides must have advertised the capability. The peer's OPEN survives a
+   session drop (it is only replaced by the next OPEN), so consumers can
+   consult this from their [on_down] handler. *)
+let gr_restart_time t =
+  match Capability.graceful_restart t.config.capabilities with
+  | None -> None
+  | Some _local -> (
+      match t.peer_open with
+      | Some o ->
+          Option.map float_of_int
+            (Capability.graceful_restart o.Msg.capabilities)
+      | None -> None)
 
 let local_open t : Msg.open_msg =
   {
@@ -144,6 +211,14 @@ and run_action t = function
       t.cancel_hold ();
       t.cancel_keepalive ();
       t.cancel_connect_retry ();
+      (* A torn-down session deliberately discards its MRAI queue: the
+         post-restart resync (full re-announce + End-of-RIB) supersedes
+         anything that was still buffered. *)
+      t.cancel_mrai ();
+      t.cancel_mrai <- ignore;
+      t.mrai_armed <- false;
+      t.dropped_updates <- t.dropped_updates + List.length t.out_queue;
+      t.out_queue <- [];
       t.transport.close ()
   | Fsm.Send_open -> send_msg t (Msg.Open (local_open t))
   | Fsm.Send_keepalive -> send_msg t Msg.Keepalive
@@ -155,9 +230,23 @@ and run_action t = function
       t.handlers.on_update u
   | Fsm.Deliver_route_refresh (afi, safi) ->
       t.handlers.on_route_refresh ~afi ~safi
-  | Fsm.Session_established -> t.handlers.on_established ()
+  | Fsm.Session_established ->
+      t.backoff_level <- 0;
+      t.handlers.on_established ()
   | Fsm.Session_down reason ->
-      t.last_error <- Some reason;
+      (* Record the failure before the handler runs so it observes the
+         true cause (a codec error pins [pending_error] first). *)
+      (t.last_error <-
+         Some
+           (match t.pending_error with
+           | Some msg ->
+               t.pending_error <- None;
+               msg
+           | None -> Fsm.down_reason_to_string reason));
+      if reason <> Fsm.Admin_stop then begin
+        t.flap_count <- t.flap_count + 1;
+        schedule_reconnect t
+      end;
       t.handlers.on_down reason
   | Fsm.Arm_hold_timer ->
       t.cancel_hold ();
@@ -180,13 +269,49 @@ and run_action t = function
           t.timers.schedule t.config.connect_retry (fun () ->
               inject t Fsm.Connect_retry_expired)
 
+(* Schedule the automatic re-Start after a non-administrative down. The
+   passive side merely has to be listening again, so it restarts almost
+   immediately (and before any active peer's first backoff delay); the
+   active side backs off exponentially with optional jitter. *)
+and schedule_reconnect t =
+  match t.config.reconnect with
+  | None -> ()
+  | Some p ->
+      let delay =
+        if t.config.passive then 0.01
+        else
+          let d =
+            Float.min p.backoff_max
+              (p.backoff_base *. (2. ** float_of_int t.backoff_level))
+          in
+          match p.jitter with
+          | Some rng -> d *. (0.75 +. Random.State.float rng 0.5)
+          | None -> d
+      in
+      t.backoff_level <- min (t.backoff_level + 1) 24;
+      t.cancel_reconnect ();
+      t.cancel_reconnect <-
+        t.timers.schedule delay (fun () ->
+            t.cancel_reconnect <- ignore;
+            if (not t.admin_down) && t.state = Fsm.Idle then inject t Fsm.Start)
+
 and inject t event =
   let state, actions = Fsm.step t.state event in
   t.state <- state;
   run_actions t actions
 
-let start t = inject t Fsm.Start
-let stop t = inject t Fsm.Stop
+let start t =
+  t.admin_down <- false;
+  t.cancel_reconnect ();
+  t.cancel_reconnect <- ignore;
+  inject t Fsm.Start
+
+let stop t =
+  t.admin_down <- true;
+  t.cancel_reconnect ();
+  t.cancel_reconnect <- ignore;
+  inject t Fsm.Stop
+
 let connection_up t = inject t Fsm.Connection_up
 let connection_failed t = inject t Fsm.Connection_failed
 
@@ -195,10 +320,15 @@ let receive_bytes t data =
   match Codec.Stream.input t.stream data with
   | Ok msgs -> List.iter (fun m -> inject t (Fsm.Received m)) msgs
   | Error e ->
+      (* Record the codec failure *before* injecting Stop, so the
+         [on_down] handler and [last_error] observe it rather than a
+         stale value. *)
+      t.last_error <- Some e.Codec.message;
+      t.pending_error <- Some e.Codec.message;
       send_msg t
         (Msg.Notification { code = e.code; subcode = e.subcode; data = "" });
       inject t Fsm.Stop;
-      t.last_error <- Some e.Codec.message
+      t.pending_error <- None
 
 (* Send an UPDATE; only legal when established. With a non-zero MRAI
    (minimum route advertisement interval, RFC 4271 §9.2.1.1) configured,
@@ -213,12 +343,14 @@ let rec send_update t (u : Msg.update) =
     t.out_queue <- u :: t.out_queue;
     if not t.mrai_armed then begin
       t.mrai_armed <- true;
-      ignore_cancel (t.timers.schedule t.config.mrai (fun () -> flush_mrai t))
+      t.cancel_mrai <-
+        t.timers.schedule t.config.mrai (fun () -> flush_mrai t)
     end
   end
 
 and flush_mrai t =
   t.mrai_armed <- false;
+  t.cancel_mrai <- ignore;
   let queued = List.rev t.out_queue in
   t.out_queue <- [];
   if established t then
@@ -227,8 +359,6 @@ and flush_mrai t =
         t.updates_out <- t.updates_out + 1;
         send_msg t (Msg.Update u))
       queued
-
-and ignore_cancel (_ : unit -> unit) = ()
 
 (* Ask the peer to resend its Adj-RIB-Out (RFC 2918). *)
 let send_route_refresh ?(afi = Capability.afi_ipv4)

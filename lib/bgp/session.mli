@@ -21,6 +21,22 @@ type timers = {
           returns a cancel function *)
 }
 
+(** Automatic re-Start after non-administrative session loss: capped
+    exponential backoff with optional deterministic jitter. *)
+type reconnect_policy = {
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_max : float;  (** backoff cap, seconds *)
+  jitter : Random.State.t option;
+      (** multiply each delay by a factor in [0.75, 1.25) *)
+}
+
+val reconnect_policy :
+  ?backoff_base:float ->
+  ?backoff_max:float ->
+  ?jitter:Random.State.t ->
+  unit ->
+  reconnect_policy
+
 type config = {
   local_asn : Asn.t;
   local_id : Ipv4.t;
@@ -31,6 +47,8 @@ type config = {
   mrai : float;
       (** minimum route advertisement interval, seconds; 0 sends
           immediately *)
+  reconnect : reconnect_policy option;
+      (** re-Start automatically after non-administrative downs *)
 }
 
 val config :
@@ -39,6 +57,7 @@ val config :
   ?connect_retry:float ->
   ?passive:bool ->
   ?mrai:float ->
+  ?reconnect:reconnect_policy ->
   local_asn:Asn.t ->
   local_id:Ipv4.t ->
   unit ->
@@ -47,7 +66,7 @@ val config :
 type handlers = {
   on_update : Msg.update -> unit;
   on_established : unit -> unit;
-  on_down : string -> unit;
+  on_down : Fsm.down_reason -> unit;
   on_route_refresh : afi:int -> safi:int -> unit;
 }
 
@@ -72,7 +91,8 @@ val state : t -> Fsm.state
 val established : t -> bool
 
 val peer_open : t -> Msg.open_msg option
-(** The peer's OPEN, once received. *)
+(** The peer's OPEN, once received; survives a session drop until the next
+    OPEN replaces it. *)
 
 val send_params : t -> Codec.params
 (** Negotiated encoding parameters for messages we emit. *)
@@ -81,6 +101,24 @@ val stats : t -> int * int
 (** [(updates_in, updates_out)]. *)
 
 val last_error : t -> string option
+
+val flap_count : t -> int
+(** Non-administrative session downs since creation (damping metric). *)
+
+val dropped_updates : t -> int
+(** MRAI-queued updates deliberately discarded by session teardown. *)
+
+val backoff_level : t -> int
+(** Consecutive failed connection cycles; reset on establishment. *)
+
+val next_backoff : t -> float option
+(** The next reconnect delay before jitter, when a reconnect policy is
+    configured. *)
+
+val gr_restart_time : t -> float option
+(** The graceful-restart window negotiated with the peer (RFC 4724): both
+    sides must have advertised the capability. Consult from [on_down] to
+    decide between stale retention and a hard drop. *)
 
 (** {1 Driving the session} *)
 

@@ -49,6 +49,7 @@ let alias_for_global t ~pop global_ip =
           session = None;
           deliver = (fun _ -> ());
           export_id;
+          gr = None;
         }
       in
       Hashtbl.replace t.neighbors id ns;
@@ -147,33 +148,48 @@ let sync_mesh_session t session =
                    ()))
             !vs)
         e.routes)
-    t.experiments
+    t.experiments;
+  (* End-of-RIB (RFC 4724): lets a peer that retained our imports as
+     stale across a graceful restart sweep whatever this sync did not
+     refresh. Harmless on a first establishment (no stale state). *)
+  Session.send_update session (Msg.update ())
 
 (* Establish the backbone BGP mesh session toward another PoP's router.
-   [on_update] is the mesh-import processor (Control_out wires it in);
-   call once per unordered pair; [Bgp_wire.start] is invoked internally. *)
-let connect_mesh t other ~on_update ?(latency = 0.02) () =
+   [on_update] is the mesh-import processor, [on_eor] the
+   graceful-restart stale sweep, [on_peer_down] the session-loss
+   dispatcher (Control_out wires all three in — it compiles after this
+   module); call once per unordered pair; [Bgp_wire.start] is invoked
+   internally. *)
+let connect_mesh t other ~on_update ~on_eor ~on_peer_down ?(latency = 0.02) ()
+    =
   let config a =
     Session.config ~local_asn:a.asn ~local_id:a.router_id ~hold_time:180
-      ~capabilities:(session_capabilities ~add_path:true a) ()
+      ~capabilities:(session_capabilities ~add_path:true a)
+      ~reconnect:(reconnect_policy a) ()
   in
   let pair =
     Sim.Bgp_wire.make t.engine ~latency ~config_active:(config t)
       ~config_passive:(config other) ()
   in
   let install self peer_name session =
-    let mp = { pop_name = peer_name; mesh_session = session } in
+    let mp = { pop_name = peer_name; mesh_session = session; mesh_gr = None } in
     self.mesh <- mp :: self.mesh;
     Session.set_handlers session
       {
         Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
-        on_update = (fun u -> on_update self ~pop:peer_name u);
+        on_update =
+          (fun u ->
+            if Msg.is_end_of_rib u then on_eor self ~pop:peer_name
+            else on_update self ~pop:peer_name u);
         on_established =
           (fun () ->
             log self "mesh to %s established" peer_name;
             sync_mesh_session self session);
         on_down =
-          (fun reason -> log self "mesh to %s down: %s" peer_name reason);
+          (fun reason ->
+            log self "mesh to %s down: %s" peer_name
+              (Fsm.down_reason_to_string reason);
+            on_peer_down self ~pop:peer_name reason);
       }
   in
   install t other.name pair.Sim.Bgp_wire.active;

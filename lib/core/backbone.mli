@@ -41,9 +41,15 @@ val connect_mesh :
   Router_state.t ->
   Router_state.t ->
   on_update:(Router_state.t -> pop:string -> Msg.update -> unit) ->
+  on_eor:(Router_state.t -> pop:string -> unit) ->
+  on_peer_down:(Router_state.t -> pop:string -> Fsm.down_reason -> unit) ->
   ?latency:float ->
   unit ->
   Bgp_wire.pair
 (** Bring up the backbone BGP mesh session between two PoP routers (both
     directions installed; started internally). [on_update] processes
-    mesh imports on behalf of the receiving router. *)
+    mesh imports on behalf of the receiving router, [on_eor] sweeps
+    graceful-restart stale imports when the peer's End-of-RIB arrives,
+    and [on_peer_down] decides between stale retention and a hard drop
+    when the session falls. All three live in {!Control_out}, which
+    compiles after this module. *)

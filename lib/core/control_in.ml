@@ -50,6 +50,9 @@ let sync_experiment t (e : experiment_state) =
                  ()))
           ns.rib_in)
       (neighbor_states t);
+    (* End-of-RIB (RFC 4724): an experiment that held our routes as stale
+       across a restart sweeps whatever the sync did not refresh. *)
+    send_to_experiment e (Msg.update ());
     log t "synced full table to experiment %s" e.grant.Control_enforcer.name
   end
 
@@ -82,7 +85,12 @@ let export_withdraw_to_mesh t (ns : neighbor_state) prefix =
 (* -- neighbor route learning ----------------------------------------------- *)
 
 (* Process one UPDATE from neighbor [id]; public so benchmarks can drive the
-   pipeline without sessions. *)
+   pipeline without sessions.
+
+   Re-announcements identical to the installed route (same key, same
+   attributes) are absorbed silently: after a graceful restart the
+   neighbor replays its full table, and the dedup keeps that resync off
+   the experiment and mesh wires entirely. *)
 let process_neighbor_update t ~neighbor_id (u : Msg.update) =
   match neighbor t neighbor_id with
   | None -> invalid_arg "Router.process_neighbor_update: unknown neighbor"
@@ -93,6 +101,7 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
       let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
       List.iter
         (fun (n : Msg.nlri) ->
+          gr_unmark ns.gr n.prefix;
           ignore
             (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
                ~peer_ip:ns.info.Neighbor.ip ~path_id:None);
@@ -107,20 +116,120 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
         in
         List.iter
           (fun (n : Msg.nlri) ->
-            let route =
-              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
-                ~source ()
+            gr_unmark ns.gr n.prefix;
+            let unchanged =
+              List.exists
+                (fun (r : Rib.Route.t) ->
+                  Rib.Route.key_matches ~peer_ip:ns.info.Neighbor.ip
+                    ~path_id:None r
+                  && Attr.equal_set r.attrs u.attrs)
+                (Rib.Table.candidates ns.rib_in n.prefix)
             in
-            ignore (Rib.Table.update ns.rib_in route);
-            Rib.Fib.insert fib n.prefix
-              {
-                Rib.Fib.next_hop = ns.info.Neighbor.ip;
-                neighbor = ns.info.Neighbor.id;
-              };
-            export_route_to_experiments t ns n.prefix u.attrs;
-            export_route_to_mesh t ns n.prefix u.attrs)
+            if not unchanged then begin
+              let route =
+                Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                  ~source ()
+              in
+              ignore (Rib.Table.update ns.rib_in route);
+              Rib.Fib.insert fib n.prefix
+                {
+                  Rib.Fib.next_hop = ns.info.Neighbor.ip;
+                  neighbor = ns.info.Neighbor.id;
+                };
+              export_route_to_experiments t ns n.prefix u.attrs;
+              export_route_to_mesh t ns n.prefix u.attrs
+            end)
           u.announced
       end
+
+(* -- session loss: hard drop, stale retention, resync ----------------------- *)
+
+(* The pre-GR teardown: drop the whole Adj-RIB-In, clear the FIB, and
+   storm withdrawals — now reserved for non-graceful downs and expired
+   restart windows. *)
+let hard_drop_neighbor t (ns : neighbor_state) =
+  (match ns.gr with
+  | Some h ->
+      h.cancel_expiry ();
+      ns.gr <- None
+  | None -> ());
+  let changes = Rib.Table.drop_peer ns.rib_in ~peer_ip:ns.info.Neighbor.ip in
+  Rib.Fib.clear (Rib.Fib.Set.table t.fibs ns.info.Neighbor.id);
+  List.iter
+    (function
+      | Rib.Table.Best_changed (prefix, None) ->
+          export_withdraw_to_experiments t ns prefix;
+          export_withdraw_to_mesh t ns prefix
+      | _ -> ())
+    changes
+
+(* Withdraw one stale route (sweep or window expiry). *)
+let drop_stale_route t (ns : neighbor_state) prefix =
+  ignore
+    (Rib.Table.withdraw ns.rib_in ~prefix ~peer_ip:ns.info.Neighbor.ip
+       ~path_id:None);
+  Rib.Fib.remove (Rib.Fib.Set.table t.fibs ns.info.Neighbor.id) prefix;
+  export_withdraw_to_experiments t ns prefix;
+  export_withdraw_to_mesh t ns prefix
+
+(* Graceful down: keep the Adj-RIB-In and FIB (forwarding state is
+   preserved, RFC 4724), mark every prefix stale, and fall back to the
+   hard drop if the restart window expires before the peer returns. *)
+let gr_retain_neighbor t (ns : neighbor_state) ~window =
+  let prefixes =
+    Rib.Table.fold (fun prefix _ acc -> prefix :: acc) ns.rib_in []
+  in
+  match ns.gr with
+  | Some h ->
+      (* A repeat loss while the window is already running (e.g. half-open
+         reconnects hold-expiring during a long outage) re-marks what is
+         installed but must not extend the deadline: RFC 4724 counts the
+         restart time from the first loss. *)
+      List.iter (fun p -> Hashtbl.replace h.stale p ()) prefixes
+  | None ->
+      let hold = gr_hold_of_keys prefixes in
+      ns.gr <- Some hold;
+      t.counters.gr_retentions <- t.counters.gr_retentions + 1;
+      hold.cancel_expiry <-
+        Engine.schedule t.engine window (fun () ->
+            match ns.gr with
+            | Some h when h == hold ->
+                t.counters.gr_expiries <- t.counters.gr_expiries + 1;
+                log t "neighbor %d restart window expired" ns.info.Neighbor.id;
+                hard_drop_neighbor t ns
+            | _ -> ());
+      log t "neighbor %d retaining %d routes as stale (window %.0fs)"
+        ns.info.Neighbor.id (List.length prefixes) window
+
+(* End-of-RIB after a restart: everything the peer did not re-announce is
+   genuinely gone — withdraw exactly that. *)
+let gr_sweep_neighbor t (ns : neighbor_state) =
+  match ns.gr with
+  | None -> ()
+  | Some h ->
+      h.cancel_expiry ();
+      ns.gr <- None;
+      let stale = Hashtbl.fold (fun p () acc -> p :: acc) h.stale [] in
+      List.iter
+        (drop_stale_route t ns)
+        (List.sort Netcore.Prefix.compare stale);
+      if stale <> [] then
+        log t "neighbor %d sweep: %d stale routes withdrawn"
+          ns.info.Neighbor.id (List.length stale)
+
+(* Re-establishment: replay our Adj-RIB-Out (which kept accumulating
+   intent while the session was down) and close with End-of-RIB so the
+   peer can run its own mark-and-sweep. *)
+let resync_neighbor t (ns : neighbor_state) =
+  match ns.session with
+  | Some s when Session.established s ->
+      List.iter
+        (fun (prefix, attrs) ->
+          Session.send_update s
+            (Msg.update ~attrs ~announced:[ Msg.nlri prefix ] ()))
+        (adj_out_routes t ~neighbor_id:ns.info.Neighbor.id);
+      Session.send_update s (Msg.update ())
+  | _ -> ()
 
 (* -- neighbor wiring -------------------------------------------------------- *)
 
@@ -150,7 +259,7 @@ let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
   in
   let config_router =
     Session.config ~local_asn:t.asn ~local_id:t.router_id
-      ~capabilities:(session_capabilities t) ()
+      ~capabilities:(session_capabilities t) ~reconnect:(reconnect_policy t) ()
   in
   let config_remote =
     Session.config ~local_asn:asn ~local_id:remote_id
@@ -159,8 +268,13 @@ let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
           Capability.Multiprotocol
             { afi = Capability.afi_ipv4; safi = Capability.safi_unicast };
           Capability.As4 asn;
+          Capability.Graceful_restart
+            {
+              restart_time = t.gr_restart_time;
+              afis = [ (Capability.afi_ipv4, Capability.safi_unicast) ];
+            };
         ]
-      ()
+      ~reconnect:(reconnect_policy t) ()
   in
   let pair =
     Sim.Bgp_wire.make t.engine ~latency ~config_active:config_remote
@@ -173,6 +287,7 @@ let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
       session = Some pair.Sim.Bgp_wire.passive;
       deliver;
       export_id = global.Addr_pool.index;
+      gr = None;
     }
   in
   Hashtbl.replace t.neighbors id ns;
@@ -193,21 +308,25 @@ let add_neighbor t ~asn ~ip ~kind ~remote_id ?(latency = 0.002)
   Session.set_handlers pair.Sim.Bgp_wire.passive
     {
       Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
-      on_update = (fun u -> process_neighbor_update t ~neighbor_id:id u);
+      on_update =
+        (fun u ->
+          if Msg.is_end_of_rib u then gr_sweep_neighbor t ns
+          else process_neighbor_update t ~neighbor_id:id u);
       on_established =
-        (fun () -> log t "neighbor %d (as%a) established" id Asn.pp asn);
+        (fun () ->
+          log t "neighbor %d (as%a) established" id Asn.pp asn;
+          resync_neighbor t ns);
       on_down =
         (fun reason ->
-          log t "neighbor %d down: %s" id reason;
-          let changes = Rib.Table.drop_peer ns.rib_in ~peer_ip:ip in
-          Rib.Fib.clear (Rib.Fib.Set.table t.fibs id);
-          List.iter
-            (function
-              | Rib.Table.Best_changed (prefix, None) ->
-                  export_withdraw_to_experiments t ns prefix;
-                  export_withdraw_to_mesh t ns prefix
-              | _ -> ())
-            changes);
+          log t "neighbor %d down: %s" id (Fsm.down_reason_to_string reason);
+          let window =
+            if Fsm.graceful reason then
+              Option.bind ns.session Session.gr_restart_time
+            else None
+          in
+          match window with
+          | Some w when w > 0. -> gr_retain_neighbor t ns ~window:w
+          | _ -> hard_drop_neighbor t ns);
     };
   (id, pair)
 

@@ -219,6 +219,7 @@ let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
           List.iter
             (fun (prefix, path_id) ->
               let pid = match path_id with Some p -> p | None -> 0 in
+              gr_unmark e.exp_gr_v6 (prefix, pid);
               (match Hashtbl.find_opt e.routes_v6 prefix with
               | Some vs ->
                   vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
@@ -231,17 +232,29 @@ let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
           List.iter
             (fun (prefix, path_id) ->
               let pid = match path_id with Some p -> p | None -> 0 in
-              let v = { v_path_id = pid; v_attrs = base_attrs } in
-              let vs =
+              gr_unmark e.exp_gr_v6 (prefix, pid);
+              let unchanged =
                 match Hashtbl.find_opt e.routes_v6 prefix with
-                | Some vs -> vs
-                | None ->
-                    let vs = ref [] in
-                    Hashtbl.replace e.routes_v6 prefix vs;
-                    vs
+                | Some vs ->
+                    List.exists
+                      (fun v ->
+                        v.v_path_id = pid && Attr.equal_set v.v_attrs base_attrs)
+                      !vs
+                | None -> false
               in
-              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
-              request_reexport_v6 t prefix)
+              if not unchanged then begin
+                let v = { v_path_id = pid; v_attrs = base_attrs } in
+                let vs =
+                  match Hashtbl.find_opt e.routes_v6 prefix with
+                  | Some vs -> vs
+                  | None ->
+                      let vs = ref [] in
+                      Hashtbl.replace e.routes_v6 prefix vs;
+                      vs
+                in
+                vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
+                request_reexport_v6 t prefix
+              end)
             nlri
       | _ -> ())
     u.Msg.attrs
@@ -265,6 +278,7 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
           List.iter
             (fun (n : Msg.nlri) ->
               let pid = match n.path_id with Some p -> p | None -> 0 in
+              gr_unmark e.exp_gr (n.prefix, pid);
               match Hashtbl.find_opt e.routes n.prefix with
               | None -> ()
               | Some vs ->
@@ -276,37 +290,178 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
                   export_exp_withdraw_to_mesh t e n.prefix pid;
                   request_reexport t n.prefix)
             u.withdrawn;
-          (* Announcements: record/replace the variant. *)
+          (* Announcements: record/replace the variant. A re-announcement
+             identical to the recorded variant (same path id, same
+             attributes) is absorbed silently — it clears any stale mark
+             but triggers no mesh export or re-export, which keeps a
+             graceful-restart resync off the wires. *)
           List.iter
             (fun (n : Msg.nlri) ->
               let pid = match n.path_id with Some p -> p | None -> 0 in
-              let v = { v_path_id = pid; v_attrs = u.attrs } in
-              let vs =
+              gr_unmark e.exp_gr (n.prefix, pid);
+              let unchanged =
                 match Hashtbl.find_opt e.routes n.prefix with
-                | Some vs -> vs
-                | None ->
-                    let vs = ref [] in
-                    Hashtbl.replace e.routes n.prefix vs;
-                    vs
+                | Some vs ->
+                    List.exists
+                      (fun v ->
+                        v.v_path_id = pid && Attr.equal_set v.v_attrs u.attrs)
+                      !vs
+                | None -> false
               in
-              vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
-              owner_insert t n.prefix (Local_exp exp_name);
-              export_exp_route_to_mesh t e n.prefix v;
-              request_reexport t n.prefix)
+              if not unchanged then begin
+                let v = { v_path_id = pid; v_attrs = u.attrs } in
+                let vs =
+                  match Hashtbl.find_opt e.routes n.prefix with
+                  | Some vs -> vs
+                  | None ->
+                      let vs = ref [] in
+                      Hashtbl.replace e.routes n.prefix vs;
+                      vs
+                in
+                vs := v :: List.filter (fun v -> v.v_path_id <> pid) !vs;
+                owner_insert t n.prefix (Local_exp exp_name);
+                export_exp_route_to_mesh t e n.prefix v;
+                request_reexport t n.prefix
+              end)
             u.announced;
           process_experiment_v6 t e u;
           Ok ())
 
+(* -- experiment session loss: hard drop vs graceful retention --------------- *)
+
+(* Withdraw everything experiment [e] announced, v4 and v6: the
+   non-graceful down path and the restart-window expiry. *)
+let hard_drop_experiment t (e : experiment_state) =
+  (match e.exp_gr with Some h -> h.cancel_expiry () | None -> ());
+  (match e.exp_gr_v6 with Some h -> h.cancel_expiry () | None -> ());
+  e.exp_gr <- None;
+  e.exp_gr_v6 <- None;
+  (* Clear the experiment's state first so the re-export pass sees no
+     live variants. *)
+  let announced =
+    Hashtbl.fold (fun prefix vs acc -> (prefix, !vs) :: acc) e.routes []
+  in
+  Hashtbl.reset e.routes;
+  List.iter
+    (fun (prefix, vs) ->
+      List.iter
+        (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
+        vs;
+      owner_remove t prefix;
+      request_reexport t prefix)
+    announced;
+  let announced_v6 =
+    Hashtbl.fold (fun prefix _ acc -> prefix :: acc) e.routes_v6 []
+  in
+  Hashtbl.reset e.routes_v6;
+  List.iter (request_reexport_v6 t) announced_v6;
+  e.exp_synced <- false
+
+(* Graceful down: keep every recorded variant (neighbors continue to hear
+   the experiment's announcements, RFC 4724 forwarding preservation),
+   mark them stale, and fall back to the hard drop if the restart window
+   expires before the experiment reconnects. *)
+let gr_retain_experiment t (e : experiment_state) ~window =
+  let keys =
+    Hashtbl.fold
+      (fun prefix vs acc ->
+        List.fold_left (fun acc v -> (prefix, v.v_path_id) :: acc) acc !vs)
+      e.routes []
+  in
+  let keys_v6 =
+    Hashtbl.fold
+      (fun prefix vs acc ->
+        List.fold_left (fun acc v -> (prefix, v.v_path_id) :: acc) acc !vs)
+      e.routes_v6 []
+  in
+  match e.exp_gr with
+  | Some h ->
+      (* Repeat loss inside the window: re-mark, keep the first deadline
+         (RFC 4724 counts the restart time from the first loss). *)
+      List.iter (fun k -> Hashtbl.replace h.stale k ()) keys;
+      (match e.exp_gr_v6 with
+      | Some h6 -> List.iter (fun k -> Hashtbl.replace h6.stale k ()) keys_v6
+      | None -> e.exp_gr_v6 <- Some (gr_hold_of_keys keys_v6));
+      e.exp_synced <- false
+  | None ->
+      let hold = gr_hold_of_keys keys in
+      e.exp_gr <- Some hold;
+      e.exp_gr_v6 <- Some (gr_hold_of_keys keys_v6);
+      e.exp_synced <- false;
+      t.counters.gr_retentions <- t.counters.gr_retentions + 1;
+      (* One expiry timer governs both families; the hard drop clears both. *)
+      hold.cancel_expiry <-
+        Engine.schedule t.engine window (fun () ->
+            match e.exp_gr with
+            | Some h when h == hold ->
+                t.counters.gr_expiries <- t.counters.gr_expiries + 1;
+                log t "experiment %s restart window expired"
+                  e.grant.Control_enforcer.name;
+                hard_drop_experiment t e
+            | _ -> ());
+      log t "experiment %s retaining %d variants as stale (window %.0fs)"
+        e.grant.Control_enforcer.name
+        (List.length keys + List.length keys_v6)
+        window
+
+(* End-of-RIB after the experiment's restart: every variant it did not
+   re-announce is genuinely gone — withdraw exactly that. *)
+let gr_sweep_experiment t (e : experiment_state) =
+  (match e.exp_gr with
+  | None -> ()
+  | Some hold ->
+      hold.cancel_expiry ();
+      e.exp_gr <- None;
+      let stale = Hashtbl.fold (fun k () acc -> k :: acc) hold.stale [] in
+      List.iter
+        (fun (prefix, pid) ->
+          (match Hashtbl.find_opt e.routes prefix with
+          | Some vs ->
+              vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
+              if !vs = [] then begin
+                Hashtbl.remove e.routes prefix;
+                owner_remove t prefix
+              end
+          | None -> ());
+          export_exp_withdraw_to_mesh t e prefix pid;
+          request_reexport t prefix)
+        (List.sort compare stale);
+      if stale <> [] then
+        log t "experiment %s sweep: %d stale variants withdrawn"
+          e.grant.Control_enforcer.name (List.length stale));
+  match e.exp_gr_v6 with
+  | None -> ()
+  | Some hold ->
+      hold.cancel_expiry ();
+      e.exp_gr_v6 <- None;
+      let stale = Hashtbl.fold (fun k () acc -> k :: acc) hold.stale [] in
+      List.iter
+        (fun (prefix, pid) ->
+          (match Hashtbl.find_opt e.routes_v6 prefix with
+          | Some vs ->
+              vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
+              if !vs = [] then Hashtbl.remove e.routes_v6 prefix
+          | None -> ());
+          request_reexport_v6 t prefix)
+        (List.sort compare stale)
+
 (* -- mesh import ------------------------------------------------------------ *)
+
+let mesh_peer_for t ~pop =
+  List.find_opt (fun mp -> String.equal mp.pop_name pop) t.mesh
 
 let process_mesh_update t ~pop (u : Msg.update) =
   t.counters.updates_from_mesh <- t.counters.updates_from_mesh + 1;
   let now = Engine.now t.engine in
   let ctl_asn = control_asn t in
+  let mesh_gr =
+    match mesh_peer_for t ~pop with Some mp -> mp.mesh_gr | None -> None
+  in
   (* Withdrawals are resolved through the import map. *)
   List.iter
     (fun (n : Msg.nlri) ->
       let pid = match n.path_id with Some p -> p | None -> 0 in
+      gr_unmark mesh_gr (pid, n.prefix);
       match Hashtbl.find_opt t.mesh_imports (pop, pid) with
       | Some (Ialias { alias_id }) -> (
           match neighbor t alias_id with
@@ -343,16 +498,29 @@ let process_mesh_update t ~pop (u : Msg.update) =
         List.iter
           (fun (n : Msg.nlri) ->
             let pid = match n.path_id with Some p -> p | None -> 0 in
+            gr_unmark mesh_gr (pid, n.prefix);
             Hashtbl.replace t.mesh_imports (pop, pid)
               (Ialias { alias_id = ns.info.Neighbor.id });
-            let route =
-              Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
-                ~source ()
+            (* A resync replaying the identical route is absorbed
+               silently (graceful-restart mark-and-sweep). *)
+            let unchanged =
+              List.exists
+                (fun (r : Rib.Route.t) ->
+                  Rib.Route.key_matches
+                    ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None r
+                  && Attr.equal_set r.attrs u.attrs)
+                (Rib.Table.candidates ns.rib_in n.prefix)
             in
-            ignore (Rib.Table.update ns.rib_in route);
-            Rib.Fib.insert fib n.prefix
-              { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
-            Control_in.export_route_to_experiments t ns n.prefix u.attrs)
+            if not unchanged then begin
+              let route =
+                Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                  ~source ()
+              in
+              ignore (Rib.Table.update ns.rib_in route);
+              Rib.Fib.insert fib n.prefix
+                { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
+              Control_in.export_route_to_experiments t ns n.prefix u.attrs
+            end)
           u.announced
     | Some g ->
         (* A remote experiment's announcement: remember it for neighbor
@@ -365,13 +533,156 @@ let process_mesh_update t ~pop (u : Msg.update) =
         List.iter
           (fun (n : Msg.nlri) ->
             let pid = match n.path_id with Some p -> p | None -> 0 in
-            Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
+            gr_unmark mesh_gr (pid, n.prefix);
+            let unchanged =
+              match Hashtbl.find_opt t.remote_exp_routes (pop, pid) with
+              | Some (p, a) -> Prefix.equal p n.prefix && Attr.equal_set a attrs
+              | None -> false
+            in
             Hashtbl.replace t.mesh_imports (pop, pid)
               (Iremote_exp { prefix = n.prefix });
-            owner_insert t n.prefix (Remote_exp { pop; via_global = g });
-            request_reexport t n.prefix)
+            if not unchanged then begin
+              Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
+              owner_insert t n.prefix (Remote_exp { pop; via_global = g });
+              request_reexport t n.prefix
+            end)
           u.announced
   end
+
+(* -- mesh session loss: hard drop vs graceful retention --------------------- *)
+
+(* Drop every route an alias pseudo-neighbor holds (they all came over
+   the mesh) and storm withdrawals to local experiments. *)
+let drop_alias_routes t (ns : neighbor_state) =
+  let changes =
+    Rib.Table.drop_peer ns.rib_in ~peer_ip:ns.info.Neighbor.virtual_ip
+  in
+  Rib.Fib.clear (Rib.Fib.Set.table t.fibs ns.info.Neighbor.id);
+  List.iter
+    (function
+      | Rib.Table.Best_changed (prefix, None) ->
+          Control_in.export_withdraw_to_experiments t ns prefix
+      | _ -> ())
+    changes
+
+(* Forget everything imported from [pop]: the non-graceful mesh-down path
+   and the restart-window expiry. *)
+let drop_pop_imports t ~pop =
+  let entries =
+    Hashtbl.fold
+      (fun (p, pid) imp acc ->
+        if String.equal p pop then (pid, imp) :: acc else acc)
+      t.mesh_imports []
+  in
+  List.iter
+    (fun (pid, imp) ->
+      Hashtbl.remove t.mesh_imports (pop, pid);
+      match imp with
+      | Ialias { alias_id } -> (
+          match neighbor t alias_id with
+          | Some ns -> drop_alias_routes t ns
+          | None -> ())
+      | Iremote_exp { prefix } ->
+          Hashtbl.remove t.remote_exp_routes (pop, pid);
+          owner_remove t prefix;
+          request_reexport t prefix)
+    (List.sort compare entries)
+
+(* Graceful mesh down: keep every import (aliased rib-in rows and
+   remote-experiment records) marked stale; the peer's post-restart sync
+   plus End-of-RIB sweeps what is genuinely gone. *)
+let gr_retain_mesh t (mp : mesh_peer) ~window =
+  let pop = mp.pop_name in
+  let keys =
+    Hashtbl.fold
+      (fun (p, pid) imp acc ->
+        if not (String.equal p pop) then acc
+        else
+          match imp with
+          | Ialias { alias_id } -> (
+              match neighbor t alias_id with
+              | Some ns ->
+                  Rib.Table.fold
+                    (fun prefix _ acc -> (pid, prefix) :: acc)
+                    ns.rib_in acc
+              | None -> acc)
+          | Iremote_exp { prefix } -> (pid, prefix) :: acc)
+      t.mesh_imports []
+  in
+  match mp.mesh_gr with
+  | Some h ->
+      (* Repeat loss inside the window: re-mark, keep the first deadline
+         (RFC 4724 counts the restart time from the first loss). *)
+      List.iter (fun k -> Hashtbl.replace h.stale k ()) keys
+  | None ->
+      let hold = gr_hold_of_keys keys in
+      mp.mesh_gr <- Some hold;
+      t.counters.gr_retentions <- t.counters.gr_retentions + 1;
+      hold.cancel_expiry <-
+        Engine.schedule t.engine window (fun () ->
+            match mp.mesh_gr with
+            | Some h when h == hold ->
+                mp.mesh_gr <- None;
+                t.counters.gr_expiries <- t.counters.gr_expiries + 1;
+                log t "mesh to %s restart window expired" pop;
+                drop_pop_imports t ~pop
+            | _ -> ());
+      log t "mesh to %s retaining %d imports as stale (window %.0fs)" pop
+        (List.length keys) window
+
+(* The peer's End-of-RIB after a mesh restart: drop exactly the imports
+   its resync did not refresh. *)
+let process_mesh_eor t ~pop =
+  match mesh_peer_for t ~pop with
+  | None -> ()
+  | Some mp -> (
+      match mp.mesh_gr with
+      | None -> ()
+      | Some hold ->
+          hold.cancel_expiry ();
+          mp.mesh_gr <- None;
+          let stale = Hashtbl.fold (fun k () acc -> k :: acc) hold.stale [] in
+          List.iter
+            (fun (pid, prefix) ->
+              match Hashtbl.find_opt t.mesh_imports (pop, pid) with
+              | Some (Ialias { alias_id }) -> (
+                  match neighbor t alias_id with
+                  | Some ns ->
+                      ignore
+                        (Rib.Table.withdraw ns.rib_in ~prefix
+                           ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None);
+                      Rib.Fib.remove
+                        (Rib.Fib.Set.table t.fibs alias_id)
+                        prefix;
+                      Control_in.export_withdraw_to_experiments t ns prefix
+                  | None -> ())
+              | Some (Iremote_exp { prefix = rp }) ->
+                  Hashtbl.remove t.remote_exp_routes (pop, pid);
+                  Hashtbl.remove t.mesh_imports (pop, pid);
+                  owner_remove t rp;
+                  request_reexport t rp
+              | None -> ())
+            (List.sort compare stale);
+          if stale <> [] then
+            log t "mesh to %s sweep: %d stale imports dropped" pop
+              (List.length stale))
+
+(* Mesh session loss: retain when both sides negotiated graceful restart,
+   hard-drop otherwise. *)
+let process_mesh_down t ~pop reason =
+  match mesh_peer_for t ~pop with
+  | None -> ()
+  | Some mp -> (
+      let window =
+        if Fsm.graceful reason then Session.gr_restart_time mp.mesh_session
+        else None
+      in
+      match window with
+      | Some w when w > 0. -> gr_retain_mesh t mp ~window:w
+      | _ ->
+          (match mp.mesh_gr with Some h -> h.cancel_expiry () | None -> ());
+          mp.mesh_gr <- None;
+          drop_pop_imports t ~pop)
 
 (* -- experiment wiring ------------------------------------------------------ *)
 
@@ -398,7 +709,8 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
   in
   let config_router =
     Session.config ~local_asn:t.asn ~local_id:t.router_id
-      ~capabilities:(session_capabilities ~add_path:true t) ()
+      ~capabilities:(session_capabilities ~add_path:true t)
+      ~reconnect:(reconnect_policy t) ()
   in
   let config_client =
     Session.config ~local_asn:client_asn ~local_id:client_id
@@ -413,8 +725,13 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
                 Capability.safi_unicast,
                 Capability.Send_receive );
             ];
+          Capability.Graceful_restart
+            {
+              restart_time = t.gr_restart_time;
+              afis = [ (Capability.afi_ipv4, Capability.safi_unicast) ];
+            };
         ]
-      ()
+      ~reconnect:(reconnect_policy t) ()
   in
   let pair =
     Sim.Bgp_wire.make t.engine ~latency ~config_active:config_client
@@ -430,6 +747,8 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
       routes = Hashtbl.create 8;
       routes_v6 = Hashtbl.create 4;
       exp_synced = false;
+      exp_gr = None;
+      exp_gr_v6 = None;
       att_packets_out = 0;
       att_bytes_out = 0;
       att_packets_in = 0;
@@ -451,30 +770,24 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
           e.exp_synced <- false;
           Control_in.sync_experiment t e);
       on_update =
-        (fun u -> ignore (process_experiment_update t ~experiment:exp_name u));
+        (fun u ->
+          if Msg.is_end_of_rib u then gr_sweep_experiment t e
+          else ignore (process_experiment_update t ~experiment:exp_name u));
       on_established =
         (fun () ->
           log t "experiment %s established" exp_name;
           Control_in.sync_experiment t e);
       on_down =
         (fun reason ->
-          log t "experiment %s down: %s" exp_name reason;
-          (* Withdraw everything the experiment announced: clear its state
-             first so the re-export pass sees no live variants. *)
-          let announced =
-            Hashtbl.fold
-              (fun prefix vs acc -> (prefix, !vs) :: acc)
-              e.routes []
+          log t "experiment %s down: %s" exp_name
+            (Fsm.down_reason_to_string reason);
+          let window =
+            if Fsm.graceful reason then
+              Session.gr_restart_time pair.Sim.Bgp_wire.passive
+            else None
           in
-          Hashtbl.reset e.routes;
-          List.iter
-            (fun (prefix, vs) ->
-              List.iter
-                (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
-                vs;
-              owner_remove t prefix;
-              request_reexport t prefix)
-            announced;
-          e.exp_synced <- false);
+          match window with
+          | Some w when w > 0. -> gr_retain_experiment t e ~window:w
+          | _ -> hard_drop_experiment t e);
     };
   pair

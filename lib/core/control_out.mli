@@ -45,7 +45,16 @@ val process_experiment_update :
 val process_mesh_update : Router_state.t -> pop:string -> Msg.update -> unit
 (** Import one UPDATE from the backbone mesh: alias remote neighbors'
     routes (§4.4) or record remote experiment announcements for local
-    re-export. *)
+    re-export. Identical replays (a graceful-restart resync) are
+    absorbed silently. *)
+
+val process_mesh_eor : Router_state.t -> pop:string -> unit
+(** The mesh peer's End-of-RIB (RFC 4724): drop exactly the stale
+    imports its post-restart resync did not refresh. *)
+
+val process_mesh_down : Router_state.t -> pop:string -> Fsm.down_reason -> unit
+(** Mesh session loss: retain imports as stale for the negotiated restart
+    window on a graceful down, hard-drop them otherwise. *)
 
 val connect_experiment :
   Router_state.t ->

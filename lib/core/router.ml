@@ -20,6 +20,7 @@ type neighbor_state = Router_state.neighbor_state = {
   mutable session : Session.t option;
   mutable deliver : Ipv4_packet.t -> unit;
   export_id : int;
+  mutable gr : Prefix.t Router_state.gr_hold option;
 }
 
 type counters = Router_state.counters = {
@@ -32,6 +33,8 @@ type counters = Router_state.counters = {
   mutable packets_dropped : int;
   mutable icmp_sent : int;
   mutable reexport_computations : int;
+  mutable gr_retentions : int;
+  mutable gr_expiries : int;
 }
 
 type t = Router_state.t
@@ -57,6 +60,8 @@ let neighbor_states = Router_state.neighbor_states
 let real_neighbors = Router_state.real_neighbors
 let export_id = Router_state.export_id
 let neighbor_routes = Router_state.neighbor_routes
+let adj_out_routes = Router_state.adj_out_routes
+let stale_count = Router_state.stale_count
 let route_count = Router_state.route_count
 let fib_entry_count = Router_state.fib_entry_count
 let control_plane_bytes = Router_state.control_plane_bytes
@@ -85,6 +90,7 @@ let attach_backbone = Backbone.attach_backbone
 
 let connect_mesh t other ?latency () =
   Backbone.connect_mesh t other ~on_update:Control_out.process_mesh_update
-    ?latency ()
+    ~on_eor:Control_out.process_mesh_eor
+    ~on_peer_down:Control_out.process_mesh_down ?latency ()
 
 let connect_experiment = Control_out.connect_experiment

@@ -26,6 +26,8 @@ type neighbor_state = Router_state.neighbor_state = {
   mutable session : Session.t option;  (** [None] for backbone aliases *)
   mutable deliver : Ipv4_packet.t -> unit;
   export_id : int;  (** platform-global id used in export-control tags *)
+  mutable gr : Prefix.t Router_state.gr_hold option;
+      (** stale retention across a graceful session drop (RFC 4724) *)
 }
 
 type counters = Router_state.counters = {
@@ -41,6 +43,10 @@ type counters = Router_state.counters = {
       (** per-(prefix, neighbor) re-export recomputations; a burst of
           updates to one prefix costs one per neighbor, not one per
           update *)
+  mutable gr_retentions : int;
+      (** session drops answered with stale retention instead of a drop *)
+  mutable gr_expiries : int;
+      (** restart windows that expired into the hard-drop path *)
 }
 
 type t = Router_state.t
@@ -57,12 +63,17 @@ val create :
   global_pool:Addr_pool.t ->
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
+  ?seed:int ->
+  ?gr_restart_time:int ->
   unit ->
   t
 (** [local_pool] is this router's virtual next-hop space (127.65/16 in the
     paper); [global_pool] must be the single pool shared by every PoP
     (§4.4). [v6_next_hop] is the next hop placed in MP_REACH_NLRI on
-    IPv6 re-export (defaults to PEERING's 2804:269c::1). *)
+    IPv6 re-export (defaults to PEERING's 2804:269c::1). [seed] drives
+    the router's deterministic RNG (reconnect jitter);
+    [gr_restart_time] is the graceful-restart window it advertises
+    (RFC 4724) — 0 disables graceful restart. *)
 
 val activate : t -> unit
 (** Attach the router's own station to the experiment LAN (answers ARP for
@@ -98,6 +109,14 @@ val export_id : t -> neighbor_id:int -> int
     {!Export_control.announce_to} tags). *)
 
 val neighbor_routes : t -> neighbor_id:int -> Rib.Route.t list
+
+val adj_out_routes : t -> neighbor_id:int -> (Prefix.t * Attr.set) list
+(** The Adj-RIB-Out toward a neighbor as a sorted association list (the
+    chaos convergence checker compares these across runs). *)
+
+val stale_count : t -> neighbor_id:int -> int
+(** Prefixes currently held stale for a neighbor (graceful-restart
+    retention). *)
 
 val route_count : t -> int
 (** Total routes across all per-neighbor RIBs. *)

@@ -14,6 +14,24 @@ open Sim
 
 (* -- per-peer state ------------------------------------------------------- *)
 
+(* Graceful-restart retention (RFC 4724 shape): when a session drops for
+   a transient reason and both sides negotiated GR, the routes learned
+   from the peer stay installed but are marked stale. A re-announcement
+   clears the mark; the peer's End-of-RIB sweeps whatever is left; the
+   restart timer expiring falls back to the hard drop. *)
+type 'k gr_hold = {
+  stale : ('k, unit) Hashtbl.t;
+  mutable cancel_expiry : unit -> unit;
+}
+
+let gr_hold_of_keys keys =
+  let stale = Hashtbl.create (max 16 (List.length keys)) in
+  List.iter (fun k -> Hashtbl.replace stale k ()) keys;
+  { stale; cancel_expiry = ignore }
+
+let gr_unmark hold key =
+  match hold with Some h -> Hashtbl.remove h.stale key | None -> ()
+
 type neighbor_state = {
   info : Neighbor.t;
   rib_in : Rib.Table.t;
@@ -21,6 +39,8 @@ type neighbor_state = {
   mutable deliver : Ipv4_packet.t -> unit;
       (** hand an outbound packet to the (real) neighbor *)
   export_id : int;  (** platform-global id used in export-control tags *)
+  mutable gr : Prefix.t gr_hold option;
+      (** stale retention across a graceful session drop *)
 }
 
 type variant = {
@@ -38,13 +58,21 @@ type experiment_state = {
   routes_v6 : (Prefix_v6.t, variant list ref) Hashtbl.t;
       (** IPv6 announcements (MP-BGP); control plane only *)
   mutable exp_synced : bool;
+  mutable exp_gr : (Prefix.t * int) gr_hold option;
+      (** stale (prefix, path id) variants across a graceful drop *)
+  mutable exp_gr_v6 : (Prefix_v6.t * int) gr_hold option;
   (* PlanetFlow-style attribution (§3.1): per-experiment traffic totals. *)
   mutable att_packets_out : int;
   mutable att_bytes_out : int;
   mutable att_packets_in : int;
 }
 
-type mesh_peer = { pop_name : string; mesh_session : Session.t }
+type mesh_peer = {
+  pop_name : string;
+  mesh_session : Session.t;
+  mutable mesh_gr : (int * Prefix.t) gr_hold option;
+      (** stale (path id, prefix) imports across a graceful mesh drop *)
+}
 
 type mesh_import =
   | Ialias of { alias_id : int }
@@ -68,6 +96,10 @@ type counters = {
       (** per-(prefix, neighbor) re-export recomputations; a burst of
           updates to one prefix costs one per neighbor, not one per
           update (the dirty-prefix queue) *)
+  mutable gr_retentions : int;
+      (** session drops answered with stale retention instead of a drop *)
+  mutable gr_expiries : int;
+      (** restart windows that expired into the hard-drop path *)
 }
 
 type t = {
@@ -111,6 +143,10 @@ type t = {
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
   mutable reexport_scheduled : bool;
   counters : counters;
+  rng : Random.State.t;
+      (** engine-seeded randomness (reconnect jitter); deterministic runs *)
+  gr_restart_time : int;
+      (** the restart window this router advertises (RFC 4724), seconds *)
 }
 
 let mesh_exp_id_base = 100_000
@@ -122,7 +158,7 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
-    ?control ?data () =
+    ?control ?data ?(seed = 42) ?(gr_restart_time = 120) () =
   let control =
     match control with
     | Some c -> c
@@ -175,7 +211,11 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
         packets_dropped = 0;
         icmp_sent = 0;
         reexport_computations = 0;
+        gr_retentions = 0;
+        gr_expiries = 0;
       };
+    rng = Random.State.make [| seed; Hashtbl.hash name |];
+    gr_restart_time;
   }
 
 let name t = t.name
@@ -250,6 +290,15 @@ let session_capabilities ?(add_path = false) t =
       Capability.Multiprotocol
         { afi = Capability.afi_ipv6; safi = Capability.safi_unicast };
       Capability.As4 t.asn;
+      Capability.Graceful_restart
+        {
+          restart_time = t.gr_restart_time;
+          afis =
+            [
+              (Capability.afi_ipv4, Capability.safi_unicast);
+              (Capability.afi_ipv6, Capability.safi_unicast);
+            ];
+        };
     ]
   in
   if add_path then
@@ -263,6 +312,12 @@ let session_capabilities ?(add_path = false) t =
           ];
       ]
   else base
+
+(* The reconnect policy every platform-owned session uses: capped
+   exponential backoff with jitter from this router's RNG, so runs stay
+   reproducible while peers avoid lock-step retries. *)
+let reconnect_policy t =
+  Session.reconnect_policy ~backoff_base:0.5 ~backoff_max:30. ~jitter:t.rng ()
 
 (* -- inspection -------------------------------------------------------------- *)
 
@@ -324,3 +379,18 @@ let neighbor_routes t ~neighbor_id =
   match neighbor t neighbor_id with
   | Some ns -> Rib.Table.to_list ns.rib_in
   | None -> []
+
+(* The Adj-RIB-Out toward a neighbor, as a sorted association list (the
+   convergence checker compares these across runs). *)
+let adj_out_routes t ~neighbor_id =
+  match Hashtbl.find_opt t.adj_out neighbor_id with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun p a acc -> (p, a) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+(* Prefixes currently held stale for a neighbor (GR retention). *)
+let stale_count t ~neighbor_id =
+  match neighbor t neighbor_id with
+  | Some { gr = Some h; _ } -> Hashtbl.length h.stale
+  | _ -> 0

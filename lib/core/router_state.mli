@@ -13,12 +13,26 @@ open Netcore
 open Bgp
 open Sim
 
+(** Graceful-restart retention (RFC 4724 shape): routes from a peer whose
+    session dropped gracefully stay installed but are marked stale. A
+    re-announcement clears the mark, the peer's End-of-RIB sweeps the
+    rest, and restart-window expiry falls back to the hard drop. *)
+type 'k gr_hold = {
+  stale : ('k, unit) Hashtbl.t;
+  mutable cancel_expiry : unit -> unit;
+}
+
+val gr_hold_of_keys : 'k list -> 'k gr_hold
+val gr_unmark : 'k gr_hold option -> 'k -> unit
+
 type neighbor_state = {
   info : Neighbor.t;
   rib_in : Rib.Table.t;
   mutable session : Session.t option;  (** [None] for backbone aliases *)
   mutable deliver : Ipv4_packet.t -> unit;
   export_id : int;  (** platform-global id used in export-control tags *)
+  mutable gr : Prefix.t gr_hold option;
+      (** stale retention across a graceful session drop *)
 }
 
 type variant = {
@@ -35,12 +49,20 @@ type experiment_state = {
   routes : (Prefix.t, variant list ref) Hashtbl.t;
   routes_v6 : (Prefix_v6.t, variant list ref) Hashtbl.t;
   mutable exp_synced : bool;
+  mutable exp_gr : (Prefix.t * int) gr_hold option;
+      (** stale (prefix, path id) variants across a graceful drop *)
+  mutable exp_gr_v6 : (Prefix_v6.t * int) gr_hold option;
   mutable att_packets_out : int;
   mutable att_bytes_out : int;
   mutable att_packets_in : int;
 }
 
-type mesh_peer = { pop_name : string; mesh_session : Session.t }
+type mesh_peer = {
+  pop_name : string;
+  mesh_session : Session.t;
+  mutable mesh_gr : (int * Prefix.t) gr_hold option;
+      (** stale (path id, prefix) imports across a graceful mesh drop *)
+}
 
 type mesh_import =
   | Ialias of { alias_id : int }
@@ -62,6 +84,10 @@ type counters = {
   mutable reexport_computations : int;
       (** per-(prefix, neighbor) re-export recomputations performed by
           the dirty-prefix queue *)
+  mutable gr_retentions : int;
+      (** session drops answered with stale retention instead of a drop *)
+  mutable gr_expiries : int;
+      (** restart windows that expired into the hard-drop path *)
 }
 
 type t = {
@@ -98,6 +124,10 @@ type t = {
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
   mutable reexport_scheduled : bool;
   counters : counters;
+  rng : Random.State.t;
+      (** engine-seeded randomness (reconnect jitter); deterministic runs *)
+  gr_restart_time : int;
+      (** the restart window this router advertises (RFC 4724), seconds *)
 }
 
 val mesh_exp_id_base : int
@@ -119,6 +149,8 @@ val create :
   global_pool:Addr_pool.t ->
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
+  ?seed:int ->
+  ?gr_restart_time:int ->
   unit ->
   t
 
@@ -157,6 +189,10 @@ val adj_out_table : t -> int -> (Prefix.t, Attr.set) Hashtbl.t
 
 val session_capabilities : ?add_path:bool -> t -> Capability.t list
 
+val reconnect_policy : t -> Session.reconnect_policy
+(** The reconnect policy platform-owned sessions use: capped exponential
+    backoff with jitter from this router's RNG. *)
+
 (** {1 Inspection} *)
 
 val route_count : t -> int
@@ -168,3 +204,10 @@ val owner_of : t -> Ipv4.t -> string option
 val allocation_owner_of : t -> Ipv4.t -> string option
 val export_id : t -> neighbor_id:int -> int
 val neighbor_routes : t -> neighbor_id:int -> Rib.Route.t list
+
+val adj_out_routes : t -> neighbor_id:int -> (Prefix.t * Attr.set) list
+(** The Adj-RIB-Out toward a neighbor as a sorted association list (the
+    chaos convergence checker compares these across runs). *)
+
+val stale_count : t -> neighbor_id:int -> int
+(** Prefixes currently held stale for a neighbor (GR retention). *)

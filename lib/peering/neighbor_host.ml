@@ -26,12 +26,21 @@ type t = {
   heard_v6 : (Prefix_v6.t, Attr.set) Hashtbl.t;
   mutable received_packets : Ipv4_packet.t list;
   mutable established : bool;
+  mutable gr_stale : (Prefix.t, unit) Hashtbl.t option;
+      (** heard routes held across a graceful platform restart *)
+  mutable gr_stale_v6 : (Prefix_v6.t, unit) Hashtbl.t option;
+  mutable gr_cancel : unit -> unit;
+  mutable withdrawals_seen : int;
+      (** withdrawals received on the wire (chaos tests assert a quiet
+          graceful restart leaves this untouched) *)
 }
 
 let session t = t.pair.Bgp_wire.active
 let neighbor_id t = t.neighbor_id
 let is_established t = t.established
 let received_packets t = List.rev t.received_packets
+let withdrawals_seen t = t.withdrawals_seen
+let flap_count t = Session.flap_count (session t)
 
 let heard_route t prefix = Hashtbl.find_opt t.heard prefix
 let heard_route_v6 t prefix = Hashtbl.find_opt t.heard_v6 prefix
@@ -97,39 +106,125 @@ let create ~engine ~router ~name ~asn ~ip ~kind ?(latency = 0.002) () =
       heard_v6 = Hashtbl.create 4;
       received_packets = [];
       established = false;
+      gr_stale = None;
+      gr_stale_v6 = None;
+      gr_cancel = ignore;
+      withdrawals_seen = 0;
     }
   in
   Vbgp.Router.set_neighbor_deliver router ~neighbor_id (fun packet ->
       t.received_packets <- packet :: t.received_packets);
+  (* The platform's End-of-RIB after a restart: heard routes its resync
+     did not refresh are genuinely gone (RFC 4724 mark-and-sweep). *)
+  let sweep_stale () =
+    t.gr_cancel ();
+    t.gr_cancel <- ignore;
+    (match t.gr_stale with
+    | Some stale ->
+        t.gr_stale <- None;
+        Hashtbl.iter (fun p () -> Hashtbl.remove t.heard p) stale
+    | None -> ());
+    match t.gr_stale_v6 with
+    | Some stale ->
+        t.gr_stale_v6 <- None;
+        Hashtbl.iter (fun p () -> Hashtbl.remove t.heard_v6 p) stale
+    | None -> ()
+  in
+  let unmark tbl key = match tbl with Some s -> Hashtbl.remove s key | None -> () in
   Session.set_handlers (session t)
     {
       Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
       on_update =
         (fun u ->
-          List.iter
-            (fun (n : Msg.nlri) -> Hashtbl.remove t.heard n.prefix)
-            u.withdrawn;
-          List.iter
-            (fun (n : Msg.nlri) -> Hashtbl.replace t.heard n.prefix u.attrs)
-            u.announced;
-          List.iter
-            (fun attr ->
-              match attr with
-              | Attr.Mp_reach { nlri; _ } ->
-                  List.iter
-                    (fun (p, _) -> Hashtbl.replace t.heard_v6 p u.attrs)
-                    nlri
-              | Attr.Mp_unreach nlri ->
-                  List.iter (fun (p, _) -> Hashtbl.remove t.heard_v6 p) nlri
-              | _ -> ())
-            u.attrs);
+          if Msg.is_end_of_rib u then sweep_stale ()
+          else begin
+            t.withdrawals_seen <- t.withdrawals_seen + List.length u.withdrawn;
+            List.iter
+              (fun (n : Msg.nlri) ->
+                unmark t.gr_stale n.prefix;
+                Hashtbl.remove t.heard n.prefix)
+              u.withdrawn;
+            List.iter
+              (fun (n : Msg.nlri) ->
+                unmark t.gr_stale n.prefix;
+                Hashtbl.replace t.heard n.prefix u.attrs)
+              u.announced;
+            List.iter
+              (fun attr ->
+                match attr with
+                | Attr.Mp_reach { nlri; _ } ->
+                    List.iter
+                      (fun (p, _) ->
+                        unmark t.gr_stale_v6 p;
+                        Hashtbl.replace t.heard_v6 p u.attrs)
+                      nlri
+                | Attr.Mp_unreach nlri ->
+                    t.withdrawals_seen <-
+                      t.withdrawals_seen + List.length nlri;
+                    List.iter
+                      (fun (p, _) ->
+                        unmark t.gr_stale_v6 p;
+                        Hashtbl.remove t.heard_v6 p)
+                      nlri
+                | _ -> ())
+              u.attrs
+          end);
       on_established =
         (fun () ->
           t.established <- true;
           t.pending <- [];
-          (* Full table exchange on every (re)establishment. *)
-          announce_now t t.table);
-      on_down = (fun _ -> t.established <- false);
+          (* Full table exchange on every (re)establishment, closed with
+             End-of-RIB so the platform can sweep stale state. *)
+          announce_now t t.table;
+          Session.send_update (session t) (Msg.update ()));
+      on_down =
+        (fun reason ->
+          t.established <- false;
+          let window =
+            if Fsm.graceful reason then Session.gr_restart_time (session t)
+            else None
+          in
+          match window with
+          | Some _ when t.gr_stale <> None ->
+              (* Repeat loss while the window is already running: re-mark
+                 what is currently heard, but keep the first deadline
+                 (RFC 4724 counts the restart time from the first loss). *)
+              (match t.gr_stale with
+              | Some stale ->
+                  Hashtbl.iter (fun p _ -> Hashtbl.replace stale p ()) t.heard
+              | None -> ());
+              (match t.gr_stale_v6 with
+              | Some stale_v6 ->
+                  Hashtbl.iter
+                    (fun p _ -> Hashtbl.replace stale_v6 p ())
+                    t.heard_v6
+              | None -> ())
+          | Some w when w > 0. ->
+              (* Keep heard routes, marked stale, for the restart window. *)
+              t.gr_cancel ();
+              let stale = Hashtbl.create (Hashtbl.length t.heard) in
+              Hashtbl.iter (fun p _ -> Hashtbl.replace stale p ()) t.heard;
+              let stale_v6 = Hashtbl.create 4 in
+              Hashtbl.iter
+                (fun p _ -> Hashtbl.replace stale_v6 p ())
+                t.heard_v6;
+              t.gr_stale <- Some stale;
+              t.gr_stale_v6 <- Some stale_v6;
+              t.gr_cancel <-
+                Engine.schedule t.engine w (fun () ->
+                    (match t.gr_stale with
+                    | Some s when s == stale ->
+                        t.gr_stale <- None;
+                        Hashtbl.iter (fun p () -> Hashtbl.remove t.heard p) s
+                    | _ -> ());
+                    match t.gr_stale_v6 with
+                    | Some s when s == stale_v6 ->
+                        t.gr_stale_v6 <- None;
+                        Hashtbl.iter
+                          (fun p () -> Hashtbl.remove t.heard_v6 p)
+                          s
+                    | _ -> ())
+          | _ -> ());
     };
   Bgp_wire.start pair;
   t

@@ -21,6 +21,11 @@ type t = {
   heard_v6 : (Prefix_v6.t, Attr.set) Hashtbl.t;
   mutable received_packets : Ipv4_packet.t list;
   mutable established : bool;
+  mutable gr_stale : (Prefix.t, unit) Hashtbl.t option;
+      (** heard routes held across a graceful platform restart *)
+  mutable gr_stale_v6 : (Prefix_v6.t, unit) Hashtbl.t option;
+  mutable gr_cancel : unit -> unit;
+  mutable withdrawals_seen : int;
 }
 
 val create :
@@ -40,6 +45,14 @@ val session : t -> Session.t
 
 val neighbor_id : t -> int
 val is_established : t -> bool
+
+val withdrawals_seen : t -> int
+(** Withdrawals received on the wire since creation. A graceful restart
+    that changed nothing must leave this untouched — the chaos suite's
+    core assertion. *)
+
+val flap_count : t -> int
+(** Non-administrative session losses observed by this host's speaker. *)
 
 val announce : t -> (Prefix.t * Aspath.t) list -> unit
 (** Announce routes (queued until the session establishes; the full table

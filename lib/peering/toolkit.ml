@@ -22,6 +22,13 @@ type tunnel = {
   arp : Vbgp.Arp_client.t;
   rib : Rib.Table.t;
   mutable session_open : bool;
+  announced : (Prefix.t * int, Attr.set) Hashtbl.t;
+      (** live announcements keyed (prefix, path id); replayed in full on
+          every re-establishment, as in real BGP *)
+  announced_v6 : (Prefix_v6.t * int, Attr.set) Hashtbl.t;
+  mutable rib_stale : (Prefix.t * int option, unit) Hashtbl.t option;
+      (** RIB entries held across a graceful platform restart *)
+  mutable rib_gr_cancel : unit -> unit;
 }
 
 type t = {
@@ -157,38 +164,121 @@ let open_tunnel t (pop : Pop.t) =
            t.grant.Vbgp.Control_enforcer.prefixes)
   in
   let rib = Rib.Table.create () in
-  let tn = { tpop = pop; pair; arp; rib; session_open = false } in
+  let tn =
+    {
+      tpop = pop;
+      pair;
+      arp;
+      rib;
+      session_open = false;
+      announced = Hashtbl.create 8;
+      announced_v6 = Hashtbl.create 4;
+      rib_stale = None;
+      rib_gr_cancel = ignore;
+    }
+  in
   Vbgp.Arp_client.set_ip_handler arp (fun ~src_mac packet ->
       handle_ip t tn ~src_mac packet);
   (* Client-side session handlers: maintain the local multi-path RIB. *)
   let client = pair.Bgp_wire.active in
   let router_id = Ipv4.of_string_exn "10.255.255.254" in
+  let unmark key =
+    match tn.rib_stale with Some s -> Hashtbl.remove s key | None -> ()
+  in
+  (* The PoP's End-of-RIB after a restart: withdraw exactly the RIB
+     entries its resync did not refresh (RFC 4724 mark-and-sweep). *)
+  let sweep_stale () =
+    tn.rib_gr_cancel ();
+    tn.rib_gr_cancel <- ignore;
+    match tn.rib_stale with
+    | None -> ()
+    | Some stale ->
+        tn.rib_stale <- None;
+        Hashtbl.iter
+          (fun (prefix, path_id) () ->
+            ignore (Rib.Table.withdraw rib ~prefix ~peer_ip:router_id ~path_id))
+          stale
+  in
   Session.set_handlers client
     {
       Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
       on_update =
         (fun u ->
-          List.iter
-            (fun (n : Msg.nlri) ->
-              ignore
-                (Rib.Table.withdraw rib ~prefix:n.prefix ~peer_ip:router_id
-                   ~path_id:n.path_id))
-            u.withdrawn;
-          List.iter
-            (fun (n : Msg.nlri) ->
-              let route =
-                Rib.Route.make ~path_id:n.path_id
-                  ~learned_at:(Engine.now t.engine) ~prefix:n.prefix
-                  ~attrs:u.attrs
-                  ~source:
-                    (Rib.Route.source ~peer_ip:router_id
-                       ~peer_asn:(Vbgp.Router.asn router) ())
-                  ()
-              in
-              ignore (Rib.Table.update rib route))
-            u.announced);
-      on_established = (fun () -> tn.session_open <- true);
-      on_down = (fun _ -> tn.session_open <- false);
+          if Msg.is_end_of_rib u then sweep_stale ()
+          else begin
+            List.iter
+              (fun (n : Msg.nlri) ->
+                unmark (n.prefix, n.path_id);
+                ignore
+                  (Rib.Table.withdraw rib ~prefix:n.prefix ~peer_ip:router_id
+                     ~path_id:n.path_id))
+              u.withdrawn;
+            List.iter
+              (fun (n : Msg.nlri) ->
+                unmark (n.prefix, n.path_id);
+                let route =
+                  Rib.Route.make ~path_id:n.path_id
+                    ~learned_at:(Engine.now t.engine) ~prefix:n.prefix
+                    ~attrs:u.attrs
+                    ~source:
+                      (Rib.Route.source ~peer_ip:router_id
+                         ~peer_asn:(Vbgp.Router.asn router) ())
+                    ()
+                in
+                ignore (Rib.Table.update rib route))
+              u.announced
+          end);
+      on_established =
+        (fun () ->
+          tn.session_open <- true;
+          (* Replay every live announcement (the client's intent survived
+             the outage), then End-of-RIB so the PoP sweeps whatever was
+             withdrawn while the session was down. *)
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tn.announced []
+          |> List.sort compare
+          |> List.iter (fun ((prefix, path_id), attrs) ->
+                 Session.send_update client
+                   (Msg.update ~attrs ~announced:[ Msg.nlri ~path_id prefix ] ()));
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tn.announced_v6 []
+          |> List.sort compare
+          |> List.iter (fun (_, attrs) ->
+                 Session.send_update client (Msg.update ~attrs ()));
+          Session.send_update client (Msg.update ()));
+      on_down =
+        (fun reason ->
+          tn.session_open <- false;
+          let window =
+            if Fsm.graceful reason then Session.gr_restart_time client
+            else None
+          in
+          match window with
+          | Some w when w > 0. ->
+              (* Keep the RIB, marked stale, for the restart window:
+                 forwarding state is preserved (RFC 4724). *)
+              tn.rib_gr_cancel ();
+              let stale = Hashtbl.create 16 in
+              List.iter
+                (fun (r : Rib.Route.t) ->
+                  Hashtbl.replace stale (r.prefix, r.path_id) ())
+                (Rib.Table.to_list rib);
+              tn.rib_stale <- Some stale;
+              tn.rib_gr_cancel <-
+                Engine.schedule t.engine w (fun () ->
+                    match tn.rib_stale with
+                    | Some s when s == stale ->
+                        tn.rib_stale <- None;
+                        Hashtbl.iter
+                          (fun (prefix, path_id) () ->
+                            ignore
+                              (Rib.Table.withdraw rib ~prefix
+                                 ~peer_ip:router_id ~path_id))
+                          s
+                    | _ -> ())
+          | _ ->
+              tn.rib_gr_cancel ();
+              tn.rib_gr_cancel <- ignore;
+              tn.rib_stale <- None;
+              ignore (Rib.Table.drop_peer rib ~peer_ip:router_id));
     };
   t.tunnels <- t.tunnels @ [ tn ];
   tn
@@ -256,6 +346,7 @@ let announce t ?pops ?(path_id = 0) ?prepend ?poison ?communities
         build_attrs t ~router:(Pop.router tn.tpop) ?prepend ?poison
           ?communities ?announce_to ?block ()
       in
+      Hashtbl.replace tn.announced (prefix, path_id) attrs;
       Session.send_update tn.pair.Bgp_wire.active
         (Msg.update ~attrs ~announced:[ Msg.nlri ~path_id prefix ] ()))
     targets
@@ -293,6 +384,7 @@ let announce_v6 t ?pops ?(path_id = 0) ?(communities = []) ?announce_to
         ]
         |> Attr.with_communities (communities @ control)
       in
+      Hashtbl.replace tn.announced_v6 (prefix, path_id) attrs;
       Session.send_update tn.pair.Bgp_wire.active (Msg.update ~attrs ()))
     targets
 
@@ -304,6 +396,7 @@ let withdraw_v6 t ?pops ?(path_id = 0) prefix =
   in
   List.iter
     (fun tn ->
+      Hashtbl.remove tn.announced_v6 (prefix, path_id);
       Session.send_update tn.pair.Bgp_wire.active
         (Msg.update ~attrs:[ Attr.Mp_unreach [ (prefix, Some path_id) ] ] ()))
     targets
@@ -316,6 +409,7 @@ let withdraw t ?pops ?(path_id = 0) prefix =
   in
   List.iter
     (fun tn ->
+      Hashtbl.remove tn.announced (prefix, path_id);
       Session.send_update tn.pair.Bgp_wire.active
         (Msg.update ~withdrawn:[ Msg.nlri ~path_id prefix ] ()))
     targets

@@ -39,6 +39,10 @@ let make engine ?(latency = 0.001) ?(bandwidth = infinity)
   passive_ref := Some passive;
   Link.attach link Link.A (fun data -> Session.receive_bytes active data);
   Link.attach link Link.B (fun data -> Session.receive_bytes passive data);
+  (* A closed transport is signalled to the other endpoint as a connection
+     failure, so teardown propagates without waiting for hold timers. *)
+  Link.set_teardown link Link.A (fun () -> Session.connection_failed active);
+  Link.set_teardown link Link.B (fun () -> Session.connection_failed passive);
   { active; passive; link }
 
 (* Start both sides; run the engine afterwards to reach Established. *)

@@ -1,0 +1,111 @@
+(* Scriptable fault injection on the discrete-event engine: link flaps,
+   loss and latency ramps, session kills, and backbone partitions. The
+   chaos counterpart of the paper's monitoring/canarying story (§5) — the
+   platform must keep serving experiments while edge sessions churn.
+
+   Every injected fault is deterministic: timing comes from the engine,
+   randomness from a caller-seeded RNG, and each fault is appended to a
+   chronological log so a failed convergence check can replay the exact
+   scenario. *)
+
+type t = {
+  engine : Engine.t;
+  rng : Random.State.t;
+  mutable events : (float * string) list;  (** newest first *)
+}
+
+let create ?(seed = 7) engine =
+  { engine; rng = Random.State.make [| seed |]; events = [] }
+
+let events t = List.rev t.events
+
+let note t fmt =
+  Format.kasprintf
+    (fun msg -> t.events <- (Engine.now t.engine, msg) :: t.events)
+    fmt
+
+(* Schedule [f] at [at] seconds from now, logging [what] when it fires. *)
+let at t ~at:delay what f =
+  Engine.run_after t.engine delay (fun () ->
+      note t "%s" what;
+      f ())
+
+(* A jittered delay in [0.75 * d, 1.25 * d), from the fault RNG. *)
+let jittered t d = d *. (0.75 +. Random.State.float t.rng 0.5)
+
+(* -- link faults ----------------------------------------------------------- *)
+
+(* Take [link] down at [at] and bring it back [duration] later. *)
+let link_down t ~at:delay ~duration link =
+  at t ~at:delay "link down" (fun () -> Link.set_up link false);
+  at t ~at:(delay +. duration) "link up" (fun () -> Link.set_up link true)
+
+(* [count] consecutive down/up cycles starting at [at]: down for
+   [down_for], then up for [up_for], repeated. With [jitter], each phase
+   length is drawn from [0.75, 1.25) of the nominal value. *)
+let flap_link t ~at:delay ?(jitter = false) ~count ~down_for ~up_for link =
+  let phase d = if jitter then jittered t d else d in
+  let start = ref delay in
+  for _ = 1 to count do
+    let d = phase down_for and u = phase up_for in
+    link_down t ~at:!start ~duration:d link;
+    start := !start +. d +. u
+  done
+
+(* Ramp the link's loss rate up to [peak] and back down over [duration],
+   in [steps] equal stages per side. *)
+let loss_ramp t ~at:delay ~duration ~peak ?(steps = 4) link =
+  let baseline = Link.loss link in
+  let dt = duration /. float_of_int (2 * steps) in
+  for i = 1 to steps do
+    let frac = float_of_int i /. float_of_int steps in
+    let l = baseline +. ((peak -. baseline) *. frac) in
+    at t
+      ~at:(delay +. (dt *. float_of_int (i - 1)))
+      (Printf.sprintf "loss %.2f" l)
+      (fun () -> Link.set_loss link l)
+  done;
+  for i = 1 to steps do
+    let frac = float_of_int (steps - i) /. float_of_int steps in
+    let l = baseline +. ((peak -. baseline) *. frac) in
+    at t
+      ~at:(delay +. (dt *. float_of_int (steps + i - 1)))
+      (Printf.sprintf "loss %.2f" l)
+      (fun () -> Link.set_loss link l)
+  done
+
+(* Multiply the link's latency by [factor] at [at]; restore after
+   [duration]. *)
+let latency_spike t ~at:delay ~duration ~factor link =
+  let baseline = Link.latency link in
+  at t ~at:delay
+    (Printf.sprintf "latency x%.1f" factor)
+    (fun () -> Link.set_latency link (baseline *. factor));
+  at t ~at:(delay +. duration) "latency restored" (fun () ->
+      Link.set_latency link baseline)
+
+(* -- session faults -------------------------------------------------------- *)
+
+(* Fail one session endpoint (its transport reports a connection loss). *)
+let kill_session t ~at:delay session =
+  at t ~at:delay "session kill" (fun () ->
+      Bgp.Session.connection_failed session)
+
+(* Fail both endpoints of a session pair simultaneously — the shape of a
+   real transport loss, and the reliable way to exercise graceful
+   restart: both sides observe [Transport_failed] at the same instant. *)
+let kill_pair t ~at:delay (pair : Bgp_wire.pair) =
+  at t ~at:delay "session pair kill" (fun () ->
+      Bgp.Session.connection_failed pair.Bgp_wire.active;
+      Bgp.Session.connection_failed pair.Bgp_wire.passive)
+
+(* -- partitions ------------------------------------------------------------ *)
+
+(* Take a set of links (e.g. one side of the backbone mesh) down together
+   at [at] and heal them together [duration] later. *)
+let partition t ~at:delay ~duration links =
+  at t ~at:delay
+    (Printf.sprintf "partition (%d links)" (List.length links))
+    (fun () -> List.iter (fun l -> Link.set_up l false) links);
+  at t ~at:(delay +. duration) "partition healed" (fun () ->
+      List.iter (fun l -> Link.set_up l true) links)

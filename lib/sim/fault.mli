@@ -1,0 +1,59 @@
+(** Scriptable fault injection on the discrete-event engine: link flaps,
+    loss/latency ramps, session kills, and backbone partitions.
+
+    Deterministic by construction — timing from the engine, randomness
+    from a caller-seeded RNG — and every injected fault lands in a
+    chronological log, so a failing convergence check can replay the
+    exact scenario. *)
+
+type t
+
+val create : ?seed:int -> Engine.t -> t
+
+val events : t -> (float * string) list
+(** The chronological fault log: (simulated time, description). *)
+
+val jittered : t -> float -> float
+(** A delay drawn from [0.75, 1.25) of the nominal value. *)
+
+val at : t -> at:float -> string -> (unit -> unit) -> unit
+(** Schedule an arbitrary labelled fault [at] seconds from now. *)
+
+(** {1 Link faults} *)
+
+val link_down : t -> at:float -> duration:float -> Link.t -> unit
+(** Take the link down at [at]; heal it [duration] later. *)
+
+val flap_link :
+  t ->
+  at:float ->
+  ?jitter:bool ->
+  count:int ->
+  down_for:float ->
+  up_for:float ->
+  Link.t ->
+  unit
+(** [count] down/up cycles; with [jitter] each phase length varies by
+    ±25%. *)
+
+val loss_ramp :
+  t -> at:float -> duration:float -> peak:float -> ?steps:int -> Link.t -> unit
+(** Ramp loss up to [peak] and back to the baseline over [duration]. *)
+
+val latency_spike :
+  t -> at:float -> duration:float -> factor:float -> Link.t -> unit
+(** Multiply latency by [factor] for [duration] seconds. *)
+
+(** {1 Session faults} *)
+
+val kill_session : t -> at:float -> Bgp.Session.t -> unit
+(** Fail one session endpoint (transport reports a connection loss). *)
+
+val kill_pair : t -> at:float -> Bgp_wire.pair -> unit
+(** Fail both endpoints simultaneously — the shape of a real transport
+    loss, and the reliable way to exercise graceful restart. *)
+
+(** {1 Partitions} *)
+
+val partition : t -> at:float -> duration:float -> Link.t list -> unit
+(** Take several links down together; heal them together. *)

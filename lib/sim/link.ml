@@ -10,15 +10,17 @@ let other = function A -> B | B -> A
 
 type direction = {
   mutable receive : string -> unit;
+  mutable teardown : unit -> unit;
+      (** the sending endpoint closed its end of the connection *)
   mutable busy_until : float;
   mutable bytes_carried : int;
 }
 
 type t = {
   engine : Engine.t;
-  latency : float;  (** one-way propagation delay, seconds *)
+  mutable latency : float;  (** one-way propagation delay, seconds *)
   bandwidth : float;  (** bytes per second; [infinity] = unconstrained *)
-  loss : float;  (** packet loss probability in [0, 1) *)
+  mutable loss : float;  (** packet loss probability in [0, 1) *)
   rng : Random.State.t;
   a_to_b : direction;
   b_to_a : direction;
@@ -27,7 +29,9 @@ type t = {
 
 let create ?(latency = 0.001) ?(bandwidth = infinity) ?(loss = 0.)
     ?(seed = 42) engine =
-  let direction () = { receive = ignore; busy_until = 0.; bytes_carried = 0 } in
+  let direction () =
+    { receive = ignore; teardown = ignore; busy_until = 0.; bytes_carried = 0 }
+  in
   {
     engine;
     latency;
@@ -45,8 +49,17 @@ let direction t = function A -> t.a_to_b | B -> t.b_to_a
    that endpoint). *)
 let attach t endpoint receive = (direction t (other endpoint)).receive <- receive
 
+(* Register the callback run at [endpoint] when its peer closes (one
+   latency after the close, like any other signal on the wire). *)
+let set_teardown t endpoint teardown =
+  (direction t (other endpoint)).teardown <- teardown
+
 let set_up t up = t.up <- up
 let is_up t = t.up
+let latency t = t.latency
+let set_latency t latency = t.latency <- latency
+let loss t = t.loss
+let set_loss t loss = t.loss <- loss
 
 let bytes_carried t endpoint = (direction t endpoint).bytes_carried
 
@@ -72,12 +85,19 @@ let send t ~from data =
   end
 
 (* Transports for a BGP session pair running over this link. Connection
-   establishment is immediate (one latency for the handshake). *)
+   establishment is immediate (one latency for the handshake); a close is
+   signalled to the remote endpoint one latency later, so the peer learns
+   of the teardown without waiting for its hold timer. *)
 let transport t endpoint ~(session_up : unit -> unit) : Bgp.Session.transport =
   {
     Bgp.Session.connect =
       (fun () ->
         Engine.run_after t.engine t.latency (fun () -> session_up ()));
     send = (fun data -> send t ~from:endpoint data);
-    close = (fun () -> ());
+    close =
+      (fun () ->
+        if t.up then
+          let dir = direction t endpoint in
+          Engine.run_after t.engine t.latency (fun () ->
+              if t.up then dir.teardown ()));
   }

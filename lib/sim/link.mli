@@ -22,10 +22,19 @@ val create :
 val attach : t -> endpoint -> (string -> unit) -> unit
 (** Register the receive callback for frames sent {e to} that endpoint. *)
 
+val set_teardown : t -> endpoint -> (unit -> unit) -> unit
+(** Register the callback run at [endpoint] when its peer closes its end
+    of the connection (delivered one latency after the close). *)
+
 val set_up : t -> bool -> unit
 (** Administrative up/down; a down link drops silently. *)
 
 val is_up : t -> bool
+
+val latency : t -> float
+val set_latency : t -> float -> unit
+val loss : t -> float
+val set_loss : t -> float -> unit
 
 val bytes_carried : t -> endpoint -> int
 (** Bytes sent {e from} the endpoint. *)

@@ -492,7 +492,7 @@ let test_session_stop_notifies_peer () =
       Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
       on_update = ignore;
       on_established = ignore;
-      on_down = (fun r -> down_reason := r);
+      on_down = (fun r -> down_reason := Fsm.down_reason_to_string r);
     };
   Session.stop pair.Sim.Bgp_wire.active;
   Sim.Engine.run_until engine 10.;
@@ -574,6 +574,185 @@ let test_session_mrai_batches () =
   (* ...after it, both flush in order. *)
   Sim.Engine.run_until engine 30.;
   checki "flushed after MRAI" 2 !got
+
+(* -- robustness: failure causes, teardown, reconnect, graceful restart ------------------------ *)
+
+(* A codec error must be recorded as [last_error] before the Stop it
+   triggers, so diagnostics see the true cause rather than "stopped". *)
+let test_session_codec_error_cause () =
+  let engine = Sim.Engine.create () in
+  let pair = make_pair engine in
+  Sim.Bgp_wire.start pair;
+  Sim.Engine.run_until engine 5.;
+  (* A well-formed 19-byte KEEPALIVE header whose marker is all zeroes:
+     "connection not synchronized" (RFC 4271 §6.1). *)
+  Session.receive_bytes pair.Sim.Bgp_wire.active
+    (String.make 16 '\000' ^ "\x00\x13\x04");
+  Sim.Engine.run_until engine 10.;
+  checkb "session torn down" false (Session.established pair.Sim.Bgp_wire.active);
+  checkb "codec cause, not the admin stop it triggered" true
+    (Session.last_error pair.Sim.Bgp_wire.active
+    = Some "connection not synchronized")
+
+(* Teardown with a non-empty MRAI queue drops the queued updates
+   deliberately (and counts them) instead of leaking the flush timer. *)
+let test_session_mrai_teardown_drops () =
+  let engine = Sim.Engine.create () in
+  let config_a =
+    Session.config ~local_asn:(asn 47065) ~local_id:(ip "10.0.0.1") ~mrai:10.
+      ~capabilities:[ Capability.As4 (asn 47065) ] ()
+  in
+  let config_b =
+    Session.config ~local_asn:(asn 100) ~local_id:(ip "10.0.0.2")
+      ~capabilities:[ Capability.As4 (asn 100) ] ()
+  in
+  let pair =
+    Sim.Bgp_wire.make engine ~config_active:config_a ~config_passive:config_b ()
+  in
+  let got = ref 0 in
+  Session.set_handlers pair.Sim.Bgp_wire.passive
+    {
+      Session.on_route_refresh = (fun ~afi:_ ~safi:_ -> ());
+      on_update = (fun _ -> incr got);
+      on_established = ignore;
+      on_down = ignore;
+    };
+  Sim.Bgp_wire.start pair;
+  Sim.Engine.run_until engine 5.;
+  Session.send_update pair.Sim.Bgp_wire.active (sample_update ());
+  Session.send_update pair.Sim.Bgp_wire.active (sample_update ());
+  Session.send_update pair.Sim.Bgp_wire.active (sample_update ());
+  (* Kill the session while all three sit in the MRAI queue. *)
+  Session.stop pair.Sim.Bgp_wire.active;
+  Sim.Engine.run_until engine 60.;
+  checki "queued updates counted as dropped" 3
+    (Session.dropped_updates pair.Sim.Bgp_wire.active);
+  checki "nothing leaked onto the wire after teardown" 0 !got
+
+(* Reconnect backoff doubles from the base per failed cycle, caps, and the
+   accessors expose the schedule. *)
+let test_session_backoff_growth () =
+  let engine = Sim.Engine.create () in
+  let transport = { Session.connect = ignore; send = ignore; close = ignore } in
+  let config =
+    Session.config ~local_asn:(asn 1) ~local_id:(ip "10.0.0.9")
+      ~reconnect:(Session.reconnect_policy ~backoff_base:0.5 ~backoff_max:4. ())
+      ()
+  in
+  let s =
+    Session.create ~config ~transport ~timers:(Sim.Engine.timers engine) ()
+  in
+  Session.start s;
+  checkb "first delay is the base" true (Session.next_backoff s = Some 0.5);
+  List.iteri
+    (fun i expected ->
+      Session.connection_up s;
+      Session.connection_failed s;
+      checkb
+        (Printf.sprintf "delay after %d failures" (i + 1))
+        true
+        (Session.next_backoff s = Some expected);
+      checki "backoff level" (i + 1) (Session.backoff_level s);
+      (* Let the scheduled re-Start fire before failing the next cycle. *)
+      Sim.Engine.run_until engine (float_of_int (i + 1) *. 20.))
+    [ 1.; 2.; 4.; 4. ];
+  checki "every non-administrative down counted as a flap" 4
+    (Session.flap_count s)
+
+(* End to end: a link cut tears the session down, and the reconnect policy
+   brings it back without any manual Start once the link heals. *)
+let test_session_auto_reconnect () =
+  let engine = Sim.Engine.create () in
+  let reconnect = Session.reconnect_policy ~backoff_base:0.5 ~backoff_max:8. () in
+  let config_a =
+    Session.config ~local_asn:(asn 47065) ~local_id:(ip "10.0.0.1") ~reconnect
+      ~capabilities:[ Capability.As4 (asn 47065) ] ()
+  in
+  let config_b =
+    Session.config ~local_asn:(asn 100) ~local_id:(ip "10.0.0.2") ~reconnect
+      ~capabilities:[ Capability.As4 (asn 100) ] ()
+  in
+  let pair =
+    Sim.Bgp_wire.make engine ~config_active:config_a ~config_passive:config_b ()
+  in
+  Sim.Bgp_wire.start pair;
+  Sim.Engine.run_until engine 5.;
+  checkb "up" true (Session.established pair.Sim.Bgp_wire.active);
+  Sim.Link.set_up pair.Sim.Bgp_wire.link false;
+  Sim.Engine.run_until engine 400.;
+  checkb "down while the link is down" false
+    (Session.established pair.Sim.Bgp_wire.active);
+  checkb "flap counted" true (Session.flap_count pair.Sim.Bgp_wire.active >= 1);
+  Sim.Link.set_up pair.Sim.Bgp_wire.link true;
+  Sim.Engine.run_until engine 1200.;
+  checkb "re-established without manual start" true
+    (Session.established pair.Sim.Bgp_wire.active);
+  checki "backoff reset on establishment" 0
+    (Session.backoff_level pair.Sim.Bgp_wire.active)
+
+let test_gr_capability_roundtrip () =
+  let cap =
+    Capability.Graceful_restart
+      {
+        restart_time = 120;
+        afis =
+          [
+            (Capability.afi_ipv4, Capability.safi_unicast);
+            (Capability.afi_ipv6, Capability.safi_unicast);
+          ];
+      }
+  in
+  checki "RFC 4724 code" 64 (Capability.code cap);
+  let v = Capability.encode_value cap in
+  checkb "roundtrip" true
+    (Capability.decode_value ~code:(Capability.code cap) ~data:v = cap);
+  checkb "window accessor" true (Capability.graceful_restart [ cap ] = Some 120)
+
+let gr_pair engine ~active_window ~passive_window =
+  let caps base window =
+    Capability.As4 (asn base)
+    ::
+    (match window with
+    | Some restart_time ->
+        [
+          Capability.Graceful_restart
+            {
+              restart_time;
+              afis = [ (Capability.afi_ipv4, Capability.safi_unicast) ];
+            };
+        ]
+    | None -> [])
+  in
+  let config_a =
+    Session.config ~local_asn:(asn 47065) ~local_id:(ip "10.0.0.1")
+      ~capabilities:(caps 47065 active_window) ()
+  in
+  let config_b =
+    Session.config ~local_asn:(asn 100) ~local_id:(ip "10.0.0.2")
+      ~capabilities:(caps 100 passive_window) ()
+  in
+  Sim.Bgp_wire.make engine ~config_active:config_a ~config_passive:config_b ()
+
+(* RFC 4724: the negotiated window is the peer's advertised restart time,
+   and only exists when both sides advertised the capability. *)
+let test_gr_negotiation () =
+  let engine = Sim.Engine.create () in
+  let both = gr_pair engine ~active_window:(Some 45) ~passive_window:(Some 90) in
+  let one = gr_pair engine ~active_window:(Some 45) ~passive_window:None in
+  let none = gr_pair engine ~active_window:None ~passive_window:None in
+  Sim.Bgp_wire.start both;
+  Sim.Bgp_wire.start one;
+  Sim.Bgp_wire.start none;
+  Sim.Engine.run_until engine 5.;
+  checkb "both advertised: peer's window" true
+    (Session.gr_restart_time both.Sim.Bgp_wire.active = Some 90.
+    && Session.gr_restart_time both.Sim.Bgp_wire.passive = Some 45.);
+  checkb "peer silent: no window" true
+    (Session.gr_restart_time one.Sim.Bgp_wire.active = None);
+  checkb "self silent: no window" true
+    (Session.gr_restart_time one.Sim.Bgp_wire.passive = None);
+  checkb "neither: no window" true
+    (Session.gr_restart_time none.Sim.Bgp_wire.active = None)
 
 (* -- codec property tests --------------------------------------------------------------------- *)
 
@@ -704,6 +883,62 @@ let prop_fsm_total =
              event = Fsm.Start || fst (Fsm.step Fsm.Idle event) = Fsm.Idle)
            events)
 
+(* Randomized FSM driver: arbitrary event sequences starting from Idle.
+   [step] never raises; every teardown closes its transport in the same
+   action batch and lands in Idle; Idle arms no timers; and any transition
+   that sends an OPEN or establishes the session re-arms the hold timer
+   (RFC 4271 §8). *)
+let prop_fsm_driver =
+  let events =
+    [
+      Fsm.Start;
+      Fsm.Stop;
+      Fsm.Connection_up;
+      Fsm.Connection_failed;
+      Fsm.Received Msg.Keepalive;
+      Fsm.Received (Msg.Open dummy_open);
+      Fsm.Received (Msg.Update (Msg.update ()));
+      Fsm.Received (Msg.Notification { code = 6; subcode = 0; data = "" });
+      Fsm.Received (Msg.Route_refresh { afi = 1; safi = 1 });
+      Fsm.Hold_timer_expired;
+      Fsm.Keepalive_timer_expired;
+      Fsm.Connect_retry_expired;
+    ]
+  in
+  let arms = function
+    | Fsm.Arm_hold_timer | Fsm.Arm_keepalive_timer | Fsm.Arm_connect_retry ->
+        true
+    | _ -> false
+  in
+  let step_ok state event =
+    match Fsm.step state event with
+    | exception _ -> None
+    | state', actions ->
+        let down =
+          List.exists
+            (function Fsm.Session_down _ -> true | _ -> false)
+            actions
+        in
+        let ok =
+          (not down
+          || (List.mem Fsm.Close_transport actions && state' = Fsm.Idle))
+          && ((not (List.mem Fsm.Send_open actions))
+             || List.mem Fsm.Arm_hold_timer actions)
+          && ((not (List.mem Fsm.Session_established actions))
+             || List.mem Fsm.Arm_hold_timer actions)
+          && (state' <> Fsm.Idle || not (List.exists arms actions))
+        in
+        if ok then Some state' else None
+  in
+  QCheck.Test.make ~name:"fsm driver invariants over random event sequences"
+    ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 60) (QCheck.oneofl events))
+    (fun seq ->
+      List.fold_left
+        (fun st ev -> Option.bind st (fun s -> step_ok s ev))
+        (Some Fsm.Idle) seq
+      <> None)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -712,6 +947,7 @@ let qcheck_cases =
       prop_decode_never_crashes;
       prop_bitflip_safe;
       prop_fsm_total;
+      prop_fsm_driver;
       prop_aspath_prepend_length;
       prop_aspath_poison_members;
     ]
@@ -781,6 +1017,21 @@ let () =
             test_session_hold_time_negotiation;
           Alcotest.test_case "route refresh" `Quick test_session_route_refresh;
           Alcotest.test_case "mrai batches" `Quick test_session_mrai_batches;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "codec error is the recorded cause" `Quick
+            test_session_codec_error_cause;
+          Alcotest.test_case "teardown drops mrai queue" `Quick
+            test_session_mrai_teardown_drops;
+          Alcotest.test_case "backoff growth and cap" `Quick
+            test_session_backoff_growth;
+          Alcotest.test_case "auto reconnect across a link cut" `Quick
+            test_session_auto_reconnect;
+          Alcotest.test_case "graceful-restart capability roundtrip" `Quick
+            test_gr_capability_roundtrip;
+          Alcotest.test_case "graceful-restart negotiation" `Quick
+            test_gr_negotiation;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -1,0 +1,245 @@
+(* Chaos suite: fault-injected runs must converge to the state of a
+   never-faulted control run. Two identical worlds are built from the same
+   seed; one absorbs faults from [Sim.Fault] and heals; afterwards the
+   experiment RIBs, per-neighbor Adj-RIB-Outs, neighbor heard-tables, and
+   FIBs must be indistinguishable from the control's. A flap shorter than
+   the graceful-restart window must additionally be invisible on the wire:
+   zero withdrawals and zero re-export recomputations. *)
+
+open Netcore
+open Bgp
+open Peering
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let pfx = Prefix.of_string_exn
+
+type world = {
+  platform : Platform.t;
+  pop : Pop.t;
+  hosts : Neighbor_host.t list;
+  kit : Toolkit.t;
+}
+
+(* One PoP against a seed-determined synthetic Internet, with a connected
+   experiment announcing its first granted prefix. Identical seeds build
+   identical worlds — the basis of the control-vs-faulted comparison. *)
+let build_world ~seed () =
+  let graph =
+    Topo.As_graph.generate
+      ~params:{ Topo.As_graph.default_gen with transit = 6; stub = 24; seed }
+      ()
+  in
+  let stubs =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier = 3
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let origins =
+    Topo.Internet.assign_prefixes
+      ~base:(pfx "192.168.0.0/16")
+      (List.filteri (fun i _ -> i < 12) stubs)
+  in
+  let internet = Topo.Internet.create graph ~origins in
+  let platform = Platform.create () in
+  let pop = Platform.add_pop platform ~name:"pop01" ~site:Pop.Ixp () in
+  let hosts =
+    Platform.populate_pop platform ~pop ~internet ~transits:2 ~peers:2 ()
+  in
+  Platform.run platform ~seconds:10.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"chaos" ~team:"chaos" ~goals:"convergence" ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied reason -> failwith reason
+  in
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop);
+  Toolkit.start_session kit ~pop:"pop01";
+  Platform.run platform ~seconds:10.;
+  Toolkit.announce kit (List.hd grant.Vbgp.Control_enforcer.prefixes);
+  Platform.run platform ~seconds:10.;
+  { platform; pop; hosts; kit }
+
+(* -- canonical, time-independent serializations of converged state -------- *)
+
+let route_line (r : Rib.Route.t) =
+  Fmt.str "%a/%s from %a: %a" Prefix.pp r.Rib.Route.prefix
+    (match r.Rib.Route.path_id with Some i -> string_of_int i | None -> "-")
+    Ipv4.pp r.Rib.Route.source.Rib.Route.peer_ip Attr.pp_set r.Rib.Route.attrs
+
+(* Everything the acceptance criteria compare: the experiment's RIB, each
+   neighbor's Adj-RIB-Out and heard-table, every per-neighbor FIB, and the
+   router's total route count. [learned_at] timestamps are deliberately
+   excluded — a healed world re-learns routes at different times. *)
+let fingerprint w =
+  let router = Pop.router w.pop in
+  let exp_rib =
+    List.sort compare (List.map route_line (Toolkit.routes w.kit ~pop:"pop01"))
+  in
+  let adj_out =
+    List.concat_map
+      (fun h ->
+        let id = Neighbor_host.neighbor_id h in
+        List.map
+          (fun (p, attrs) ->
+            Fmt.str "%d %a %a" id Prefix.pp p Attr.pp_set attrs)
+          (Vbgp.Router.adj_out_routes router ~neighbor_id:id))
+      w.hosts
+    |> List.sort compare
+  in
+  let heard =
+    List.concat_map
+      (fun h ->
+        Hashtbl.fold
+          (fun p attrs acc ->
+            Fmt.str "%d %a %a"
+              (Neighbor_host.neighbor_id h)
+              Prefix.pp p Attr.pp_set attrs
+            :: acc)
+          h.Neighbor_host.heard [])
+      w.hosts
+    |> List.sort compare
+  in
+  let fibs =
+    let set = Vbgp.Router.fib_set router in
+    List.concat_map
+      (fun id ->
+        match Rib.Fib.Set.find set id with
+        | Some fib ->
+            Rib.Fib.fold
+              (fun p (e : Rib.Fib.entry) acc ->
+                Fmt.str "%d %a via %a@%d" id Prefix.pp p Ipv4.pp
+                  e.Rib.Fib.next_hop e.Rib.Fib.neighbor
+                :: acc)
+              fib []
+        | None -> [])
+      (List.sort compare (Rib.Fib.Set.table_ids set))
+    |> List.sort compare
+  in
+  (exp_rib, adj_out, heard, fibs, Vbgp.Router.route_count router)
+
+let check_converged ~seed control faulted =
+  let c_rib, c_adj, c_heard, c_fib, c_count = fingerprint control in
+  let f_rib, f_adj, f_heard, f_fib, f_count = fingerprint faulted in
+  let tag what = Printf.sprintf "seed %d: %s matches control" seed what in
+  Alcotest.(check (list string)) (tag "experiment RIB") c_rib f_rib;
+  Alcotest.(check (list string)) (tag "Adj-RIB-Out") c_adj f_adj;
+  Alcotest.(check (list string)) (tag "neighbor heard-tables") c_heard f_heard;
+  Alcotest.(check (list string)) (tag "per-neighbor FIBs") c_fib f_fib;
+  checki (tag "router route count") c_count f_count
+
+let run_seconds w s = Platform.run w.platform ~seconds:s
+
+(* -- convergence across a seed matrix -------------------------------------- *)
+
+(* Kill every neighbor session pair simultaneously (the shape of a real
+   transport loss); auto-reconnect plus graceful restart must converge the
+   world back to the control's exact state. *)
+let test_kill_converges () =
+  List.iter
+    (fun seed ->
+      let control = build_world ~seed () in
+      let faulted = build_world ~seed () in
+      let fault = Sim.Fault.create (Platform.engine faulted.platform) in
+      List.iter
+        (fun h -> Sim.Fault.kill_pair fault ~at:1.0 h.Neighbor_host.pair)
+        faulted.hosts;
+      run_seconds control 60.;
+      run_seconds faulted 60.;
+      List.iter
+        (fun h ->
+          checkb
+            (Printf.sprintf "seed %d: neighbor re-established" seed)
+            true
+            (Neighbor_host.is_established h);
+          checkb
+            (Printf.sprintf "seed %d: flap counted" seed)
+            true
+            (Neighbor_host.flap_count h >= 1))
+        faulted.hosts;
+      let counters = Vbgp.Router.counters (Pop.router faulted.pop) in
+      checkb
+        (Printf.sprintf "seed %d: drops answered with stale retention" seed)
+        true
+        (counters.Vbgp.Router.gr_retentions >= List.length faulted.hosts);
+      check_converged ~seed control faulted)
+    [ 1; 7; 42; 1337 ]
+
+(* A sub-window flap must be invisible on the wire: no withdrawals reach
+   any neighbor, no re-export recomputation happens, and the stale marks
+   are swept clean by the peers' End-of-RIB. *)
+let test_quiet_restart () =
+  let w = build_world ~seed:5 () in
+  let router = Pop.router w.pop in
+  let victim = List.hd w.hosts in
+  let withdrawals_before =
+    List.map (fun h -> Neighbor_host.withdrawals_seen h) w.hosts
+  in
+  let reexports_before =
+    (Vbgp.Router.counters router).Vbgp.Router.reexport_computations
+  in
+  let fault = Sim.Fault.create (Platform.engine w.platform) in
+  Sim.Fault.kill_pair fault ~at:1.0 victim.Neighbor_host.pair;
+  run_seconds w 60.;
+  checkb "victim re-established" true (Neighbor_host.is_established victim);
+  checki "stale marks swept after resync" 0
+    (Vbgp.Router.stale_count router
+       ~neighbor_id:(Neighbor_host.neighbor_id victim));
+  List.iteri
+    (fun i h ->
+      checki
+        (Printf.sprintf "host %d saw zero withdrawals" i)
+        (List.nth withdrawals_before i)
+        (Neighbor_host.withdrawals_seen h))
+    w.hosts;
+  checki "no re-export recomputation" reexports_before
+    (Vbgp.Router.counters router).Vbgp.Router.reexport_computations;
+  let counters = Vbgp.Router.counters router in
+  checkb "retention, not expiry" true
+    (counters.Vbgp.Router.gr_retentions >= 1
+    && counters.Vbgp.Router.gr_expiries = 0)
+
+(* An outage longer than the restart window takes the hard-drop path
+   (stale routes withdrawn at expiry) — and the world still converges to
+   the control once the link heals and the full tables resync. *)
+let test_window_expiry_converges () =
+  let seed = 7 in
+  let control = build_world ~seed () in
+  let faulted = build_world ~seed () in
+  let victim = List.hd faulted.hosts in
+  let fault = Sim.Fault.create (Platform.engine faulted.platform) in
+  (* Down for 300 s — past the 120 s restart window the routers advertise —
+     with the session killed outright at the start of the outage. *)
+  Sim.Fault.link_down fault ~at:0.5 ~duration:300.
+    victim.Neighbor_host.pair.Sim.Bgp_wire.link;
+  Sim.Fault.kill_pair fault ~at:1.0 victim.Neighbor_host.pair;
+  run_seconds control 600.;
+  run_seconds faulted 600.;
+  let counters = Vbgp.Router.counters (Pop.router faulted.pop) in
+  checkb "window expired into the hard-drop path" true
+    (counters.Vbgp.Router.gr_expiries >= 1);
+  checkb "victim re-established after the outage" true
+    (Neighbor_host.is_established victim);
+  check_converged ~seed control faulted
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "convergence",
+        [
+          Alcotest.test_case "kill all sessions, converge (seed matrix)"
+            `Quick test_kill_converges;
+          Alcotest.test_case "sub-window flap is silent on the wire" `Quick
+            test_quiet_restart;
+          Alcotest.test_case "window expiry hard-drops, still converges"
+            `Quick test_window_expiry_converges;
+        ] );
+    ]

@@ -118,6 +118,95 @@ let test_link_loss () =
   checkb "some delivered" true (!got > 50);
   checkb "some lost" true (!got < 150)
 
+(* A closed transport is signalled to the remote endpoint one link latency
+   later, so a BGP peer learns of teardown without waiting for its hold
+   timer. *)
+let test_link_close_signals_peer () =
+  let e = Engine.create () in
+  let link = Link.create ~latency:0.5 e in
+  let transport_b = Link.transport link Link.B ~session_up:ignore in
+  let torn = ref nan in
+  Link.set_teardown link Link.A (fun () -> torn := Engine.now e);
+  transport_b.Bgp.Session.close ();
+  ignore (Engine.run e);
+  checkf "remote learns one latency later" 0.5 !torn
+
+(* -- fault injection ------------------------------------------------------------ *)
+
+let test_fault_link_down () =
+  let e = Engine.create () in
+  let f = Fault.create e in
+  let link = Link.create e in
+  Fault.link_down f ~at:1.0 ~duration:2.0 link;
+  checkb "up before" true (Link.is_up link);
+  Engine.run_until e 1.5;
+  checkb "down during" false (Link.is_up link);
+  Engine.run_until e 5.0;
+  checkb "healed after" true (Link.is_up link)
+
+let test_fault_flap_link () =
+  let e = Engine.create () in
+  let f = Fault.create e in
+  let link = Link.create e in
+  (* Three 1s-down/1s-up cycles starting at t=1: down at 1, 3, 5. *)
+  Fault.flap_link f ~at:1.0 ~count:3 ~down_for:1.0 ~up_for:1.0 link;
+  let probe at expected =
+    Engine.run_until e at;
+    checkb (Printf.sprintf "state at %.1f" at) expected (Link.is_up link)
+  in
+  probe 1.5 false;
+  probe 2.5 true;
+  probe 3.5 false;
+  probe 4.5 true;
+  probe 5.5 false;
+  probe 7.0 true;
+  checki "six transitions logged" 6 (List.length (Fault.events f))
+
+let test_fault_kill_pair () =
+  let e = Engine.create () in
+  let config base id =
+    Bgp.Session.config
+      ~local_asn:(Bgp.Asn.of_int base)
+      ~local_id:(Ipv4.of_string_exn id)
+      ()
+  in
+  let pair =
+    Bgp_wire.make e
+      ~config_active:(config 1 "10.0.0.1")
+      ~config_passive:(config 2 "10.0.0.2")
+      ()
+  in
+  Bgp_wire.start pair;
+  Engine.run_until e 5.;
+  checkb "established" true (Bgp.Session.established pair.Bgp_wire.active);
+  let f = Fault.create e in
+  Fault.kill_pair f ~at:1.0 pair;
+  Engine.run_until e 10.;
+  checkb "active down" false (Bgp.Session.established pair.Bgp_wire.active);
+  checkb "passive down" false (Bgp.Session.established pair.Bgp_wire.passive);
+  (* Both endpoints saw a transport loss — the gracefully-restartable
+     failure shape — not an administrative stop. *)
+  checkb "transport failure recorded" true
+    (Bgp.Session.last_error pair.Bgp_wire.active = Some "connection failed"
+    && Bgp.Session.last_error pair.Bgp_wire.passive
+       = Some "connection failed")
+
+let test_fault_log_and_jitter () =
+  let e = Engine.create () in
+  let f = Fault.create ~seed:3 e in
+  Fault.at f ~at:2.0 "second" ignore;
+  Fault.at f ~at:1.0 "first" ignore;
+  ignore (Engine.run e);
+  (match Fault.events f with
+  | [ (t1, "first"); (t2, "second") ] ->
+      checkf "first at 1" 1.0 t1;
+      checkf "second at 2" 2.0 t2
+  | _ -> Alcotest.fail "expected a chronological two-entry log");
+  for _ = 1 to 100 do
+    let d = Fault.jittered f 10. in
+    checkb "jitter within [7.5, 12.5)" true (d >= 7.5 && d < 12.5)
+  done
+
 (* -- lan ----------------------------------------------------------------------- *)
 
 let mac i = Mac.local ~pool:1 i
@@ -316,6 +405,15 @@ let () =
           Alcotest.test_case "serialization" `Quick test_link_serialization;
           Alcotest.test_case "down" `Quick test_link_down;
           Alcotest.test_case "loss" `Quick test_link_loss;
+          Alcotest.test_case "close signals peer" `Quick
+            test_link_close_signals_peer;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "link down heals" `Quick test_fault_link_down;
+          Alcotest.test_case "flap cycles" `Quick test_fault_flap_link;
+          Alcotest.test_case "kill pair" `Quick test_fault_kill_pair;
+          Alcotest.test_case "log and jitter" `Quick test_fault_log_and_jitter;
         ] );
       ( "lan",
         [
