@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke chaos check
+.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos check
 
 all: build
 
@@ -19,16 +19,23 @@ bench:
 	dune exec bench/main.exe
 
 # Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
-# flap withdrawal-storm counts).
+# flap withdrawal-storm counts, burst/intern sharing & packing ratios).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a flap
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern
 
-# Fast smoke run of the microbenchmarks (used by `make check`).
+# Fast smoke run of the microbenchmarks (used by `make check`); writes
+# bench-smoke.json for the regression gate below.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke micro flap
+	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern
+
+# Regression gate: compare the smoke run against the committed baseline.
+# Fails if any count/bytes/ratio headline metric moves >10% in the wrong
+# direction (timing metrics are reported but not gated).
+bench-diff: bench-smoke
+	dune exec tools/bench_diff.exe -- bench/baseline-smoke.json bench-smoke.json
 
 # Fault-injection convergence suite (also part of `dune runtest`).
 chaos:
 	dune exec test/test_chaos.exe
 
-check: fmt build test chaos bench-smoke
+check: fmt build test chaos bench-diff

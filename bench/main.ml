@@ -53,8 +53,13 @@ let write_json path =
 
 let words_to_mb words = float_of_int (words * (Sys.word_size / 8)) /. 1e6
 
-(* Synthetic route attributes, unshared per route (as in a real RIB). *)
-let synth_attrs i =
+(* Synthetic route attributes. With the default [distinct] every route
+   gets its own attribute set (the worst case for sharing); passing
+   [~distinct:k] folds the stream onto [k] distinct sets, modelling the
+   real-world shape where many routes repeat the same path attributes
+   (and letting the arena intern them onto shared canonical copies). *)
+let synth_attrs ?(distinct = max_int) i =
+  let i = i mod distinct in
   Attr.origin_attrs
     ~as_path:
       (Aspath.of_asns
@@ -77,15 +82,17 @@ let synth_prefix i =
 
 let neighbors_6a = 8
 
-(* Control plane only: one RIB holding all routes. *)
-let build_control_plane n =
+(* Control plane only: one RIB holding all routes. [attrs_of] picks the
+   attribute stream; [Rib.Route.make] interns, so repeated sets share
+   one canonical copy in the arena. *)
+let build_control_plane ?(attrs_of = synth_attrs ?distinct:None) n =
   let table = Rib.Table.create () in
   for i = 0 to n - 1 do
     let peer = i mod neighbors_6a in
     let route =
       Rib.Route.make
         ~prefix:(synth_prefix (i / neighbors_6a))
-        ~attrs:(synth_attrs i)
+        ~attrs:(attrs_of i)
         ~source:
           (Rib.Route.source
              ~peer_ip:(Ipv4.of_int32 (Int32.of_int (0x64400001 + peer)))
@@ -128,16 +135,27 @@ let build_data_plane_with_default n =
     table;
   (table, fibs, default_fib)
 
+(* The attribute stream of the sharing rows: 4096 distinct sets folded
+   over the table, the shape of a real feed where many routes repeat the
+   same path attributes. Interning stores each set once. *)
+let fig6a_shared_distinct = 4096
+
 let fig6a () =
   section "Figure 6a: memory vs known routes";
-  Fmt.pr "%-10s %-16s %-22s %-26s@." "routes" "control plane"
-    "per-interconn. dp" "per-interconn. dp w/ default";
+  Fmt.pr "%-10s %-16s %-16s %-22s %-26s@." "routes" "control plane"
+    "cp (shared)" "per-interconn. dp" "per-interconn. dp w/ default";
   let sweep = [ 25_000; 50_000; 100_000; 200_000 ] in
   let per_route = ref [] in
   List.iter
     (fun n ->
       let cp = build_control_plane n in
       let cp_mb = words_to_mb (Obj.reachable_words (Obj.repr cp)) in
+      let cps =
+        build_control_plane
+          ~attrs_of:(synth_attrs ~distinct:fig6a_shared_distinct)
+          n
+      in
+      let cps_mb = words_to_mb (Obj.reachable_words (Obj.repr cps)) in
       let dp = build_data_plane n in
       let dp_mb = words_to_mb (Obj.reachable_words (Obj.repr dp)) in
       let dpd = build_data_plane_with_default n in
@@ -146,36 +164,46 @@ let fig6a () =
         ~metric:(Printf.sprintf "control_plane_bytes_%d" n)
         ~unit_:"bytes" (cp_mb *. 1e6);
       record ~experiment:"fig6a"
+        ~metric:(Printf.sprintf "control_plane_shared_bytes_%d" n)
+        ~unit_:"bytes" (cps_mb *. 1e6);
+      record ~experiment:"fig6a"
         ~metric:(Printf.sprintf "data_plane_bytes_%d" n)
         ~unit_:"bytes" (dp_mb *. 1e6);
       record ~experiment:"fig6a"
         ~metric:(Printf.sprintf "data_plane_default_bytes_%d" n)
         ~unit_:"bytes" (dpd_mb *. 1e6);
-      per_route := (n, cp_mb, dp_mb, dpd_mb) :: !per_route;
-      Fmt.pr "%-10d %-16s %-22s %-26s@." n
+      per_route := (n, cp_mb, cps_mb, dp_mb, dpd_mb) :: !per_route;
+      Fmt.pr "%-10d %-16s %-16s %-22s %-26s@." n
         (Fmt.str "%.1f MB" cp_mb)
+        (Fmt.str "%.1f MB" cps_mb)
         (Fmt.str "%.1f MB" dp_mb)
         (Fmt.str "%.1f MB" dpd_mb))
     sweep;
   (* Linearity check and per-route cost (paper: ~327 B/route in BIRD; a
      32 GiB server serves 100M routes). *)
   (match !per_route with
-  | (n2, cp2, dp2, dpd2) :: _ ->
+  | (n2, cp2, cps2, dp2, dpd2) :: _ ->
       let cp_bytes = cp2 *. 1e6 /. float_of_int n2 in
+      let cps_bytes = cps2 *. 1e6 /. float_of_int n2 in
       let dp_bytes = dp2 *. 1e6 /. float_of_int n2 in
       let dpd_bytes = dpd2 *. 1e6 /. float_of_int n2 in
+      record ~experiment:"fig6a" ~metric:"bytes_per_route" ~unit_:"bytes"
+        cp_bytes;
+      record ~experiment:"fig6a" ~metric:"bytes_per_route_shared"
+        ~unit_:"bytes" cps_bytes;
       Fmt.pr
-        "per-route cost: control=%.0f B, +data-plane=%.0f B, +default=%.0f \
-         B (paper control plane: 327 B)@."
-        cp_bytes dp_bytes dpd_bytes;
+        "per-route cost: control=%.0f B, shared-attrs control=%.0f B, \
+         +data-plane=%.0f B, +default=%.0f B (paper control plane: 327 B)@."
+        cp_bytes cps_bytes dp_bytes dpd_bytes;
       Fmt.pr
         "a 32 GiB server supports %.0fM routes in the control-plane \
-         configuration (paper: 100M)@."
+         configuration (paper: 100M), %.0fM with interned shared attrs@."
         (32. *. 1024. *. 1024. *. 1024. /. cp_bytes /. 1e6)
+        (32. *. 1024. *. 1024. *. 1024. /. cps_bytes /. 1e6)
   | [] -> ());
   (* Shape check: memory grows linearly with route count. *)
   match (!per_route, List.rev !per_route) with
-  | (nbig, big, _, _) :: _, (nsmall, small, _, _) :: _ ->
+  | (nbig, big, _, _, _) :: _, (nsmall, small, _, _, _) :: _ ->
       Fmt.pr "linearity: %.0fx routes -> %.1fx memory@."
         (float_of_int nbig /. float_of_int nsmall)
         (big /. small)
@@ -976,7 +1004,10 @@ let burst () =
   let total = n_prefixes * per_prefix in
   let run ~eager =
     let router, _ = make_bench_router ~caps ~experiments:1 ~mesh:false () in
-    let c0 = (Vbgp.Router.counters router).Vbgp.Router.reexport_computations in
+    let c = Vbgp.Router.counters router in
+    let c0 = c.Vbgp.Router.reexport_computations in
+    let u0 = c.Vbgp.Router.updates_to_neighbors in
+    let nl0 = c.Vbgp.Router.nlri_to_neighbors in
     let t0 = Unix.gettimeofday () in
     Array.iter
       (fun p ->
@@ -992,25 +1023,44 @@ let burst () =
       prefixes;
     Vbgp.Router.flush_reexports router;
     let dt = Unix.gettimeofday () -. t0 in
-    let computed =
-      (Vbgp.Router.counters router).Vbgp.Router.reexport_computations - c0
-    in
-    (dt, computed)
+    ( dt,
+      c.Vbgp.Router.reexport_computations - c0,
+      c.Vbgp.Router.updates_to_neighbors - u0,
+      c.Vbgp.Router.nlri_to_neighbors - nl0 )
   in
-  let dt_eager, comp_eager = run ~eager:true in
-  let dt_batched, comp_batched = run ~eager:false in
+  let dt_eager, comp_eager, msgs_eager, _ = run ~eager:true in
+  let dt_batched, comp_batched, msgs_batched, nlri_batched =
+    run ~eager:false
+  in
   Fmt.pr "%d updates (%d prefixes x %d updates each), 1 neighbor:@." total
     n_prefixes per_prefix;
-  Fmt.pr "  eager (flush per update):  %.2f us/update, %d recomputations@."
-    (dt_eager /. float_of_int total *. 1e6)
-    comp_eager;
-  Fmt.pr "  batched (flush per tick):  %.2f us/update, %d recomputations@."
-    (dt_batched /. float_of_int total *. 1e6)
-    comp_batched;
   Fmt.pr
-    "  the queue dedupes %.0fx of the variant recomputation on bursts to \
-     the same prefix@."
+    "  eager (flush per update):  %.2f us/update, %d facing computations, \
+     %d UPDATEs@."
+    (dt_eager /. float_of_int total *. 1e6)
+    comp_eager msgs_eager;
+  Fmt.pr
+    "  batched (flush per tick):  %.2f us/update, %d facing computations, \
+     %d UPDATEs (%d NLRI)@."
+    (dt_batched /. float_of_int total *. 1e6)
+    comp_batched msgs_batched nlri_batched;
+  let packing =
+    float_of_int nlri_batched /. float_of_int (max 1 msgs_batched)
+  in
+  Fmt.pr
+    "  the queue dedupes %.0fx of the facing computation on bursts to the \
+     same prefix; NLRI packing ships %.1f routes per UPDATE@."
     (float_of_int comp_eager /. float_of_int (max 1 comp_batched))
+    packing;
+  record ~experiment:"burst" ~metric:"reexport_computations_eager"
+    ~unit_:"computations" (float_of_int comp_eager);
+  record ~experiment:"burst" ~metric:"reexport_computations_batched"
+    ~unit_:"computations" (float_of_int comp_batched);
+  record ~experiment:"burst" ~metric:"updates_sent_eager" ~unit_:"messages"
+    (float_of_int msgs_eager);
+  record ~experiment:"burst" ~metric:"updates_sent_batched" ~unit_:"messages"
+    (float_of_int msgs_batched);
+  record ~experiment:"burst" ~metric:"packing_ratio" ~unit_:"ratio" packing
 
 (* ------------------------------------------------------------------------- *)
 (* Ablations: the design choices DESIGN.md calls out, each against its      *)
@@ -1227,6 +1277,91 @@ let flap () =
   record ~experiment:"flap" ~metric:"updates_without_gr" ~unit_:"messages"
     (float_of_int m_hard)
 
+(* ------------------------------------------------------------------------- *)
+(* Intern: the hash-consing attribute arena in isolation — hit rate on a    *)
+(* repeated-attribute feed, bytes/route with and without sharing, and the   *)
+(* packed-export fan-out (UPDATE messages per flushed burst).               *)
+(* ------------------------------------------------------------------------- *)
+
+let intern_bench () =
+  section "intern: hash-consed attribute arena";
+  let n = if !smoke then 20_000 else 200_000 in
+  let distinct = 1024 in
+  (* Hit rate: a feed of [n] routes drawing from [distinct] attribute
+     sets, the shape of a real table where many routes repeat the same
+     path attributes. Uses a private arena so the number is independent
+     of whatever earlier experiments interned globally. *)
+  let arena = Attr_arena.create () in
+  for i = 0 to n - 1 do
+    ignore (Attr_arena.intern ~arena (synth_attrs ~distinct i))
+  done;
+  let stats = Attr_arena.stats ~arena () in
+  let interns = stats.Attr_arena.hits + stats.Attr_arena.misses in
+  let hit_rate =
+    100. *. float_of_int stats.Attr_arena.hits /. float_of_int (max 1 interns)
+  in
+  let shared = build_control_plane ~attrs_of:(synth_attrs ~distinct) n in
+  let shared_bytes =
+    float_of_int (Obj.reachable_words (Obj.repr shared) * 8) /. float_of_int n
+  in
+  let plain = build_control_plane n in
+  let plain_bytes =
+    float_of_int (Obj.reachable_words (Obj.repr plain) * 8) /. float_of_int n
+  in
+  Fmt.pr
+    "%d routes over %d distinct attribute sets: %.1f%% arena hit rate (%d \
+     hits / %d interns)@."
+    n distinct hit_rate stats.Attr_arena.hits interns;
+  Fmt.pr "  bytes/route, every route its own attrs:   %.0f@." plain_bytes;
+  Fmt.pr "  bytes/route, attrs shared via the arena:  %.0f (%.1fx smaller)@."
+    shared_bytes
+    (plain_bytes /. shared_bytes);
+  record ~experiment:"intern" ~metric:"arena_hit_rate" ~unit_:"percent"
+    hit_rate;
+  record ~experiment:"intern" ~metric:"bytes_per_route_unshared" ~unit_:"bytes"
+    plain_bytes;
+  record ~experiment:"intern" ~metric:"bytes_per_route_shared" ~unit_:"bytes"
+    shared_bytes;
+  (* Packed export: a burst of announcements sharing one interned
+     outbound attribute set leaves as a single multi-NLRI UPDATE. *)
+  let caps = Vbgp.Experiment_caps.(default |> with_update_budget max_int) in
+  let router, _ = make_bench_router ~caps ~experiments:1 ~mesh:false () in
+  let c = Vbgp.Router.counters router in
+  let c0 = c.Vbgp.Router.reexport_computations in
+  let u0 = c.Vbgp.Router.updates_to_neighbors in
+  let nl0 = c.Vbgp.Router.nlri_to_neighbors in
+  let burst_attrs =
+    Attr.origin_attrs
+      ~as_path:(Aspath.of_asns [ asn 61574 ])
+      ~next_hop:(ip "184.164.224.1") ()
+  in
+  for i = 0 to 15 do
+    match
+      Vbgp.Router.process_experiment_update router ~experiment:"bench1"
+        (Msg.update ~attrs:burst_attrs
+           ~announced:
+             [ Msg.nlri (pfx (Printf.sprintf "184.164.224.%d/28" (i * 16))) ]
+           ())
+    with
+    | Ok () -> ()
+    | Error e -> failwith (String.concat "; " e)
+  done;
+  Vbgp.Router.flush_reexports router;
+  let computed = c.Vbgp.Router.reexport_computations - c0 in
+  let msgs = c.Vbgp.Router.updates_to_neighbors - u0 in
+  let nlri = c.Vbgp.Router.nlri_to_neighbors - nl0 in
+  let packing = float_of_int nlri /. float_of_int (max 1 msgs) in
+  Fmt.pr
+    "16-prefix burst, one shared attr set: %d facing computation(s), %d \
+     UPDATE(s) carrying %d NLRI (%.1f routes/UPDATE)@."
+    computed msgs nlri packing;
+  record ~experiment:"intern" ~metric:"burst_reexport_computations"
+    ~unit_:"computations" (float_of_int computed);
+  record ~experiment:"intern" ~metric:"burst_updates_sent" ~unit_:"messages"
+    (float_of_int msgs);
+  record ~experiment:"intern" ~metric:"burst_packing_ratio" ~unit_:"ratio"
+    packing
+
 let experiments =
   [
     ("fig6a", fig6a);
@@ -1242,6 +1377,7 @@ let experiments =
     ("ablate", ablate);
     ("micro", micro);
     ("flap", flap);
+    ("intern", intern_bench);
   ]
 
 let () =

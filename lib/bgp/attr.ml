@@ -145,7 +145,15 @@ let unknown_transitive set =
     (function Unknown _ as a -> is_optional_transitive a | _ -> false)
     set
 
-let equal_set (a : set) (b : set) = sort a = sort b
+(* Physical equality first: interned sets (Attr_arena) are physically
+   unique, so the common case is a pointer comparison. *)
+let equal_set (a : set) (b : set) = a == b || sort a = sort b
+
+(* Structural hash, consistent with [equal_set] on canonically-sorted
+   sets (the arena keys on the sorted form). The deep limits cover any
+   realistic attribute set; colliding beyond them only costs an extra
+   [equal_set] in the arena. *)
+let hash_set (set : set) = Hashtbl.hash_param 128 256 set
 
 let pp ppf = function
   | Origin o -> Fmt.pf ppf "origin=%a" pp_origin o

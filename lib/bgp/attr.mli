@@ -92,6 +92,11 @@ val unknown_transitive : set -> t list
     capability. *)
 
 val equal_set : set -> set -> bool
+(** Structural equality up to ordering, with a physical-equality fast
+    path (interned sets compare in O(1)). *)
+
+val hash_set : set -> int
+(** Structural hash consistent with {!equal_set} on sorted sets. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_set : Format.formatter -> set -> unit

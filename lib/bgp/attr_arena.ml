@@ -1,0 +1,58 @@
+(* Hash-consing arena for attribute sets (see the .mli). A weak hash set
+   keyed on the canonically-sorted attribute list maps every
+   observationally-equal set onto one physically-unique, id-stamped
+   handle. The weak table holds handles weakly: when the last RIB row or
+   Adj-RIB-Out entry referencing a handle goes away, the GC reclaims the
+   entry — no refcounting in the router planes. *)
+
+type handle = { id : int; set : Attr.set }
+
+(* The weak set keys on the canonical set; [id] is ignored so a fresh
+   candidate matches an existing handle for the same attributes. *)
+module Key = struct
+  type t = handle
+
+  let equal a b = a.set == b.set || Attr.equal_set a.set b.set
+  let hash h = Attr.hash_set h.set
+end
+
+module W = Weak.Make (Key)
+
+type t = {
+  tbl : W.t;
+  mutable next_id : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 1024) () = { tbl = W.create size; next_id = 0; hits = 0; misses = 0 }
+
+(* One arena for the whole platform: sharing across routers, tables and
+   planes is the point. *)
+let global = create ~size:4096 ()
+
+let intern ?(arena = global) set =
+  let candidate = { id = arena.next_id; set = Attr.sort set } in
+  let found = W.merge arena.tbl candidate in
+  if found == candidate then begin
+    arena.misses <- arena.misses + 1;
+    arena.next_id <- arena.next_id + 1
+  end
+  else arena.hits <- arena.hits + 1;
+  found
+
+let intern_set ?arena s = (intern ?arena s).set
+let set h = h.set
+let id h = h.id
+let equal (a : handle) (b : handle) = a == b
+let hash h = h.id
+let pp ppf h = Fmt.pf ppf "#%d{%a}" h.id Attr.pp_set h.set
+
+type stats = { hits : int; misses : int; live : int }
+
+let stats ?(arena = global) () =
+  { hits = arena.hits; misses = arena.misses; live = W.count arena.tbl }
+
+let reset_stats ?(arena = global) () =
+  arena.hits <- 0;
+  arena.misses <- 0

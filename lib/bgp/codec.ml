@@ -21,7 +21,8 @@ let default_params = { add_path = false; as4 = true }
 
 let marker = String.make 16 '\xff'
 let header_size = 19
-let max_message_size = 65535 (* RFC 8654 extended messages *)
+let max_message_size = 65535 (* RFC 8654 extended messages; see also
+                                [classic_max_message_size] below *)
 
 let type_open = 1
 let type_update = 2
@@ -275,6 +276,76 @@ let decode_attr ~params r =
       in
       Attr.Large_communities (cs [])
   | code -> Attr.Unknown { flags; code; data = Wire.Reader.take_rest body }
+
+(* -- UPDATE packing (RFC 4271 §4.1) ---------------------------------------- *)
+
+(* Classic BGP message-size ceiling. The codec itself accepts RFC 8654
+   extended messages; packed re-export splits at the classic boundary so
+   a packed UPDATE is valid toward any RFC 4271 speaker. *)
+let classic_max_message_size = 4096
+
+let nlri_encoded_size ~add_path (n : Msg.nlri) =
+  (if add_path then 4 else 0) + 1 + ((Prefix.length n.prefix + 7) / 8)
+
+let encoded_attrs_size ~params attrs =
+  let w = Wire.Writer.create () in
+  List.iter (encode_attr ~params w) (Attr.sort attrs);
+  Wire.Writer.length w
+
+(* Greedily chunk [nlris] so each chunk's NLRI bytes fit in [capacity]
+   (at least one NLRI per chunk, so a pathological capacity degrades to
+   one-per-message rather than looping). *)
+let chunk_nlris ~add_path ~capacity nlris =
+  let rec go current current_size chunks = function
+    | [] ->
+        List.rev
+          (match current with [] -> chunks | c -> List.rev c :: chunks)
+    | n :: rest ->
+        let s = nlri_encoded_size ~add_path n in
+        if current = [] || current_size + s <= capacity then
+          go (n :: current) (current_size + s) chunks rest
+        else go [ n ] s (List.rev current :: chunks) rest
+  in
+  go [] 0 [] nlris
+
+(* Split one (possibly many-NLRI) UPDATE into messages that each encode
+   within [max_size] bytes. Withdrawals are packed into leading
+   attribute-less messages; announcements follow, each message carrying
+   the shared attribute block. An UPDATE already within bounds (the
+   common case) is returned unchanged; an UPDATE with no v4 NLRI
+   (End-of-RIB, MP-only) is never split. *)
+let split_update ?(params = default_params) ?(max_size = classic_max_message_size)
+    (u : Msg.update) =
+  let add_path = params.add_path in
+  (* header + withdrawn-routes-len + total-attrs-len *)
+  let base = header_size + 2 + 2 in
+  let attrs_size =
+    if u.Msg.attrs = [] then 0 else encoded_attrs_size ~params u.Msg.attrs
+  in
+  let nlri_bytes = List.fold_left (fun a n -> a + nlri_encoded_size ~add_path n) 0 in
+  let total =
+    base + attrs_size + nlri_bytes u.Msg.withdrawn + nlri_bytes u.Msg.announced
+  in
+  if total <= max_size || (u.Msg.withdrawn = [] && u.Msg.announced = []) then
+    [ u ]
+  else
+    let withdraws =
+      chunk_nlris ~add_path ~capacity:(max_size - base) u.Msg.withdrawn
+      |> List.map (fun withdrawn -> Msg.update ~withdrawn ())
+    in
+    let announces =
+      match (u.Msg.announced, u.Msg.attrs) with
+      | [], [] -> []
+      | [], attrs ->
+          (* No v4 NLRI but a non-empty attribute block (e.g. MP
+             attributes): keep it rather than silently dropping it. *)
+          [ Msg.update ~attrs () ]
+      | announced, attrs ->
+          chunk_nlris ~add_path ~capacity:(max_size - base - attrs_size)
+            announced
+          |> List.map (fun announced -> Msg.update ~attrs ~announced ())
+    in
+    withdraws @ announces
 
 (* -- Messages ------------------------------------------------------------- *)
 

@@ -23,6 +23,18 @@ val default_params : params
 val header_size : int
 val max_message_size : int
 
+val classic_max_message_size : int
+(** 4096 — the RFC 4271 message-size ceiling packed UPDATEs split at, so
+    a packed message is valid toward any non-RFC-8654 speaker. *)
+
+val split_update : ?params:params -> ?max_size:int -> Msg.update -> Msg.update list
+(** Split a (possibly many-NLRI) UPDATE into messages that each encode
+    within [max_size] (default {!classic_max_message_size}) bytes:
+    withdrawals packed into leading attribute-less messages, then
+    announcements, each carrying the shared attribute block. An UPDATE
+    already within bounds is returned unchanged (singleton); an UPDATE
+    with no IPv4 NLRI (End-of-RIB, MP-only) is never split. *)
+
 val encode : ?params:params -> Msg.t -> string
 (** Serialize one message, including marker and length header. *)
 

@@ -121,7 +121,7 @@ let sync_mesh_session t session =
             | Some g ->
                 Session.send_update session
                   (Msg.update
-                     ~attrs:(Attr.with_next_hop g r.attrs)
+                     ~attrs:(Attr.with_next_hop g (Rib.Route.attrs r))
                      ~announced:
                        [ Msg.nlri ~path_id:ns.info.Neighbor.id r.prefix ]
                      ())
@@ -136,7 +136,7 @@ let sync_mesh_session t session =
             (fun v ->
               let ctl_asn = control_asn t in
               let attrs =
-                v.v_attrs
+                Attr_arena.set v.v_attrs
                 |> Attr.with_next_hop e.g_ip
                 |> Attr.add_community
                      (Export_control.experiment_marker ~ctl_asn)

@@ -42,7 +42,8 @@ let sync_experiment t (e : experiment_state) =
         Rib.Table.iter_routes
           (fun (r : Rib.Route.t) ->
             let attrs =
-              Attr.with_next_hop ns.info.Neighbor.virtual_ip r.attrs
+              Attr.with_next_hop ns.info.Neighbor.virtual_ip
+                (Rib.Route.attrs r)
             in
             send_to_experiment e
               (Msg.update ~attrs
@@ -114,6 +115,10 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
           Rib.Route.source ~peer_ip:ns.info.Neighbor.ip
             ~peer_asn:ns.info.Neighbor.asn ()
         in
+        (* Intern the shared attribute block once for the whole NLRI
+           list: the per-route unchanged check becomes O(1), and every
+           installed route shares the canonical set. *)
+        let attrs_h = Attr_arena.intern u.attrs in
         List.iter
           (fun (n : Msg.nlri) ->
             gr_unmark ns.gr n.prefix;
@@ -122,12 +127,12 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
                 (fun (r : Rib.Route.t) ->
                   Rib.Route.key_matches ~peer_ip:ns.info.Neighbor.ip
                     ~path_id:None r
-                  && Attr.equal_set r.attrs u.attrs)
+                  && Attr_arena.equal (Rib.Route.attrs_handle r) attrs_h)
                 (Rib.Table.candidates ns.rib_in n.prefix)
             in
             if not unchanged then begin
               let route =
-                Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                Rib.Route.make_h ~learned_at:now ~prefix:n.prefix ~attrs_h
                   ~source ()
               in
               ignore (Rib.Table.update ns.rib_in route);
@@ -223,11 +228,31 @@ let gr_sweep_neighbor t (ns : neighbor_state) =
 let resync_neighbor t (ns : neighbor_state) =
   match ns.session with
   | Some s when Session.established s ->
-      List.iter
-        (fun (prefix, attrs) ->
-          Session.send_update s
-            (Msg.update ~attrs ~announced:[ Msg.nlri prefix ] ()))
-        (adj_out_routes t ~neighbor_id:ns.info.Neighbor.id);
+      (match Hashtbl.find_opt t.adj_out ns.info.Neighbor.id with
+      | None -> ()
+      | Some tbl ->
+          (* Group the replay by interned outbound set so it leaves as
+             one packed multi-NLRI UPDATE per shared attribute set. *)
+          let groups = Hashtbl.create 8 in
+          let order = ref [] in
+          Hashtbl.fold (fun p h acc -> (p, h) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> Netcore.Prefix.compare a b)
+          |> List.iter (fun (p, h) ->
+                 let fid = Attr_arena.id h in
+                 match Hashtbl.find_opt groups fid with
+                 | Some (_, nlris) -> nlris := Msg.nlri p :: !nlris
+                 | None ->
+                     Hashtbl.replace groups fid (h, ref [ Msg.nlri p ]);
+                     order := fid :: !order);
+          List.iter
+            (fun fid ->
+              match Hashtbl.find_opt groups fid with
+              | None -> ()
+              | Some (h, nlris) ->
+                  send_update_to_neighbor t ns
+                    (Msg.update ~attrs:(Attr_arena.set h)
+                       ~announced:(List.rev !nlris) ()))
+            (List.rev !order));
       Session.send_update s (Msg.update ())
   | _ -> ()
 

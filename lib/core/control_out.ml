@@ -17,29 +17,30 @@ open Router_state
 
 (* -- variant selection ------------------------------------------------------ *)
 
-(* All live announcement variants for [prefix], local and remote. *)
+(* All live announcement variants for [prefix], local and remote, as
+   interned handles. [rev_map]/[rev_append] keep the accumulation linear
+   (naive [List.map ... @ acc] inside the fold is quadratic in the
+   number of variants). *)
 let variants_for_prefix t prefix =
   let local =
     Hashtbl.fold
       (fun _ e acc ->
         match Hashtbl.find_opt e.routes prefix with
-        | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
+        | Some vs ->
+            List.rev_append (List.rev_map (fun v -> v.v_attrs) !vs) acc
         | None -> acc)
       t.experiments []
   in
-  let remote =
-    Hashtbl.fold
-      (fun _ (p, attrs) acc ->
-        if Prefix.equal p prefix then attrs :: acc else acc)
-      t.remote_exp_routes []
-  in
-  local @ remote
+  Hashtbl.fold
+    (fun _ (p, h) acc -> if Prefix.equal p prefix then h :: acc else acc)
+    t.remote_exp_routes local
 
 let variants_for_prefix_v6 t prefix =
   Hashtbl.fold
     (fun _ e acc ->
       match Hashtbl.find_opt e.routes_v6 prefix with
-      | Some vs -> List.map (fun v -> v.v_attrs) !vs @ acc
+      | Some vs ->
+          List.rev_append (List.rev_map (fun v -> v.v_attrs) !vs) acc
       | None -> acc)
     t.experiments []
 
@@ -64,20 +65,84 @@ let neighbor_facing_attrs t attrs =
 let allowed_for_neighbor t (ns : neighbor_state) variants =
   let ctl_asn = control_asn t in
   List.filter
-    (fun attrs ->
-      let communities = Attr.communities attrs in
+    (fun h ->
+      let communities = Attr.communities (Attr_arena.set h) in
       (not (List.exists (Community.equal Community.no_export) communities))
       && Export_control.allows ~ctl_asn ~export_id:ns.export_id communities)
     variants
 
+(* -- update-group flush context --------------------------------------------- *)
+
+(* The neighbors selecting a given variant form an update-group in the
+   FRR sense: they share capabilities and next-hop treatment, so the
+   neighbor-facing attribute set is a function of the variant alone.
+   One flush computes each facing set once ([facing_cache], keyed by the
+   variant's arena id) and fans the result out; what stays per-neighbor
+   is only the export-control filter and the Adj-RIB-Out delta.
+
+   Deltas accumulate in per-neighbor buffers: withdrawals in one list,
+   announcements bucketed by interned facing set. At the end of the
+   flush each bucket leaves as a single multi-NLRI UPDATE (split at the
+   4096-byte RFC 4271 boundary by the send helper). *)
+
+type pending = {
+  mutable pend_withdrawn : Msg.nlri list;  (* reversed *)
+  pend_groups : (int, Attr_arena.handle * Msg.nlri list ref) Hashtbl.t;
+  mutable pend_order : int list;  (* facing arena ids, reversed first-seen *)
+}
+
+type flush_ctx = {
+  facing_cache : (int, Attr_arena.handle) Hashtbl.t;
+      (* variant arena id -> interned neighbor-facing set *)
+  by_neighbor : (int, pending) Hashtbl.t;
+}
+
+let flush_ctx_create () =
+  { facing_cache = Hashtbl.create 16; by_neighbor = Hashtbl.create 16 }
+
+let pending_for ctx (ns : neighbor_state) =
+  let id = ns.info.Neighbor.id in
+  match Hashtbl.find_opt ctx.by_neighbor id with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          pend_withdrawn = [];
+          pend_groups = Hashtbl.create 4;
+          pend_order = [];
+        }
+      in
+      Hashtbl.replace ctx.by_neighbor id p;
+      p
+
+let pending_announce p facing prefix =
+  let fid = Attr_arena.id facing in
+  match Hashtbl.find_opt p.pend_groups fid with
+  | Some (_, nlris) -> nlris := Msg.nlri prefix :: !nlris
+  | None ->
+      Hashtbl.replace p.pend_groups fid (facing, ref [ Msg.nlri prefix ]);
+      p.pend_order <- fid :: p.pend_order
+
+(* The neighbor-facing set for variant [v], computed at most once per
+   flush. Cache misses are the real attribute-set computations — the
+   [reexport_computations] counter counts exactly those. *)
+let facing_for t ctx v =
+  let vid = Attr_arena.id v in
+  match Hashtbl.find_opt ctx.facing_cache vid with
+  | Some f -> f
+  | None ->
+      t.counters.reexport_computations <-
+        t.counters.reexport_computations + 1;
+      let f = Attr_arena.intern (neighbor_facing_attrs t (Attr_arena.set v)) in
+      Hashtbl.replace ctx.facing_cache vid f;
+      f
+
 (* Recompute what neighbor [ns] should currently hear for [prefix] among
-   [variants], and send the delta against its Adj-RIB-Out. *)
-let reexport_prefix_to_neighbor t (ns : neighbor_state) ~variants prefix =
+   [variants], and buffer the delta against its Adj-RIB-Out. *)
+let reexport_prefix_to_neighbor t ctx (ns : neighbor_state) ~variants prefix =
   match ns.info.Neighbor.kind with
   | Neighbor.Backbone_alias _ -> ()
   | _ -> (
-      t.counters.reexport_computations <-
-        t.counters.reexport_computations + 1;
       let allowed = allowed_for_neighbor t ns variants in
       let out = adj_out_table t ns.info.Neighbor.id in
       let previously = Hashtbl.find_opt out prefix in
@@ -85,38 +150,56 @@ let reexport_prefix_to_neighbor t (ns : neighbor_state) ~variants prefix =
       | [], None -> ()
       | [], Some _ ->
           Hashtbl.remove out prefix;
-          (match ns.session with
-          | Some s when Session.established s ->
-              Session.send_update s
-                (Msg.update ~withdrawn:[ Msg.nlri prefix ] ())
-          | _ -> ());
+          let p = pending_for ctx ns in
+          p.pend_withdrawn <- Msg.nlri prefix :: p.pend_withdrawn;
           log t "withdraw %a from neighbor %d" Prefix.pp prefix
             ns.info.Neighbor.id
-      | attrs :: _, _ ->
-          let facing = neighbor_facing_attrs t attrs in
+      | v :: _, _ ->
+          let facing = facing_for t ctx v in
           let changed =
             match previously with
-            | Some old -> not (Attr.equal_set old facing)
+            | Some old -> not (Attr_arena.equal old facing)
             | None -> true
           in
           if changed then begin
             Hashtbl.replace out prefix facing;
-            (match ns.session with
-            | Some s when Session.established s ->
-                Session.send_update s
-                  (Msg.update ~attrs:facing ~announced:[ Msg.nlri prefix ] ())
-            | _ -> ());
+            pending_announce (pending_for ctx ns) facing prefix;
             log t "announce %a to neighbor %d" Prefix.pp prefix
               ns.info.Neighbor.id
           end)
 
+(* Drain a flush context: per neighbor (deterministic id order), one
+   packed withdraw UPDATE, then one packed UPDATE per facing group in
+   first-seen order. *)
+let send_pending t ctx =
+  Hashtbl.fold (fun id p acc -> (id, p) :: acc) ctx.by_neighbor []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (id, p) ->
+         match neighbor t id with
+         | None -> ()
+         | Some ns ->
+             (match p.pend_withdrawn with
+             | [] -> ()
+             | withdrawn ->
+                 send_update_to_neighbor t ns
+                   (Msg.update ~withdrawn:(List.rev withdrawn) ()));
+             List.iter
+               (fun fid ->
+                 match Hashtbl.find_opt p.pend_groups fid with
+                 | None -> ()
+                 | Some (facing, nlris) ->
+                     send_update_to_neighbor t ns
+                       (Msg.update ~attrs:(Attr_arena.set facing)
+                          ~announced:(List.rev !nlris) ()))
+               (List.rev p.pend_order))
+
 (* Recompute [prefix] for every real neighbor. Variants are computed once
    and shared across neighbors; only the export-control filter and the
    Adj-RIB-Out delta are per neighbor. *)
-let reexport_prefix_now t prefix =
+let reexport_prefix_into t ctx prefix =
   let variants = variants_for_prefix t prefix in
   List.iter
-    (fun ns -> reexport_prefix_to_neighbor t ns ~variants prefix)
+    (fun ns -> reexport_prefix_to_neighbor t ctx ns ~variants prefix)
     (real_neighbors t)
 
 (* -- IPv6 (MP-BGP) experiment announcements: control plane only ----------- *)
@@ -134,9 +217,9 @@ let reexport_prefix_v6_to_neighbor t (ns : neighbor_state) ~variants prefix =
           | [] ->
               Session.send_update s
                 (Msg.update ~attrs:[ Attr.Mp_unreach [ (prefix, None) ] ] ())
-          | attrs :: _ ->
+          | v :: _ ->
               let facing =
-                neighbor_facing_attrs t attrs
+                neighbor_facing_attrs t (Attr_arena.set v)
                 |> Attr.remove_code 3 (* v4 NEXT_HOP is meaningless here *)
                 |> Attr.set_attr
                      (Attr.Mp_reach
@@ -165,7 +248,12 @@ let flush_reexports t =
   if Hashtbl.length t.dirty > 0 then begin
     let v4 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
     Hashtbl.reset t.dirty;
-    List.iter (reexport_prefix_now t) (List.sort Prefix.compare v4)
+    (* One update-group context spans the whole batch: facing sets are
+       computed once per variant across all dirty prefixes, and each
+       neighbor receives the batch as packed multi-NLRI UPDATEs. *)
+    let ctx = flush_ctx_create () in
+    List.iter (reexport_prefix_into t ctx) (List.sort Prefix.compare v4);
+    send_pending t ctx
   end;
   if Hashtbl.length t.dirty_v6 > 0 then begin
     let v6 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty_v6 [] in
@@ -195,7 +283,7 @@ let request_reexport_v6 t prefix =
 let export_exp_route_to_mesh t (e : experiment_state) prefix (v : variant) =
   let ctl_asn = control_asn t in
   let attrs =
-    v.v_attrs
+    Attr_arena.set v.v_attrs
     |> Attr.with_next_hop e.g_ip
     |> Attr.add_community (Export_control.experiment_marker ~ctl_asn)
   in
@@ -228,7 +316,7 @@ let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
               request_reexport_v6 t prefix)
             nlri
       | Attr.Mp_reach { nlri; _ } ->
-          let base_attrs = Attr.remove_code 14 u.Msg.attrs in
+          let base_h = Attr_arena.intern (Attr.remove_code 14 u.Msg.attrs) in
           List.iter
             (fun (prefix, path_id) ->
               let pid = match path_id with Some p -> p | None -> 0 in
@@ -238,12 +326,12 @@ let process_experiment_v6 t (e : experiment_state) (u : Msg.update) =
                 | Some vs ->
                     List.exists
                       (fun v ->
-                        v.v_path_id = pid && Attr.equal_set v.v_attrs base_attrs)
+                        v.v_path_id = pid && Attr_arena.equal v.v_attrs base_h)
                       !vs
                 | None -> false
               in
               if not unchanged then begin
-                let v = { v_path_id = pid; v_attrs = base_attrs } in
+                let v = { v_path_id = pid; v_attrs = base_h } in
                 let vs =
                   match Hashtbl.find_opt e.routes_v6 prefix with
                   | Some vs -> vs
@@ -294,22 +382,26 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
              identical to the recorded variant (same path id, same
              attributes) is absorbed silently — it clears any stale mark
              but triggers no mesh export or re-export, which keeps a
-             graceful-restart resync off the wires. *)
+             graceful-restart resync off the wires. The attribute set is
+             interned once for the whole NLRI list, so the unchanged
+             check is O(1) per variant. *)
+          let attrs_h = lazy (Attr_arena.intern u.attrs) in
           List.iter
             (fun (n : Msg.nlri) ->
               let pid = match n.path_id with Some p -> p | None -> 0 in
               gr_unmark e.exp_gr (n.prefix, pid);
+              let attrs_h = Lazy.force attrs_h in
               let unchanged =
                 match Hashtbl.find_opt e.routes n.prefix with
                 | Some vs ->
                     List.exists
                       (fun v ->
-                        v.v_path_id = pid && Attr.equal_set v.v_attrs u.attrs)
+                        v.v_path_id = pid && Attr_arena.equal v.v_attrs attrs_h)
                       !vs
                 | None -> false
               in
               if not unchanged then begin
-                let v = { v_path_id = pid; v_attrs = u.attrs } in
+                let v = { v_path_id = pid; v_attrs = attrs_h } in
                 let vs =
                   match Hashtbl.find_opt e.routes n.prefix with
                   | Some vs -> vs
@@ -495,6 +587,7 @@ let process_mesh_update t ~pop (u : Msg.update) =
           Rib.Route.source ~peer_ip:ns.info.Neighbor.virtual_ip ~peer_asn:t.asn
             ~ebgp:false ()
         in
+        let attrs_h = Attr_arena.intern u.attrs in
         List.iter
           (fun (n : Msg.nlri) ->
             let pid = match n.path_id with Some p -> p | None -> 0 in
@@ -508,27 +601,29 @@ let process_mesh_update t ~pop (u : Msg.update) =
                 (fun (r : Rib.Route.t) ->
                   Rib.Route.key_matches
                     ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None r
-                  && Attr.equal_set r.attrs u.attrs)
+                  && Attr_arena.equal (Rib.Route.attrs_handle r) attrs_h)
                 (Rib.Table.candidates ns.rib_in n.prefix)
             in
             if not unchanged then begin
               let route =
-                Rib.Route.make ~learned_at:now ~prefix:n.prefix ~attrs:u.attrs
+                Rib.Route.make_h ~learned_at:now ~prefix:n.prefix ~attrs_h
                   ~source ()
               in
               ignore (Rib.Table.update ns.rib_in route);
               Rib.Fib.insert fib n.prefix
                 { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
-              Control_in.export_route_to_experiments t ns n.prefix u.attrs
+              Control_in.export_route_to_experiments t ns n.prefix
+                (Attr_arena.set attrs_h)
             end)
           u.announced
     | Some g ->
         (* A remote experiment's announcement: remember it for neighbor
            export here, and route its traffic toward the remote PoP. *)
-        let attrs =
-          Attr.remove_communities
-            ~keep:(fun c -> not (Export_control.is_marker ~ctl_asn c))
-            u.attrs
+        let attrs_h =
+          Attr_arena.intern
+            (Attr.remove_communities
+               ~keep:(fun c -> not (Export_control.is_marker ~ctl_asn c))
+               u.attrs)
         in
         List.iter
           (fun (n : Msg.nlri) ->
@@ -536,13 +631,14 @@ let process_mesh_update t ~pop (u : Msg.update) =
             gr_unmark mesh_gr (pid, n.prefix);
             let unchanged =
               match Hashtbl.find_opt t.remote_exp_routes (pop, pid) with
-              | Some (p, a) -> Prefix.equal p n.prefix && Attr.equal_set a attrs
+              | Some (p, a) ->
+                  Prefix.equal p n.prefix && Attr_arena.equal a attrs_h
               | None -> false
             in
             Hashtbl.replace t.mesh_imports (pop, pid)
               (Iremote_exp { prefix = n.prefix });
             if not unchanged then begin
-              Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs);
+              Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs_h);
               owner_insert t n.prefix (Remote_exp { pop; via_global = g });
               request_reexport t n.prefix
             end)

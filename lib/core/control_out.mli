@@ -7,15 +7,22 @@
     ({!flush_reexports}, self-scheduled at zero delay) recomputes each
     dirty prefix exactly once per neighbor. Deltas against the
     per-neighbor Adj-RIB-Out keep the wire identical to eager
-    re-export. *)
+    re-export.
+
+    Within one flush, neighbors selecting the same interned variant form
+    an update-group: the neighbor-facing attribute set is computed once
+    per variant and fanned out, and each neighbor's deltas leave as
+    packed multi-NLRI UPDATEs (one per shared outbound attribute set,
+    split at the 4096-byte RFC 4271 boundary). *)
 
 open Netcore
 open Bgp
 open Sim
 
-val variants_for_prefix : Router_state.t -> Prefix.t -> Attr.set list
+val variants_for_prefix :
+  Router_state.t -> Prefix.t -> Attr_arena.handle list
 (** All live announcement variants for a prefix (local experiments plus
-    remote-experiment imports), unfiltered. *)
+    remote-experiment imports), unfiltered, as interned handles. *)
 
 val neighbor_facing_attrs : Router_state.t -> Attr.set -> Attr.set
 (** Attributes as announced to a real eBGP neighbor: platform ASN

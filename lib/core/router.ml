@@ -35,6 +35,8 @@ type counters = Router_state.counters = {
   mutable reexport_computations : int;
   mutable gr_retentions : int;
   mutable gr_expiries : int;
+  mutable updates_to_neighbors : int;
+  mutable nlri_to_neighbors : int;
 }
 
 type t = Router_state.t

@@ -40,13 +40,17 @@ type counters = Router_state.counters = {
   mutable packets_dropped : int;
   mutable icmp_sent : int;
   mutable reexport_computations : int;
-      (** per-(prefix, neighbor) re-export recomputations; a burst of
-          updates to one prefix costs one per neighbor, not one per
-          update *)
+      (** neighbor-facing attribute-set computations: one per distinct
+          variant per flush (update-groups), however many prefixes,
+          neighbors or updates the burst touched *)
   mutable gr_retentions : int;
       (** session drops answered with stale retention instead of a drop *)
   mutable gr_expiries : int;
       (** restart windows that expired into the hard-drop path *)
+  mutable updates_to_neighbors : int;
+      (** UPDATE messages sent to neighbors (after NLRI packing) *)
+  mutable nlri_to_neighbors : int;
+      (** NLRI carried by those messages; nlri/updates = packing ratio *)
 }
 
 type t = Router_state.t

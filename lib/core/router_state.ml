@@ -45,7 +45,9 @@ type neighbor_state = {
 
 type variant = {
   v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
-  v_attrs : Attr.set;  (** post-enforcement, control communities intact *)
+  v_attrs : Attr_arena.handle;
+      (** post-enforcement, control communities intact; interned so
+          identical announcements share one set and compare in O(1) *)
 }
 
 type experiment_state = {
@@ -93,13 +95,19 @@ type counters = {
   mutable packets_dropped : int;
   mutable icmp_sent : int;
   mutable reexport_computations : int;
-      (** per-(prefix, neighbor) re-export recomputations; a burst of
-          updates to one prefix costs one per neighbor, not one per
-          update (the dirty-prefix queue) *)
+      (** neighbor-facing attribute-set computations performed by
+          re-export: one per distinct variant per flush (the
+          update-group cache), however many prefixes, neighbors or
+          updates the burst touched *)
   mutable gr_retentions : int;
       (** session drops answered with stale retention instead of a drop *)
   mutable gr_expiries : int;
       (** restart windows that expired into the hard-drop path *)
+  mutable updates_to_neighbors : int;
+      (** UPDATE messages sent to neighbors (after NLRI packing) *)
+  mutable nlri_to_neighbors : int;
+      (** NLRI (announce + withdraw) carried by those messages; the
+          ratio nlri/updates is the packing ratio *)
 }
 
 type t = {
@@ -133,9 +141,9 @@ type t = {
           [owner_insert]/[owner_remove] so the generation stays coherent *)
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
-  remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
-  adj_out : (int, (Prefix.t, Attr.set) Hashtbl.t) Hashtbl.t;
-      (** per-neighbor last-sent attributes *)
+  remote_exp_routes : (string * int, Prefix.t * Attr_arena.handle) Hashtbl.t;
+  adj_out : (int, (Prefix.t, Attr_arena.handle) Hashtbl.t) Hashtbl.t;
+      (** per-neighbor last-sent attributes (interned) *)
   (* The dirty-prefix re-export queue (drained by [Control_out]): updates
      mark prefixes dirty; one flush per engine tick recomputes each dirty
      prefix once per neighbor. *)
@@ -213,6 +221,8 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
         reexport_computations = 0;
         gr_retentions = 0;
         gr_expiries = 0;
+        updates_to_neighbors = 0;
+        nlri_to_neighbors = 0;
       };
     rng = Random.State.make [| seed; Hashtbl.hash name |];
     gr_restart_time;
@@ -281,6 +291,26 @@ let adj_out_table t neighbor_id =
       let tbl = Hashtbl.create 16 in
       Hashtbl.replace t.adj_out neighbor_id tbl;
       tbl
+
+(* Send a (possibly multi-NLRI) UPDATE to a neighbor, splitting it at the
+   classic 4096-byte boundary, and account messages and NLRI for the
+   packing-ratio counters. Lives here (not in [Control_out]) because both
+   the outbound flush and [Control_in]'s resync path send packed
+   updates. *)
+let send_update_to_neighbor t ns (u : Msg.update) =
+  match ns.session with
+  | Some s when Session.established s ->
+      List.iter
+        (fun (piece : Msg.update) ->
+          t.counters.updates_to_neighbors <-
+            t.counters.updates_to_neighbors + 1;
+          t.counters.nlri_to_neighbors <-
+            t.counters.nlri_to_neighbors
+            + List.length piece.Msg.announced
+            + List.length piece.Msg.withdrawn;
+          Session.send_update s piece)
+        (Codec.split_update u)
+  | _ -> ()
 
 let session_capabilities ?(add_path = false) t =
   let base =
@@ -386,7 +416,7 @@ let adj_out_routes t ~neighbor_id =
   match Hashtbl.find_opt t.adj_out neighbor_id with
   | None -> []
   | Some tbl ->
-      Hashtbl.fold (fun p a acc -> (p, a) :: acc) tbl []
+      Hashtbl.fold (fun p h acc -> (p, Attr_arena.set h) :: acc) tbl []
       |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
 
 (* Prefixes currently held stale for a neighbor (GR retention). *)

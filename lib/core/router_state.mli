@@ -37,7 +37,9 @@ type neighbor_state = {
 
 type variant = {
   v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
-  v_attrs : Attr.set;  (** post-enforcement, control communities intact *)
+  v_attrs : Attr_arena.handle;
+      (** post-enforcement, control communities intact; interned so
+          identical announcements share one set and compare in O(1) *)
 }
 
 type experiment_state = {
@@ -82,12 +84,17 @@ type counters = {
   mutable packets_dropped : int;
   mutable icmp_sent : int;
   mutable reexport_computations : int;
-      (** per-(prefix, neighbor) re-export recomputations performed by
-          the dirty-prefix queue *)
+      (** neighbor-facing attribute-set computations performed by
+          re-export (update-group cache misses) *)
   mutable gr_retentions : int;
       (** session drops answered with stale retention instead of a drop *)
   mutable gr_expiries : int;
       (** restart windows that expired into the hard-drop path *)
+  mutable updates_to_neighbors : int;
+      (** UPDATE messages sent to neighbors (after NLRI packing) *)
+  mutable nlri_to_neighbors : int;
+      (** NLRI (announce + withdraw) carried by those messages; the
+          ratio nlri/updates is the packing ratio *)
 }
 
 type t = {
@@ -118,8 +125,8 @@ type t = {
   owner_cache : owner Dcache.t;
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
-  remote_exp_routes : (string * int, Prefix.t * Attr.set) Hashtbl.t;
-  adj_out : (int, (Prefix.t, Attr.set) Hashtbl.t) Hashtbl.t;
+  remote_exp_routes : (string * int, Prefix.t * Attr_arena.handle) Hashtbl.t;
+  adj_out : (int, (Prefix.t, Attr_arena.handle) Hashtbl.t) Hashtbl.t;
   dirty : (Prefix.t, unit) Hashtbl.t;
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
   mutable reexport_scheduled : bool;
@@ -184,8 +191,14 @@ val neighbor_states : t -> neighbor_state list
 val real_neighbors : t -> neighbor_state list
 val experiment : t -> string -> experiment_state option
 
-val adj_out_table : t -> int -> (Prefix.t, Attr.set) Hashtbl.t
+val adj_out_table : t -> int -> (Prefix.t, Attr_arena.handle) Hashtbl.t
 (** The per-neighbor Adj-RIB-Out table, created on first use. *)
+
+val send_update_to_neighbor : t -> neighbor_state -> Msg.update -> unit
+(** Send an UPDATE to a neighbor's session when established, splitting
+    it at the classic 4096-byte boundary ({!Bgp.Codec.split_update}) and
+    bumping the [updates_to_neighbors]/[nlri_to_neighbors] counters.
+    Silently drops when the session is down (re-sync on reconnect). *)
 
 val session_capabilities : ?add_path:bool -> t -> Capability.t list
 

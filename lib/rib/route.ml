@@ -1,6 +1,10 @@
 (* A route: a prefix plus path attributes, tagged with the peer it was
    learned from. The (peer, path_id) pair is the route's identity within a
-   table — exactly the granularity ADD-PATH preserves on the wire. *)
+   table — exactly the granularity ADD-PATH preserves on the wire.
+
+   Attributes are held as an interned arena handle: every route carrying
+   the same attribute set shares one canonical copy, and attribute
+   comparison is O(1) physical equality on handles. *)
 
 open Netcore
 open Bgp
@@ -27,13 +31,21 @@ let local_source ~asn ~id =
 type t = {
   prefix : Prefix.t;
   path_id : int option;
-  attrs : Attr.set;
+  attrs_h : Attr_arena.handle;
   source : source;
   learned_at : float;
 }
 
 let make ?(path_id = None) ?(learned_at = 0.) ~prefix ~attrs ~source () =
-  { prefix; path_id; attrs; source; learned_at }
+  { prefix; path_id; attrs_h = Attr_arena.intern attrs; source; learned_at }
+
+let make_h ?(path_id = None) ?(learned_at = 0.) ~prefix ~attrs_h ~source () =
+  { prefix; path_id; attrs_h; source; learned_at }
+
+let attrs r = Attr_arena.set r.attrs_h
+let attrs_handle r = r.attrs_h
+let same_attrs a b = Attr_arena.equal a.attrs_h b.attrs_h
+let with_attrs r attrs = { r with attrs_h = Attr_arena.intern attrs }
 
 (* Identity of a route within a table: same peer and same path id replace
    each other (implicit withdraw, RFC 4271 §3.2). *)
@@ -44,13 +56,19 @@ let key_matches ~peer_ip ~path_id r =
   Ipv4.equal r.source.peer_ip peer_ip && r.path_id = path_id
 
 let as_path r =
-  match Attr.as_path r.attrs with Some p -> p | None -> Aspath.empty
+  match Attr.as_path (attrs r) with Some p -> p | None -> Aspath.empty
 
-let next_hop r = Attr.next_hop r.attrs
-let local_pref r = match Attr.local_pref r.attrs with Some l -> l | None -> 100
-let med r = match Attr.med r.attrs with Some m -> m | None -> 0
-let origin r = match Attr.origin r.attrs with Some o -> o | None -> Attr.Incomplete
-let communities r = Attr.communities r.attrs
+let next_hop r = Attr.next_hop (attrs r)
+
+let local_pref r =
+  match Attr.local_pref (attrs r) with Some l -> l | None -> 100
+
+let med r = match Attr.med (attrs r) with Some m -> m | None -> 0
+
+let origin r =
+  match Attr.origin (attrs r) with Some o -> o | None -> Attr.Incomplete
+
+let communities r = Attr.communities (attrs r)
 
 (* The AS the route points into: first AS of the path, else the peer. *)
 let neighbor_asn r =

@@ -1,6 +1,10 @@
 (** A route: a prefix plus path attributes, tagged with the peer it came
     from. The (peer, path id) pair is the route's identity within a table —
-    the granularity ADD-PATH preserves on the wire. *)
+    the granularity ADD-PATH preserves on the wire.
+
+    Attributes are stored as an interned {!Bgp.Attr_arena.handle}: routes
+    carrying equal attribute sets share one canonical copy platform-wide,
+    and attribute comparison ({!same_attrs}) is O(1). *)
 
 open Netcore
 open Bgp
@@ -22,7 +26,7 @@ val local_source : asn:Asn.t -> id:Ipv4.t -> source
 type t = {
   prefix : Prefix.t;
   path_id : int option;
-  attrs : Attr.set;
+  attrs_h : Attr_arena.handle;
   source : source;
   learned_at : float;
 }
@@ -35,6 +39,29 @@ val make :
   source:source ->
   unit ->
   t
+(** Interns [attrs] into the global arena. *)
+
+val make_h :
+  ?path_id:int option ->
+  ?learned_at:float ->
+  prefix:Prefix.t ->
+  attrs_h:Attr_arena.handle ->
+  source:source ->
+  unit ->
+  t
+(** Like {!make} for callers that already hold an interned handle
+    (hot paths skip the re-intern). *)
+
+val attrs : t -> Attr.set
+(** The canonical (type-code sorted) attribute set. *)
+
+val attrs_handle : t -> Attr_arena.handle
+
+val same_attrs : t -> t -> bool
+(** O(1): physical equality of interned handles. *)
+
+val with_attrs : t -> Attr.set -> t
+(** Functional update; re-interns. *)
 
 val same_key : t -> t -> bool
 (** Same (peer, path id): the newer route replaces the older (implicit

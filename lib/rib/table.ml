@@ -36,7 +36,7 @@ let best_equal a b =
   match (a, b) with
   | None, None -> true
   | Some a, Some b ->
-      Route.same_key a b && Bgp.Attr.equal_set a.Route.attrs b.Route.attrs
+      Route.same_key a b && Route.same_attrs a b
   | _ -> false
 
 (* Insert or replace (implicit withdraw) a route. One trie walk fetches

@@ -1,0 +1,150 @@
+(* Tests for the hash-consing attribute arena: physical uniqueness,
+   GC-backed reclamation, and the differential property that interned and
+   plain attribute sets are observationally identical (accessors, codec
+   round-trip, decision ordering). *)
+
+open Netcore
+open Bgp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let asn = Asn.of_int
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let attrs ?(path = [ 100; 200 ]) ?(nh = "10.0.0.1") ?(lp = None) ?(med = None)
+    ?(comms = []) () =
+  let base =
+    Attr.origin_attrs
+      ~as_path:(Aspath.of_asns (List.map asn path))
+      ~next_hop:(ip nh) ()
+  in
+  let base = match lp with Some l -> Attr.with_local_pref l base | None -> base in
+  let base = match med with Some m -> Attr.with_med m base | None -> base in
+  if comms = [] then base else Attr.with_communities comms base
+
+(* -- arena basics ----------------------------------------------------------- *)
+
+let test_intern_physically_equal () =
+  let arena = Attr_arena.create () in
+  let a = Attr_arena.intern ~arena (attrs ()) in
+  let b = Attr_arena.intern ~arena (attrs ()) in
+  checkb "same set interns to the same handle" true (a == b);
+  checkb "Attr_arena.equal agrees" true (Attr_arena.equal a b);
+  checki "same id" (Attr_arena.id a) (Attr_arena.id b);
+  let c = Attr_arena.intern ~arena (attrs ~path:[ 100 ] ()) in
+  checkb "different set is a different handle" false (Attr_arena.equal a c);
+  let stats = Attr_arena.stats ~arena () in
+  checki "two misses" 2 stats.Attr_arena.misses;
+  checki "one hit" 1 stats.Attr_arena.hits
+
+let test_intern_canonicalizes_order () =
+  let arena = Attr_arena.create () in
+  (* Same attributes, scrambled order: one canonical handle. *)
+  let sorted = Attr.sort (attrs ~lp:(Some 200) ~med:(Some 7) ()) in
+  let scrambled = List.rev sorted in
+  let a = Attr_arena.intern ~arena sorted in
+  let b = Attr_arena.intern ~arena scrambled in
+  checkb "order-insensitive interning" true (Attr_arena.equal a b);
+  checkb "handle set is sorted" true (Attr_arena.set a = Attr.sort sorted)
+
+let test_arena_survives_gc () =
+  let arena = Attr_arena.create () in
+  let keep = Attr_arena.intern ~arena (attrs ()) in
+  (* Intern a batch of distinct sets without retaining the handles. *)
+  for i = 1 to 64 do
+    ignore (Attr_arena.intern ~arena (attrs ~med:(Some i) ()))
+  done;
+  let before = (Attr_arena.stats ~arena ()).Attr_arena.live in
+  checkb "all entries live before GC" true (before >= 65);
+  Gc.full_major ();
+  Gc.full_major ();
+  let after = (Attr_arena.stats ~arena ()).Attr_arena.live in
+  checkb "unreferenced entries reclaimed" true (after < before);
+  (* The retained handle must still be canonical after the collection. *)
+  let again = Attr_arena.intern ~arena (attrs ()) in
+  checkb "retained handle survives GC" true (Attr_arena.equal keep again)
+
+(* -- differential: interned vs plain ---------------------------------------- *)
+
+let test_differential_accessors () =
+  let plain =
+    attrs ~path:[ 47065; 263842 ] ~nh:"172.16.9.9" ~lp:(Some 150)
+      ~med:(Some 42)
+      ~comms:[ Community.make 65000 7; Community.make 100 1 ]
+      ()
+  in
+  let interned = Attr_arena.intern_set plain in
+  checkb "as_path" true (Attr.as_path plain = Attr.as_path interned);
+  checkb "next_hop" true (Attr.next_hop plain = Attr.next_hop interned);
+  checkb "local_pref" true (Attr.local_pref plain = Attr.local_pref interned);
+  checkb "med" true (Attr.med plain = Attr.med interned);
+  checkb "origin" true (Attr.origin plain = Attr.origin interned);
+  checkb "communities" true
+    (Attr.communities plain = Attr.communities interned);
+  checkb "equal_set both ways" true
+    (Attr.equal_set plain interned && Attr.equal_set interned plain)
+
+let test_differential_codec () =
+  let plain =
+    attrs ~path:[ 61574; 263842 ] ~lp:(Some 120)
+      ~comms:[ Community.make 47065 1000 ]
+      ()
+  in
+  let interned = Attr_arena.intern_set plain in
+  let encode a =
+    Codec.encode
+      (Msg.Update (Msg.update ~attrs:a ~announced:[ Msg.nlri (pfx "184.164.224.0/24") ] ()))
+  in
+  (* Canonical sorting means the interned set encodes byte-identically. *)
+  checks "byte-identical wire encoding" (encode (Attr.sort plain))
+    (encode interned);
+  match Codec.decode_exn (encode interned) with
+  | Msg.Update u ->
+      checkb "round-trip preserves equality" true
+        (Attr.equal_set u.Msg.attrs plain)
+  | _ -> Alcotest.fail "expected UPDATE"
+
+let test_differential_decision () =
+  let source = Rib.Route.source ~peer_ip:(ip "1.1.1.1") ~peer_asn:(asn 100) () in
+  let source2 =
+    Rib.Route.source ~peer_ip:(ip "2.2.2.2") ~peer_asn:(asn 200) ()
+  in
+  let prefix = pfx "10.0.0.0/24" in
+  let a_plain = attrs ~path:[ 100 ] ~lp:(Some 300) () in
+  let b_plain = attrs ~path:[ 200; 300 ] ~lp:(Some 100) () in
+  let mk attrs source = Rib.Route.make ~prefix ~attrs ~source () in
+  let plain_cmp =
+    Rib.Decision.compare (mk a_plain source) (mk b_plain source2)
+  in
+  let interned_cmp =
+    Rib.Decision.compare
+      (mk (Attr_arena.intern_set a_plain) source)
+      (mk (Attr_arena.intern_set b_plain) source2)
+  in
+  checkb "decision ordering unchanged by interning" true
+    (plain_cmp = interned_cmp && plain_cmp < 0)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "intern is physically unique" `Quick
+            test_intern_physically_equal;
+          Alcotest.test_case "intern canonicalizes order" `Quick
+            test_intern_canonicalizes_order;
+          Alcotest.test_case "weak arena survives gc" `Quick
+            test_arena_survives_gc;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "accessors identical" `Quick
+            test_differential_accessors;
+          Alcotest.test_case "codec identical" `Quick test_differential_codec;
+          Alcotest.test_case "decision ordering identical" `Quick
+            test_differential_decision;
+        ] );
+    ]

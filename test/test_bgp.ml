@@ -215,6 +215,133 @@ let test_codec_update_add_path () =
         (List.for_all (fun (n : Msg.nlri) -> n.Msg.path_id = Some 7) u'.Msg.announced)
   | _ -> Alcotest.fail "wrong message type"
 
+(* -- NLRI packing: split_update --------------------------------------------- *)
+
+let packing_attrs () =
+  Attr.origin_attrs
+    ~as_path:[ Aspath.Seq [ asn 65000; asn 47065 ] ]
+    ~next_hop:(ip "192.0.2.1") ()
+  |> Attr.add_community (Community.make 47065 10001)
+
+(* [n] distinct /24s under 10.0.0.0/8. *)
+let many_prefixes n =
+  List.init n (fun i ->
+      Msg.nlri (pfx (Printf.sprintf "10.%d.%d.0/24" (i / 256) (i mod 256))))
+
+let decoded_routes ?params (u : Msg.update) =
+  List.concat_map
+    (fun piece ->
+      match Codec.decode_exn ?params (Codec.encode ?params (Msg.Update piece)) with
+      | Msg.Update u' ->
+          List.map (fun n -> (`A, n, u'.Msg.attrs)) u'.Msg.announced
+          @ List.map (fun n -> (`W, n, [])) u'.Msg.withdrawn
+      | _ -> Alcotest.fail "expected UPDATE")
+    (Codec.split_update ?params u)
+
+let test_split_update_noop () =
+  let u = sample_update () in
+  (match Codec.split_update u with
+  | [ u' ] -> checkb "within bounds: unchanged" true (u == u')
+  | pieces -> Alcotest.failf "expected singleton, got %d" (List.length pieces));
+  (* MP-only updates (no v4 NLRI) are never split, however large. *)
+  let nlri =
+    List.init 2000 (fun i ->
+        (Prefix_v6.of_string_exn (Printf.sprintf "2804:269c:%x::/48" (i + 1)), None))
+  in
+  let mp =
+    Msg.update
+      ~attrs:
+        [
+          Attr.Origin Attr.Igp;
+          Attr.As_path (Aspath.of_asns [ asn 61574 ]);
+          Attr.Mp_reach { next_hop = Ipv6.of_string_exn "2001:db8::1"; nlri };
+        ]
+      ()
+  in
+  checki "mp-only never splits" 1 (List.length (Codec.split_update mp))
+
+let test_split_update_boundary () =
+  let attrs = packing_attrs () in
+  (* Find the largest NLRI count that still encodes within 4096 bytes. *)
+  let size n =
+    String.length
+      (Codec.encode (Msg.Update (Msg.update ~attrs ~announced:(many_prefixes n) ())))
+  in
+  let max_fit = ref 1 in
+  while size (!max_fit + 1) <= Codec.classic_max_message_size do incr max_fit done;
+  let u_fit = Msg.update ~attrs ~announced:(many_prefixes !max_fit) () in
+  checki "exact fit stays one message" 1 (List.length (Codec.split_update u_fit));
+  let u_over = Msg.update ~attrs ~announced:(many_prefixes (!max_fit + 1)) () in
+  let pieces = Codec.split_update u_over in
+  checkb "one over the boundary splits" true (List.length pieces >= 2);
+  List.iter
+    (fun piece ->
+      checkb "every piece within 4096" true
+        (String.length (Codec.encode (Msg.Update piece))
+        <= Codec.classic_max_message_size))
+    pieces;
+  (* The split decodes to exactly the same routes as the packed update. *)
+  let flat =
+    List.map (fun n -> (`A, n, Attr.sort attrs)) u_over.Msg.announced
+  in
+  let got =
+    List.map
+      (fun (k, n, a) -> (k, n, Attr.sort a))
+      (decoded_routes u_over)
+  in
+  checkb "split decodes to the same routes" true (flat = got)
+
+let test_split_update_withdraw_and_announce () =
+  let attrs = packing_attrs () in
+  let u =
+    Msg.update ~attrs
+      ~withdrawn:(many_prefixes 900)
+      ~announced:
+        (List.init 900 (fun i ->
+             Msg.nlri
+               (pfx (Printf.sprintf "172.%d.%d.0/24" (i / 256) (i mod 256)))))
+      ()
+  in
+  let pieces = Codec.split_update u in
+  checkb "withdraw+announce splits" true (List.length pieces >= 2);
+  List.iter
+    (fun (piece : Msg.update) ->
+      checkb "piece within 4096" true
+        (String.length (Codec.encode (Msg.Update piece))
+        <= Codec.classic_max_message_size);
+      checkb "withdraw pieces carry no attrs" true
+        (piece.Msg.withdrawn = [] || piece.Msg.attrs = []))
+    pieces;
+  let count k =
+    List.fold_left
+      (fun acc (k', _, _) -> if k = k' then acc + 1 else acc)
+      0 (decoded_routes u)
+  in
+  checki "all withdrawals survive" 900 (count `W);
+  checki "all announcements survive" 900 (count `A)
+
+let test_split_update_add_path () =
+  let params = { Codec.add_path = true; as4 = true } in
+  let attrs = packing_attrs () in
+  let announced =
+    List.map
+      (fun (n : Msg.nlri) -> { n with Msg.path_id = Some 7 })
+      (many_prefixes 1200)
+  in
+  let u = Msg.update ~attrs ~announced () in
+  let pieces = Codec.split_update ~params u in
+  checkb "add-path splits" true (List.length pieces >= 2);
+  List.iter
+    (fun piece ->
+      checkb "add-path piece within 4096" true
+        (String.length (Codec.encode ~params (Msg.Update piece))
+        <= Codec.classic_max_message_size))
+    pieces;
+  let got = decoded_routes ~params u in
+  checki "all nlri survive" 1200 (List.length got);
+  checkb "path ids preserved" true
+    (List.for_all (fun (_, (n : Msg.nlri), _) -> n.Msg.path_id = Some 7) got)
+
 let test_codec_as_trans () =
   (* Without AS4, 4-byte ASNs in paths become AS_TRANS on the wire. *)
   let params = { Codec.add_path = false; as4 = false } in
@@ -986,6 +1113,13 @@ let () =
             test_codec_keepalive_notification;
           Alcotest.test_case "update" `Quick test_codec_update;
           Alcotest.test_case "update add-path" `Quick test_codec_update_add_path;
+          Alcotest.test_case "split_update noop" `Quick test_split_update_noop;
+          Alcotest.test_case "split_update 4096 boundary" `Quick
+            test_split_update_boundary;
+          Alcotest.test_case "split_update withdraw+announce" `Quick
+            test_split_update_withdraw_and_announce;
+          Alcotest.test_case "split_update add-path" `Quick
+            test_split_update_add_path;
           Alcotest.test_case "as_trans" `Quick test_codec_as_trans;
           Alcotest.test_case "extended length" `Quick test_codec_extended_length;
           Alcotest.test_case "mp ipv6" `Quick test_codec_mp_v6;

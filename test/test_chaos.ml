@@ -73,7 +73,8 @@ let build_world ~seed () =
 let route_line (r : Rib.Route.t) =
   Fmt.str "%a/%s from %a: %a" Prefix.pp r.Rib.Route.prefix
     (match r.Rib.Route.path_id with Some i -> string_of_int i | None -> "-")
-    Ipv4.pp r.Rib.Route.source.Rib.Route.peer_ip Attr.pp_set r.Rib.Route.attrs
+    Ipv4.pp r.Rib.Route.source.Rib.Route.peer_ip Attr.pp_set
+    (Rib.Route.attrs r)
 
 (* Everything the acceptance criteria compare: the experiment's RIB, each
    neighbor's Adj-RIB-Out and heard-table, every per-neighbor FIB, and the

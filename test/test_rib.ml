@@ -43,13 +43,10 @@ let test_decision_path_length () =
   let a =
     route ()
     |> fun r ->
-    {
-      r with
-      Rib.Route.attrs =
-        Attr.with_as_path
-          [ Aspath.Seq [ asn 1 ]; Aspath.Set [ asn 2; asn 3; asn 4 ] ]
-          r.Rib.Route.attrs;
-    }
+    Rib.Route.with_attrs r
+      (Attr.with_as_path
+         [ Aspath.Seq [ asn 1 ]; Aspath.Set [ asn 2; asn 3; asn 4 ] ]
+         (Rib.Route.attrs r))
   in
   let b = route ~peer:"2.2.2.2" ~path:[ 1; 2; 3 ] () in
   checkb "set counts as one" true

@@ -986,7 +986,9 @@ let test_router_burst_single_recompute () =
     | Error e -> Alcotest.fail (String.concat "; " e)
   done;
   Sim.Engine.run_until fx.engine (Sim.Engine.now fx.engine +. 5.);
-  checki "one recomputation per neighbor for the whole burst" 2
+  (* Update-groups: both neighbors select the same variant, so the whole
+     burst costs a single facing-attribute computation shared by both. *)
+  checki "one facing computation for the whole burst" 1
     (Router.counters fx.router).Router.reexport_computations;
   let announces heard =
     List.filter (fun (u : Msg.update) -> u.Msg.announced <> []) !heard

@@ -1,0 +1,165 @@
+(* bench_diff BASELINE.json CURRENT.json
+
+   Compares two bench-harness --json outputs and fails (exit 1) when a
+   headline metric regresses by more than 10%. The direction of "better"
+   is inferred from the metric's unit:
+
+     lower is better    bytes, prefixes, messages, computations, count
+     higher is better   ratio, percent
+     ignored            timing units (ns/op, us/update, ...) — too noisy
+                        for a hard gate on shared CI hardware
+
+   The input format is the array written by bench/main.ml: one object per
+   line with "experiment", "metric", "value", and "unit" fields. Parsing
+   is a small string scanner rather than a JSON library so the tool has
+   no dependencies beyond the stdlib. *)
+
+let tolerance = 0.10
+
+type direction = Lower_better | Higher_better | Ignored
+
+let direction_of_unit = function
+  | "bytes" | "prefixes" | "messages" | "computations" | "count" ->
+      Lower_better
+  | "ratio" | "percent" -> Higher_better
+  | _ -> Ignored
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "bench_diff: cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Extract ["key": "..."] from a record line; None if absent. *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some i -> (
+      (* Skip whitespace, expect an opening quote. *)
+      let rec skip i =
+        if i < String.length line && line.[i] = ' ' then skip (i + 1) else i
+      in
+      let i = skip i in
+      if i >= String.length line || line.[i] <> '"' then None
+      else
+        match String.index_from_opt line (i + 1) '"' with
+        | None -> None
+        | Some j -> Some (String.sub line (i + 1) (j - i - 1)))
+
+(* Extract ["key": 123.4] (unquoted number) from a record line. *)
+let number_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let rec find i =
+    if i + plen > String.length line then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let is_num c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      let n = String.length line in
+      let rec skip i = if i < n && not (is_num line.[i]) then skip (i + 1) else i in
+      let start = skip i in
+      let rec stop i = if i < n && is_num line.[i] then stop (i + 1) else i in
+      let fin = stop start in
+      if fin = start then None
+      else float_of_string_opt (String.sub line start (fin - start))
+
+(* (experiment, metric) -> (value, unit); tolerant of the surrounding
+   array brackets and trailing commas. *)
+let parse path =
+  let rows = Hashtbl.create 64 in
+  String.split_on_char '\n' (read_file path)
+  |> List.iter (fun line ->
+         match
+           ( string_field line "experiment",
+             string_field line "metric",
+             number_field line "value",
+             string_field line "unit" )
+         with
+         | Some exp, Some metric, Some value, Some unit_ ->
+             Hashtbl.replace rows (exp, metric) (value, unit_)
+         | _ -> ());
+  rows
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ ->
+      prerr_endline "usage: bench_diff BASELINE.json CURRENT.json";
+      exit 2);
+  let baseline = parse Sys.argv.(1) and current = parse Sys.argv.(2) in
+  if Hashtbl.length baseline = 0 then begin
+    Printf.eprintf "bench_diff: no metric records in %s\n" Sys.argv.(1);
+    exit 2
+  end;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) baseline []
+    |> List.sort compare
+  in
+  let regressions = ref [] and compared = ref 0 in
+  Printf.printf "%-48s %12s %12s %8s\n" "metric" "baseline" "current" "delta";
+  List.iter
+    (fun ((exp, metric) as key) ->
+      let old_v, old_u = Hashtbl.find baseline key in
+      match (direction_of_unit old_u, Hashtbl.find_opt current key) with
+      | Ignored, _ -> ()
+      | _, None ->
+          regressions :=
+            Printf.sprintf "%s/%s: missing from current run" exp metric
+            :: !regressions
+      | dir, Some (new_v, _) ->
+          incr compared;
+          let delta_pct =
+            if old_v = 0. then if new_v = 0. then 0. else infinity
+            else (new_v -. old_v) /. abs_float old_v *. 100.
+          in
+          let bad =
+            match dir with
+            | Lower_better ->
+                if old_v = 0. then new_v > 0.
+                else new_v > old_v *. (1. +. tolerance)
+            | Higher_better -> new_v < old_v *. (1. -. tolerance)
+            | Ignored -> false
+          in
+          Printf.printf "%-48s %12.6g %12.6g %7.1f%%%s\n"
+            (exp ^ "/" ^ metric) old_v new_v delta_pct
+            (if bad then "  << REGRESSION" else "");
+          if bad then
+            regressions :=
+              Printf.sprintf "%s/%s: %.6g -> %.6g (%+.1f%%, %s)" exp metric
+                old_v new_v delta_pct
+                (match dir with
+                | Lower_better -> "lower is better"
+                | _ -> "higher is better")
+              :: !regressions)
+    keys;
+  Printf.printf "compared %d gated metrics against %s\n" !compared
+    Sys.argv.(1);
+  match !regressions with
+  | [] -> print_endline "bench-diff: OK (no metric regressed >10%)"
+  | rs ->
+      Printf.eprintf "bench-diff: %d regression(s) beyond %.0f%%:\n"
+        (List.length rs) (tolerance *. 100.);
+      List.iter (fun r -> Printf.eprintf "  %s\n" r) (List.rev rs);
+      exit 1
