@@ -239,7 +239,8 @@ let time_per_update name f stream =
 (* A vBGP router fixture with [experiments] connected experiment sessions
    and optionally a backbone mesh peer. Session sends are synchronous, so
    the pipeline can be driven and timed without running the event engine. *)
-let make_bench_router ?caps ~experiments ~mesh () =
+let make_bench_router ?caps ?data ?(flow_cache = true) ~experiments ~mesh ()
+    =
   let engine = Sim.Engine.create () in
   let global_pool =
     Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
@@ -247,7 +248,7 @@ let make_bench_router ?caps ~experiments ~mesh () =
   let router =
     Vbgp.Router.create ~engine ~name:"bench" ~asn:(asn 47065)
       ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
-      ~local_pool:(pfx "127.65.0.0/16") ~global_pool ()
+      ~local_pool:(pfx "127.65.0.0/16") ~global_pool ?data ~flow_cache ()
   in
   Vbgp.Router.activate router;
   let neighbor_id, npair =
@@ -806,6 +807,36 @@ let ratelimit () =
 (* Microbenchmarks (Bechamel): the primitives the figures are built on.      *)
 (* ------------------------------------------------------------------------- *)
 
+(* A router with a 10k-route neighbor table for data-plane forwarding
+   benchmarks, and a frame generator aimed at it ([flow] selects one of
+   64 destination addresses, all covered by the table). *)
+let make_fwd_router ?data ?flow_cache () =
+  let router, neighbor_id =
+    make_bench_router ?data ?flow_cache ~experiments:0 ~mesh:false ()
+  in
+  for i = 0 to 9_999 do
+    Vbgp.Router.process_neighbor_update router ~neighbor_id
+      (Msg.update ~attrs:(synth_attrs i)
+         ~announced:[ Msg.nlri (synth_prefix i) ]
+         ())
+  done;
+  (router, neighbor_id)
+
+let fwd_frame_to router neighbor_id ~flow =
+  {
+    Eth.dst =
+      (match Vbgp.Router.neighbor router neighbor_id with
+      | Some ns -> ns.Vbgp.Router.info.Vbgp.Neighbor.virtual_mac
+      | None -> Mac.zero);
+    src = Mac.local ~pool:0xe0 1;
+    ethertype = Eth.Ipv4;
+    payload =
+      Ipv4_packet.encode
+        (Ipv4_packet.make ~src:(ip "184.164.224.1")
+           ~dst:(Prefix.host (synth_prefix (4257 + (flow mod 64))) 9)
+           ~protocol:Ipv4_packet.Udp "x");
+  }
+
 let micro () =
   section "microbenchmarks (bechamel)";
   let open Bechamel in
@@ -873,33 +904,28 @@ let micro () =
                ~protocol:Ipv4_packet.Udp "data");
       }
   in
-  (* The full data-plane fast path: decode + enforce + MAC-selected FIB
-     lookup against a 10k-route table, repeated on a single flow (the
-     destination-cache case). *)
-  let fwd_router, fwd_neighbor_id =
-    make_bench_router ~experiments:0 ~mesh:false ()
+  (* The full data-plane fast path: one flow against a 10k-route table,
+     repeated — with the flow cache (the steady state), without it (the
+     historical slow path), and the stateless enforcement head alone. *)
+  let fwd_router, fwd_neighbor_id = make_fwd_router () in
+  let fwd_frame = fwd_frame_to fwd_router fwd_neighbor_id ~flow:64 in
+  let fwd_cold_router, fwd_cold_id = make_fwd_router ~flow_cache:false () in
+  let fwd_cold_frame = fwd_frame_to fwd_cold_router fwd_cold_id ~flow:64 in
+  let stateless_chain =
+    let d = Vbgp.Data_enforcer.create () in
+    Vbgp.Data_enforcer.add_filter d
+      (Vbgp.Data_enforcer.source_validation
+         ~owner_of:(fun a ->
+           if Prefix.mem a (pfx "184.164.224.0/24") then Some "bench1"
+           else None)
+         ());
+    d
   in
-  for i = 0 to 9_999 do
-    Vbgp.Router.process_neighbor_update fwd_router
-      ~neighbor_id:fwd_neighbor_id
-      (Msg.update ~attrs:(synth_attrs i)
-         ~announced:[ Msg.nlri (synth_prefix i) ]
-         ())
-  done;
-  let fwd_frame =
-    {
-      Eth.dst =
-        (match Vbgp.Router.neighbor fwd_router fwd_neighbor_id with
-        | Some ns -> ns.Vbgp.Router.info.Vbgp.Neighbor.virtual_mac
-        | None -> Mac.zero);
-      src = Mac.local ~pool:0xe0 1;
-      ethertype = Eth.Ipv4;
-      payload =
-        Ipv4_packet.encode
-          (Ipv4_packet.make ~src:(ip "184.164.224.1")
-             ~dst:(Prefix.host (synth_prefix 4321) 9)
-             ~protocol:Ipv4_packet.Udp "x");
-    }
+  let stateless_meta = { Vbgp.Data_enforcer.ingress = "bench1" } in
+  let stateless_packet =
+    Ipv4_packet.make ~src:(ip "184.164.224.1")
+      ~dst:(Prefix.host (synth_prefix 4321) 9)
+      ~protocol:Ipv4_packet.Udp "x"
   in
   let tests =
     Test.make_grouped ~name:"peering"
@@ -927,6 +953,18 @@ let micro () =
           (Staged.stage (fun () ->
                Vbgp.Router.forward_experiment_frame fwd_router
                  ~neighbor_id:fwd_neighbor_id fwd_frame));
+        Test.make ~name:"data-plane-forward-cached"
+          (Staged.stage (fun () ->
+               Vbgp.Router.forward_experiment_frame fwd_router
+                 ~neighbor_id:fwd_neighbor_id fwd_frame));
+        Test.make ~name:"data-plane-forward-cold"
+          (Staged.stage (fun () ->
+               Vbgp.Router.forward_experiment_frame fwd_cold_router
+                 ~neighbor_id:fwd_cold_id fwd_cold_frame));
+        Test.make ~name:"enforcer-check-stateless"
+          (Staged.stage (fun () ->
+               Vbgp.Data_enforcer.check stateless_chain ~now:0.
+                 ~meta:stateless_meta stateless_packet));
       ]
   in
   let cfg =
@@ -1362,6 +1400,59 @@ let intern_bench () =
   record ~experiment:"intern" ~metric:"burst_packing_ratio" ~unit_:"ratio"
     packing
 
+(* ------------------------------------------------------------------------- *)
+(* Data-plane forwarding throughput: the flow cache vs the record slow     *)
+(* path (§3.2.2), with and without a stateful shaper tail (§4.7).          *)
+(* ------------------------------------------------------------------------- *)
+
+let fwd () =
+  section "data-plane forwarding: flow cache vs slow path";
+  let n = if !smoke then 20_000 else 200_000 in
+  (* 64 flows cycling over a 10k-route table: every flow misses once and
+     then lives in the cache (the platform's traffic is flow-shaped; one
+     decision serves the whole flow). *)
+  let drive router neighbor_id =
+    let frames =
+      Array.init 64 (fun flow -> fwd_frame_to router neighbor_id ~flow)
+    in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      Vbgp.Router.forward_experiment_frame router ~neighbor_id
+        frames.(i land 63)
+    done;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  let cold_router, cold_id = make_fwd_router ~flow_cache:false () in
+  let pps_cold = drive cold_router cold_id in
+  Fmt.pr "  %-32s %12.0f pps@." "slow path (cache off)" pps_cold;
+  let hot_router, hot_id = make_fwd_router () in
+  let pps_cached = drive hot_router hot_id in
+  Fmt.pr "  %-32s %12.0f pps@." "flow cache" pps_cached;
+  let c = Vbgp.Router.counters hot_router in
+  let hit_rate =
+    100.
+    *. float_of_int c.Vbgp.Router.flow_hits
+    /. float_of_int (c.Vbgp.Router.flow_hits + c.Vbgp.Router.flow_misses)
+  in
+  let shaped =
+    let d = Vbgp.Data_enforcer.create () in
+    Vbgp.Data_enforcer.add_filter d
+      (Vbgp.Data_enforcer.shaper ~name:"pop-shaper" ~rate:1e12 ~burst:1e12
+         ~key_of:(fun (p : Ipv4_packet.t) -> Ipv4.to_string p.Ipv4_packet.src)
+         ());
+    d
+  in
+  let sh_router, sh_id = make_fwd_router ~data:shaped () in
+  let pps_shaped = drive sh_router sh_id in
+  Fmt.pr "  %-32s %12.0f pps@." "flow cache + shaper tail" pps_shaped;
+  let speedup = pps_cached /. pps_cold in
+  Fmt.pr "  cached/cold speedup %.2fx, hit rate %.2f%%@." speedup hit_rate;
+  record ~experiment:"fwd" ~metric:"pps_cold" ~unit_:"pps" pps_cold;
+  record ~experiment:"fwd" ~metric:"pps_cached" ~unit_:"pps" pps_cached;
+  record ~experiment:"fwd" ~metric:"pps_cached_shaper" ~unit_:"pps" pps_shaped;
+  record ~experiment:"fwd" ~metric:"cached_speedup" ~unit_:"ratio" speedup;
+  record ~experiment:"fwd" ~metric:"flow_hit_rate" ~unit_:"percent" hit_rate
+
 let experiments =
   [
     ("fig6a", fig6a);
@@ -1378,6 +1469,7 @@ let experiments =
     ("micro", micro);
     ("flap", flap);
     ("intern", intern_bench);
+    ("fwd", fwd);
   ]
 
 let () =

@@ -50,6 +50,7 @@ let alias_for_global t ~pop global_ip =
           deliver = (fun _ -> ());
           export_id;
           gr = None;
+          flows = Hashtbl.create 64;
         }
       in
       Hashtbl.replace t.neighbors id ns;

@@ -852,6 +852,10 @@ let connect_experiment t ~grant ~mac ?(latency = 0.03) () =
   in
   Hashtbl.replace t.experiments exp_name e;
   Hashtbl.replace t.by_exp_mac mac exp_name;
+  (* Attachment changes ingress attribution (by_exp_mac) and allocation
+     ownership (source validation consults the grant set); bump the owner
+     generation so stamped flow-cache entries stop being served. *)
+  Dcache.invalidate t.owner_cache;
   (match t.bb with
   | Some bb ->
       Backbone.register_global_station t bb.Arp_client.lan ~g:e.g_ip

@@ -3,26 +3,44 @@
    experiment selects the table, so an experiment's per-packet routing
    decision rides in the layer-2 header with no encapsulation. Frames
    toward experiments carry the delivering neighbor's virtual MAC as
-   source, giving experiments per-packet ingress visibility. *)
+   source, giving experiments per-packet ingress visibility.
+
+   The per-packet fast path works on {!Ipv4_packet.View}s — the wire
+   bytes adopted in place, TTL decremented with an incremental checksum
+   fix — and memoizes the composite forwarding decision (enforcement
+   verdict, ingress attribution, FIB entry, egress action) in a
+   per-neighbor flow cache keyed by (source MAC, src, dst). Entries are
+   stamped with three generations — the neighbor FIB's, the enforcement
+   chain's, and the owner table's — and self-invalidate when any source
+   of the decision changes; no explicit flush exists. Stateful filters
+   (the token-bucket shaper) still run on every packet via the
+   enforcement chain's stateless-head/stateful-tail split. *)
 
 open Netcore
 open Sim
 open Router_state
 
+(* A flow cache never outgrows this; on overflow the whole table resets
+   (decisions are cheap to re-resolve, eviction bookkeeping is not). *)
+let flow_cache_capacity = 4096
+
 let send_frame_on_exp_lan t ~src ~dst payload =
   Lan.send t.exp_lan { Eth.dst; src; ethertype = Eth.Ipv4; payload }
 
-(* Deliver a packet to a local experiment, rewriting the source MAC to the
-   virtual MAC of the neighbor that brought it (paper §3.2.2). *)
-let deliver_to_local_experiment t ~via_mac exp_name packet =
+(* Deliver wire bytes to a local experiment, rewriting the source MAC to
+   the virtual MAC of the neighbor that brought it (paper §3.2.2). *)
+let deliver_wire_to_local_experiment t ~via_mac exp_name wire =
   match experiment t exp_name with
   | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
   | Some e ->
       t.counters.packets_to_experiments <-
         t.counters.packets_to_experiments + 1;
       e.att_packets_in <- e.att_packets_in + 1;
-      send_frame_on_exp_lan t ~src:via_mac ~dst:e.exp_mac
-        (Ipv4_packet.encode packet)
+      send_frame_on_exp_lan t ~src:via_mac ~dst:e.exp_mac wire
+
+let deliver_to_local_experiment t ~via_mac exp_name packet =
+  deliver_wire_to_local_experiment t ~via_mac exp_name
+    (Ipv4_packet.encode packet)
 
 let icmp_ttl_exceeded t (expired : Ipv4_packet.t) =
   let original =
@@ -60,6 +78,19 @@ let deliver_inbound t ?via packet =
       forward_over_backbone t ~global_ip:via_global packet
   | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
 
+(* [deliver_inbound] for a view: local delivery reuses the wire bytes
+   verbatim (no decode, no re-encode); only the backbone path — which
+   hands records to the ARP client — materializes one. *)
+let deliver_inbound_view t view =
+  match owner_lookup t (Ipv4_packet.View.dst view) with
+  | Some (Local_exp exp_name) ->
+      deliver_wire_to_local_experiment t ~via_mac:t.router_mac exp_name
+        (Ipv4_packet.View.to_wire view)
+  | Some (Remote_exp { via_global; _ }) ->
+      forward_over_backbone t ~global_ip:via_global
+        (Ipv4_packet.View.to_packet view)
+  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+
 (* Entry point for packets handed to us by a real neighbor (traffic from
    the Internet toward experiment prefixes). *)
 let inject_from_neighbor t ~neighbor_id packet =
@@ -67,56 +98,170 @@ let inject_from_neighbor t ~neighbor_id packet =
   | None -> invalid_arg "Router.inject_from_neighbor: unknown neighbor"
   | Some ns -> deliver_inbound t ~via:ns packet
 
-(* Forward a frame an experiment put on the wire: the destination MAC
-   picks the neighbor table (the heart of §3.2.2). *)
-let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
-  match (neighbor t neighbor_id, Ipv4_packet.decode frame.payload) with
-  | None, _ | _, Error _ ->
+let attribute_out exp bytes =
+  match exp with
+  | Some e ->
+      e.att_packets_out <- e.att_packets_out + 1;
+      e.att_bytes_out <- e.att_bytes_out + bytes
+  | None -> ()
+
+let ingress_of ~sender ~src_mac =
+  match sender with
+  | Some name -> name
+  | None -> Printf.sprintf "unknown:%s" (Mac.to_string src_mac)
+
+(* The record-path continuation for a packet the enforcement chain
+   allowed: TTL handling, the neighbor table, delivery. Shared by the
+   slow path and by cache hits whose stateful tail rewrote the packet
+   (the rewrite may have changed the destination, so the FIB lookup is
+   redone here on the rewritten record). *)
+let forward_allowed_packet t ~ns ~fib packet =
+  if packet.Ipv4_packet.ttl <= 1 then
+    deliver_inbound t (icmp_ttl_exceeded t packet)
+  else begin
+    let packet = Ipv4_packet.decrement_ttl packet in
+    match Rib.Fib.lookup fib packet.Ipv4_packet.dst with
+    | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+    | Some entry ->
+        if Neighbor.is_alias ns.info then
+          forward_over_backbone t ~global_ip:entry.Rib.Fib.next_hop packet
+        else begin
+          t.counters.packets_to_neighbors <-
+            t.counters.packets_to_neighbors + 1;
+          ns.deliver packet
+        end
+  end
+
+(* Resolve a frame through the full enforcement chain on the record slow
+   path; when [store] is set and the verdict was flow-determined,
+   memoize it (stamped with the current generations) for later hits. *)
+let resolve_and_forward t ~ns ~fib ~now ~sender ~src_mac ~store view =
+  let ingress = ingress_of ~sender ~src_mac in
+  let packet = Ipv4_packet.View.to_packet view in
+  (* Stamps are read before resolving so a mutation racing in during
+     resolution could only make the entry stale, never mask itself. *)
+  let f_fib_gen = Rib.Fib.generation fib in
+  let f_enf_gen = Data_enforcer.generation t.data in
+  let f_owner_gen = Dcache.generation t.owner_cache in
+  let decision, resolution =
+    Data_enforcer.check_resolve t.data ~now ~meta:{ Data_enforcer.ingress }
+      packet
+  in
+  (if store then
+     match resolution with
+     | Data_enforcer.Uncacheable -> ()
+     | Data_enforcer.Cacheable_block _ | Data_enforcer.Cacheable_allow ->
+         let f_action =
+           match resolution with
+           | Data_enforcer.Cacheable_block (f, reason) -> Fblock (f, reason)
+           | _ -> (
+               match Rib.Fib.lookup fib (Ipv4_packet.View.dst view) with
+               | Some entry -> Fforward entry
+               | None -> Fnofib)
+         in
+         let f_exp =
+           match sender with Some n -> experiment t n | None -> None
+         in
+         if Hashtbl.length ns.flows >= flow_cache_capacity then
+           Hashtbl.reset ns.flows;
+         Hashtbl.replace ns.flows
+           (src_mac, Ipv4_packet.View.src view, Ipv4_packet.View.dst view)
+           { f_action; f_exp; f_ingress = ingress; f_fib_gen; f_enf_gen;
+             f_owner_gen });
+  match decision with
+  | Data_enforcer.Blocked _ ->
       t.counters.packets_dropped <- t.counters.packets_dropped + 1
-  | Some ns, Ok packet -> (
-      let now = Engine.now t.engine in
-      let sender = Hashtbl.find_opt t.by_exp_mac frame.src in
-      let ingress =
-        match sender with
-        | Some name -> name
-        | None -> Printf.sprintf "unknown:%s" (Mac.to_string frame.src)
-      in
+  | Data_enforcer.Allowed packet ->
+      attribute_out
+        (match sender with Some n -> experiment t n | None -> None)
+        (Ipv4_packet.header_size + String.length packet.Ipv4_packet.payload);
+      forward_allowed_packet t ~ns ~fib packet
+
+(* Serve one frame from a memoized flow decision. The stateless head is
+   replayed as counter/trace bookkeeping; the stateful tail still runs
+   on the packet. The wire bytes are forwarded in place (TTL decremented
+   with an incremental checksum fix, no re-encode). *)
+let execute_cached t ~ns ~fib ~now view fe =
+  match fe.f_action with
+  | Fblock (f, reason) ->
+      Data_enforcer.replay_block t.data ~now f reason;
+      t.counters.packets_dropped <- t.counters.packets_dropped + 1
+  | (Fforward _ | Fnofib) as action -> (
       match
-        Data_enforcer.check t.data ~now ~meta:{ Data_enforcer.ingress } packet
+        Data_enforcer.check_tail t.data ~now
+          ~meta:{ Data_enforcer.ingress = fe.f_ingress }
+          view
       with
-      | Data_enforcer.Blocked _ ->
+      | Data_enforcer.Tail_blocked _ ->
           t.counters.packets_dropped <- t.counters.packets_dropped + 1
-      | Data_enforcer.Allowed packet ->
-          (match sender with
-          | Some name -> (
-              match experiment t name with
-              | Some e ->
-                  e.att_packets_out <- e.att_packets_out + 1;
-                  e.att_bytes_out <-
-                    e.att_bytes_out + Ipv4_packet.header_size
-                    + String.length packet.Ipv4_packet.payload
-              | None -> ())
-          | None -> ());
-          if packet.Ipv4_packet.ttl <= 1 then begin
-            let icmp = icmp_ttl_exceeded t packet in
-            deliver_inbound t icmp
-          end
+      | Data_enforcer.Tail_rewritten packet ->
+          attribute_out fe.f_exp
+            (Ipv4_packet.header_size
+            + String.length packet.Ipv4_packet.payload);
+          forward_allowed_packet t ~ns ~fib packet
+      | Data_enforcer.Tail_pass ->
+          attribute_out fe.f_exp (Ipv4_packet.View.total_length view);
+          if Ipv4_packet.View.ttl view <= 1 then
+            deliver_inbound t
+              (icmp_ttl_exceeded t (Ipv4_packet.View.to_packet view))
           else begin
-            let packet = Ipv4_packet.decrement_ttl packet in
-            let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
-            match Rib.Fib.lookup fib packet.Ipv4_packet.dst with
-            | None ->
-                t.counters.packets_dropped <- t.counters.packets_dropped + 1
-            | Some entry ->
+            Ipv4_packet.View.decrement_ttl view;
+            match action with
+            | Fforward entry ->
                 if Neighbor.is_alias ns.info then
                   forward_over_backbone t ~global_ip:entry.Rib.Fib.next_hop
-                    packet
+                    (Ipv4_packet.View.to_packet view)
                 else begin
                   t.counters.packets_to_neighbors <-
                     t.counters.packets_to_neighbors + 1;
-                  ns.deliver packet
+                  ns.deliver (Ipv4_packet.View.to_packet view)
                 end
+            | Fnofib ->
+                t.counters.packets_dropped <- t.counters.packets_dropped + 1
+            | Fblock _ -> assert false
           end)
+
+(* Forward a frame an experiment put on the wire: the destination MAC
+   picks the neighbor table (the heart of §3.2.2). Cheap rejections
+   first — unknown station, then a malformed packet — before any
+   per-frame work; the clock is read once per frame. *)
+let forward_experiment_frame t ~neighbor_id (frame : Eth.t) =
+  match neighbor t neighbor_id with
+  | None -> t.counters.packets_dropped <- t.counters.packets_dropped + 1
+  | Some ns -> (
+      let sender = Hashtbl.find_opt t.by_exp_mac frame.src in
+      match Ipv4_packet.View.of_string frame.payload with
+      | Error _ ->
+          t.counters.packets_dropped <- t.counters.packets_dropped + 1
+      | Ok view ->
+          let now = Engine.now t.engine in
+          let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
+          if not t.flow_cache_enabled then
+            resolve_and_forward t ~ns ~fib ~now ~sender ~src_mac:frame.src
+              ~store:false view
+          else
+            let key =
+              ( frame.src,
+                Ipv4_packet.View.src view,
+                Ipv4_packet.View.dst view )
+            in
+            let hit =
+              match Hashtbl.find_opt ns.flows key with
+              | Some fe
+                when fe.f_fib_gen = Rib.Fib.generation fib
+                     && fe.f_enf_gen = Data_enforcer.generation t.data
+                     && fe.f_owner_gen = Dcache.generation t.owner_cache ->
+                  Some fe
+              | _ -> None
+            in
+            (match hit with
+            | Some fe ->
+                t.counters.flow_hits <- t.counters.flow_hits + 1;
+                execute_cached t ~ns ~fib ~now view fe
+            | None ->
+                t.counters.flow_misses <- t.counters.flow_misses + 1;
+                resolve_and_forward t ~ns ~fib ~now ~sender
+                  ~src_mac:frame.src ~store:true view))
 
 (* Handle a frame arriving on the experiment LAN addressed to one of our
    stations (a neighbor's virtual MAC or the router itself). *)
@@ -165,9 +310,10 @@ let handle_exp_lan_frame t ~station_neighbor (frame : Eth.t) =
       | Some id -> forward_experiment_frame t ~neighbor_id:id frame
       | None -> (
           (* Addressed to the router itself: experiment-to-experiment or
-             diagnostic traffic; route it like inbound. *)
-          match Ipv4_packet.decode frame.payload with
-          | Ok packet -> deliver_inbound t packet
+             diagnostic traffic; route it like inbound, on the wire bytes
+             (local delivery never decodes). *)
+          match Ipv4_packet.View.of_string frame.payload with
+          | Ok view -> deliver_inbound_view t view
           | Error _ -> ()))
   | Eth.Ipv6 | Eth.Other _ -> ()
 

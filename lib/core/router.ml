@@ -21,6 +21,7 @@ type neighbor_state = Router_state.neighbor_state = {
   mutable deliver : Ipv4_packet.t -> unit;
   export_id : int;
   mutable gr : Prefix.t Router_state.gr_hold option;
+  flows : (Mac.t * Ipv4.t * Ipv4.t, Router_state.flow_entry) Hashtbl.t;
 }
 
 type counters = Router_state.counters = {
@@ -37,6 +38,8 @@ type counters = Router_state.counters = {
   mutable gr_expiries : int;
   mutable updates_to_neighbors : int;
   mutable nlri_to_neighbors : int;
+  mutable flow_hits : int;
+  mutable flow_misses : int;
 }
 
 type t = Router_state.t

@@ -28,6 +28,9 @@ type neighbor_state = Router_state.neighbor_state = {
   export_id : int;  (** platform-global id used in export-control tags *)
   mutable gr : Prefix.t Router_state.gr_hold option;
       (** stale retention across a graceful session drop (RFC 4724) *)
+  flows : (Mac.t * Ipv4.t * Ipv4.t, Router_state.flow_entry) Hashtbl.t;
+      (** the data-plane flow cache over this neighbor's table,
+          generation-stamped (see {!Router_state.flow_entry}) *)
 }
 
 type counters = Router_state.counters = {
@@ -51,6 +54,10 @@ type counters = Router_state.counters = {
       (** UPDATE messages sent to neighbors (after NLRI packing) *)
   mutable nlri_to_neighbors : int;
       (** NLRI carried by those messages; nlri/updates = packing ratio *)
+  mutable flow_hits : int;
+      (** forwarded frames served by a memoized flow-cache decision *)
+  mutable flow_misses : int;
+      (** forwarded frames resolved through the slow path *)
 }
 
 type t = Router_state.t
@@ -67,6 +74,7 @@ val create :
   global_pool:Addr_pool.t ->
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
+  ?flow_cache:bool ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -74,10 +82,13 @@ val create :
 (** [local_pool] is this router's virtual next-hop space (127.65/16 in the
     paper); [global_pool] must be the single pool shared by every PoP
     (§4.4). [v6_next_hop] is the next hop placed in MP_REACH_NLRI on
-    IPv6 re-export (defaults to PEERING's 2804:269c::1). [seed] drives
-    the router's deterministic RNG (reconnect jitter);
-    [gr_restart_time] is the graceful-restart window it advertises
-    (RFC 4724) — 0 disables graceful restart. *)
+    IPv6 re-export (defaults to PEERING's 2804:269c::1). [flow_cache]
+    (default [true]) enables the data plane's per-neighbor flow caches;
+    disabling it forces every frame through the slow path (the
+    differential tests compare the two). [seed] drives the router's
+    deterministic RNG (reconnect jitter); [gr_restart_time] is the
+    graceful-restart window it advertises (RFC 4724) — 0 disables
+    graceful restart. *)
 
 val activate : t -> unit
 (** Attach the router's own station to the experiment LAN (answers ARP for

@@ -32,17 +32,6 @@ let gr_hold_of_keys keys =
 let gr_unmark hold key =
   match hold with Some h -> Hashtbl.remove h.stale key | None -> ()
 
-type neighbor_state = {
-  info : Neighbor.t;
-  rib_in : Rib.Table.t;
-  mutable session : Session.t option;  (** None for backbone aliases *)
-  mutable deliver : Ipv4_packet.t -> unit;
-      (** hand an outbound packet to the (real) neighbor *)
-  export_id : int;  (** platform-global id used in export-control tags *)
-  mutable gr : Prefix.t gr_hold option;
-      (** stale retention across a graceful session drop *)
-}
-
 type variant = {
   v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
   v_attrs : Attr_arena.handle;
@@ -67,6 +56,46 @@ type experiment_state = {
   mutable att_packets_out : int;
   mutable att_bytes_out : int;
   mutable att_packets_in : int;
+}
+
+(* -- the data-plane flow cache -------------------------------------------- *)
+
+(* The composite per-flow forwarding decision memoized by the flow cache
+   (one cache per neighbor table, keyed by the frame's source MAC and the
+   packet's source and destination addresses). An entry is served only
+   while all three generation stamps still match their sources: the
+   neighbor FIB's destination-cache generation (route churn), the
+   enforcement chain's config generation (filter changes), and the owner
+   cache's generation (experiment announcements, withdrawals, and
+   attachment — which also covers ingress attribution). A stale stamp
+   sends the packet back through the slow path, which re-stores. *)
+type flow_action =
+  | Fblock of Data_enforcer.filter * string
+      (** a stateless head filter blocked the flow; replayed per hit for
+          identical counters and trace *)
+  | Fforward of Rib.Fib.entry
+  | Fnofib  (** no route in the neighbor table: drop *)
+
+type flow_entry = {
+  f_action : flow_action;
+  f_exp : experiment_state option;  (** sender, for traffic attribution *)
+  f_ingress : string;  (** memoized ingress label (avoids per-hit fmt) *)
+  f_fib_gen : int;
+  f_enf_gen : int;
+  f_owner_gen : int;
+}
+
+type neighbor_state = {
+  info : Neighbor.t;
+  rib_in : Rib.Table.t;
+  mutable session : Session.t option;  (** None for backbone aliases *)
+  mutable deliver : Ipv4_packet.t -> unit;
+      (** hand an outbound packet to the (real) neighbor *)
+  export_id : int;  (** platform-global id used in export-control tags *)
+  mutable gr : Prefix.t gr_hold option;
+      (** stale retention across a graceful session drop *)
+  flows : (Mac.t * Ipv4.t * Ipv4.t, flow_entry) Hashtbl.t;
+      (** the data-plane flow cache over this neighbor's table *)
 }
 
 type mesh_peer = {
@@ -108,6 +137,11 @@ type counters = {
   mutable nlri_to_neighbors : int;
       (** NLRI (announce + withdraw) carried by those messages; the
           ratio nlri/updates is the packing ratio *)
+  mutable flow_hits : int;
+      (** forwarded frames served by a memoized flow-cache decision *)
+  mutable flow_misses : int;
+      (** forwarded frames resolved through the slow path (cache cold,
+          stamped out, or the flow is uncacheable) *)
 }
 
 type t = {
@@ -155,6 +189,10 @@ type t = {
       (** engine-seeded randomness (reconnect jitter); deterministic runs *)
   gr_restart_time : int;
       (** the restart window this router advertises (RFC 4724), seconds *)
+  flow_cache_enabled : bool;
+      (** serve forwarding decisions from the per-neighbor flow caches
+          (off forces every frame through the slow path — the reference
+          behavior differential tests compare against) *)
 }
 
 let mesh_exp_id_base = 100_000
@@ -166,7 +204,8 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
-    ?control ?data ?(seed = 42) ?(gr_restart_time = 120) () =
+    ?control ?data ?(flow_cache = true) ?(seed = 42) ?(gr_restart_time = 120)
+    () =
   let control =
     match control with
     | Some c -> c
@@ -223,9 +262,12 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
         gr_expiries = 0;
         updates_to_neighbors = 0;
         nlri_to_neighbors = 0;
+        flow_hits = 0;
+        flow_misses = 0;
       };
     rng = Random.State.make [| seed; Hashtbl.hash name |];
     gr_restart_time;
+    flow_cache_enabled = flow_cache;
   }
 
 let name t = t.name

@@ -25,16 +25,6 @@ type 'k gr_hold = {
 val gr_hold_of_keys : 'k list -> 'k gr_hold
 val gr_unmark : 'k gr_hold option -> 'k -> unit
 
-type neighbor_state = {
-  info : Neighbor.t;
-  rib_in : Rib.Table.t;
-  mutable session : Session.t option;  (** [None] for backbone aliases *)
-  mutable deliver : Ipv4_packet.t -> unit;
-  export_id : int;  (** platform-global id used in export-control tags *)
-  mutable gr : Prefix.t gr_hold option;
-      (** stale retention across a graceful session drop *)
-}
-
 type variant = {
   v_path_id : int;  (** experiment-chosen ADD-PATH id (0 when absent) *)
   v_attrs : Attr_arena.handle;
@@ -57,6 +47,40 @@ type experiment_state = {
   mutable att_packets_out : int;
   mutable att_bytes_out : int;
   mutable att_packets_in : int;
+}
+
+(** The composite per-flow forwarding decision memoized by the data-plane
+    flow cache (one cache per neighbor table, keyed by source MAC and the
+    packet's addresses). Entries are served only while all three
+    generation stamps match their sources — the neighbor FIB's
+    destination-cache generation, the enforcement chain's config
+    generation, and the owner cache's generation (which also covers
+    experiment attachment and ingress attribution). *)
+type flow_action =
+  | Fblock of Data_enforcer.filter * string
+      (** a stateless head filter blocked the flow *)
+  | Fforward of Rib.Fib.entry
+  | Fnofib  (** no route in the neighbor table: drop *)
+
+type flow_entry = {
+  f_action : flow_action;
+  f_exp : experiment_state option;  (** sender, for traffic attribution *)
+  f_ingress : string;
+  f_fib_gen : int;
+  f_enf_gen : int;
+  f_owner_gen : int;
+}
+
+type neighbor_state = {
+  info : Neighbor.t;
+  rib_in : Rib.Table.t;
+  mutable session : Session.t option;  (** [None] for backbone aliases *)
+  mutable deliver : Ipv4_packet.t -> unit;
+  export_id : int;  (** platform-global id used in export-control tags *)
+  mutable gr : Prefix.t gr_hold option;
+      (** stale retention across a graceful session drop *)
+  flows : (Mac.t * Ipv4.t * Ipv4.t, flow_entry) Hashtbl.t;
+      (** the data-plane flow cache over this neighbor's table *)
 }
 
 type mesh_peer = {
@@ -95,6 +119,10 @@ type counters = {
   mutable nlri_to_neighbors : int;
       (** NLRI (announce + withdraw) carried by those messages; the
           ratio nlri/updates is the packing ratio *)
+  mutable flow_hits : int;
+      (** forwarded frames served by a memoized flow-cache decision *)
+  mutable flow_misses : int;
+      (** forwarded frames resolved through the slow path *)
 }
 
 type t = {
@@ -135,6 +163,8 @@ type t = {
       (** engine-seeded randomness (reconnect jitter); deterministic runs *)
   gr_restart_time : int;
       (** the restart window this router advertises (RFC 4724), seconds *)
+  flow_cache_enabled : bool;
+      (** serve forwarding decisions from the per-neighbor flow caches *)
 }
 
 val mesh_exp_id_base : int
@@ -156,6 +186,7 @@ val create :
   global_pool:Addr_pool.t ->
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
+  ?flow_cache:bool ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->

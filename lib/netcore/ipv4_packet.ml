@@ -92,3 +92,86 @@ let pp ppf t =
     t.ttl
     (protocol_to_int t.protocol)
     (String.length t.payload)
+
+type packet = t
+
+(* Zero-copy packet views: the wire buffer itself, read (and minimally
+   mutated) by field offset, so the data-plane fast path never
+   materializes a record or re-encodes on delivery. The record above
+   remains the slow-path currency (filters, ICMP generation, tests).
+
+   Wire layout (RFC 791, IHL fixed at 5): 0 version/IHL, 1 DSCP/ECN,
+   2-3 total length, 4-5 ident, 6-7 flags/fragment, 8 TTL, 9 protocol,
+   10-11 header checksum, 12-15 source, 16-19 destination. *)
+module View = struct
+  type t = Bytes.t
+
+  let validate b =
+    if Bytes.length b < header_size then Error "ipv4: truncated header"
+    else
+      let vihl = Bytes.get_uint8 b 0 in
+      if vihl lsr 4 <> 4 then Error "ipv4: bad version"
+      else if vihl land 0xf <> 5 then Error "ipv4: options unsupported"
+      else
+        let total = Bytes.get_uint16_be b 2 in
+        if total < header_size || total > Bytes.length b then
+          Error "ipv4: bad total length"
+        else if not (Checksum.verify_bytes b ~pos:0 ~len:header_size) then
+          Error "ipv4: bad header checksum"
+        else Ok b
+
+  let of_bytes = validate
+  let of_string s = validate (Bytes.of_string s)
+  let src b = Ipv4.of_int32 (Bytes.get_int32_be b 12)
+  let dst b = Ipv4.of_int32 (Bytes.get_int32_be b 16)
+  let ttl b = Bytes.get_uint8 b 8
+  let protocol b = protocol_of_int (Bytes.get_uint8 b 9)
+  let ident b = Bytes.get_uint16_be b 4
+  let dscp b = Bytes.get_uint8 b 1 lsr 2
+  let total_length b = Bytes.get_uint16_be b 2
+  let payload_length b = total_length b - header_size
+
+  (* In-place TTL decrement. The TTL shares the 16-bit word at offset 8
+     with the protocol byte; that word drops by exactly [1 lsl 8], and
+     the checksum at offset 10 is patched incrementally (RFC 1624)
+     instead of resummed over the whole header. *)
+  let decrement_ttl b =
+    let old_ttl = Bytes.get_uint8 b 8 in
+    if old_ttl = 0 then invalid_arg "Ipv4_packet.View.decrement_ttl: ttl 0";
+    let proto = Bytes.get_uint8 b 9 in
+    let old_word = (old_ttl lsl 8) lor proto in
+    let new_word = (old_ttl - 1) lsl 8 lor proto in
+    Bytes.set_uint8 b 8 (old_ttl - 1);
+    Bytes.set_uint16_be b 10
+      (Checksum.incremental_fix
+         ~cksum:(Bytes.get_uint16_be b 10)
+         ~old_word ~new_word)
+
+  (* The wire form without re-encoding. [Bytes.unsafe_to_string] is safe
+     under the stated ownership contract: after [to_wire] the view must
+     not be mutated again. *)
+  let to_wire b =
+    let total = total_length b in
+    if total = Bytes.length b then Bytes.unsafe_to_string b
+    else Bytes.sub_string b 0 total
+
+  let to_packet b =
+    {
+      src = src b;
+      dst = dst b;
+      ttl = ttl b;
+      protocol = protocol b;
+      ident = ident b;
+      dscp = dscp b;
+      payload = Bytes.sub_string b header_size (payload_length b);
+    }
+
+  (* [encode] returns a fresh unshared string, so claiming it is safe. *)
+  let of_packet p = Bytes.unsafe_of_string (encode p)
+
+  let pp ppf b =
+    Fmt.pf ppf "ip %a -> %a ttl=%d proto=%d len=%d" Ipv4.pp (src b) Ipv4.pp
+      (dst b) (ttl b)
+      (Bytes.get_uint8 b 9)
+      (payload_length b)
+end

@@ -57,6 +57,12 @@ let lookup t addr =
       Dcache.store t.cache addr result;
       result
 
+(* The destination cache's generation doubles as the table's mutation
+   stamp: every insert/remove/clear bumps it, so external caches (the
+   data plane's flow cache) can stamp entries with it and self-invalidate
+   on the next lookup instead of being flushed explicitly. *)
+let generation t = Dcache.generation t.cache
+
 let find t prefix = Ptrie.V4.find prefix t.trie
 
 let fold f t acc = Ptrie.V4.fold f t.trie acc

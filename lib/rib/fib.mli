@@ -27,6 +27,12 @@ val lookup : t -> Ipv4.t -> entry option
     repeated lookups of one address skip the trie, and any [insert],
     [remove], or [clear] invalidates the cache before the next lookup. *)
 
+val generation : t -> int
+(** The table's mutation stamp (the destination cache's generation):
+    bumped by every [insert], binding-removing [remove], and [clear].
+    External caches stamp derived entries with it and treat a mismatch
+    as invalidation. *)
+
 val find : t -> Prefix.t -> entry option
 val fold : (Prefix.t -> entry -> 'acc -> 'acc) -> t -> 'acc -> 'acc
 val clear : t -> unit

@@ -409,12 +409,8 @@ let test_data_ttl_guard () =
 let test_data_transform_chain () =
   let d = Data_enforcer.create () in
   Data_enforcer.add_filter d
-    {
-      Data_enforcer.name = "dscp-marker";
-      apply =
-        (fun ~now:_ ~meta:_ p ->
-          Data_enforcer.Transform { p with Ipv4_packet.dscp = 46 });
-    };
+    (Data_enforcer.filter ~name:"dscp-marker" (fun ~now:_ ~meta:_ p ->
+         Data_enforcer.Transform { p with Ipv4_packet.dscp = 46 }));
   let meta = { Data_enforcer.ingress = "x" } in
   checkb "transform visible in decision" true
     (match Data_enforcer.check d ~now:0. ~meta (packet ()) with
