@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos check
+.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos check fullscale
 
 all: build
 
@@ -21,12 +21,19 @@ bench:
 # Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
 # flap withdrawal-storm counts, burst/intern sharing & packing ratios).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fullscale
+
+# Full-table-scale control plane: 500k+ routes over 100 neighbors through
+# the batched-ingest pipeline, then a staged churn replay (withdraw storm,
+# peer flaps, fresh wave). Reports RIB memory, bytes/route, updates/sec
+# and convergence time.
+fullscale:
+	dune exec bench/main.exe -- fullscale
 
 # Fast smoke run of the microbenchmarks (used by `make check`); writes
 # bench-smoke.json for the regression gate below.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd
+	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fullscale
 
 # Regression gate: compare the smoke run against the committed baseline.
 # Fails if any count/bytes/ratio headline metric moves >10% in the wrong

@@ -8,7 +8,7 @@
 
      dune exec bench/main.exe -- fig6a fig6b throughput amsix table1 census
                                  security ratelimit burst fleet ablate micro
-                                 flap
+                                 flap intern fwd fullscale
 
    Paper-vs-measured numbers for each experiment are recorded in
    EXPERIMENTS.md. Absolute numbers differ from the paper's (their substrate
@@ -1453,6 +1453,210 @@ let fwd () =
   record ~experiment:"fwd" ~metric:"cached_speedup" ~unit_:"ratio" speedup;
   record ~experiment:"fwd" ~metric:"flow_hit_rate" ~unit_:"percent" hit_rate
 
+(* ------------------------------------------------------------------------- *)
+(* Fullscale: a full-table control plane — 500k+ routes across O(100)       *)
+(* neighbors pushed through the batched-ingest pipeline, then a staged      *)
+(* churn replay (withdraw storm, peer flaps, fresh wave). Reports RIB       *)
+(* memory, bytes/route, sustained updates/sec and convergence time.         *)
+(* ------------------------------------------------------------------------- *)
+
+let fullscale () =
+  section "fullscale: full-table batched ingest + churn replay";
+  let nbr_count = if !smoke then 16 else 100 in
+  let v4_load = if !smoke then 10_000 else 520_000 in
+  let v6_count = if !smoke then 128 else 1_024 in
+  let engine = Sim.Engine.create () in
+  let global_pool =
+    Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
+  in
+  let router =
+    Vbgp.Router.create ~engine ~name:"full" ~asn:(asn 47065)
+      ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
+      ~local_pool:(pfx "127.65.0.0/16") ~global_pool ()
+  in
+  Vbgp.Router.activate router;
+  let neighbor_ip i = Ipv4.of_int32 (Int32.of_int (0x64400001 + i)) in
+  let neighbor_ids =
+    Array.init nbr_count (fun i ->
+        let nip = neighbor_ip i in
+        let id, npair =
+          Vbgp.Router.add_neighbor router ~asn:(asn (100 + i)) ~ip:nip
+            ~kind:Vbgp.Neighbor.Transit ~remote_id:nip ()
+        in
+        Sim.Bgp_wire.start npair;
+        id)
+  in
+  let caps = Vbgp.Experiment_caps.(default |> with_update_budget max_int) in
+  let grant =
+    Vbgp.Control_enforcer.grant ~asns:[ asn 61574 ]
+      ~prefixes:[ pfx "184.164.224.0/24" ]
+      ~prefixes_v6:[ Prefix_v6.of_string_exn "2804:269c:1::/48" ]
+      ~caps "fullscale"
+  in
+  let epair =
+    Vbgp.Router.connect_experiment router ~grant ~mac:(Mac.local ~pool:0xe0 1)
+      ()
+  in
+  Sim.Bgp_wire.start epair;
+  Sim.Engine.run_until engine 10.;
+  (* Per-peer buffers model the wire: events accumulate and are handed to
+     the router as multi-NLRI UPDATEs (consecutive same-kind runs, announce
+     runs grouped by shared AS path), with one ingest flush per window —
+     the engine-tick cadence of the batched pipeline. *)
+  let pending : Topo.Updates.event list array = Array.make nbr_count [] in
+  let pending_total = ref 0 in
+  let batch_window = 8192 in
+  let flush_peer pi =
+    match pending.(pi) with
+    | [] -> ()
+    | evs ->
+        let evs = List.rev evs in
+        pending.(pi) <- [];
+        let nip = neighbor_ip pi in
+        let flush_run kind run =
+          match (kind : Topo.Updates.kind) with
+          | Topo.Updates.Withdraw ->
+              Vbgp.Router.process_neighbor_update router
+                ~neighbor_id:neighbor_ids.(pi)
+                (Msg.update
+                   ~withdrawn:
+                     (List.rev_map
+                        (fun (e : Topo.Updates.event) -> Msg.nlri e.prefix)
+                        run)
+                   ())
+          | Topo.Updates.Announce ->
+              let groups = Hashtbl.create 16 and order = ref [] in
+              List.iter
+                (fun (e : Topo.Updates.event) ->
+                  match Hashtbl.find_opt groups e.as_path with
+                  | Some l -> l := Msg.nlri e.prefix :: !l
+                  | None ->
+                      Hashtbl.replace groups e.as_path (ref [ Msg.nlri e.prefix ]);
+                      order := e.as_path :: !order)
+                (List.rev run);
+              List.iter
+                (fun ap ->
+                  Vbgp.Router.process_neighbor_update router
+                    ~neighbor_id:neighbor_ids.(pi)
+                    (Msg.update
+                       ~attrs:(Attr.origin_attrs ~as_path:ap ~next_hop:nip ())
+                       ~announced:(List.rev !(Hashtbl.find groups ap))
+                       ()))
+                (List.rev !order)
+        in
+        let rec go run kind = function
+          | [] -> if run <> [] then flush_run kind run
+          | (e : Topo.Updates.event) :: rest ->
+              if run = [] || e.kind = kind then go (e :: run) e.kind rest
+              else begin
+                flush_run kind run;
+                go [ e ] e.kind rest
+              end
+        in
+        go [] Topo.Updates.Announce evs
+  in
+  let flush_all () =
+    for pi = 0 to nbr_count - 1 do
+      flush_peer pi
+    done;
+    pending_total := 0;
+    Vbgp.Router.flush_reexports router
+  in
+  let emit (e : Topo.Updates.event) =
+    pending.(e.peer_index) <- e :: pending.(e.peer_index);
+    incr pending_total;
+    if !pending_total >= batch_window then flush_all ()
+  in
+  let plan =
+    {
+      Topo.Updates.stages =
+        [
+          Topo.Updates.Announce_wave { count = v4_load; rate = 100_000. };
+          Topo.Updates.Withdraw_storm { fraction = 0.05; rate = 50_000. };
+          Topo.Updates.Peer_flap
+            { peers = (if !smoke then 2 else 4); rate = 100_000. };
+          Topo.Updates.Announce_wave { count = v4_load / 10; rate = 100_000. };
+        ];
+      peer_count = nbr_count;
+      path_pool = 128;
+      prefix_of = Topo.Updates.default_prefix_of;
+      origin_asn = asn 65010;
+      plan_seed = 47;
+    }
+  in
+  let c = Vbgp.Router.counters router in
+  let eu0 = c.Vbgp.Router.updates_to_experiments in
+  let en0 = c.Vbgp.Router.nlri_to_experiments in
+  let t0 = Unix.gettimeofday () in
+  let stats = Topo.Updates.run ~plan ~emit () in
+  (* Convergence: from the last injected event to a fully drained
+     control plane (residual buffers + final ingest/re-export flush). *)
+  let t_drain = Unix.gettimeofday () in
+  flush_all ();
+  let t_loaded = Unix.gettimeofday () in
+  let convergence = t_loaded -. t_drain in
+  let updates_per_sec =
+    float_of_int stats.Topo.Updates.events /. (t_loaded -. t0)
+  in
+  (* IPv6: the experiment announces /64 more-specifics of its /48; the
+     re-export toward all neighbors rides MP_REACH_NLRI in chunked
+     multi-NLRI updates. *)
+  let v6_chunk = 64 in
+  for g = 0 to (v6_count / v6_chunk) - 1 do
+    let nlri =
+      List.init v6_chunk (fun j ->
+          ( Prefix_v6.of_string_exn
+              (Printf.sprintf "2804:269c:1:%x::/64" ((g * v6_chunk) + j)),
+            None ))
+    in
+    match
+      Vbgp.Router.process_experiment_update router ~experiment:"fullscale"
+        (Msg.update
+           ~attrs:
+             [
+               Attr.Origin Attr.Igp;
+               Attr.As_path (Aspath.of_asns [ asn 61574 ]);
+               Attr.Mp_reach
+                 { next_hop = Ipv6.of_string_exn "2804:269c:1::1"; nlri };
+             ]
+           ())
+    with
+    | Ok () -> ()
+    | Error e -> failwith (String.concat "; " e)
+  done;
+  Vbgp.Router.flush_reexports router;
+  let routes = Vbgp.Router.route_count router in
+  let rib_bytes = Vbgp.Router.control_plane_bytes router in
+  let bytes_per_route = float_of_int rib_bytes /. float_of_int (max 1 routes) in
+  let exp_updates = c.Vbgp.Router.updates_to_experiments - eu0 in
+  let exp_nlri = c.Vbgp.Router.nlri_to_experiments - en0 in
+  let packing = float_of_int exp_nlri /. float_of_int (max 1 exp_updates) in
+  Fmt.pr "churn: %d events (%d announce, %d withdraw) over %d neighbors@."
+    stats.Topo.Updates.events stats.Topo.Updates.announce_events
+    stats.Topo.Updates.withdraw_events nbr_count;
+  Fmt.pr "loaded: %d live v4 routes + %d experiment v6 prefixes@." routes
+    v6_count;
+  Fmt.pr "RIB memory: %.1f MB (%.0f B/route)@."
+    (float_of_int rib_bytes /. 1e6)
+    bytes_per_route;
+  Fmt.pr "sustained ingest: %.0f updates/s; final-drain convergence %.3f s@."
+    updates_per_sec convergence;
+  Fmt.pr
+    "experiment export fan-out: %d UPDATEs carrying %d NLRI (%.1f \
+     routes/UPDATE)@."
+    exp_updates exp_nlri packing;
+  record ~experiment:"fullscale" ~metric:"route_count" ~unit_:"routes"
+    (float_of_int routes);
+  record ~experiment:"fullscale" ~metric:"rib_memory_bytes" ~unit_:"b"
+    (float_of_int rib_bytes);
+  record ~experiment:"fullscale" ~metric:"bytes_per_route" ~unit_:"bytes"
+    bytes_per_route;
+  record ~experiment:"fullscale" ~metric:"updates_per_sec" ~unit_:"rate"
+    updates_per_sec;
+  record ~experiment:"fullscale" ~metric:"convergence_s" ~unit_:"s" convergence;
+  record ~experiment:"fullscale" ~metric:"export_packing_ratio" ~unit_:"ratio"
+    packing
+
 let experiments =
   [
     ("fig6a", fig6a);
@@ -1470,6 +1674,7 @@ let experiments =
     ("flap", flap);
     ("intern", intern_bench);
     ("fwd", fwd);
+    ("fullscale", fullscale);
   ]
 
 let () =

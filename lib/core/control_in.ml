@@ -9,11 +9,12 @@ open Bgp
 open Sim
 open Router_state
 
-(* -- experiment-facing export --------------------------------------------- *)
+(* -- eager per-prefix export (legacy / reference path) ---------------------- *)
 
-let send_to_experiment (e : experiment_state) update =
-  if Session.established e.exp_session then
-    Session.send_update e.exp_session update
+(* These fan one prefix out to every receiver as its own UPDATE. They
+   remain the behavior of routers created with [~ingest_batching:false] —
+   the reference the differential tests compare the batched flush
+   against — and the building blocks the batched path falls back on. *)
 
 (* Export a route learned from neighbor [ns] to all experiments: next hop
    becomes the neighbor's virtual IP, the path id its table id. *)
@@ -24,47 +25,13 @@ let export_route_to_experiments t (ns : neighbor_state) prefix attrs =
       ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
       ()
   in
-  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
+  Hashtbl.iter (fun _ e -> send_update_to_experiment t e update) t.experiments
 
 let export_withdraw_to_experiments t (ns : neighbor_state) prefix =
   let update =
     Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ()
   in
-  Hashtbl.iter (fun _ e -> send_to_experiment e update) t.experiments
-
-(* Full-table sync when an experiment session reaches Established: every
-   route from every (real and alias) neighbor, with rewritten next hops. *)
-let sync_experiment t (e : experiment_state) =
-  if not e.exp_synced then begin
-    e.exp_synced <- true;
-    List.iter
-      (fun ns ->
-        Rib.Table.iter_routes
-          (fun (r : Rib.Route.t) ->
-            let attrs =
-              Attr.with_next_hop ns.info.Neighbor.virtual_ip
-                (Rib.Route.attrs r)
-            in
-            send_to_experiment e
-              (Msg.update ~attrs
-                 ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id r.prefix ]
-                 ()))
-          ns.rib_in)
-      (neighbor_states t);
-    (* End-of-RIB (RFC 4724): an experiment that held our routes as stale
-       across a restart sweeps whatever the sync did not refresh. *)
-    send_to_experiment e (Msg.update ());
-    log t "synced full table to experiment %s" e.grant.Control_enforcer.name
-  end
-
-(* -- mesh export ----------------------------------------------------------- *)
-
-let send_to_mesh t update =
-  List.iter
-    (fun m ->
-      if Session.established m.mesh_session then
-        Session.send_update m.mesh_session update)
-    t.mesh
+  Hashtbl.iter (fun _ e -> send_update_to_experiment t e update) t.experiments
 
 (* Neighbor-learned routes go to the mesh with the neighbor's *global* IP
    as next hop, so remote PoPs can alias it (§4.4). *)
@@ -73,15 +40,140 @@ let export_route_to_mesh t (ns : neighbor_state) prefix attrs =
   | None -> ()
   | Some g ->
       let attrs = Attr.with_next_hop g attrs in
-      send_to_mesh t
+      send_update_to_mesh t
         (Msg.update ~attrs
            ~announced:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ]
            ())
 
 let export_withdraw_to_mesh t (ns : neighbor_state) prefix =
   if ns.info.Neighbor.global_ip <> None then
-    send_to_mesh t
+    send_update_to_mesh t
       (Msg.update ~withdrawn:[ Msg.nlri ~path_id:ns.info.Neighbor.id prefix ] ())
+
+(* -- batched ingest: the dirty-(neighbor, prefix) queue --------------------- *)
+
+(* Ingest applies RIB-in and FIB writes in-band (the decision process runs
+   per touched prefix, so local state is always current), but defers the
+   experiment/mesh fan-out: touched (neighbor, prefix) pairs go into
+   [t.dirty_in] and one flush per engine tick resolves each pair against
+   the RIB — route present means announce, absent means withdraw — so a
+   burst coalesces to its net effect and each neighbor's batch leaves as
+   packed multi-NLRI UPDATEs grouped by shared attribute set. *)
+
+(* Flush one neighbor's dirty prefixes (sorted). *)
+let flush_ingest_neighbor t (ns : neighbor_state) prefixes =
+  let info = ns.info in
+  (* Alias rows are keyed by the alias's virtual IP (§4.4); real
+     neighbors by the peer address. *)
+  let peer_ip =
+    if Neighbor.is_alias info then info.Neighbor.virtual_ip
+    else info.Neighbor.ip
+  in
+  let nid = info.Neighbor.id in
+  let withdrawn = ref [] in
+  let groups = nlri_groups_create () in
+  List.iter
+    (fun prefix ->
+      match
+        List.find_opt
+          (Rib.Route.key_matches ~peer_ip ~path_id:None)
+          (Rib.Table.candidates ns.rib_in prefix)
+      with
+      | None -> withdrawn := Msg.nlri ~path_id:nid prefix :: !withdrawn
+      | Some r ->
+          nlri_groups_add groups
+            (Rib.Route.attrs_handle r)
+            (Msg.nlri ~path_id:nid prefix))
+    prefixes;
+  let withdrawn = List.rev !withdrawn in
+  (if withdrawn <> [] then
+     let u = Msg.update ~withdrawn () in
+     Hashtbl.iter (fun _ e -> send_update_to_experiment t e u) t.experiments);
+  nlri_groups_iter groups (fun h nlris ->
+      let attrs =
+        Attr.with_next_hop info.Neighbor.virtual_ip (Attr_arena.set h)
+      in
+      let u = Msg.update ~attrs ~announced:nlris () in
+      Hashtbl.iter (fun _ e -> send_update_to_experiment t e u) t.experiments);
+  (* Mesh export: real neighbors with a global identity only. Alias
+     routes came *from* the mesh and must not echo back into it. *)
+  if not (Neighbor.is_alias info) then
+    match info.Neighbor.global_ip with
+    | None -> ()
+    | Some g ->
+        if withdrawn <> [] then
+          send_update_to_mesh t (Msg.update ~withdrawn ());
+        nlri_groups_iter groups (fun h nlris ->
+            send_update_to_mesh t
+              (Msg.update
+                 ~attrs:(Attr.with_next_hop g (Attr_arena.set h))
+                 ~announced:nlris ()))
+
+(* Drain the ingest queue: per neighbor (deterministic id order), resolve
+   each dirty prefix against the RIB and send the packed batch. The queue
+   is snapshotted and reset first, like the re-export flush. *)
+let flush_ingest t =
+  t.ingest_scheduled <- false;
+  if Hashtbl.length t.dirty_in > 0 then begin
+    let entries = Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_in [] in
+    Hashtbl.reset t.dirty_in;
+    let by_neighbor = Hashtbl.create 16 in
+    List.iter
+      (fun (nid, prefix) ->
+        match Hashtbl.find_opt by_neighbor nid with
+        | Some ps -> ps := prefix :: !ps
+        | None -> Hashtbl.replace by_neighbor nid (ref [ prefix ]))
+      entries;
+    Hashtbl.fold (fun nid ps acc -> (nid, ps) :: acc) by_neighbor []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.iter (fun (nid, ps) ->
+           match neighbor t nid with
+           | None -> ()
+           | Some ns ->
+               flush_ingest_neighbor t ns
+                 (List.sort Netcore.Prefix.compare !ps))
+  end
+
+(* Mark one (neighbor, prefix) dirty and arrange a flush at the current
+   engine tick (equal-time events run FIFO, so every update processed at
+   this timestamp lands before the flush). *)
+let mark_ingest_dirty t (ns : neighbor_state) prefix =
+  Hashtbl.replace t.dirty_in (ns.info.Neighbor.id, prefix) ();
+  if not t.ingest_scheduled then begin
+    t.ingest_scheduled <- true;
+    Engine.run_after t.engine 0. (fun () -> flush_ingest t)
+  end
+
+(* -- experiment full-table sync --------------------------------------------- *)
+
+(* Full-table sync when an experiment session reaches Established: every
+   route from every (real and alias) neighbor, with rewritten next hops,
+   packed per shared attribute set rather than one UPDATE per route. *)
+let sync_experiment t (e : experiment_state) =
+  if not e.exp_synced then begin
+    e.exp_synced <- true;
+    List.iter
+      (fun ns ->
+        let nid = ns.info.Neighbor.id in
+        let groups = nlri_groups_create () in
+        Rib.Table.iter_routes
+          (fun (r : Rib.Route.t) ->
+            nlri_groups_add groups
+              (Rib.Route.attrs_handle r)
+              (Msg.nlri ~path_id:nid r.prefix))
+          ns.rib_in;
+        nlri_groups_iter groups (fun h nlris ->
+            let attrs =
+              Attr.with_next_hop ns.info.Neighbor.virtual_ip (Attr_arena.set h)
+            in
+            send_update_to_experiment t e
+              (Msg.update ~attrs ~announced:nlris ())))
+      (neighbor_states t);
+    (* End-of-RIB (RFC 4724): an experiment that held our routes as stale
+       across a restart sweeps whatever the sync did not refresh. *)
+    send_update_to_experiment t e (Msg.update ());
+    log t "synced full table to experiment %s" e.grant.Control_enforcer.name
+  end
 
 (* -- neighbor route learning ----------------------------------------------- *)
 
@@ -99,34 +191,45 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
       t.counters.updates_from_neighbors <-
         t.counters.updates_from_neighbors + 1;
       let now = Engine.now t.engine in
+      let batched = t.ingest_batching in
+      let peer_ip = ns.info.Neighbor.ip in
       let fib = Rib.Fib.Set.table t.fibs ns.info.Neighbor.id in
       List.iter
         (fun (n : Msg.nlri) ->
           gr_unmark ns.gr n.prefix;
-          ignore
-            (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
-               ~peer_ip:ns.info.Neighbor.ip ~path_id:None);
+          let change =
+            Rib.Table.withdraw ns.rib_in ~prefix:n.prefix ~peer_ip
+              ~path_id:None
+          in
           Rib.Fib.remove fib n.prefix;
-          export_withdraw_to_experiments t ns n.prefix;
-          export_withdraw_to_mesh t ns n.prefix)
+          if batched then begin
+            match change with
+            | Rib.Table.Best_changed _ -> mark_ingest_dirty t ns n.prefix
+            | Rib.Table.Unchanged -> ()
+          end
+          else begin
+            export_withdraw_to_experiments t ns n.prefix;
+            export_withdraw_to_mesh t ns n.prefix
+          end)
         u.withdrawn;
       if u.announced <> [] then begin
         let source =
-          Rib.Route.source ~peer_ip:ns.info.Neighbor.ip
-            ~peer_asn:ns.info.Neighbor.asn ()
+          Rib.Route.source ~peer_ip ~peer_asn:ns.info.Neighbor.asn ()
         in
-        (* Intern the shared attribute block once for the whole NLRI
-           list: the per-route unchanged check becomes O(1), and every
-           installed route shares the canonical set. *)
+        (* Per-NLRI constants hoisted out of the loop: one intern for the
+           whole list (the unchanged check becomes O(1) and installed
+           routes share the canonical set) and one FIB entry record. *)
         let attrs_h = Attr_arena.intern u.attrs in
+        let fib_entry =
+          { Rib.Fib.next_hop = peer_ip; neighbor = ns.info.Neighbor.id }
+        in
         List.iter
           (fun (n : Msg.nlri) ->
             gr_unmark ns.gr n.prefix;
             let unchanged =
               List.exists
                 (fun (r : Rib.Route.t) ->
-                  Rib.Route.key_matches ~peer_ip:ns.info.Neighbor.ip
-                    ~path_id:None r
+                  Rib.Route.key_matches ~peer_ip ~path_id:None r
                   && Attr_arena.equal (Rib.Route.attrs_handle r) attrs_h)
                 (Rib.Table.candidates ns.rib_in n.prefix)
             in
@@ -136,13 +239,12 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
                   ~source ()
               in
               ignore (Rib.Table.update ns.rib_in route);
-              Rib.Fib.insert fib n.prefix
-                {
-                  Rib.Fib.next_hop = ns.info.Neighbor.ip;
-                  neighbor = ns.info.Neighbor.id;
-                };
-              export_route_to_experiments t ns n.prefix u.attrs;
-              export_route_to_mesh t ns n.prefix u.attrs
+              Rib.Fib.insert fib n.prefix fib_entry;
+              if batched then mark_ingest_dirty t ns n.prefix
+              else begin
+                export_route_to_experiments t ns n.prefix u.attrs;
+                export_route_to_mesh t ns n.prefix u.attrs
+              end
             end)
           u.announced
       end
@@ -163,8 +265,11 @@ let hard_drop_neighbor t (ns : neighbor_state) =
   List.iter
     (function
       | Rib.Table.Best_changed (prefix, None) ->
-          export_withdraw_to_experiments t ns prefix;
-          export_withdraw_to_mesh t ns prefix
+          if t.ingest_batching then mark_ingest_dirty t ns prefix
+          else begin
+            export_withdraw_to_experiments t ns prefix;
+            export_withdraw_to_mesh t ns prefix
+          end
       | _ -> ())
     changes
 
@@ -174,8 +279,11 @@ let drop_stale_route t (ns : neighbor_state) prefix =
     (Rib.Table.withdraw ns.rib_in ~prefix ~peer_ip:ns.info.Neighbor.ip
        ~path_id:None);
   Rib.Fib.remove (Rib.Fib.Set.table t.fibs ns.info.Neighbor.id) prefix;
-  export_withdraw_to_experiments t ns prefix;
-  export_withdraw_to_mesh t ns prefix
+  if t.ingest_batching then mark_ingest_dirty t ns prefix
+  else begin
+    export_withdraw_to_experiments t ns prefix;
+    export_withdraw_to_mesh t ns prefix
+  end
 
 (* Graceful down: keep the Adj-RIB-In and FIB (forwarding state is
    preserved, RFC 4724), mark every prefix stale, and fall back to the

@@ -8,34 +8,49 @@ open Netcore
 open Bgp
 open Sim
 
-val send_to_experiment : Router_state.experiment_state -> Msg.update -> unit
-
 val export_route_to_experiments :
   Router_state.t -> Router_state.neighbor_state -> Prefix.t -> Attr.set -> unit
-(** Announce a neighbor-learned route to all experiments: next hop
-    becomes the neighbor's virtual IP, path id its table id. *)
+(** Eagerly announce a neighbor-learned route to all experiments: next
+    hop becomes the neighbor's virtual IP, path id its table id. The
+    per-prefix reference path; batched ingest defers to
+    {!mark_ingest_dirty} instead. *)
 
 val export_withdraw_to_experiments :
   Router_state.t -> Router_state.neighbor_state -> Prefix.t -> unit
 
 val sync_experiment : Router_state.t -> Router_state.experiment_state -> unit
 (** Full-table sync when an experiment session reaches Established (or on
-    ROUTE-REFRESH). *)
-
-val send_to_mesh : Router_state.t -> Msg.update -> unit
+    ROUTE-REFRESH): one packed multi-NLRI UPDATE per neighbor per shared
+    attribute set, closed with End-of-RIB. *)
 
 val export_route_to_mesh :
   Router_state.t -> Router_state.neighbor_state -> Prefix.t -> Attr.set -> unit
-(** Announce toward the mesh with the neighbor's global IP as next hop
-    (§4.4). *)
+(** Eagerly announce toward the mesh with the neighbor's global IP as
+    next hop (§4.4). *)
 
 val export_withdraw_to_mesh :
   Router_state.t -> Router_state.neighbor_state -> Prefix.t -> unit
 
+val mark_ingest_dirty :
+  Router_state.t -> Router_state.neighbor_state -> Prefix.t -> unit
+(** Mark one (neighbor, prefix) pair dirty in the batched-ingest queue
+    and schedule {!flush_ingest} at the current engine tick. The flush
+    resolves the pair against the RIB: route present → announce, absent
+    → withdraw, so a same-tick burst coalesces to its net effect. *)
+
+val flush_ingest : Router_state.t -> unit
+(** Drain the batched-ingest queue now: per neighbor (deterministic id
+    order, sorted prefixes), send the experiment/mesh fan-out as packed
+    multi-NLRI UPDATEs grouped by shared attribute set. Idempotent; runs
+    automatically once per engine tick after updates. *)
+
 val process_neighbor_update :
   Router_state.t -> neighbor_id:int -> Msg.update -> unit
 (** The full vBGP ingress pipeline: per-neighbor RIB and FIB maintenance,
-    next-hop rewriting, ADD-PATH export to experiments, backbone export. *)
+    next-hop rewriting, ADD-PATH export to experiments, backbone export.
+    With batched ingest (the default), RIB/FIB writes and the decision
+    process run in-band while export fan-out is deferred to the
+    dirty-queue flush at the current engine tick. *)
 
 val add_neighbor :
   Router_state.t ->

@@ -204,46 +204,119 @@ let reexport_prefix_into t ctx prefix =
 
 (* -- IPv6 (MP-BGP) experiment announcements: control plane only ----------- *)
 
-let reexport_prefix_v6_to_neighbor t (ns : neighbor_state) ~variants prefix =
-  match ns.info.Neighbor.kind with
-  | Neighbor.Backbone_alias _ -> ()
-  | _ -> (
-      t.counters.reexport_computations <-
-        t.counters.reexport_computations + 1;
-      let allowed = allowed_for_neighbor t ns variants in
-      match ns.session with
-      | Some s when Session.established s -> (
-          match allowed with
-          | [] ->
-              Session.send_update s
-                (Msg.update ~attrs:[ Attr.Mp_unreach [ (prefix, None) ] ] ())
-          | v :: _ ->
-              let facing =
-                neighbor_facing_attrs t (Attr_arena.set v)
-                |> Attr.remove_code 3 (* v4 NEXT_HOP is meaningless here *)
-                |> Attr.set_attr
-                     (Attr.Mp_reach
-                        {
-                          next_hop = t.v6_next_hop;
-                          nlri = [ (prefix, None) ];
-                        })
-              in
-              Session.send_update s (Msg.update ~attrs:facing ()))
-      | _ -> ())
+(* Like the v4 flush, the v6 pass runs as update-groups: the facing base
+   set is computed once per variant per flush, and each neighbor's batch
+   leaves as one MP_UNREACH update plus one MP_REACH update per facing
+   group (NLRI lists chunked so no message outgrows the 4096-byte
+   boundary; MP NLRIs ride in the attribute, out of reach of
+   [Codec.split_update]). *)
 
-let reexport_prefix_v6_now t prefix =
-  let variants = variants_for_prefix_v6 t prefix in
+type pending_v6 = {
+  mutable p6_unreach : (Prefix_v6.t * int option) list;  (* reversed *)
+  p6_groups : (int, Attr.set * (Prefix_v6.t * int option) list ref) Hashtbl.t;
+      (* variant arena id -> (facing base set, reversed NLRIs) *)
+  mutable p6_order : int list;  (* variant arena ids, reversed first-seen *)
+}
+
+let mp_chunk_size = 256
+
+let rec chunked l n =
+  if l = [] then []
+  else begin
+    let rec take acc k = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (x :: acc) (k - 1) rest
+    in
+    let chunk, rest = take [] n l in
+    chunk :: chunked rest n
+  end
+
+let flush_v6 t prefixes =
+  let facing_cache = Hashtbl.create 8 in
+  let by_neighbor = Hashtbl.create 8 in
+  let pending_for (ns : neighbor_state) =
+    let id = ns.info.Neighbor.id in
+    match Hashtbl.find_opt by_neighbor id with
+    | Some p -> p
+    | None ->
+        let p =
+          { p6_unreach = []; p6_groups = Hashtbl.create 4; p6_order = [] }
+        in
+        Hashtbl.replace by_neighbor id p;
+        p
+  in
+  let neighbors = real_neighbors t in
   List.iter
-    (fun ns -> reexport_prefix_v6_to_neighbor t ns ~variants prefix)
-    (real_neighbors t)
+    (fun prefix ->
+      let variants = variants_for_prefix_v6 t prefix in
+      List.iter
+        (fun (ns : neighbor_state) ->
+          match allowed_for_neighbor t ns variants with
+          | [] ->
+              let p = pending_for ns in
+              p.p6_unreach <- (prefix, None) :: p.p6_unreach
+          | v :: _ -> (
+              let vid = Attr_arena.id v in
+              let facing =
+                match Hashtbl.find_opt facing_cache vid with
+                | Some f -> f
+                | None ->
+                    t.counters.reexport_computations <-
+                      t.counters.reexport_computations + 1;
+                    let f =
+                      neighbor_facing_attrs t (Attr_arena.set v)
+                      |> Attr.remove_code 3
+                      (* v4 NEXT_HOP is meaningless here *)
+                    in
+                    Hashtbl.replace facing_cache vid f;
+                    f
+              in
+              let p = pending_for ns in
+              match Hashtbl.find_opt p.p6_groups vid with
+              | Some (_, nlris) -> nlris := (prefix, None) :: !nlris
+              | None ->
+                  Hashtbl.replace p.p6_groups vid (facing, ref [ (prefix, None) ]);
+                  p.p6_order <- vid :: p.p6_order))
+        neighbors)
+    prefixes;
+  Hashtbl.fold (fun id p acc -> (id, p) :: acc) by_neighbor []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (id, p) ->
+         match neighbor t id with
+         | Some { session = Some s; _ } when Session.established s ->
+             List.iter
+               (fun nlri ->
+                 Session.send_update s
+                   (Msg.update ~attrs:[ Attr.Mp_unreach nlri ] ()))
+               (chunked (List.rev p.p6_unreach) mp_chunk_size);
+             List.iter
+               (fun vid ->
+                 match Hashtbl.find_opt p.p6_groups vid with
+                 | None -> ()
+                 | Some (facing, nlris) ->
+                     List.iter
+                       (fun nlri ->
+                         let attrs =
+                           Attr.set_attr
+                             (Attr.Mp_reach
+                                { next_hop = t.v6_next_hop; nlri })
+                             facing
+                         in
+                         Session.send_update s (Msg.update ~attrs ()))
+                       (chunked (List.rev !nlris) mp_chunk_size))
+               (List.rev p.p6_order)
+         | _ -> ())
 
 (* -- the dirty-prefix re-export queue -------------------------------------- *)
 
 (* Drain the queue: recompute every dirty prefix once per neighbor. The
    queue is snapshotted and reset first so sends that dirty further
    prefixes (none do today, but sessions are free to) land in the next
-   flush rather than an unbounded loop. *)
+   flush rather than an unbounded loop. The batched-ingest queue drains
+   first so direct-driving callers get both with one call. *)
 let flush_reexports t =
+  Control_in.flush_ingest t;
   t.reexport_scheduled <- false;
   if Hashtbl.length t.dirty > 0 then begin
     let v4 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
@@ -258,7 +331,7 @@ let flush_reexports t =
   if Hashtbl.length t.dirty_v6 > 0 then begin
     let v6 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty_v6 [] in
     Hashtbl.reset t.dirty_v6;
-    List.iter (reexport_prefix_v6_now t) (List.sort Prefix_v6.compare v6)
+    flush_v6 t (List.sort Prefix_v6.compare v6)
   end
 
 (* Arrange for one flush at the current engine tick. Every update
@@ -287,13 +360,13 @@ let export_exp_route_to_mesh t (e : experiment_state) prefix (v : variant) =
     |> Attr.with_next_hop e.g_ip
     |> Attr.add_community (Export_control.experiment_marker ~ctl_asn)
   in
-  Control_in.send_to_mesh t
+  send_update_to_mesh t
     (Msg.update ~attrs
        ~announced:[ Msg.nlri ~path_id:(mesh_path_id e v.v_path_id) prefix ]
        ())
 
 let export_exp_withdraw_to_mesh t (e : experiment_state) prefix v_path_id =
-  Control_in.send_to_mesh t
+  send_update_to_mesh t
     (Msg.update
        ~withdrawn:[ Msg.nlri ~path_id:(mesh_path_id e v_path_id) prefix ]
        ())
@@ -558,11 +631,18 @@ let process_mesh_update t ~pop (u : Msg.update) =
       | Some (Ialias { alias_id }) -> (
           match neighbor t alias_id with
           | Some ns ->
-              ignore
-                (Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
-                   ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None);
+              let change =
+                Rib.Table.withdraw ns.rib_in ~prefix:n.prefix
+                  ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None
+              in
               Rib.Fib.remove (Rib.Fib.Set.table t.fibs alias_id) n.prefix;
-              Control_in.export_withdraw_to_experiments t ns n.prefix
+              if t.ingest_batching then begin
+                match change with
+                | Rib.Table.Best_changed _ ->
+                    Control_in.mark_ingest_dirty t ns n.prefix
+                | Rib.Table.Unchanged -> ()
+              end
+              else Control_in.export_withdraw_to_experiments t ns n.prefix
           | None -> ())
       | Some (Iremote_exp { prefix }) ->
           Hashtbl.remove t.remote_exp_routes (pop, pid);
@@ -612,8 +692,11 @@ let process_mesh_update t ~pop (u : Msg.update) =
               ignore (Rib.Table.update ns.rib_in route);
               Rib.Fib.insert fib n.prefix
                 { Rib.Fib.next_hop = g; neighbor = ns.info.Neighbor.id };
-              Control_in.export_route_to_experiments t ns n.prefix
-                (Attr_arena.set attrs_h)
+              if t.ingest_batching then
+                Control_in.mark_ingest_dirty t ns n.prefix
+              else
+                Control_in.export_route_to_experiments t ns n.prefix
+                  (Attr_arena.set attrs_h)
             end)
           u.announced
     | Some g ->
@@ -657,7 +740,8 @@ let drop_alias_routes t (ns : neighbor_state) =
   List.iter
     (function
       | Rib.Table.Best_changed (prefix, None) ->
-          Control_in.export_withdraw_to_experiments t ns prefix
+          if t.ingest_batching then Control_in.mark_ingest_dirty t ns prefix
+          else Control_in.export_withdraw_to_experiments t ns prefix
       | _ -> ())
     changes
 
@@ -744,13 +828,21 @@ let process_mesh_eor t ~pop =
               | Some (Ialias { alias_id }) -> (
                   match neighbor t alias_id with
                   | Some ns ->
-                      ignore
-                        (Rib.Table.withdraw ns.rib_in ~prefix
-                           ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None);
+                      let change =
+                        Rib.Table.withdraw ns.rib_in ~prefix
+                          ~peer_ip:ns.info.Neighbor.virtual_ip ~path_id:None
+                      in
                       Rib.Fib.remove
                         (Rib.Fib.Set.table t.fibs alias_id)
                         prefix;
-                      Control_in.export_withdraw_to_experiments t ns prefix
+                      if t.ingest_batching then begin
+                        match change with
+                        | Rib.Table.Best_changed _ ->
+                            Control_in.mark_ingest_dirty t ns prefix
+                        | Rib.Table.Unchanged -> ()
+                      end
+                      else
+                        Control_in.export_withdraw_to_experiments t ns prefix
                   | None -> ())
               | Some (Iremote_exp { prefix = rp }) ->
                   Hashtbl.remove t.remote_exp_routes (pop, pid);

@@ -38,6 +38,10 @@ type counters = Router_state.counters = {
   mutable gr_expiries : int;
   mutable updates_to_neighbors : int;
   mutable nlri_to_neighbors : int;
+  mutable updates_to_experiments : int;
+  mutable nlri_to_experiments : int;
+  mutable updates_to_mesh : int;
+  mutable nlri_to_mesh : int;
   mutable flow_hits : int;
   mutable flow_misses : int;
 }

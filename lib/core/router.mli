@@ -54,6 +54,12 @@ type counters = Router_state.counters = {
       (** UPDATE messages sent to neighbors (after NLRI packing) *)
   mutable nlri_to_neighbors : int;
       (** NLRI carried by those messages; nlri/updates = packing ratio *)
+  mutable updates_to_experiments : int;
+      (** UPDATE messages sent to experiments (after NLRI packing) *)
+  mutable nlri_to_experiments : int;
+  mutable updates_to_mesh : int;
+      (** UPDATE messages sent over the backbone mesh (after packing) *)
+  mutable nlri_to_mesh : int;
   mutable flow_hits : int;
       (** forwarded frames served by a memoized flow-cache decision *)
   mutable flow_misses : int;
@@ -75,6 +81,7 @@ val create :
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
   ?flow_cache:bool ->
+  ?ingest_batching:bool ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -85,7 +92,11 @@ val create :
     IPv6 re-export (defaults to PEERING's 2804:269c::1). [flow_cache]
     (default [true]) enables the data plane's per-neighbor flow caches;
     disabling it forces every frame through the slow path (the
-    differential tests compare the two). [seed] drives the router's
+    differential tests compare the two). [ingest_batching] (default
+    [true]) defers neighbor/mesh-ingest export fan-out to a per-tick
+    dirty-queue flush that emits packed multi-NLRI UPDATEs; disabling it
+    restores the eager per-prefix export path (again, the reference the
+    differential tests compare against). [seed] drives the router's
     deterministic RNG (reconnect jitter); [gr_restart_time] is the
     graceful-restart window it advertises (RFC 4724) — 0 disables
     graceful restart. *)
@@ -173,10 +184,11 @@ val process_experiment_update :
 val process_mesh_update : t -> pop:string -> Msg.update -> unit
 
 val flush_reexports : t -> unit
-(** Drain the dirty-prefix re-export queue now, recomputing each dirty
-    prefix once per neighbor. Runs automatically once per engine tick
-    after updates; call directly only when driving the router without
-    running the engine. *)
+(** Drain the batched-ingest queue (neighbor/mesh routes toward
+    experiments and the mesh) and the dirty-prefix re-export queue
+    (experiment routes toward neighbors) now. Both run automatically
+    once per engine tick after updates; call directly only when driving
+    the router without running the engine. *)
 
 (** {1 Data-plane entry points} *)
 

@@ -137,6 +137,12 @@ type counters = {
   mutable nlri_to_neighbors : int;
       (** NLRI (announce + withdraw) carried by those messages; the
           ratio nlri/updates is the packing ratio *)
+  mutable updates_to_experiments : int;
+      (** UPDATE messages sent to experiments (after NLRI packing) *)
+  mutable nlri_to_experiments : int;
+  mutable updates_to_mesh : int;
+      (** UPDATE messages sent over the backbone mesh (after packing) *)
+  mutable nlri_to_mesh : int;
   mutable flow_hits : int;
       (** forwarded frames served by a memoized flow-cache decision *)
   mutable flow_misses : int;
@@ -184,6 +190,17 @@ type t = {
   dirty : (Prefix.t, unit) Hashtbl.t;
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
   mutable reexport_scheduled : bool;
+  (* The batched-ingest dirty queue (drained by [Control_in.flush_ingest]):
+     neighbor and mesh ingest applies RIB/FIB writes in-band, marks
+     (neighbor id, prefix) dirty, and defers the experiment/mesh export
+     fan-out to one flush per engine tick, where each neighbor's batch
+     leaves as packed multi-NLRI UPDATEs grouped by shared attribute
+     set. *)
+  dirty_in : (int * Prefix.t, unit) Hashtbl.t;
+  mutable ingest_scheduled : bool;
+  ingest_batching : bool;
+      (** [false] restores the per-NLRI eager export path (the reference
+          the differential tests compare batched ingest against) *)
   counters : counters;
   rng : Random.State.t;
       (** engine-seeded randomness (reconnect jitter); deterministic runs *)
@@ -204,8 +221,8 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
-    ?control ?data ?(flow_cache = true) ?(seed = 42) ?(gr_restart_time = 120)
-    () =
+    ?control ?data ?(flow_cache = true) ?(ingest_batching = true) ?(seed = 42)
+    ?(gr_restart_time = 120) () =
   let control =
     match control with
     | Some c -> c
@@ -247,6 +264,9 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     dirty = Hashtbl.create 64;
     dirty_v6 = Hashtbl.create 16;
     reexport_scheduled = false;
+    dirty_in = Hashtbl.create 256;
+    ingest_scheduled = false;
+    ingest_batching;
     counters =
       {
         updates_from_neighbors = 0;
@@ -262,6 +282,10 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
         gr_expiries = 0;
         updates_to_neighbors = 0;
         nlri_to_neighbors = 0;
+        updates_to_experiments = 0;
+        nlri_to_experiments = 0;
+        updates_to_mesh = 0;
+        nlri_to_mesh = 0;
         flow_hits = 0;
         flow_misses = 0;
       };
@@ -353,6 +377,73 @@ let send_update_to_neighbor t ns (u : Msg.update) =
           Session.send_update s piece)
         (Codec.split_update u)
   | _ -> ()
+
+(* Experiment and mesh sessions negotiate ADD-PATH, so NLRIs carry 4
+   extra bytes each; splitting must account for that or a full packed
+   update would exceed the 4096-byte boundary on the wire. *)
+let add_path_params = { Codec.add_path = true; as4 = true }
+
+let send_update_to_experiment t (e : experiment_state) (u : Msg.update) =
+  if Session.established e.exp_session then
+    List.iter
+      (fun (piece : Msg.update) ->
+        t.counters.updates_to_experiments <-
+          t.counters.updates_to_experiments + 1;
+        t.counters.nlri_to_experiments <-
+          t.counters.nlri_to_experiments
+          + List.length piece.Msg.announced
+          + List.length piece.Msg.withdrawn;
+        Session.send_update e.exp_session piece)
+      (Codec.split_update ~params:add_path_params u)
+
+let send_update_to_mesh t (u : Msg.update) =
+  match t.mesh with
+  | [] -> ()
+  | mesh ->
+      let pieces = Codec.split_update ~params:add_path_params u in
+      List.iter
+        (fun m ->
+          if Session.established m.mesh_session then
+            List.iter
+              (fun (piece : Msg.update) ->
+                t.counters.updates_to_mesh <- t.counters.updates_to_mesh + 1;
+                t.counters.nlri_to_mesh <-
+                  t.counters.nlri_to_mesh
+                  + List.length piece.Msg.announced
+                  + List.length piece.Msg.withdrawn;
+                Session.send_update m.mesh_session piece)
+              pieces)
+        mesh
+
+(* -- NLRI grouping ----------------------------------------------------------- *)
+
+(* Accumulates NLRIs per interned attribute set in first-seen order. Every
+   batched export path (the ingest flush, experiment full-table sync, mesh
+   sync) uses this to leave one packed multi-NLRI UPDATE per shared
+   attribute set instead of one message per prefix. *)
+type nlri_groups = {
+  ng_tbl : (int, Attr_arena.handle * Msg.nlri list ref) Hashtbl.t;
+      (* arena id -> (handle, reversed NLRIs) *)
+  mutable ng_order : int list;  (* arena ids, reversed first-seen *)
+}
+
+let nlri_groups_create () = { ng_tbl = Hashtbl.create 8; ng_order = [] }
+
+let nlri_groups_add g h nlri =
+  let hid = Attr_arena.id h in
+  match Hashtbl.find_opt g.ng_tbl hid with
+  | Some (_, nlris) -> nlris := nlri :: !nlris
+  | None ->
+      Hashtbl.replace g.ng_tbl hid (h, ref [ nlri ]);
+      g.ng_order <- hid :: g.ng_order
+
+let nlri_groups_iter g f =
+  List.iter
+    (fun hid ->
+      match Hashtbl.find_opt g.ng_tbl hid with
+      | Some (h, nlris) -> f h (List.rev !nlris)
+      | None -> ())
+    (List.rev g.ng_order)
 
 let session_capabilities ?(add_path = false) t =
   let base =

@@ -119,6 +119,12 @@ type counters = {
   mutable nlri_to_neighbors : int;
       (** NLRI (announce + withdraw) carried by those messages; the
           ratio nlri/updates is the packing ratio *)
+  mutable updates_to_experiments : int;
+      (** UPDATE messages sent to experiments (after NLRI packing) *)
+  mutable nlri_to_experiments : int;
+  mutable updates_to_mesh : int;
+      (** UPDATE messages sent over the backbone mesh (after packing) *)
+  mutable nlri_to_mesh : int;
   mutable flow_hits : int;
       (** forwarded frames served by a memoized flow-cache decision *)
   mutable flow_misses : int;
@@ -158,6 +164,13 @@ type t = {
   dirty : (Prefix.t, unit) Hashtbl.t;
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;
   mutable reexport_scheduled : bool;
+  dirty_in : (int * Prefix.t, unit) Hashtbl.t;
+      (** batched-ingest queue: (neighbor id, prefix) pairs whose
+          experiment/mesh export is deferred to the next ingest flush *)
+  mutable ingest_scheduled : bool;
+  ingest_batching : bool;
+      (** [false] restores the per-NLRI eager export path (the reference
+          the differential tests compare batched ingest against) *)
   counters : counters;
   rng : Random.State.t;
       (** engine-seeded randomness (reconnect jitter); deterministic runs *)
@@ -187,6 +200,7 @@ val create :
   ?control:Control_enforcer.t ->
   ?data:Data_enforcer.t ->
   ?flow_cache:bool ->
+  ?ingest_batching:bool ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -230,6 +244,29 @@ val send_update_to_neighbor : t -> neighbor_state -> Msg.update -> unit
     it at the classic 4096-byte boundary ({!Bgp.Codec.split_update}) and
     bumping the [updates_to_neighbors]/[nlri_to_neighbors] counters.
     Silently drops when the session is down (re-sync on reconnect). *)
+
+val send_update_to_experiment : t -> experiment_state -> Msg.update -> unit
+(** Same contract toward an experiment session (ADD-PATH-aware split,
+    [updates_to_experiments]/[nlri_to_experiments] counters). *)
+
+val send_update_to_mesh : t -> Msg.update -> unit
+(** Send to every established mesh session, splitting once and counting
+    per receiving session. *)
+
+(** {1 NLRI grouping}
+
+    Accumulates NLRIs per interned attribute set in first-seen order;
+    the batched export paths use it to leave one packed multi-NLRI
+    UPDATE per shared attribute set. *)
+
+type nlri_groups
+
+val nlri_groups_create : unit -> nlri_groups
+val nlri_groups_add : nlri_groups -> Attr_arena.handle -> Msg.nlri -> unit
+
+val nlri_groups_iter :
+  nlri_groups -> (Attr_arena.handle -> Msg.nlri list -> unit) -> unit
+(** Groups in first-seen order, NLRIs in insertion order. *)
 
 val session_capabilities : ?add_path:bool -> t -> Capability.t list
 

@@ -7,13 +7,35 @@ open Netcore
 
 type entry = { candidates : Route.t list; best : Route.t option }
 
+(* Stored representation. A per-peer Adj-RIB-In holds one candidate for
+   nearly every prefix, so the common case skips the entry record, the
+   cons cell and the option — at full-table scale that is ~6 words per
+   route. [Many] keeps the memoized best for multi-candidate prefixes;
+   its record is inlined into the variant so that case costs the same as
+   the plain entry record did. *)
+type node =
+  | One of Route.t
+  | Many of { candidates : Route.t list; best : Route.t option }
+
+let view = function
+  | One r -> { candidates = [ r ]; best = Some r }
+  | Many { candidates; best } -> { candidates; best }
+
+let node_candidates = function One r -> [ r ] | Many m -> m.candidates
+let node_best = function One r -> Some r | Many m -> m.best
+
+(* [Decision.best] of a non-empty list is always one of its elements, so a
+   singleton's best is that route and [One] loses nothing. *)
+let make_node candidates best =
+  match candidates with [ r ] -> One r | _ -> Many { candidates; best }
+
 type change =
   | Best_changed of Prefix.t * Route.t option
       (** The best route for the prefix changed (None = now unreachable). *)
   | Unchanged
 
 type t = {
-  mutable trie : entry Ptrie.V4.t;
+  mutable trie : node Ptrie.V4.t;
   mutable route_count : int;
   decision : Decision.config;
 }
@@ -24,13 +46,15 @@ let create ?(decision = Decision.default_config) () =
 let route_count t = t.route_count
 let prefix_count t = Ptrie.V4.cardinal t.trie
 
-let entry t prefix = Ptrie.V4.find prefix t.trie
+let entry t prefix = Option.map view (Ptrie.V4.find prefix t.trie)
 
 let candidates t prefix =
-  match entry t prefix with Some e -> e.candidates | None -> []
+  match Ptrie.V4.find prefix t.trie with
+  | Some n -> node_candidates n
+  | None -> []
 
 let best t prefix =
-  match entry t prefix with Some e -> e.best | None -> None
+  match Ptrie.V4.find prefix t.trie with Some n -> node_best n | None -> None
 
 let best_equal a b =
   match (a, b) with
@@ -43,13 +67,15 @@ let best_equal a b =
    both the candidate list and the previous best. *)
 let update t (route : Route.t) =
   let prefix = route.prefix in
-  let old_entry = Ptrie.V4.find prefix t.trie in
-  let old = match old_entry with Some e -> e.candidates | None -> [] in
-  let previous_best = match old_entry with Some e -> e.best | None -> None in
+  let old_node = Ptrie.V4.find prefix t.trie in
+  let old = match old_node with Some n -> node_candidates n | None -> [] in
+  let previous_best =
+    match old_node with Some n -> node_best n | None -> None
+  in
   let kept = List.filter (fun r -> not (Route.same_key r route)) old in
   let candidates = route :: kept in
   let best = Decision.best ~config:t.decision candidates in
-  t.trie <- Ptrie.V4.add prefix { candidates; best } t.trie;
+  t.trie <- Ptrie.V4.add prefix (make_node candidates best) t.trie;
   t.route_count <- t.route_count + List.length candidates - List.length old;
   if best_equal previous_best best then Unchanged
   else Best_changed (prefix, best)
@@ -58,18 +84,18 @@ let update t (route : Route.t) =
 let withdraw t ~prefix ~peer_ip ~path_id =
   match Ptrie.V4.find prefix t.trie with
   | None -> Unchanged
-  | Some e ->
-      let old = e.candidates in
+  | Some n ->
+      let old = node_candidates n in
       let kept =
         List.filter (fun r -> not (Route.key_matches ~peer_ip ~path_id r)) old
       in
       if List.length kept = List.length old then Unchanged
       else begin
-        let previous_best = e.best in
+        let previous_best = node_best n in
         t.route_count <- t.route_count - (List.length old - List.length kept);
         let best = Decision.best ~config:t.decision kept in
         (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
-         else t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+         else t.trie <- Ptrie.V4.add prefix (make_node kept best) t.trie);
         if best_equal previous_best best then Unchanged
         else Best_changed (prefix, best)
       end
@@ -80,11 +106,11 @@ let drop_peer t ~peer_ip =
   let changes = ref [] in
   let prefixes =
     Ptrie.V4.fold
-      (fun p e acc ->
+      (fun p n acc ->
         if
           List.exists
             (fun r -> Ipv4.equal r.Route.source.peer_ip peer_ip)
-            e.candidates
+            (node_candidates n)
         then p :: acc
         else acc)
       t.trie []
@@ -93,20 +119,19 @@ let drop_peer t ~peer_ip =
     (fun prefix ->
       match Ptrie.V4.find prefix t.trie with
       | None -> ()
-      | Some e ->
-          let old = e.candidates in
+      | Some n ->
+          let old = node_candidates n in
           let kept =
             List.filter
               (fun r -> not (Ipv4.equal r.Route.source.peer_ip peer_ip))
               old
           in
-          let previous_best = e.best in
+          let previous_best = node_best n in
           t.route_count <-
             t.route_count - (List.length old - List.length kept);
           let best = Decision.best ~config:t.decision kept in
           (if kept = [] then t.trie <- Ptrie.V4.remove prefix t.trie
-           else
-             t.trie <- Ptrie.V4.add prefix { candidates = kept; best } t.trie);
+           else t.trie <- Ptrie.V4.add prefix (make_node kept best) t.trie);
           if not (best_equal previous_best best) then
             changes := Best_changed (prefix, best) :: !changes)
     prefixes;
@@ -115,23 +140,26 @@ let drop_peer t ~peer_ip =
 (* Longest-prefix match over best routes. *)
 let lookup t addr =
   match Ptrie.lookup_v4 addr t.trie with
-  | Some (_, { best = Some r; _ }) -> Some r
-  | _ -> None
+  | Some (_, One r) -> Some r
+  | Some (_, Many { best; _ }) -> best
+  | None -> None
 
 (* All candidate routes matching [addr], best-first (control-plane query). *)
 let lookup_all t addr =
   Ptrie.V4.matches (Prefix.make addr 32) t.trie
-  |> List.concat_map (fun (_, e) -> Decision.rank ~config:t.decision e.candidates)
+  |> List.concat_map (fun (_, n) ->
+         Decision.rank ~config:t.decision (node_candidates n))
 
-let fold f t acc = Ptrie.V4.fold f t.trie acc
+let fold f t acc = Ptrie.V4.fold (fun p n acc -> f p (view n) acc) t.trie acc
 
 let iter_best f t =
   Ptrie.V4.iter
-    (fun prefix e -> match e.best with Some r -> f prefix r | None -> ())
+    (fun prefix n ->
+      match node_best n with Some r -> f prefix r | None -> ())
     t.trie
 
 let iter_routes f t =
-  Ptrie.V4.iter (fun _ e -> List.iter f e.candidates) t.trie
+  Ptrie.V4.iter (fun _ n -> List.iter f (node_candidates n)) t.trie
 
 let to_list t =
   List.rev (fold (fun _ e acc -> List.rev_append e.candidates acc) t [])

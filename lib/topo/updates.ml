@@ -84,6 +84,166 @@ let generate ?(params = default_params) ~prefixes ~origin_asn () =
   done;
   List.rev !events
 
+(* -- staged streaming churn (full-table scale) ----------------------------- *)
+
+(* The [generate] trace above materializes an event list — fine at Figure-6b
+   scale, hopeless at 500k+ routes. The staged generator below streams
+   events through a callback instead, so the fullscale bench never holds
+   the workload in memory, and it shapes churn the way operators see it:
+   announce ramps (table transfer), withdraw storms (path hunting after a
+   failure), and whole-peer flaps (session resets). *)
+
+type stage =
+  | Announce_wave of { count : int; rate : float }
+      (** announce [count] fresh prefixes, spread across peers,
+          rate-limited to [rate] events/second *)
+  | Withdraw_storm of { fraction : float; rate : float }
+      (** withdraw a random [fraction] of everything currently announced *)
+  | Peer_flap of { peers : int; rate : float }
+      (** [peers] random peers withdraw their whole table, then
+          re-announce it *)
+  | Pause of float  (** quiet seconds between waves *)
+
+type plan = {
+  stages : stage list;
+  peer_count : int;
+  path_pool : int;
+      (** distinct AS paths drawn from; real tables share attribute sets
+          heavily, which is what the arena's hash-consing exploits *)
+  prefix_of : int -> Prefix.t;  (** the i-th fresh prefix *)
+  origin_asn : Asn.t;
+  plan_seed : int;
+}
+
+(* The i-th /24 inside 16.0.0.0/4 — 2^20 distinct slots. *)
+let default_prefix_of i =
+  Prefix.make
+    (Ipv4.of_int32 (Int32.logor 0x10000000l (Int32.of_int (i lsl 8))))
+    24
+
+let default_plan =
+  {
+    stages =
+      [
+        Announce_wave { count = 10_000; rate = 50_000. };
+        Withdraw_storm { fraction = 0.1; rate = 25_000. };
+        Peer_flap { peers = 2; rate = 50_000. };
+        Pause 1.0;
+      ];
+    peer_count = 16;
+    path_pool = 512;
+    prefix_of = default_prefix_of;
+    origin_asn = Asn.of_int 65000;
+    plan_seed = 17;
+  }
+
+type stats = {
+  events : int;
+  announce_events : int;
+  withdraw_events : int;
+  end_time : float;
+}
+
+(* Per-peer announced set as a growable array with swap-remove, so storms
+   can pick uniform random victims in O(1). *)
+type peer_live = { mutable slots : Prefix.t array; mutable used : int }
+
+let live_push p prefix =
+  if p.used = Array.length p.slots then begin
+    let slots = Array.make (max 16 (2 * Array.length p.slots)) prefix in
+    Array.blit p.slots 0 slots 0 p.used;
+    p.slots <- slots
+  end;
+  p.slots.(p.used) <- prefix;
+  p.used <- p.used + 1
+
+let live_swap_remove p i =
+  let v = p.slots.(i) in
+  p.used <- p.used - 1;
+  p.slots.(i) <- p.slots.(p.used);
+  v
+
+let run ?(plan = default_plan) ~emit () =
+  let rng = Random.State.make [| plan.plan_seed |] in
+  let paths =
+    Array.init (max 1 plan.path_pool) (fun _ ->
+        let hops = 1 + Random.State.int rng 4 in
+        let intermediates =
+          List.init hops (fun _ -> Asn.of_int (1000 + Random.State.int rng 9000))
+        in
+        Aspath.of_asns (intermediates @ [ plan.origin_asn ]))
+  in
+  let live =
+    Array.init (max 1 plan.peer_count) (fun _ -> { slots = [||]; used = 0 })
+  in
+  let time = ref 0. and next_prefix = ref 0 in
+  let total = ref 0 and announced = ref 0 and withdrawn = ref 0 in
+  let tick rate = time := !time +. (1. /. Float.max 1e-9 rate) in
+  let announce rate peer_index prefix =
+    tick rate;
+    incr total;
+    incr announced;
+    emit
+      {
+        time = !time;
+        peer_index;
+        prefix;
+        kind = Announce;
+        as_path = paths.(Random.State.int rng (Array.length paths));
+      }
+  in
+  let withdraw rate peer_index prefix =
+    tick rate;
+    incr total;
+    incr withdrawn;
+    emit
+      { time = !time; peer_index; prefix; kind = Withdraw; as_path = Aspath.empty }
+  in
+  List.iter
+    (function
+      | Pause s -> time := !time +. s
+      | Announce_wave { count; rate } ->
+          for _ = 1 to count do
+            let pi = Random.State.int rng (Array.length live) in
+            let prefix = plan.prefix_of !next_prefix in
+            incr next_prefix;
+            live_push live.(pi) prefix;
+            announce rate pi prefix
+          done
+      | Withdraw_storm { fraction; rate } ->
+          let pool = Array.fold_left (fun acc p -> acc + p.used) 0 live in
+          let n = int_of_float (fraction *. float_of_int pool) in
+          for _ = 1 to n do
+            let pool = Array.fold_left (fun acc p -> acc + p.used) 0 live in
+            if pool > 0 then begin
+              (* uniform victim across peers, weighted by table size *)
+              let k = ref (Random.State.int rng pool) and pi = ref 0 in
+              while !k >= live.(!pi).used do
+                k := !k - live.(!pi).used;
+                incr pi
+              done;
+              withdraw rate !pi (live_swap_remove live.(!pi) !k)
+            end
+          done
+      | Peer_flap { peers; rate } ->
+          for _ = 1 to max 0 peers do
+            let pi = Random.State.int rng (Array.length live) in
+            let p = live.(pi) in
+            for i = 0 to p.used - 1 do
+              withdraw rate pi p.slots.(i)
+            done;
+            for i = 0 to p.used - 1 do
+              announce rate pi p.slots.(i)
+            done
+          done)
+    plan.stages;
+  {
+    events = !total;
+    announce_events = !announced;
+    withdraw_events = !withdrawn;
+    end_time = !time;
+  }
+
 (* Convert a workload event into the UPDATE message a neighbor would send. *)
 let to_update ~next_hop (e : event) : Msg.update =
   match e.kind with

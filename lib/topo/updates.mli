@@ -32,6 +32,51 @@ val generate :
   ?params:params -> prefixes:Prefix.t list -> origin_asn:Asn.t -> unit -> event list
 (** A time-ordered trace, deterministic per seed. *)
 
+(** {1 Staged streaming churn}
+
+    Full-table-scale workloads: events stream through a callback instead
+    of materializing a list, shaped as the waves operators see — announce
+    ramps (table transfer), withdraw storms (path hunting), whole-peer
+    flaps (session resets). Deterministic per [plan_seed]. *)
+
+type stage =
+  | Announce_wave of { count : int; rate : float }
+      (** announce [count] fresh prefixes, spread across peers,
+          rate-limited to [rate] events/second *)
+  | Withdraw_storm of { fraction : float; rate : float }
+      (** withdraw a random [fraction] of everything currently announced *)
+  | Peer_flap of { peers : int; rate : float }
+      (** [peers] random peers withdraw their whole table, then
+          re-announce it *)
+  | Pause of float  (** quiet seconds between waves *)
+
+type plan = {
+  stages : stage list;
+  peer_count : int;
+  path_pool : int;
+      (** distinct AS paths drawn from (real tables share attribute sets
+          heavily) *)
+  prefix_of : int -> Prefix.t;  (** the i-th fresh prefix *)
+  origin_asn : Asn.t;
+  plan_seed : int;
+}
+
+val default_prefix_of : int -> Prefix.t
+(** The i-th /24 inside 16.0.0.0/4 (2^20 distinct slots). *)
+
+val default_plan : plan
+
+type stats = {
+  events : int;
+  announce_events : int;
+  withdraw_events : int;
+  end_time : float;  (** virtual seconds the rate-limited stream spans *)
+}
+
+val run : ?plan:plan -> emit:(event -> unit) -> unit -> stats
+(** Stream the plan's events through [emit] in time order. Identical
+    seeds produce identical streams. *)
+
 val to_update : next_hop:Ipv4.t -> event -> Msg.update
 (** The UPDATE message a neighbor would send for this event. *)
 

@@ -5,7 +5,7 @@
    is inferred from the metric's unit:
 
      lower is better    bytes, prefixes, messages, computations, count
-     higher is better   ratio, percent
+     higher is better   ratio, percent, rate
      ignored            timing units (ns/op, us/update, ...) — too noisy
                         for a hard gate on shared CI hardware
 
@@ -21,7 +21,7 @@ type direction = Lower_better | Higher_better | Ignored
 let direction_of_unit = function
   | "bytes" | "prefixes" | "messages" | "computations" | "count" ->
       Lower_better
-  | "ratio" | "percent" -> Higher_better
+  | "ratio" | "percent" | "rate" -> Higher_better
   | _ -> Ignored
 
 let read_file path =
