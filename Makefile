@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos check fullscale
+.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos par check fullscale
 
 all: build
 
@@ -21,7 +21,7 @@ bench:
 # Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
 # flap withdrawal-storm counts, burst/intern sharing & packing ratios).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fullscale
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fwd-par fullscale
 
 # Full-table-scale control plane: 500k+ routes over 100 neighbors through
 # the batched-ingest pipeline, then a staged churn replay (withdraw storm,
@@ -33,7 +33,7 @@ fullscale:
 # Fast smoke run of the microbenchmarks (used by `make check`); writes
 # bench-smoke.json for the regression gate below.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fullscale
+	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fwd-par fullscale
 
 # Regression gate: compare the smoke run against the committed baseline.
 # Fails if any count/bytes/ratio headline metric moves >10% in the wrong
@@ -45,4 +45,9 @@ bench-diff: bench-smoke
 chaos:
 	dune exec test/test_chaos.exe
 
-check: fmt build test chaos bench-diff
+# Multicore data-plane suite: arena stress across domains plus the
+# sharded-vs-sequential differential (also part of `dune runtest`).
+par:
+	dune exec test/test_shard.exe
+
+check: fmt build test chaos par bench-diff

@@ -18,27 +18,40 @@ end
 
 module W = Weak.Make (Key)
 
+(* [lock] serializes interning (and stats maintenance): [W.merge] probes
+   and may resize the weak table, and the id/hit/miss counters are plain
+   mutable fields, so concurrent interns from several domains would race.
+   Taking the mutex only on the intern slow path keeps the fast property
+   intact: a handle, once returned, is an immutable value — reading,
+   hashing, or comparing handles never takes the lock. *)
 type t = {
   tbl : W.t;
+  lock : Mutex.t;
   mutable next_id : int;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(size = 1024) () = { tbl = W.create size; next_id = 0; hits = 0; misses = 0 }
+let create ?(size = 1024) () =
+  { tbl = W.create size; lock = Mutex.create (); next_id = 0; hits = 0;
+    misses = 0 }
 
 (* One arena for the whole platform: sharing across routers, tables and
    planes is the point. *)
 let global = create ~size:4096 ()
 
 let intern ?(arena = global) set =
-  let candidate = { id = arena.next_id; set = Attr.sort set } in
+  (* Canonicalization is pure; only the table merge needs the lock. *)
+  let sorted = Attr.sort set in
+  Mutex.lock arena.lock;
+  let candidate = { id = arena.next_id; set = sorted } in
   let found = W.merge arena.tbl candidate in
   if found == candidate then begin
     arena.misses <- arena.misses + 1;
     arena.next_id <- arena.next_id + 1
   end
   else arena.hits <- arena.hits + 1;
+  Mutex.unlock arena.lock;
   found
 
 let intern_set ?arena s = (intern ?arena s).set
@@ -51,8 +64,13 @@ let pp ppf h = Fmt.pf ppf "#%d{%a}" h.id Attr.pp_set h.set
 type stats = { hits : int; misses : int; live : int }
 
 let stats ?(arena = global) () =
-  { hits = arena.hits; misses = arena.misses; live = W.count arena.tbl }
+  Mutex.lock arena.lock;
+  let s = { hits = arena.hits; misses = arena.misses; live = W.count arena.tbl } in
+  Mutex.unlock arena.lock;
+  s
 
 let reset_stats ?(arena = global) () =
+  Mutex.lock arena.lock;
   arena.hits <- 0;
-  arena.misses <- 0
+  arena.misses <- 0;
+  Mutex.unlock arena.lock

@@ -8,7 +8,15 @@
     equality and hashing are O(1).
 
     Handles are weak-table backed: an attribute set whose last route is
-    withdrawn is reclaimed by the GC; nothing needs explicit release. *)
+    withdrawn is reclaimed by the GC; nothing needs explicit release.
+
+    {b Concurrency:} arenas are domain-safe. {!intern} (and the stats
+    accessors) take a per-arena mutex — the weak table probe/resize and
+    the id counter are the only shared mutable state. Handles themselves
+    are immutable values, so every read-side operation — {!equal},
+    {!hash}, {!id}, {!set}, pattern matching on a handle — is lock-free
+    and safe from any domain; interned handles remain physically unique
+    platform-wide, so O(1) handle comparison works across domains. *)
 
 type handle = private { id : int; set : Attr.set }
 (** A canonical interned attribute set. Two handles for observationally
@@ -22,7 +30,8 @@ val global : t
 
 val intern : ?arena:t -> Attr.set -> handle
 (** Canonicalize (sort by type code) and return the unique handle for
-    the set, allocating one on first sight. O(size of the set). *)
+    the set, allocating one on first sight. O(size of the set).
+    Domain-safe: the table merge is serialized on the arena's mutex. *)
 
 val intern_set : ?arena:t -> Attr.set -> Attr.set
 (** [(intern s).set]: the canonical physically-shared representation. *)

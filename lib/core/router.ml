@@ -90,6 +90,13 @@ let flush_reexports = Control_out.flush_reexports
 
 let inject_from_neighbor = Data_plane.inject_from_neighbor
 let forward_experiment_frame = Data_plane.forward_experiment_frame
+let forward_frames = Data_plane.forward_frames
+let domains t = t.Router_state.domains
+
+let shutdown_domains t =
+  match t.Router_state.pool with
+  | Some pool -> Shard.shutdown pool
+  | None -> ()
 
 (* -- wiring ----------------------------------------------------------------- *)
 

@@ -82,6 +82,7 @@ val create :
   ?data:Data_enforcer.t ->
   ?flow_cache:bool ->
   ?ingest_batching:bool ->
+  ?domains:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -96,7 +97,13 @@ val create :
     [true]) defers neighbor/mesh-ingest export fan-out to a per-tick
     dirty-queue flush that emits packed multi-NLRI UPDATEs; disabling it
     restores the eager per-prefix export path (again, the reference the
-    differential tests compare against). [seed] drives the router's
+    differential tests compare against). [domains] (default 1) shards
+    the data plane's batch entry point ({!forward_frames}) across that
+    many OCaml worker domains, each owning domain-local flow and
+    destination caches and forwarding against an immutable
+    generation-stamped control snapshot ({!Shard}); 1 keeps the
+    sequential path, bit-identical to pre-sharding behavior, and more
+    than 1 requires the flow cache. [seed] drives the router's
     deterministic RNG (reconnect jitter); [gr_restart_time] is the
     graceful-restart window it advertises (RFC 4724) — 0 disables
     graceful restart. *)
@@ -199,7 +206,28 @@ val inject_from_neighbor : t -> neighbor_id:int -> Ipv4_packet.t -> unit
 
 val forward_experiment_frame : t -> neighbor_id:int -> Eth.t -> unit
 (** A frame an experiment addressed to a neighbor's virtual MAC (normally
-    invoked via the LAN station). *)
+    invoked via the LAN station). Always sequential, even on a router
+    with worker domains. *)
+
+val forward_frames : t -> Eth.t array -> unit
+(** Forward a batch of experiment frames, each selecting its neighbor by
+    destination MAC (unknown destinations drop and count). On a
+    [?domains:n] router with [n > 1] the batch is hash-partitioned by
+    flow across the worker domains and forwarded in parallel against the
+    published control snapshot; effects and counters are folded back
+    before the call returns. With one domain this is the sequential fast
+    path in a loop. *)
+
+val domains : t -> int
+(** The router's worker-domain count (1 = sequential data plane). *)
+
+val shutdown_domains : t -> unit
+(** Join the sharded data plane's parked worker domains (each live
+    domain counts against the OCaml runtime's domain limit, so tests and
+    benchmarks churning many [?domains] routers should release them).
+    Idempotent, a no-op on sequential routers, and transparent: the next
+    {!forward_frames} batch respawns workers with all sharding state
+    (caches, counters, shaper replicas) intact. *)
 
 (** {1 Wiring} *)
 

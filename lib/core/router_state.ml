@@ -210,6 +210,13 @@ type t = {
       (** serve forwarding decisions from the per-neighbor flow caches
           (off forces every frame through the slow path — the reference
           behavior differential tests compare against) *)
+  domains : int;
+      (** worker domains for the sharded data plane; 1 = the sequential
+          path (the default, bit-identical to pre-sharding behavior) *)
+  mutable pool : Shard.t option;  (** the worker pool when [domains > 1] *)
+  mutable shard_fp : int list;
+      (** fingerprint of the control state captured by the last published
+          snapshot; a publication happens only when it changes *)
 }
 
 let mesh_exp_id_base = 100_000
@@ -221,8 +228,11 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
-    ?control ?data ?(flow_cache = true) ?(ingest_batching = true) ?(seed = 42)
-    ?(gr_restart_time = 120) () =
+    ?control ?data ?(flow_cache = true) ?(ingest_batching = true)
+    ?(domains = 1) ?(seed = 42) ?(gr_restart_time = 120) () =
+  if domains < 1 then invalid_arg "Router.create: domains must be >= 1";
+  if domains > 1 && not flow_cache then
+    invalid_arg "Router.create: the sharded data plane requires the flow cache";
   let control =
     match control with
     | Some c -> c
@@ -292,6 +302,9 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     rng = Random.State.make [| seed; Hashtbl.hash name |];
     gr_restart_time;
     flow_cache_enabled = flow_cache;
+    domains;
+    pool = (if domains > 1 then Some (Shard.create ~domains ()) else None);
+    shard_fp = [];
   }
 
 let name t = t.name
@@ -340,6 +353,59 @@ let owner_lookup t ip =
       result
 
 let neighbor t id = Hashtbl.find_opt t.neighbors id
+
+(* -- sharded data-plane snapshot publication --------------------------------- *)
+
+(* Everything a worker-domain snapshot derives from, reduced to a list of
+   generation stamps: the enforcement chain's generation, the owner
+   cache's (bumped by announcements, withdrawals, and experiment
+   attachment — which also covers ingress attribution), the experiment
+   station count, and each neighbor's (id, FIB generation). When none of
+   these moved since the last publication, the published snapshot is
+   still exact and republishing would only invalidate the worker caches
+   for nothing. *)
+let shard_fingerprint t =
+  let per_neighbor =
+    Hashtbl.fold (fun id _ acc -> id :: acc) t.neighbors []
+    |> List.sort Int.compare
+    |> List.concat_map (fun id ->
+           [ id; Rib.Fib.generation (Rib.Fib.Set.table t.fibs id) ])
+  in
+  Data_enforcer.generation t.data
+  :: Dcache.generation t.owner_cache
+  :: Hashtbl.length t.by_exp_mac
+  :: per_neighbor
+
+(* Publish a fresh control snapshot to the worker pool when anything it
+   captures has changed. Called at every tick flush and lazily before
+   each sharded drain; a no-op on single-domain routers. The snapshot
+   tables are built fresh here and handed over immutably; the per-neighbor
+   FIB tries are persistent values, so capturing the roots is O(neighbors)
+   regardless of table size. *)
+let shard_publish t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+      let fp = shard_fingerprint t in
+      if fp <> t.shard_fp then begin
+        t.shard_fp <- fp;
+        let vmac = Hashtbl.create (max 8 (Hashtbl.length t.by_vmac)) in
+        Hashtbl.iter
+          (fun mac id ->
+            match neighbor t id with
+            | None -> ()
+            | Some ns ->
+                Hashtbl.replace vmac mac
+                  {
+                    Shard.sn_id = id;
+                    sn_alias = Neighbor.is_alias ns.info;
+                    sn_trie = Rib.Fib.trie (Rib.Fib.Set.table t.fibs id);
+                  })
+          t.by_vmac;
+        Shard.publish pool ~vmac ~exp_mac:(Hashtbl.copy t.by_exp_mac)
+          ~head:(Data_enforcer.head_filters t.data)
+          ~tail:(Data_enforcer.tail_filters t.data)
+      end
 
 let neighbor_states t =
   Hashtbl.fold (fun _ ns acc -> ns :: acc) t.neighbors []

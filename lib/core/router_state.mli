@@ -178,6 +178,13 @@ type t = {
       (** the restart window this router advertises (RFC 4724), seconds *)
   flow_cache_enabled : bool;
       (** serve forwarding decisions from the per-neighbor flow caches *)
+  domains : int;
+      (** worker domains for the sharded data plane; 1 = the sequential
+          path (the default, bit-identical to pre-sharding behavior) *)
+  mutable pool : Shard.t option;  (** the worker pool when [domains > 1] *)
+  mutable shard_fp : int list;
+      (** fingerprint of the control state captured by the last published
+          snapshot (see {!shard_publish}) *)
 }
 
 val mesh_exp_id_base : int
@@ -201,10 +208,18 @@ val create :
   ?data:Data_enforcer.t ->
   ?flow_cache:bool ->
   ?ingest_batching:bool ->
+  ?domains:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
   t
+
+val shard_publish : t -> unit
+(** Publish a fresh control snapshot to the sharded data plane's worker
+    pool when any state it captures has changed (enforcement chain,
+    owner table, experiment stations, any neighbor FIB — tracked by a
+    generation fingerprint). Called automatically at every tick flush
+    and before each sharded drain; a no-op on single-domain routers. *)
 
 val name : t -> string
 val asn : t -> Asn.t

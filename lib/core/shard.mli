@@ -1,0 +1,115 @@
+(** The domain-sharded data plane: N OCaml 5 worker domains, each owning
+    a domain-local per-neighbor flow cache and FIB destination cache,
+    forwarding against an immutable generation-stamped control snapshot
+    published through an [Atomic].
+
+    Protocol: the (single-domain) control plane {!publish}es a snapshot
+    whenever its state changes; frames are {!dispatch}ed to per-domain
+    ingress queues by hashing the flow key (source MAC, IPv4 source and
+    destination) so every packet of a flow lands on the same domain —
+    keeping memoized verdicts and per-flow shaper buckets single-writer;
+    {!drain} wakes the persistent parked workers (each detects a stale
+    generation with one integer compare and refreshes its caches
+    lock-free); {!consume} folds buffered effects and per-domain
+    counters into the caller's sinks after the drain's done-handshake
+    (which provides the happens-before edge). The control plane must be
+    quiesced during a drain; workers only ever run concurrently with
+    each other.
+
+    The worker fast path mirrors {!Data_plane.forward_experiment_frame}
+    exactly (verdicts, per-filter accounting, delivery multisets, shaper
+    debits); the parallel-vs-sequential differential suite pins the
+    equivalence. Flow entries carry one snapshot generation instead of
+    the sequential path's three stamps, so invalidation is coarser and
+    hit/miss counts may differ across equivalent runs — never verdicts. *)
+
+open Netcore
+
+val domain_of_flow :
+  domains:int -> src_mac:Mac.t -> src:Ipv4.t -> dst:Ipv4.t -> int
+(** The home domain of a flow key — deterministic, so per-flow state is
+    single-writer by construction. *)
+
+(** Per-neighbor slice of a snapshot: the FIB's persistent trie root
+    (immutable — safe to walk from any domain) plus egress identity. *)
+type nsnap = {
+  sn_id : int;
+  sn_alias : bool;  (** remote neighbor: egress goes over the backbone *)
+  sn_trie : Rib.Fib.entry Ptrie.V4.t;
+}
+
+(** Buffered externally-visible effects a worker may not perform itself;
+    applied by the coordinator via {!consume}. *)
+type outcome =
+  | O_icmp of Ipv4_packet.t  (** TTL expired: answer with ICMP inbound *)
+  | O_backbone of Ipv4.t * Ipv4_packet.t
+      (** forward over the backbone toward the global IP *)
+
+type t
+
+val create : domains:int -> unit -> t
+(** A worker pool of [domains] domains (>= 1). No domain is spawned until
+    a multi-domain {!drain}; a 1-domain pool runs everything inline. *)
+
+val domain_count : t -> int
+
+val generation : t -> int
+(** The current snapshot's generation (0 before the first publish). *)
+
+val publish :
+  t ->
+  vmac:(Mac.t, nsnap) Hashtbl.t ->
+  exp_mac:(Mac.t, string) Hashtbl.t ->
+  head:Data_enforcer.filter list ->
+  tail:Data_enforcer.filter list ->
+  unit
+(** Publish a new control snapshot (generation = previous + 1). The
+    tables must be freshly built for this call and never mutated after;
+    the single [Atomic.set] is the linearization point. [head] filters
+    are shared read-only across domains (workers account them in
+    per-domain arrays); [tail] filters are replicated per domain on first
+    sight ({!Data_enforcer.replicate}) and the replicas persist across
+    generations, so stateful filters keep their state through control
+    churn. *)
+
+val dispatch : t -> Eth.t -> unit
+(** Queue one frame on its flow's home domain (runs on the coordinator,
+    between drains). *)
+
+val drain : t -> now:float -> unit
+(** Forward everything queued: one worker per domain (the coordinator
+    runs domain 0; the rest are persistent domains parked on a condition
+    between drains, spawned lazily at the first multi-domain drain). The
+    control plane must not mutate router state during the call. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains (each live domain counts against the
+    runtime's domain limit, so callers churning many sharded routers
+    should release them). Idempotent; sharding state survives, and the
+    next multi-domain {!drain} respawns workers transparently. *)
+
+val consume :
+  t ->
+  deliver:(int -> Ipv4_packet.View.t -> unit) ->
+  outcome:(outcome -> unit) ->
+  attribute:(string -> packets:int -> bytes:int -> unit) ->
+  counters:
+    (hits:int -> misses:int -> to_neighbors:int -> dropped:int -> unit) ->
+  unit
+(** Fold the drain's buffered effects and counters into the caller's
+    sinks and clear them: deliveries ([deliver neighbor_id view]) and
+    outcomes in per-domain forwarding order, per-experiment attribution
+    totals, then one [counters] call with the drain's flow-cache and
+    forwarding tallies. Call after {!drain} returns. *)
+
+(** {1 Enforcer aggregation}
+
+    Sharded analogs of {!Data_enforcer.stats}/[filter_stats], summed
+    across domains (shared-head counter arrays + tail replica counters).
+    Call between drains. *)
+
+val enforcer_stats : t -> int * int
+(** Aggregate [(allowed, blocked)] chain totals. *)
+
+val filter_stats : t -> (string * int * int) list
+(** Aggregate per-filter [(name, allowed, blocked)] in chain order. *)

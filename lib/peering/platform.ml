@@ -38,6 +38,8 @@ let default_v6 =
   List.init 16 (fun i ->
       Prefix_v6.subnet (Prefix_v6.of_string_exn "2804:269c::/32") 48 (i + 1))
 
+let experiment_asns t = t.experiment_asns
+
 let create ?(trace = Trace.create ~capacity:100_000 ()) () =
   let engine = Engine.create () in
   match default_asns with

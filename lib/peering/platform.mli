@@ -19,6 +19,11 @@ val create : ?trace:Trace.t -> unit -> t
 val engine : t -> Engine.t
 val trace : t -> Trace.t
 val mux_asn : t -> Asn.t
+
+val experiment_asns : t -> Asn.t list
+(** The full assignable-ASN roster (§4.2), whether or not currently
+    leased. *)
+
 val pops : t -> Pop.t list
 val global_pool : t -> Vbgp.Addr_pool.t
 val records : t -> Approval.record list

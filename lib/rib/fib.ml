@@ -63,6 +63,13 @@ let lookup t addr =
    on the next lookup instead of being flushed explicitly. *)
 let generation t = Dcache.generation t.cache
 
+(* The trie value itself is an immutable persistent structure; mutation
+   replaces [t.trie] wholesale. Handing the current root out therefore
+   yields a consistent point-in-time snapshot that is safe to read from
+   other domains — the sharded data plane captures it per control-plane
+   generation and pairs it with [generation] for staleness detection. *)
+let trie t = t.trie
+
 let find t prefix = Ptrie.V4.find prefix t.trie
 
 let fold f t acc = Ptrie.V4.fold f t.trie acc

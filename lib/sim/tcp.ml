@@ -35,11 +35,11 @@ type t = {
   mutable in_flight : int;
   mutable srtt : float;
   mutable retransmits : int;
-  mutable started_at : float;
+  started_at : float;
   mutable finished : bool;
   mutable timer_generation : int;
       (** invalidates outstanding retransmission timeouts *)
-  mutable send_times : (int, float) Hashtbl.t;
+  send_times : (int, float) Hashtbl.t;
   rx : receiver;
 }
 

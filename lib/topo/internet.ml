@@ -23,6 +23,7 @@ type propagation = {
   routes : (Asn.t, route) Hashtbl.t;
 }
 
+let origin p = p.origin
 let has_route p asn = Hashtbl.mem p.routes asn
 let route p asn = Hashtbl.find_opt p.routes asn
 

@@ -19,6 +19,9 @@ type route = {
 type propagation
 (** The per-origin result. *)
 
+val origin : propagation -> Asn.t
+(** The AS whose announcement this result propagated. *)
+
 val has_route : propagation -> Asn.t -> bool
 val route : propagation -> Asn.t -> route option
 
