@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos par check fullscale
+.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos par drill check fullscale
 
 all: build
 
@@ -21,7 +21,7 @@ bench:
 # Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
 # flap withdrawal-storm counts, burst/intern sharing & packing ratios).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fwd-par fullscale
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fwd-par fullscale drill
 
 # Full-table-scale control plane: 500k+ routes over 100 neighbors through
 # the batched-ingest pipeline, then a staged churn replay (withdraw storm,
@@ -33,7 +33,7 @@ fullscale:
 # Fast smoke run of the microbenchmarks (used by `make check`); writes
 # bench-smoke.json for the regression gate below.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fwd-par fullscale
+	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fwd-par fullscale drill
 
 # Regression gate: compare the smoke run against the committed baseline.
 # Fails if any count/bytes/ratio headline metric moves >10% in the wrong
@@ -50,4 +50,9 @@ chaos:
 par:
 	dune exec test/test_shard.exe
 
-check: fmt build test chaos par bench-diff
+# Failover drills: PoP kill/re-home/restart, degraded mode, two-phase
+# zero-residual guarantees (also part of `dune runtest`).
+drill:
+	dune exec test/test_drill.exe
+
+check: fmt build test chaos par drill bench-diff

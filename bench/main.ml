@@ -1732,6 +1732,109 @@ let fullscale () =
   record ~experiment:"fullscale" ~metric:"export_packing_ratio" ~unit_:"ratio"
     packing
 
+(* ------------------------------------------------------------------------- *)
+(* Failover drill: kill a whole PoP, time health detection and the          *)
+(* post-restart reconvergence in deterministic simulated seconds. The sim   *)
+(* clock makes these numbers exactly reproducible, so they gate in          *)
+(* bench-diff alongside the count/ratio metrics.                            *)
+(* ------------------------------------------------------------------------- *)
+
+let drill () =
+  section "failover drill: PoP kill/restart, detection and reconvergence";
+  let open Peering in
+  let seed = 3 in
+  let graph =
+    Topo.As_graph.generate
+      ~params:{ Topo.As_graph.default_gen with transit = 6; stub = 24; seed }
+      ()
+  in
+  let stubs =
+    List.filter
+      (fun a ->
+        match Topo.As_graph.node graph a with
+        | Some n -> n.Topo.As_graph.tier = 3
+        | None -> false)
+      (Topo.As_graph.asns graph)
+    |> List.sort Asn.compare
+  in
+  let origins =
+    Topo.Internet.assign_prefixes
+      ~base:(pfx "192.168.0.0/16")
+      (List.filteri (fun i _ -> i < 12) stubs)
+  in
+  let internet = Topo.Internet.create graph ~origins in
+  let platform = Platform.create () in
+  let pop_a = Platform.add_pop platform ~name:"pop01" ~site:Pop.Ixp () in
+  let pop_b = Platform.add_pop platform ~name:"pop02" ~site:Pop.Ixp () in
+  ignore
+    (Platform.populate_pop platform ~pop:pop_a ~internet ~transits:2 ~peers:1
+       ());
+  ignore
+    (Platform.populate_pop platform ~pop:pop_b ~internet ~transits:2 ~peers:1
+       ());
+  Platform.connect_backbone platform;
+  Platform.run platform ~seconds:10.;
+  let grant =
+    match
+      Platform.submit platform
+        (Approval.proposal ~title:"bench" ~team:"bench" ~goals:"drill" ())
+    with
+    | Platform.Granted r -> r.Approval.grant
+    | Platform.Denied reason -> failwith reason
+  in
+  let kit = Toolkit.create ~engine:(Platform.engine platform) ~grant in
+  ignore (Toolkit.open_tunnel kit pop_a);
+  ignore (Toolkit.open_tunnel kit pop_b);
+  Toolkit.start_session kit ~pop:"pop01";
+  Toolkit.start_session kit ~pop:"pop02";
+  Platform.run platform ~seconds:10.;
+  Toolkit.announce kit (List.hd grant.Vbgp.Control_enforcer.prefixes);
+  Platform.run platform ~seconds:10.;
+  (match Failover.reapply platform (Config_model.of_platform platform) with
+  | Controller.Multi.Committed_all _ -> ()
+  | _ -> failwith "drill: initial intent apply failed");
+  let health = Health.create platform in
+  Health.start health;
+  Platform.run platform ~seconds:1.25;
+  let kill_time = Sim.Engine.now (Platform.engine platform) in
+  Failover.kill_pop platform ~kits:[ kit ] ~name:"pop02" ();
+  Platform.run platform ~seconds:15.;
+  let failed_at =
+    match
+      List.find_opt
+        (fun (_, p, s) -> String.equal p "pop02" && s = Health.Failed)
+        (Health.transitions health)
+    with
+    | Some (t, _, _) -> t
+    | None -> failwith "drill: PoP never declared Failed"
+  in
+  let restart_time = Sim.Engine.now (Platform.engine platform) in
+  Failover.restart_pop platform ~kits:[ kit ] ~name:"pop02" ();
+  Platform.run platform ~seconds:45.;
+  let healthy_at =
+    match
+      List.find_opt
+        (fun (t, p, s) ->
+          String.equal p "pop02" && s = Health.Healthy && t > restart_time)
+        (Health.transitions health)
+    with
+    | Some (t, _, _) -> t
+    | None -> failwith "drill: PoP never recovered to Healthy"
+  in
+  (match Failover.reapply platform (Config_model.of_platform platform) with
+  | Controller.Multi.Committed_all _ -> ()
+  | _ -> failwith "drill: post-restart reapply failed");
+  Health.stop health;
+  let detect_s = failed_at -. kill_time in
+  let reconverge_s = healthy_at -. restart_time in
+  Fmt.pr "detection: Failed %.2f simulated s after the kill@." detect_s;
+  Fmt.pr "reconvergence: Healthy %.2f simulated s after the restart@."
+    reconverge_s;
+  record ~experiment:"drill" ~metric:"failover_detect_s" ~unit_:"sim_s"
+    detect_s;
+  record ~experiment:"drill" ~metric:"failover_reconverge_s" ~unit_:"sim_s"
+    reconverge_s
+
 let experiments =
   [
     ("fig6a", fig6a);
@@ -1751,6 +1854,7 @@ let experiments =
     ("fwd", fwd);
     ("fwd-par", fwd_par);
     ("fullscale", fullscale);
+    ("drill", drill);
   ]
 
 let () =

@@ -32,8 +32,42 @@ let variants_for_prefix t prefix =
       t.experiments []
   in
   Hashtbl.fold
-    (fun _ (p, h) acc -> if Prefix.equal p prefix then h :: acc else acc)
+    (fun _ (p, h, _) acc -> if Prefix.equal p prefix then h :: acc else acc)
     t.remote_exp_routes local
+
+(* Recompute [prefix]'s traffic owner with local-first precedence: a
+   locally attached experiment always wins (delivery here beats a
+   backbone detour — and two PoPs each deferring to the other would
+   bounce packets between them until TTL death), any surviving mesh
+   import is the fallback, and with no candidate the entry goes away.
+   Called whenever either candidate set changes, so a local withdrawal
+   re-homes traffic onto a remote PoP and vice versa. *)
+let refresh_owner t prefix =
+  let local =
+    Hashtbl.fold
+      (fun name e acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Hashtbl.mem e.routes prefix then Some name else None)
+      t.experiments None
+  in
+  match local with
+  | Some exp_name -> owner_insert t prefix (Local_exp exp_name)
+  | None -> (
+      let remote =
+        Hashtbl.fold
+          (fun (pop, _) (p, _, g) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if Prefix.equal p prefix then
+                  Some (Remote_exp { pop; via_global = g })
+                else None)
+          t.remote_exp_routes None
+      in
+      match remote with
+      | Some owner -> owner_insert t prefix owner
+      | None -> owner_remove t prefix)
 
 let variants_for_prefix_v6 t prefix =
   Hashtbl.fold
@@ -451,7 +485,7 @@ let process_experiment_update t ~experiment:exp_name (u : Msg.update) =
                   vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
                   if !vs = [] then begin
                     Hashtbl.remove e.routes n.prefix;
-                    owner_remove t n.prefix
+                    refresh_owner t n.prefix
                   end;
                   export_exp_withdraw_to_mesh t e n.prefix pid;
                   request_reexport t n.prefix)
@@ -517,7 +551,7 @@ let hard_drop_experiment t (e : experiment_state) =
       List.iter
         (fun v -> export_exp_withdraw_to_mesh t e prefix v.v_path_id)
         vs;
-      owner_remove t prefix;
+      refresh_owner t prefix;
       request_reexport t prefix)
     announced;
   let announced_v6 =
@@ -590,7 +624,7 @@ let gr_sweep_experiment t (e : experiment_state) =
               vs := List.filter (fun v -> v.v_path_id <> pid) !vs;
               if !vs = [] then begin
                 Hashtbl.remove e.routes prefix;
-                owner_remove t prefix
+                refresh_owner t prefix
               end
           | None -> ());
           export_exp_withdraw_to_mesh t e prefix pid;
@@ -651,7 +685,7 @@ let process_mesh_update t ~pop (u : Msg.update) =
           | None -> ())
       | Some (Iremote_exp { prefix }) ->
           Hashtbl.remove t.remote_exp_routes (pop, pid);
-          owner_remove t prefix;
+          refresh_owner t prefix;
           request_reexport t prefix
       | None -> ())
     u.withdrawn;
@@ -719,15 +753,16 @@ let process_mesh_update t ~pop (u : Msg.update) =
             gr_unmark mesh_gr (pid, n.prefix);
             let unchanged =
               match Hashtbl.find_opt t.remote_exp_routes (pop, pid) with
-              | Some (p, a) ->
+              | Some (p, a, _) ->
                   Prefix.equal p n.prefix && Attr_arena.equal a attrs_h
               | None -> false
             in
             Hashtbl.replace t.mesh_imports (pop, pid)
               (Iremote_exp { prefix = n.prefix });
             if not unchanged then begin
-              Hashtbl.replace t.remote_exp_routes (pop, pid) (n.prefix, attrs_h);
-              owner_insert t n.prefix (Remote_exp { pop; via_global = g });
+              Hashtbl.replace t.remote_exp_routes (pop, pid)
+                (n.prefix, attrs_h, g);
+              refresh_owner t n.prefix;
               request_reexport t n.prefix
             end)
           u.announced
@@ -769,7 +804,7 @@ let drop_pop_imports t ~pop =
           | None -> ())
       | Iremote_exp { prefix } ->
           Hashtbl.remove t.remote_exp_routes (pop, pid);
-          owner_remove t prefix;
+          refresh_owner t prefix;
           request_reexport t prefix)
     (List.sort compare entries)
 
@@ -852,7 +887,7 @@ let process_mesh_eor t ~pop =
               | Some (Iremote_exp { prefix = rp }) ->
                   Hashtbl.remove t.remote_exp_routes (pop, pid);
                   Hashtbl.remove t.mesh_imports (pop, pid);
-                  owner_remove t rp;
+                  refresh_owner t rp;
                   request_reexport t rp
               | None -> ())
             (List.sort compare stale);
@@ -876,6 +911,20 @@ let process_mesh_down t ~pop reason =
           (match mp.mesh_gr with Some h -> h.cancel_expiry () | None -> ());
           mp.mesh_gr <- None;
           drop_pop_imports t ~pop)
+
+(* An out-of-band verdict that [pop] is dead (the health monitor's Failed
+   transition): forget its imports now rather than letting the
+   graceful-restart window run out — remote experiment announcements are
+   withdrawn from our neighbors, re-homing their traffic onto the PoPs
+   still carrying the prefix. Idempotent; a later mesh resync simply
+   re-imports. *)
+let flush_mesh_peer t ~pop =
+  match mesh_peer_for t ~pop with
+  | None -> ()
+  | Some mp ->
+      (match mp.mesh_gr with Some h -> h.cancel_expiry () | None -> ());
+      mp.mesh_gr <- None;
+      drop_pop_imports t ~pop
 
 (* -- experiment wiring ------------------------------------------------------ *)
 

@@ -63,6 +63,12 @@ val process_mesh_down : Router_state.t -> pop:string -> Fsm.down_reason -> unit
 (** Mesh session loss: retain imports as stale for the negotiated restart
     window on a graceful down, hard-drop them otherwise. *)
 
+val flush_mesh_peer : Router_state.t -> pop:string -> unit
+(** An out-of-band verdict that [pop] is dead (the health monitor's
+    Failed transition): drop its imports now instead of waiting out the
+    graceful-restart window, withdrawing its remote experiment
+    announcements from our neighbors. Idempotent. *)
+
 val connect_experiment :
   Router_state.t ->
   grant:Control_enforcer.grant ->

@@ -110,3 +110,4 @@ let connect_mesh t other ?latency () =
     ~on_peer_down:Control_out.process_mesh_down ?latency ()
 
 let connect_experiment = Control_out.connect_experiment
+let flush_mesh_peer = Control_out.flush_mesh_peer

@@ -255,6 +255,13 @@ val connect_mesh : t -> t -> ?latency:float -> unit -> Bgp_wire.pair
 (** Bring up the backbone BGP mesh session between two PoP routers (both
     directions installed; started internally). *)
 
+val flush_mesh_peer : t -> pop:string -> unit
+(** An out-of-band verdict that [pop] is dead (e.g. the health monitor's
+    Failed transition): drop everything imported from it now instead of
+    waiting out the graceful-restart window, withdrawing its remote
+    experiment announcements from our neighbors so traffic re-homes onto
+    surviving PoPs. Idempotent; a later mesh resync re-imports. *)
+
 val connect_experiment :
   t ->
   grant:Control_enforcer.grant ->

@@ -181,7 +181,11 @@ type t = {
           [owner_insert]/[owner_remove] so the generation stays coherent *)
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
-  remote_exp_routes : (string * int, Prefix.t * Attr_arena.handle) Hashtbl.t;
+  remote_exp_routes :
+    (string * int, Prefix.t * Attr_arena.handle * Ipv4.t) Hashtbl.t;
+      (** (origin PoP, path id) -> announced prefix, attributes, and the
+          origin's backbone address (the owner fallback when no local
+          experiment announces the prefix) *)
   adj_out : (int, (Prefix.t, Attr_arena.handle) Hashtbl.t) Hashtbl.t;
       (** per-neighbor last-sent attributes (interned) *)
   (* The dirty-prefix re-export queue (drained by [Control_out]): updates

@@ -159,7 +159,11 @@ type t = {
   owner_cache : owner Dcache.t;
   mutable mesh : mesh_peer list;
   mesh_imports : (string * int, mesh_import) Hashtbl.t;
-  remote_exp_routes : (string * int, Prefix.t * Attr_arena.handle) Hashtbl.t;
+  remote_exp_routes :
+    (string * int, Prefix.t * Attr_arena.handle * Ipv4.t) Hashtbl.t;
+      (** (origin PoP, path id) -> announced prefix, attributes, and the
+          origin's backbone address (the owner fallback when no local
+          experiment announces the prefix) *)
   adj_out : (int, (Prefix.t, Attr_arena.handle) Hashtbl.t) Hashtbl.t;
   dirty : (Prefix.t, unit) Hashtbl.t;
   dirty_v6 : (Prefix_v6.t, unit) Hashtbl.t;

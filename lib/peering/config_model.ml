@@ -38,6 +38,30 @@ let make ?(version = 1) pops = { pops; version }
 
 let pop t name = List.find_opt (fun p -> String.equal p.pop_name name) t.pops
 
+(* Compile one PoP's intent into the kernel state the controller must
+   realize (paper §5): a tap interface per experiment carrying the first
+   address of its first granted prefix, and a routing table + rule per
+   interconnection (mesh sessions ride the backbone, not the kernel).
+   Deterministic: the same intent always renders the same state, which is
+   what makes two-phase re-apply after a crash idempotent. *)
+let desired_of_intent (p : pop_intent) =
+  let experiments =
+    List.filter_map
+      (fun e ->
+        match e.exp_prefixes with
+        | prefix :: _ -> Some (e.exp_name, Prefix.host prefix 1)
+        | [] -> None)
+      p.experiments
+  in
+  let neighbors =
+    List.filter (fun s -> not (String.equal s.kind "mesh")) p.sessions
+    |> List.mapi (fun i s ->
+           (* Table id and virtual next-hop are positional in the intent,
+              mirroring the 127.65/16 per-neighbor allocator (§3.2.1). *)
+           (i + 1, Ipv4.of_octets 127 65 0 (i + 1), s.peer_ip))
+  in
+  Controller.vbgp_desired_state ~experiments ~neighbors
+
 (* Snapshot the intent of a live platform: this is the "desired
    configuration database" the paper stores centrally. *)
 let of_platform (platform : Platform.t) =

@@ -40,3 +40,9 @@ val pop : t -> string -> pop_intent option
 val of_platform : Platform.t -> t
 (** Snapshot the live platform's intent (the "desired configuration
     database" of §5). *)
+
+val desired_of_intent : pop_intent -> Controller.state
+(** Compile one PoP's intent into the kernel state the controller must
+    realize: a tap interface per experiment, a routing table + rule per
+    interconnection (mesh sessions are excluded — they ride the
+    backbone). Deterministic, so two-phase re-apply is idempotent. *)

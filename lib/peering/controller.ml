@@ -88,6 +88,8 @@ module Kernel = struct
     mutable rules : rule list;
     mutable fail_after : int option;
         (** fail the Nth next operation (0 = the next one) *)
+    mutable offline : bool;
+        (** a crashed/unreachable PoP: every request fails until restored *)
     mutable ops_applied : op list;  (** newest first, for inspection *)
   }
 
@@ -97,10 +99,22 @@ module Kernel = struct
       routes = [];
       rules = [];
       fail_after = None;
+      offline = false;
       ops_applied = [];
     }
 
   let inject_failure t ~after = t.fail_after <- Some after
+  let set_offline t offline = t.offline <- offline
+  let offline t = t.offline
+
+  (* A PoP crash loses the kernel's runtime network configuration (it
+     reboots empty); the controller must replay intent to rebuild it. *)
+  let reset t =
+    Hashtbl.reset t.ifaces;
+    t.routes <- [];
+    t.rules <- [];
+    t.fail_after <- None;
+    t.ops_applied <- []
 
   let observe t : state =
     let ifaces =
@@ -113,6 +127,8 @@ module Kernel = struct
     { ifaces; routes = t.routes; rules = t.rules }
 
   let apply t op =
+    if t.offline then Error (Fmt.str "EHOSTUNREACH applying: %a" pp_op op)
+    else
     match t.fail_after with
     | Some 0 ->
         t.fail_after <- None;
@@ -211,7 +227,24 @@ let invert ~(before : state) = function
       | Some i -> [ Set_link (n, i.up) ]
       | None -> [])
   | Add_address (n, ip) -> [ Del_address (n, ip) ]
-  | Del_address (n, ip) -> [ Add_address (n, ip) ]
+  | Del_address (n, ip) -> (
+      (* Because the kernel's primary address is positional (first added),
+         a bare re-add cannot restore ordering: every address that
+         followed [ip] before the delete must come off and back on again
+         behind it. Rollback applies inverses newest-first, so at the
+         time this inverse runs those trailing addresses are present
+         exactly as they were in [before]. *)
+      match List.find_opt (fun i -> String.equal i.ifname n) before.ifaces with
+      | Some i ->
+          let rec after = function
+            | [] -> []
+            | a :: rest -> if Ipv4.equal a ip then rest else after rest
+          in
+          let trailing = after i.addresses in
+          List.map (fun a -> Del_address (n, a)) trailing
+          @ Add_address (n, ip)
+            :: List.map (fun a -> Add_address (n, a)) trailing
+      | None -> [ Add_address (n, ip) ])
   | Add_route r -> [ Del_route r ]
   | Del_route r -> [ Add_route r ]
   | Add_rule r -> [ Del_rule r ]
@@ -333,6 +366,289 @@ let reconcile kernel ~desired =
 let converged kernel ~(desired : state) =
   let current = Kernel.observe kernel in
   plan ~current ~desired = []
+
+(* -- two-phase apply across PoPs --------------------------------------------- *)
+
+(* Platform-wide configuration pushes (paper §5): one intent document
+   covers every PoP, and a push must never leave the platform split-brained
+   — either every PoP converges to the new intent or every PoP is returned
+   to its pre-apply state. The protocol is a classic two-phase commit over
+   the per-kernel transactional layer above:
+
+     prepare  observe each PoP, compute its plan, verify the kernel is
+              reachable — no mutation;
+     commit   apply each plan transactionally, in order;
+     abort    on any failure, reconcile every already-committed PoP back
+              to its pre-apply snapshot (the per-kernel rollback handles
+              the failing PoP itself).
+
+   Each phase retries per-PoP with capped exponential backoff (transient
+   EINVAL/EHOSTUNREACH answers are a fact of life against Netlink), and
+   every step lands in a journal so a controller that crashes mid-apply
+   can resume: committed PoPs are recognized and skipped, the rest are
+   re-planned from their live kernel state. *)
+module Multi = struct
+  type participant = {
+    part_name : string;
+    kernel : Kernel.t;
+    desired : state;
+  }
+
+  type phase = Prepare | Commit | Rollback
+
+  let phase_to_string = function
+    | Prepare -> "prepare"
+    | Commit -> "commit"
+    | Rollback -> "rollback"
+
+  type entry_status =
+    | Pending
+    | Prepared
+    | Committed
+    | Rolled_back
+    | Apply_failed of string
+
+  let entry_status_to_string = function
+    | Pending -> "pending"
+    | Prepared -> "prepared"
+    | Committed -> "committed"
+    | Rolled_back -> "rolled-back"
+    | Apply_failed e -> Printf.sprintf "failed (%s)" e
+
+  type entry = {
+    e_name : string;
+    mutable snapshot : state;  (** pre-apply kernel state, rollback target *)
+    mutable plan_ops : op list;
+    mutable status : entry_status;
+    mutable attempts : int;  (** kernel round-trips across all phases *)
+  }
+
+  type journal = {
+    entries : entry list;  (** in participant order *)
+    mutable log : string list;  (** newest first *)
+    mutable backoffs : float list;  (** retry delays issued, newest first *)
+  }
+
+  type retry = {
+    max_attempts : int;  (** per PoP per phase *)
+    backoff_base : float;
+    backoff_max : float;
+  }
+
+  let default_retry = { max_attempts = 3; backoff_base = 0.2; backoff_max = 5. }
+
+  type outcome =
+    | Committed_all of journal
+    | Aborted of {
+        failed_pop : string;
+        phase : phase;
+        error : string;
+        journal : journal;
+      }
+    | Crashed of journal  (** stopped by [crash_after]; resumable *)
+
+  let journal_entries j = j.entries
+  let journal_log j = List.rev j.log
+  let journal_backoffs j = List.rev j.backoffs
+
+  let entry j name =
+    List.find_opt (fun e -> String.equal e.e_name name) j.entries
+
+  let pp_journal ppf j =
+    List.iter
+      (fun e ->
+        Fmt.pf ppf "%s: %s, %d ops, %d attempts@." e.e_name
+          (entry_status_to_string e.status)
+          (List.length e.plan_ops) e.attempts)
+      j.entries;
+    List.iter (fun l -> Fmt.pf ppf "  %s@." l) (List.rev j.log)
+
+  let log j fmt = Format.kasprintf (fun m -> j.log <- m :: j.log) fmt
+
+  (* Run [f] with up to [retry.max_attempts] attempts; between attempts a
+     capped-exponential backoff delay is computed, journalled, and handed
+     to [on_backoff] (the caller decides whether to actually sleep — the
+     simulator never does, it only checks the schedule). *)
+  let with_retry j retry ~on_backoff ~what (e : entry) f =
+    let rec go attempt =
+      e.attempts <- e.attempts + 1;
+      match f () with
+      | Ok v -> Ok v
+      | Error err ->
+          if attempt + 1 >= retry.max_attempts then Error err
+          else begin
+            let delay =
+              Float.min retry.backoff_max
+                (retry.backoff_base *. (2. ** float_of_int attempt))
+            in
+            j.backoffs <- delay :: j.backoffs;
+            log j "%s %s attempt %d failed (%s); retry in %.2fs" e.e_name
+              what (attempt + 1) err delay;
+            on_backoff delay;
+            go (attempt + 1)
+          end
+    in
+    go 0
+
+  (* Prepare one PoP: snapshot, plan, verify reachability. Pure read. *)
+  let prepare j retry ~on_backoff (p : participant) (e : entry) =
+    with_retry j retry ~on_backoff ~what:"prepare" e (fun () ->
+        if Kernel.offline p.kernel then Error "EHOSTUNREACH kernel offline"
+        else begin
+          let current = Kernel.observe p.kernel in
+          e.snapshot <- current;
+          e.plan_ops <- plan ~current ~desired:p.desired;
+          Ok ()
+        end)
+
+  (* Commit one PoP: transactional apply of the prepared plan. A failed
+     attempt has already rolled this kernel back to its snapshot, so a
+     retry can safely re-plan from live state (the plan may legitimately
+     differ if the failure consumed an injected fault). *)
+  let commit j retry ~on_backoff (p : participant) (e : entry) =
+    with_retry j retry ~on_backoff ~what:"commit" e (fun () ->
+        let ops =
+          plan ~current:(Kernel.observe p.kernel) ~desired:p.desired
+        in
+        match apply_transaction p.kernel ops with
+        | Applied applied ->
+            e.plan_ops <- ops;
+            log j "%s committed (%d ops)" e.e_name (List.length applied);
+            Ok ()
+        | Rolled_back { failed; error; undone } ->
+            Error
+              (Fmt.str "%a: %s (%d ops undone)" pp_op failed error undone))
+
+  (* Return one committed PoP to its pre-apply snapshot by reconciling
+     against it — the same minimal-plan machinery, pointed backwards. *)
+  let roll_back j retry ~on_backoff (p : participant) (e : entry) =
+    with_retry j retry ~on_backoff ~what:"rollback" e (fun () ->
+        let ops =
+          plan ~current:(Kernel.observe p.kernel) ~desired:e.snapshot
+        in
+        match apply_transaction p.kernel ops with
+        | Applied _ ->
+            log j "%s rolled back to pre-apply state" e.e_name;
+            Ok ()
+        | Rolled_back { failed; error; _ } ->
+            Error (Fmt.str "%a: %s" pp_op failed error))
+
+  let fresh_journal participants =
+    {
+      entries =
+        List.map
+          (fun p ->
+            {
+              e_name = p.part_name;
+              snapshot = empty_state;
+              plan_ops = [];
+              status = Pending;
+              attempts = 0;
+            })
+          participants;
+      log = [];
+      backoffs = [];
+    }
+
+  (* Abort: reconcile every committed PoP back to its snapshot, newest
+     commit first. Rollback failures are journalled but do not stop the
+     sweep — leaving one PoP dirty must not strand the others. *)
+  let abort j retry ~on_backoff participants ~failed_pop ~phase ~error =
+    log j "aborting after %s %s failure: %s" failed_pop
+      (phase_to_string phase) error;
+    List.iter
+      (fun (p, e) ->
+        if e.status = Committed then
+          match roll_back j retry ~on_backoff p e with
+          | Ok () -> e.status <- Rolled_back
+          | Error err ->
+              e.status <- Apply_failed err;
+              log j "%s rollback FAILED: %s" p.part_name err)
+      (List.rev
+         (List.map2 (fun p e -> (p, e)) participants j.entries));
+    Aborted { failed_pop; phase; error; journal = j }
+
+  (* Drive a journal to completion: prepare everything still pending,
+     then commit in order; abort with platform-wide rollback on any
+     failure. [crash_after] stops the run after that many successful
+     commits (simulating a controller crash); [resume] below picks the
+     journal back up. *)
+  let run ?(retry = default_retry) ?(on_backoff = ignore) ?crash_after
+      participants j =
+    (* Phase 1: prepare (committed entries from a prior run are final;
+       everything else re-prepares from live state). *)
+    let rec prepare_all = function
+      | [] -> None
+      | (p, e) :: rest ->
+          if e.status = Committed then prepare_all rest
+          else begin
+            match prepare j retry ~on_backoff p e with
+            | Ok () ->
+                e.status <- Prepared;
+                prepare_all rest
+            | Error error -> Some (p.part_name, error)
+          end
+    in
+    let pairs = List.map2 (fun p e -> (p, e)) participants j.entries in
+    match prepare_all pairs with
+    | Some (failed_pop, error) ->
+        abort j retry ~on_backoff participants ~failed_pop ~phase:Prepare
+          ~error
+    | None -> (
+        log j "prepare complete: %d PoPs planned"
+          (List.length
+             (List.filter (fun e -> e.status = Prepared) j.entries));
+        (* Phase 2: commit in order, with an optional crash point. *)
+        let committed = ref 0 in
+        let rec commit_all = function
+          | [] -> `Done
+          | (p, e) :: rest ->
+              if e.status = Committed then commit_all rest
+              else if
+                match crash_after with
+                | Some n -> !committed >= n
+                | None -> false
+              then `Crashed
+              else begin
+                match commit j retry ~on_backoff p e with
+                | Ok () ->
+                    e.status <- Committed;
+                    incr committed;
+                    commit_all rest
+                | Error error -> `Failed (p.part_name, error)
+              end
+        in
+        match commit_all pairs with
+        | `Done -> Committed_all j
+        | `Crashed ->
+            log j "controller crashed after %d commits" !committed;
+            Crashed j
+        | `Failed (failed_pop, error) ->
+            abort j retry ~on_backoff participants ~failed_pop ~phase:Commit
+              ~error)
+
+  let apply ?retry ?on_backoff ?crash_after participants =
+    if participants = [] then invalid_arg "Controller.Multi.apply: no PoPs";
+    run ?retry ?on_backoff ?crash_after participants
+      (fresh_journal participants)
+
+  (* Resume a crashed apply: committed PoPs are skipped, the rest are
+     re-planned from their live kernels. Idempotent — resuming a
+     completed journal re-verifies convergence and commits nothing. *)
+  let resume ?retry ?on_backoff ?crash_after j participants =
+    if List.length participants <> List.length j.entries then
+      invalid_arg "Controller.Multi.resume: participant set changed";
+    List.iter2
+      (fun p e ->
+        if not (String.equal p.part_name e.e_name) then
+          invalid_arg "Controller.Multi.resume: participant set changed")
+      participants j.entries;
+    log j "resuming apply";
+    run ?retry ?on_backoff ?crash_after participants j
+
+  let converged_all participants =
+    List.for_all (fun p -> converged p.kernel ~desired:p.desired) participants
+end
 
 (* The desired state for a vBGP deployment: one tap interface per
    experiment, one routing table + rule per neighbor (paper §3.2.2). *)

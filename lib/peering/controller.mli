@@ -55,6 +55,15 @@ module Kernel : sig
   val inject_failure : t -> after:int -> unit
   (** Fail the operation [after] successful ones from now. *)
 
+  val set_offline : t -> bool -> unit
+  (** A crashed/unreachable PoP: every request fails until restored. *)
+
+  val offline : t -> bool
+
+  val reset : t -> unit
+  (** A PoP crash: the kernel reboots with empty runtime configuration
+      (the controller must replay intent to rebuild it). *)
+
   val observe : t -> state
   val apply : t -> op -> (unit, string) result
 end
@@ -79,6 +88,97 @@ val reconcile : Kernel.t -> desired:state -> op list * apply_result
 (** Observe, plan, apply. *)
 
 val converged : Kernel.t -> desired:state -> bool
+
+(** {1 Two-phase apply across PoPs}
+
+    Platform-wide configuration pushes (paper §5): prepare a plan per PoP
+    (pure read), commit only if every PoP's prepare succeeded, and on any
+    failure reconcile every already-committed PoP back to its pre-apply
+    snapshot — the platform is never left split-brained. Each phase
+    retries per PoP with capped exponential backoff, and every step lands
+    in a journal so a controller crash mid-apply is resumable. *)
+module Multi : sig
+  type participant = {
+    part_name : string;
+    kernel : Kernel.t;
+    desired : state;
+  }
+
+  type phase = Prepare | Commit | Rollback
+
+  val phase_to_string : phase -> string
+
+  type entry_status =
+    | Pending
+    | Prepared
+    | Committed
+    | Rolled_back
+    | Apply_failed of string
+
+  val entry_status_to_string : entry_status -> string
+
+  type entry = {
+    e_name : string;
+    mutable snapshot : state;  (** pre-apply kernel state, rollback target *)
+    mutable plan_ops : op list;
+    mutable status : entry_status;
+    mutable attempts : int;  (** kernel round-trips across all phases *)
+  }
+
+  type journal
+
+  val journal_entries : journal -> entry list
+  val journal_log : journal -> string list
+  (** Chronological narration of the apply, for operators and tests. *)
+
+  val journal_backoffs : journal -> float list
+  (** Every retry delay issued, chronological — the capped-exponential
+      schedule is asserted on directly. *)
+
+  val entry : journal -> string -> entry option
+  val pp_journal : Format.formatter -> journal -> unit
+
+  type retry = {
+    max_attempts : int;  (** per PoP per phase *)
+    backoff_base : float;
+    backoff_max : float;
+  }
+
+  val default_retry : retry
+
+  type outcome =
+    | Committed_all of journal
+    | Aborted of {
+        failed_pop : string;
+        phase : phase;
+        error : string;
+        journal : journal;
+      }
+    | Crashed of journal  (** stopped by [crash_after]; resumable *)
+
+  val apply :
+    ?retry:retry ->
+    ?on_backoff:(float -> unit) ->
+    ?crash_after:int ->
+    participant list ->
+    outcome
+  (** Two-phase apply over all participants. [on_backoff] receives each
+      retry delay (callers on a simulator log rather than sleep);
+      [crash_after] stops the run after that many successful commits,
+      simulating a controller crash — {!resume} picks the journal up. *)
+
+  val resume :
+    ?retry:retry ->
+    ?on_backoff:(float -> unit) ->
+    ?crash_after:int ->
+    journal ->
+    participant list ->
+    outcome
+  (** Continue a crashed apply: committed PoPs are skipped, the rest
+      re-planned from live kernel state. Idempotent. *)
+
+  val converged_all : participant list -> bool
+end
 
 val vbgp_desired_state :
   experiments:(string * Ipv4.t) list ->

@@ -1,0 +1,119 @@
+(* PoP-level failure orchestration: crash, restart, and degradation of a
+   whole site, plus the two-phase controller re-apply that reconverges a
+   restarted PoP to the platform's intent.
+
+   A crash is modelled as what really dies at a site: every transport the
+   PoP terminates fails at once (neighbor interconnects, backbone mesh
+   sessions, experiment VPN tunnels), their links go down so reconnect
+   attempts stall until restart, and the kernel reboots empty and
+   unreachable. BGP state on the far ends is soft state — graceful
+   restart retains it across a short outage (PR 3 machinery), and the
+   post-restart full-table resync plus End-of-RIB sweeps whatever a long
+   outage invalidated. What is NOT soft state is the kernel
+   configuration, which only the controller can rebuild: [reapply] pushes
+   the intent document back through the two-phase protocol.
+
+   Scheduling and the replayable fault log stay in [Sim.Fault]; these
+   functions are the closures handed to [Fault.kill_pop] and friends. *)
+
+open Bgp
+open Sim
+
+(* Drive a session endpoint to Idle regardless of FSM position. Two
+   injections suffice: [Connection_failed] from [Connect] parks in
+   [Active] (RFC 4271 keeps retrying), and from anywhere else lands in
+   [Idle] directly. *)
+let fail_to_idle s =
+  if Session.state s <> Fsm.Idle then Session.connection_failed s;
+  if Session.state s <> Fsm.Idle then Session.connection_failed s
+
+(* Kill a session pair the way a site loss looks from both ends: the link
+   goes down and both endpoints observe a transport failure at the same
+   instant — the gracefully-restartable shape. *)
+let down_pair (pair : Bgp_wire.pair) =
+  Link.set_up pair.Bgp_wire.link false;
+  fail_to_idle pair.Bgp_wire.active;
+  fail_to_idle pair.Bgp_wire.passive
+
+(* Bring a pair back after restart. Endpoints may be parked mid-handshake
+   (a reconnect that fired during the outage reaches Open_sent and waits
+   on its hold timer); forcing both to Idle and restarting converges in
+   one round trip instead of a hold-timer expiry later. *)
+let up_pair (pair : Bgp_wire.pair) =
+  Link.set_up pair.Bgp_wire.link true;
+  fail_to_idle pair.Bgp_wire.active;
+  fail_to_idle pair.Bgp_wire.passive;
+  Bgp_wire.start pair
+
+(* Every session pair terminating at [name]: neighbor interconnects, the
+   backbone mesh, and (when the experiment kits are handed in) VPN
+   tunnels. *)
+let pop_pairs platform ?(kits = []) ~name () =
+  let pop = Platform.pop_exn platform name in
+  List.map (fun h -> h.Neighbor_host.pair) (Pop.neighbors pop)
+  @ List.map snd (Platform.mesh_pairs_of platform ~pop:name)
+  @ List.filter_map (fun kit -> Toolkit.tunnel_pair kit ~pop:name) kits
+
+let kill_pop platform ?kits ~name () =
+  let pop = Platform.pop_exn platform name in
+  Pop.set_alive pop false;
+  (* The kernel reboots empty and stays unreachable until restart — a
+     controller apply hitting the dead PoP must fail its prepare. *)
+  Controller.Kernel.reset (Pop.kernel pop);
+  Controller.Kernel.set_offline (Pop.kernel pop) true;
+  List.iter down_pair (pop_pairs platform ?kits ~name ())
+
+let restart_pop platform ?kits ~name () =
+  let pop = Platform.pop_exn platform name in
+  Pop.set_alive pop true;
+  Controller.Kernel.set_offline (Pop.kernel pop) false;
+  List.iter up_pair (pop_pairs platform ?kits ~name ())
+
+(* Degraded mode: transport-fail a [fraction] of the PoP's neighbor
+   sessions — they recover on their own through reconnect backoff — and
+   optionally stretch latency on the survivors' links. Victim selection
+   draws from the caller's RNG (share [Fault.rng] to keep the scenario
+   replayable). Returns the number of sessions dropped. *)
+let degrade_pop platform ~name ~fraction ?(latency_factor = 1.) ~rng () =
+  let pop = Platform.pop_exn platform name in
+  List.fold_left
+    (fun dropped h ->
+      let pair = h.Neighbor_host.pair in
+      if Random.State.float rng 1.0 < fraction then begin
+        Session.connection_failed pair.Bgp_wire.active;
+        Session.connection_failed pair.Bgp_wire.passive;
+        dropped + 1
+      end
+      else begin
+        if latency_factor <> 1. then
+          Link.set_latency pair.Bgp_wire.link
+            (Link.latency pair.Bgp_wire.link *. latency_factor);
+        dropped
+      end)
+    0 (Pop.neighbors pop)
+
+(* -- controller re-apply ----------------------------------------------------- *)
+
+(* The two-phase participants for an intent document: every intent PoP
+   present on the platform, each bound to its live kernel. *)
+let participants platform (cfg : Config_model.t) =
+  List.filter_map
+    (fun (intent : Config_model.pop_intent) ->
+      match Platform.find_pop platform intent.Config_model.pop_name with
+      | Some pop ->
+          Some
+            {
+              Controller.Multi.part_name = intent.Config_model.pop_name;
+              kernel = Pop.kernel pop;
+              desired = Config_model.desired_of_intent intent;
+            }
+      | None -> None)
+    cfg.Config_model.pops
+
+(* Push [cfg] to every PoP through the two-phase protocol: all PoPs
+   converge or none change. This is the restart path — a rebooted PoP's
+   empty kernel is rebuilt from intent — and the routine config-push
+   path. *)
+let reapply ?retry ?on_backoff ?crash_after platform cfg =
+  Controller.Multi.apply ?retry ?on_backoff ?crash_after
+    (participants platform cfg)

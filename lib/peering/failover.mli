@@ -1,0 +1,60 @@
+(** PoP-level failure orchestration: crash, restart, and degradation of a
+    whole site, plus the two-phase controller re-apply that reconverges a
+    restarted PoP to the platform's intent.
+
+    These are the closures handed to {!Sim.Fault.kill_pop} /
+    {!Sim.Fault.restart_pop} / {!Sim.Fault.degrade_pop} — scheduling and
+    the replayable fault log stay in [Sim.Fault]. *)
+
+open Sim
+
+val kill_pop : Platform.t -> ?kits:Toolkit.t list -> name:string -> unit -> unit
+(** Crash the PoP: every session it terminates (neighbor interconnects,
+    backbone mesh, and the VPN tunnels of any [kits] handed in) observes
+    a simultaneous transport failure, their links go down so reconnects
+    stall, and the kernel reboots empty and unreachable. Far-end BGP
+    state rides graceful restart (PR 3); kernel state must be rebuilt by
+    {!reapply} after restart. *)
+
+val restart_pop :
+  Platform.t -> ?kits:Toolkit.t list -> name:string -> unit -> unit
+(** Bring the PoP back: links heal, every session restarts (full-table
+    resync plus End-of-RIB sweeps anything a long outage invalidated),
+    and the kernel answers again — still empty until {!reapply}. *)
+
+val degrade_pop :
+  Platform.t ->
+  name:string ->
+  fraction:float ->
+  ?latency_factor:float ->
+  rng:Random.State.t ->
+  unit ->
+  int
+(** Degraded mode: transport-fail [fraction] of the PoP's neighbor
+    sessions (they recover through reconnect backoff) and stretch the
+    survivors' link latency by [latency_factor]. Returns the number of
+    sessions dropped. Share {!Sim.Fault.rng} to keep the scenario
+    replayable. *)
+
+val pop_pairs :
+  Platform.t ->
+  ?kits:Toolkit.t list ->
+  name:string ->
+  unit ->
+  Bgp_wire.pair list
+(** Every session pair terminating at the PoP. *)
+
+val participants :
+  Platform.t -> Config_model.t -> Controller.Multi.participant list
+(** The two-phase participants for an intent document: every intent PoP
+    present on the platform, bound to its live kernel. *)
+
+val reapply :
+  ?retry:Controller.Multi.retry ->
+  ?on_backoff:(float -> unit) ->
+  ?crash_after:int ->
+  Platform.t ->
+  Config_model.t ->
+  Controller.Multi.outcome
+(** Push the intent to every PoP through the two-phase protocol: all PoPs
+    converge or none change (see {!Controller.Multi.apply}). *)

@@ -1,0 +1,184 @@
+(* Per-PoP health monitoring with graceful degradation (paper §5's
+   monitoring/alerting, hardened into an actuator).
+
+   A probe fires every [probe_interval] simulated seconds against every
+   PoP and classifies it:
+
+     down      the site doesn't answer (crashed) or every neighbor
+               session is gone;
+     impaired  some sessions are down, or the sessions flapped more than
+               [flap_burst] times since the last probe;
+     ok        alive with every session established and quiet.
+
+   The per-PoP state machine is deliberately sticky in both directions:
+   [fail_after] consecutive down probes before Healthy/Degraded -> Failed
+   (one lost probe must not trigger a platform-wide withdrawal), and
+   [recover_after] consecutive ok probes before anything -> Healthy (a
+   site bouncing in and out of reachability stays Degraded).
+
+   The Failed transition is the actuator: every surviving PoP flushes the
+   dead PoP from its mesh state ({!Vbgp.Router.flush_mesh_peer}), which
+   withdraws the dead site's remote experiment announcements from their
+   neighbors — traffic re-homes onto the PoPs still carrying the prefix
+   instead of waiting out the graceful-restart window. Recovery needs no
+   actuator: the restarted mesh session resyncs and re-imports. *)
+
+open Bgp
+open Sim
+
+type status = Healthy | Degraded | Failed
+
+let status_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+type policy = {
+  probe_interval : float;
+  fail_after : int;  (** consecutive down probes before Failed *)
+  recover_after : int;  (** consecutive ok probes before Healthy *)
+  flap_burst : int;
+      (** session flaps within one probe interval that mark a PoP
+          impaired *)
+}
+
+let default_policy =
+  { probe_interval = 1.0; fail_after = 3; recover_after = 2; flap_burst = 3 }
+
+type pop_health = {
+  hp_name : string;
+  mutable hp_status : status;
+  mutable down_streak : int;
+  mutable ok_streak : int;
+  mutable last_flaps : int;  (** flap-counter sum at the previous probe *)
+}
+
+type t = {
+  platform : Platform.t;
+  policy : policy;
+  mutable monitors : pop_health list;
+  mutable transitions : (float * string * status) list;  (** newest first *)
+  mutable cancel : unit -> unit;
+  mutable running : bool;
+}
+
+let create ?(policy = default_policy) platform =
+  {
+    platform;
+    policy;
+    monitors = [];
+    transitions = [];
+    cancel = ignore;
+    running = false;
+  }
+
+let monitor_for t name =
+  match
+    List.find_opt (fun m -> String.equal m.hp_name name) t.monitors
+  with
+  | Some m -> m
+  | None ->
+      let m =
+        {
+          hp_name = name;
+          hp_status = Healthy;
+          down_streak = 0;
+          ok_streak = 0;
+          last_flaps = 0;
+        }
+      in
+      t.monitors <- m :: t.monitors;
+      m
+
+let status t ~pop = (monitor_for t pop).hp_status
+let transitions t = List.rev t.transitions
+
+(* The actuator on Failed: survivors forget everything imported from the
+   dead PoP, withdrawing its experiments' announcements from their
+   neighbors so traffic re-homes onto the PoPs still announcing. *)
+let withdraw_failed t name =
+  List.iter
+    (fun p ->
+      if not (String.equal (Pop.name p) name) then
+        Vbgp.Router.flush_mesh_peer (Pop.router p) ~pop:name)
+    (Platform.pops t.platform)
+
+let set_status t m status =
+  if m.hp_status <> status then begin
+    m.hp_status <- status;
+    t.transitions <-
+      (Engine.now (Platform.engine t.platform), m.hp_name, status)
+      :: t.transitions;
+    if status = Failed then withdraw_failed t m.hp_name
+  end
+
+type verdict = Down | Impaired | Ok
+
+let probe_pop t m pop =
+  let flaps =
+    List.fold_left
+      (fun acc h -> acc + Session.flap_count (Neighbor_host.session h))
+      0 (Pop.neighbors pop)
+  in
+  let flap_delta = flaps - m.last_flaps in
+  m.last_flaps <- flaps;
+  let established, total =
+    List.fold_left
+      (fun (est, tot) h ->
+        ((if Neighbor_host.is_established h then est + 1 else est), tot + 1))
+      (0, 0) (Pop.neighbors pop)
+  in
+  let verdict =
+    if (not (Pop.alive pop)) || (total > 0 && established = 0) then Down
+    else if established < total || flap_delta >= t.policy.flap_burst then
+      Impaired
+    else Ok
+  in
+  match verdict with
+  | Down ->
+      m.ok_streak <- 0;
+      m.down_streak <- m.down_streak + 1;
+      if m.down_streak >= t.policy.fail_after then set_status t m Failed
+      else if m.hp_status = Healthy then set_status t m Degraded
+  | Impaired ->
+      m.ok_streak <- 0;
+      m.down_streak <- 0;
+      if m.hp_status = Healthy then set_status t m Degraded
+  | Ok ->
+      m.down_streak <- 0;
+      m.ok_streak <- m.ok_streak + 1;
+      if m.hp_status <> Healthy && m.ok_streak >= t.policy.recover_after then
+        set_status t m Healthy
+
+let rec tick t () =
+  if t.running then begin
+    List.iter
+      (fun pop -> probe_pop t (monitor_for t (Pop.name pop)) pop)
+      (Platform.pops t.platform);
+    t.cancel <-
+      Engine.schedule (Platform.engine t.platform) t.policy.probe_interval
+        (tick t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    (* Baseline the flap counters so pre-existing churn is not billed to
+       the first interval. *)
+    List.iter
+      (fun pop ->
+        let m = monitor_for t (Pop.name pop) in
+        m.last_flaps <-
+          List.fold_left
+            (fun acc h -> acc + Session.flap_count (Neighbor_host.session h))
+            0 (Pop.neighbors pop))
+      (Platform.pops t.platform);
+    t.cancel <-
+      Engine.schedule (Platform.engine t.platform) t.policy.probe_interval
+        (tick t)
+  end
+
+let stop t =
+  t.running <- false;
+  t.cancel ();
+  t.cancel <- ignore

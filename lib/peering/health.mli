@@ -1,0 +1,41 @@
+(** Per-PoP health monitoring with graceful degradation: a probe loop on
+    the engine drives a [Healthy / Degraded / Failed] state machine per
+    PoP from reachability, session establishment, and flap counters.
+
+    The Failed transition is an actuator: every surviving PoP flushes the
+    dead PoP from its mesh state ({!Vbgp.Router.flush_mesh_peer}),
+    withdrawing its experiments' announcements from their neighbors so
+    traffic re-homes onto the PoPs still carrying the prefix. Recovery
+    needs none — the restarted mesh session resyncs. *)
+
+type status = Healthy | Degraded | Failed
+
+val status_to_string : status -> string
+
+type policy = {
+  probe_interval : float;
+  fail_after : int;  (** consecutive down probes before Failed *)
+  recover_after : int;  (** consecutive ok probes before Healthy *)
+  flap_burst : int;
+      (** session flaps within one probe interval that mark a PoP
+          impaired *)
+}
+
+val default_policy : policy
+(** 1 s probes; Failed after 3 consecutive misses; Healthy after 2
+    consecutive clean probes; 3 flaps in an interval = impaired. *)
+
+type t
+
+val create : ?policy:policy -> Platform.t -> t
+
+val start : t -> unit
+(** Begin probing on the platform's engine. Idempotent. *)
+
+val stop : t -> unit
+
+val status : t -> pop:string -> status
+
+val transitions : t -> (float * string * status) list
+(** Chronological (time, PoP, new status) log — drills read failover
+    detection and recovery times off this. *)

@@ -21,6 +21,8 @@ type t = {
   mutable records : Approval.record list;
   mutable next_experiment_id : int;
   mutable next_router_id : int;
+  mutable mesh_pairs : (string * string * Bgp_wire.pair) list;
+      (** backbone mesh sessions, as (PoP a, PoP b, session pair) *)
 }
 
 (* PEERING's numbered resources (§4.2): 8 ASNs (three 4-byte) and 40 /24s,
@@ -62,6 +64,7 @@ let create ?(trace = Trace.create ~capacity:100_000 ()) () =
         records = [];
         next_experiment_id = 1;
         next_router_id = 1;
+        mesh_pairs = [];
       }
 
 let engine t = t.engine
@@ -101,13 +104,25 @@ let connect_backbone t =
     | p :: rest ->
         List.iter
           (fun q ->
-            ignore
-              (Vbgp.Router.connect_mesh (Pop.router p) (Pop.router q) ()))
+            let pair =
+              Vbgp.Router.connect_mesh (Pop.router p) (Pop.router q) ()
+            in
+            t.mesh_pairs <-
+              (Pop.name p, Pop.name q, pair) :: t.mesh_pairs)
           rest;
         mesh rest
   in
   mesh pops;
   Engine.run_until t.engine (Engine.now t.engine +. 5.)
+
+(* The backbone mesh sessions touching [pop], with the far end's name. *)
+let mesh_pairs_of t ~pop =
+  List.filter_map
+    (fun (a, b, pair) ->
+      if String.equal a pop then Some (b, pair)
+      else if String.equal b pop then Some (a, pair)
+      else None)
+    t.mesh_pairs
 
 (* Run the simulation forward (convenience). *)
 let run t ~seconds = Engine.run_until t.engine (Engine.now t.engine +. seconds)

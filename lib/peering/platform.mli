@@ -40,6 +40,10 @@ val connect_backbone : t -> unit
 (** Attach every PoP to the backbone segment and bring up the full BGP
     mesh (§4.3). Call after PoPs and their neighbors are in place. *)
 
+val mesh_pairs_of : t -> pop:string -> (string * Bgp_wire.pair) list
+(** The backbone mesh sessions touching [pop], as (far-end PoP name,
+    session pair) — the failover drills tear these down with the PoP. *)
+
 val run : t -> seconds:float -> unit
 (** Advance the simulation. *)
 

@@ -16,6 +16,9 @@ type t = {
   site : site;
   engine : Engine.t;
   router : Vbgp.Router.t;
+  kernel : Controller.Kernel.t;
+      (** the site's Netlink-like kernel, reconciled by the controller *)
+  mutable alive : bool;  (** false between a crash and its restart *)
   mutable neighbors : Neighbor_host.t list;
   mutable next_neighbor_ip : int;
       (** allocator for neighbor interface addresses *)
@@ -25,6 +28,9 @@ type t = {
 let name t = t.name
 let site t = t.site
 let router t = t.router
+let kernel t = t.kernel
+let alive t = t.alive
+let set_alive t alive = t.alive <- alive
 let neighbors t = List.rev t.neighbors
 let neighbor_count t = List.length t.neighbors
 
@@ -58,7 +64,17 @@ let create ~engine ~trace ~name ~site ~asn ~router_id ~global_pool
            ~key_of:(fun _ -> name)
            ())
   | None -> ());
-  { name; site; engine; router; neighbors = []; next_neighbor_ip = 10; neighbor_net }
+  {
+    name;
+    site;
+    engine;
+    router;
+    kernel = Controller.Kernel.create ();
+    alive = true;
+    neighbors = [];
+    next_neighbor_ip = 10;
+    neighbor_net;
+  }
 
 let fresh_neighbor_ip t =
   let ip = Prefix.host t.neighbor_net t.next_neighbor_ip in

@@ -30,6 +30,15 @@ val create :
 val name : t -> string
 val site : t -> site
 val router : t -> Vbgp.Router.t
+
+val kernel : t -> Controller.Kernel.t
+(** The site's Netlink-like kernel, reconciled by the controller (§5). *)
+
+val alive : t -> bool
+(** False between a {!Failover.kill_pop} and its restart. *)
+
+val set_alive : t -> bool -> unit
+
 val neighbors : t -> Neighbor_host.t list
 val neighbor_count : t -> int
 

@@ -80,6 +80,10 @@ let tunnel_exn t pop_name =
 
 let tunnels t = t.tunnels
 
+(* The VPN session pair under a tunnel — the failover drills kill and
+   restore it with the PoP it lands on. *)
+let tunnel_pair t ~pop = Option.map (fun tn -> tn.pair) (tunnel t pop)
+
 (* Addresses this experiment answers for (ARP/ICMP/UDP). *)
 let owns_address t ip =
   List.exists (Prefix.mem ip) t.grant.Vbgp.Control_enforcer.prefixes

@@ -30,6 +30,10 @@ val echo_replies : t -> (Ipv4.t * int) list
 val tunnel : t -> string -> tunnel option
 val tunnels : t -> tunnel list
 
+val tunnel_pair : t -> pop:string -> Bgp_wire.pair option
+(** The VPN session pair under the tunnel at [pop] — the failover drills
+    kill and restore it with the PoP it lands on. *)
+
 (** {1 Table 1: tunnels and sessions} *)
 
 val open_tunnel : t -> Pop.t -> tunnel

@@ -1,34 +1,85 @@
 (* Scriptable fault injection on the discrete-event engine: link flaps,
-   loss and latency ramps, session kills, and backbone partitions. The
-   chaos counterpart of the paper's monitoring/canarying story (§5) — the
-   platform must keep serving experiments while edge sessions churn.
+   loss and latency ramps, session kills, backbone partitions, and
+   PoP-level crash/restart/degradation. The chaos counterpart of the
+   paper's monitoring/canarying story (§5) — the platform must keep
+   serving experiments while edge sessions churn and whole sites fail.
 
    Every injected fault is deterministic: timing comes from the engine,
    randomness from a caller-seeded RNG, and each fault is appended to a
-   chronological log so a failed convergence check can replay the exact
-   scenario. *)
+   structured chronological log — (time, kind, target) — that prints as a
+   replayable script, so a failed convergence check reports the exact
+   scenario that broke it. *)
+
+(* What happened, structurally: failure messages that only said "link
+   down" were useless for replay — the kind carries the fault parameters
+   and [target] names the victim. *)
+type kind =
+  | Link_down
+  | Link_up
+  | Loss_set of float
+  | Latency_factor of float
+  | Latency_restored
+  | Session_kill
+  | Pair_kill
+  | Partition of int  (** links taken down together *)
+  | Partition_healed
+  | Pop_kill
+  | Pop_restart
+  | Pop_degrade of float  (** fraction of sessions hit *)
+  | Custom of string
+
+type event = { time : float; kind : kind; target : string }
+
+let kind_to_string = function
+  | Link_down -> "link_down"
+  | Link_up -> "link_up"
+  | Loss_set l -> Printf.sprintf "loss %.2f" l
+  | Latency_factor f -> Printf.sprintf "latency x%.1f" f
+  | Latency_restored -> "latency_restore"
+  | Session_kill -> "kill_session"
+  | Pair_kill -> "kill_pair"
+  | Partition n -> Printf.sprintf "partition %d" n
+  | Partition_healed -> "heal"
+  | Pop_kill -> "kill_pop"
+  | Pop_restart -> "restart_pop"
+  | Pop_degrade f -> Printf.sprintf "degrade_pop %.2f" f
+  | Custom s -> s
+
+(* One replayable script line: "t=12.000 kill_pop pop02". *)
+let event_to_string e =
+  if String.equal e.target "" then
+    Printf.sprintf "t=%.3f %s" e.time (kind_to_string e.kind)
+  else Printf.sprintf "t=%.3f %s %s" e.time (kind_to_string e.kind) e.target
+
+let pp_event ppf e = Format.pp_print_string ppf (event_to_string e)
 
 type t = {
   engine : Engine.t;
   rng : Random.State.t;
-  mutable events : (float * string) list;  (** newest first *)
+  mutable events : event list;  (** newest first *)
 }
 
 let create ?(seed = 7) engine =
   { engine; rng = Random.State.make [| seed |]; events = [] }
 
 let events t = List.rev t.events
+let rng t = t.rng
 
-let note t fmt =
-  Format.kasprintf
-    (fun msg -> t.events <- (Engine.now t.engine, msg) :: t.events)
-    fmt
+let script t =
+  String.concat "\n" (List.rev_map (fun e -> event_to_string e) t.events)
 
-(* Schedule [f] at [at] seconds from now, logging [what] when it fires. *)
-let at t ~at:delay what f =
+let note t kind target =
+  t.events <- { time = Engine.now t.engine; kind; target } :: t.events
+
+(* Schedule [f] at [at] seconds from now, logging the event when it
+   fires. *)
+let inject t ~at:delay kind target f =
   Engine.run_after t.engine delay (fun () ->
-      note t "%s" what;
+      note t kind target;
       f ())
+
+(* An arbitrary labelled fault, logged as a [Custom] event. *)
+let at t ~at:delay ?(target = "") what f = inject t ~at:delay (Custom what) target f
 
 (* A jittered delay in [0.75 * d, 1.25 * d), from the fault RNG. *)
 let jittered t d = d *. (0.75 +. Random.State.float t.rng 0.5)
@@ -36,66 +87,67 @@ let jittered t d = d *. (0.75 +. Random.State.float t.rng 0.5)
 (* -- link faults ----------------------------------------------------------- *)
 
 (* Take [link] down at [at] and bring it back [duration] later. *)
-let link_down t ~at:delay ~duration link =
-  at t ~at:delay "link down" (fun () -> Link.set_up link false);
-  at t ~at:(delay +. duration) "link up" (fun () -> Link.set_up link true)
+let link_down t ~at:delay ?(target = "") ~duration link =
+  inject t ~at:delay Link_down target (fun () -> Link.set_up link false);
+  inject t ~at:(delay +. duration) Link_up target (fun () ->
+      Link.set_up link true)
 
 (* [count] consecutive down/up cycles starting at [at]: down for
    [down_for], then up for [up_for], repeated. With [jitter], each phase
    length is drawn from [0.75, 1.25) of the nominal value. *)
-let flap_link t ~at:delay ?(jitter = false) ~count ~down_for ~up_for link =
+let flap_link t ~at:delay ?(target = "") ?(jitter = false) ~count ~down_for
+    ~up_for link =
   let phase d = if jitter then jittered t d else d in
   let start = ref delay in
   for _ = 1 to count do
     let d = phase down_for and u = phase up_for in
-    link_down t ~at:!start ~duration:d link;
+    link_down t ~at:!start ~target ~duration:d link;
     start := !start +. d +. u
   done
 
 (* Ramp the link's loss rate up to [peak] and back down over [duration],
    in [steps] equal stages per side. *)
-let loss_ramp t ~at:delay ~duration ~peak ?(steps = 4) link =
+let loss_ramp t ~at:delay ?(target = "") ~duration ~peak ?(steps = 4) link =
   let baseline = Link.loss link in
   let dt = duration /. float_of_int (2 * steps) in
   for i = 1 to steps do
     let frac = float_of_int i /. float_of_int steps in
     let l = baseline +. ((peak -. baseline) *. frac) in
-    at t
+    inject t
       ~at:(delay +. (dt *. float_of_int (i - 1)))
-      (Printf.sprintf "loss %.2f" l)
+      (Loss_set l) target
       (fun () -> Link.set_loss link l)
   done;
   for i = 1 to steps do
     let frac = float_of_int (steps - i) /. float_of_int steps in
     let l = baseline +. ((peak -. baseline) *. frac) in
-    at t
+    inject t
       ~at:(delay +. (dt *. float_of_int (steps + i - 1)))
-      (Printf.sprintf "loss %.2f" l)
+      (Loss_set l) target
       (fun () -> Link.set_loss link l)
   done
 
 (* Multiply the link's latency by [factor] at [at]; restore after
    [duration]. *)
-let latency_spike t ~at:delay ~duration ~factor link =
+let latency_spike t ~at:delay ?(target = "") ~duration ~factor link =
   let baseline = Link.latency link in
-  at t ~at:delay
-    (Printf.sprintf "latency x%.1f" factor)
-    (fun () -> Link.set_latency link (baseline *. factor));
-  at t ~at:(delay +. duration) "latency restored" (fun () ->
+  inject t ~at:delay (Latency_factor factor) target (fun () ->
+      Link.set_latency link (baseline *. factor));
+  inject t ~at:(delay +. duration) Latency_restored target (fun () ->
       Link.set_latency link baseline)
 
 (* -- session faults -------------------------------------------------------- *)
 
 (* Fail one session endpoint (its transport reports a connection loss). *)
-let kill_session t ~at:delay session =
-  at t ~at:delay "session kill" (fun () ->
+let kill_session t ~at:delay ?(target = "") session =
+  inject t ~at:delay Session_kill target (fun () ->
       Bgp.Session.connection_failed session)
 
 (* Fail both endpoints of a session pair simultaneously — the shape of a
    real transport loss, and the reliable way to exercise graceful
    restart: both sides observe [Transport_failed] at the same instant. *)
-let kill_pair t ~at:delay (pair : Bgp_wire.pair) =
-  at t ~at:delay "session pair kill" (fun () ->
+let kill_pair t ~at:delay ?(target = "") (pair : Bgp_wire.pair) =
+  inject t ~at:delay Pair_kill target (fun () ->
       Bgp.Session.connection_failed pair.Bgp_wire.active;
       Bgp.Session.connection_failed pair.Bgp_wire.passive)
 
@@ -103,9 +155,21 @@ let kill_pair t ~at:delay (pair : Bgp_wire.pair) =
 
 (* Take a set of links (e.g. one side of the backbone mesh) down together
    at [at] and heal them together [duration] later. *)
-let partition t ~at:delay ~duration links =
-  at t ~at:delay
-    (Printf.sprintf "partition (%d links)" (List.length links))
-    (fun () -> List.iter (fun l -> Link.set_up l false) links);
-  at t ~at:(delay +. duration) "partition healed" (fun () ->
+let partition t ~at:delay ?(target = "") ~duration links =
+  inject t ~at:delay (Partition (List.length links)) target (fun () ->
+      List.iter (fun l -> Link.set_up l false) links);
+  inject t ~at:(delay +. duration) Partition_healed target (fun () ->
       List.iter (fun l -> Link.set_up l true) links)
+
+(* -- PoP-level faults ------------------------------------------------------- *)
+
+(* The sim layer cannot see PoPs (the peering library sits above it), so
+   the teardown/restore machinery arrives as a closure — typically
+   [Peering.Failover.kill_pop] and friends — while the scheduling and the
+   replayable log live here with every other fault. *)
+
+let kill_pop t ~at:delay ~pop f = inject t ~at:delay Pop_kill pop f
+let restart_pop t ~at:delay ~pop f = inject t ~at:delay Pop_restart pop f
+
+let degrade_pop t ~at:delay ~pop ~fraction f =
+  inject t ~at:delay (Pop_degrade fraction) pop f

@@ -1,32 +1,70 @@
 (** Scriptable fault injection on the discrete-event engine: link flaps,
-    loss/latency ramps, session kills, and backbone partitions.
+    loss/latency ramps, session kills, backbone partitions, and PoP-level
+    crash/restart/degradation.
 
     Deterministic by construction — timing from the engine, randomness
     from a caller-seeded RNG — and every injected fault lands in a
-    chronological log, so a failing convergence check can replay the
-    exact scenario. *)
+    structured chronological log that prints as a replayable script, so a
+    failing convergence check reports the exact scenario that broke it. *)
+
+(** The fault kind, carrying its parameters. *)
+type kind =
+  | Link_down
+  | Link_up
+  | Loss_set of float
+  | Latency_factor of float
+  | Latency_restored
+  | Session_kill
+  | Pair_kill
+  | Partition of int  (** links taken down together *)
+  | Partition_healed
+  | Pop_kill
+  | Pop_restart
+  | Pop_degrade of float  (** fraction of sessions hit *)
+  | Custom of string
+
+type event = { time : float; kind : kind; target : string }
+(** One log entry: what fired, when, and against which victim. *)
+
+val kind_to_string : kind -> string
+
+val event_to_string : event -> string
+(** One replayable script line, e.g. ["t=12.000 kill_pop pop02"]. *)
+
+val pp_event : Format.formatter -> event -> unit
 
 type t
 
 val create : ?seed:int -> Engine.t -> t
 
-val events : t -> (float * string) list
-(** The chronological fault log: (simulated time, description). *)
+val events : t -> event list
+(** The chronological fault log. *)
+
+val script : t -> string
+(** The whole log as a newline-joined replayable script — chaos suites
+    embed this in failure messages. *)
+
+val rng : t -> Random.State.t
+(** The caller-seeded RNG driving this scenario's random choices (victim
+    selection, jitter) — sharing it keeps the scenario replayable. *)
 
 val jittered : t -> float -> float
 (** A delay drawn from [0.75, 1.25) of the nominal value. *)
 
-val at : t -> at:float -> string -> (unit -> unit) -> unit
-(** Schedule an arbitrary labelled fault [at] seconds from now. *)
+val at : t -> at:float -> ?target:string -> string -> (unit -> unit) -> unit
+(** Schedule an arbitrary labelled fault [at] seconds from now, logged as
+    a {!Custom} event. *)
 
 (** {1 Link faults} *)
 
-val link_down : t -> at:float -> duration:float -> Link.t -> unit
+val link_down :
+  t -> at:float -> ?target:string -> duration:float -> Link.t -> unit
 (** Take the link down at [at]; heal it [duration] later. *)
 
 val flap_link :
   t ->
   at:float ->
+  ?target:string ->
   ?jitter:bool ->
   count:int ->
   down_for:float ->
@@ -37,23 +75,50 @@ val flap_link :
     ±25%. *)
 
 val loss_ramp :
-  t -> at:float -> duration:float -> peak:float -> ?steps:int -> Link.t -> unit
+  t ->
+  at:float ->
+  ?target:string ->
+  duration:float ->
+  peak:float ->
+  ?steps:int ->
+  Link.t ->
+  unit
 (** Ramp loss up to [peak] and back to the baseline over [duration]. *)
 
 val latency_spike :
-  t -> at:float -> duration:float -> factor:float -> Link.t -> unit
+  t ->
+  at:float ->
+  ?target:string ->
+  duration:float ->
+  factor:float ->
+  Link.t ->
+  unit
 (** Multiply latency by [factor] for [duration] seconds. *)
 
 (** {1 Session faults} *)
 
-val kill_session : t -> at:float -> Bgp.Session.t -> unit
+val kill_session : t -> at:float -> ?target:string -> Bgp.Session.t -> unit
 (** Fail one session endpoint (transport reports a connection loss). *)
 
-val kill_pair : t -> at:float -> Bgp_wire.pair -> unit
+val kill_pair : t -> at:float -> ?target:string -> Bgp_wire.pair -> unit
 (** Fail both endpoints simultaneously — the shape of a real transport
     loss, and the reliable way to exercise graceful restart. *)
 
 (** {1 Partitions} *)
 
-val partition : t -> at:float -> duration:float -> Link.t list -> unit
+val partition :
+  t -> at:float -> ?target:string -> duration:float -> Link.t list -> unit
 (** Take several links down together; heal them together. *)
+
+(** {1 PoP-level faults}
+
+    The sim layer cannot see PoPs (the peering library sits above it), so
+    the teardown/restore machinery arrives as a closure — typically
+    [Peering.Failover.kill_pop] and friends — while scheduling and the
+    replayable log live here with every other fault. *)
+
+val kill_pop : t -> at:float -> pop:string -> (unit -> unit) -> unit
+val restart_pop : t -> at:float -> pop:string -> (unit -> unit) -> unit
+
+val degrade_pop :
+  t -> at:float -> pop:string -> fraction:float -> (unit -> unit) -> unit

@@ -127,10 +127,19 @@ let fingerprint w =
   in
   (exp_rib, adj_out, heard, fibs, Vbgp.Router.route_count router)
 
-let check_converged ~seed control faulted =
+let check_converged ~seed ?fault control faulted =
   let c_rib, c_adj, c_heard, c_fib, c_count = fingerprint control in
   let f_rib, f_adj, f_heard, f_fib, f_count = fingerprint faulted in
-  let tag what = Printf.sprintf "seed %d: %s matches control" seed what in
+  (* On failure the message carries the exact fault script that broke
+     convergence, ready to replay. *)
+  let script =
+    match fault with
+    | Some f -> Printf.sprintf "\nfault script:\n%s" (Sim.Fault.script f)
+    | None -> ""
+  in
+  let tag what =
+    Printf.sprintf "seed %d: %s matches control%s" seed what script
+  in
   Alcotest.(check (list string)) (tag "experiment RIB") c_rib f_rib;
   Alcotest.(check (list string)) (tag "Adj-RIB-Out") c_adj f_adj;
   Alcotest.(check (list string)) (tag "neighbor heard-tables") c_heard f_heard;
@@ -171,7 +180,7 @@ let test_kill_converges () =
         (Printf.sprintf "seed %d: drops answered with stale retention" seed)
         true
         (counters.Vbgp.Router.gr_retentions >= List.length faulted.hosts);
-      check_converged ~seed control faulted)
+      check_converged ~seed ~fault control faulted)
     [ 1; 7; 42; 1337 ]
 
 (* A sub-window flap must be invisible on the wire: no withdrawals reach
@@ -229,7 +238,47 @@ let test_window_expiry_converges () =
     (counters.Vbgp.Router.gr_expiries >= 1);
   checkb "victim re-established after the outage" true
     (Neighbor_host.is_established victim);
-  check_converged ~seed control faulted
+  check_converged ~seed ~fault control faulted
+
+(* Repeated kills against a held-down link must walk the reconnect ladder
+   to its ceiling while the flap counter bills exactly one flap per kill —
+   no double-counting from the stalled handshakes in between. Kills are
+   spaced wider than the (jittered) backoff cap and tighter than the hold
+   timer, so every kill lands on a live FSM and no hold expiry sneaks an
+   extra flap in. *)
+let test_backoff_cap_and_flap_accounting () =
+  let w = build_world ~seed:11 () in
+  let victim = List.hd w.hosts in
+  let pair = victim.Neighbor_host.pair in
+  let session = pair.Sim.Bgp_wire.active in
+  let fault = Sim.Fault.create (Platform.engine w.platform) in
+  let kills = 10 in
+  Sim.Fault.at fault ~at:0.5 ~target:"victim" "hold link down" (fun () ->
+      Sim.Link.set_up pair.Sim.Bgp_wire.link false);
+  for k = 0 to kills - 1 do
+    Sim.Fault.kill_pair fault
+      ~at:(1.0 +. (40.0 *. float_of_int k))
+      ~target:"victim" pair
+  done;
+  run_seconds w 390.;
+  let ctx = Printf.sprintf "\nfault script:\n%s" (Sim.Fault.script fault) in
+  checki
+    (Printf.sprintf "flap_count equals injected kills exactly%s" ctx)
+    kills (Session.flap_count session);
+  (match Session.next_backoff session with
+  | Some d -> Alcotest.(check (float 1e-9)) "next_backoff capped" 30.0 d
+  | None -> Alcotest.fail "victim session has no reconnect policy");
+  checkb "backoff level climbed past the cap point" true
+    (Session.backoff_level session >= 7);
+  (* Heal the link: establishment resets the ladder back to the base. *)
+  Sim.Fault.at fault ~at:0.0 ~target:"victim" "heal link" (fun () ->
+      Sim.Link.set_up pair.Sim.Bgp_wire.link true);
+  run_seconds w 210.;
+  checkb "victim re-established after heal" true
+    (Neighbor_host.is_established victim);
+  match Session.next_backoff session with
+  | Some d -> Alcotest.(check (float 1e-9)) "backoff reset on Established" 0.5 d
+  | None -> Alcotest.fail "victim session has no reconnect policy"
 
 let () =
   Alcotest.run "chaos"
@@ -242,5 +291,7 @@ let () =
             test_quiet_restart;
           Alcotest.test_case "window expiry hard-drops, still converges"
             `Quick test_window_expiry_converges;
+          Alcotest.test_case "backoff caps at ceiling, flaps counted exactly"
+            `Quick test_backoff_cap_and_flap_accounting;
         ] );
     ]

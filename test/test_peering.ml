@@ -489,6 +489,270 @@ let test_controller_vbgp_state () =
   checkb "applies cleanly" true
     (match result with Controller.Applied _ -> true | _ -> false)
 
+let test_controller_rollback_primary_order () =
+  (* The inverse of an address delete must re-insert at the right
+     position: rolling back a failed primary-swap plan has to restore the
+     original address ORDER, not just the set (the kernel's primary is
+     positional, §3.2.2). The swap plan is 4 ops; fail each one. *)
+  List.iter
+    (fun fail_at ->
+      let kernel = Controller.Kernel.create () in
+      ignore (Controller.Kernel.apply kernel (Controller.Create_iface "eth0"));
+      ignore
+        (Controller.Kernel.apply kernel
+           (Controller.Add_address ("eth0", ip "10.0.0.2")));
+      ignore
+        (Controller.Kernel.apply kernel
+           (Controller.Add_address ("eth0", ip "10.0.0.1")));
+      let before = Controller.Kernel.observe kernel in
+      let desired =
+        {
+          Controller.ifaces = [ iface "eth0" [ "10.0.0.1"; "10.0.0.2" ] false ];
+          routes = [];
+          rules = [];
+        }
+      in
+      Controller.Kernel.inject_failure kernel ~after:fail_at;
+      let _, result = Controller.reconcile kernel ~desired in
+      checkb
+        (Printf.sprintf "rolled back (failure at op %d)" fail_at)
+        true
+        (match result with Controller.Rolled_back _ -> true | _ -> false);
+      checkb
+        (Printf.sprintf "state incl. address order restored (op %d)" fail_at)
+        true
+        (before = Controller.Kernel.observe kernel);
+      match (Controller.Kernel.observe kernel).Controller.ifaces with
+      | [ i ] ->
+          checkb "primary is still 10.0.0.2" true
+            (match i.Controller.addresses with
+            | a :: _ -> Ipv4.equal a (ip "10.0.0.2")
+            | [] -> false)
+      | _ -> Alcotest.fail "expected one interface")
+    [ 0; 1; 2; 3 ]
+
+(* -- two-phase multi-PoP apply ----------------------------------------------------------- *)
+
+let multi_desired i =
+  {
+    Controller.ifaces =
+      [ iface (Printf.sprintf "tap%d" i) [ Printf.sprintf "10.%d.0.1" i ] true ];
+    routes =
+      [
+        {
+          Controller.table = i;
+          prefix = Prefix.default;
+          via = ip (Printf.sprintf "100.64.%d.1" i);
+        };
+      ];
+    rules =
+      [
+        {
+          Controller.priority = 100 + i;
+          selector = Printf.sprintf "127.65.0.%d" i;
+          table = i;
+        };
+      ];
+  }
+
+let participant i =
+  {
+    Controller.Multi.part_name = Printf.sprintf "pop%02d" i;
+    kernel = Controller.Kernel.create ();
+    desired = multi_desired i;
+  }
+
+let entry_status j name =
+  match Controller.Multi.entry j name with
+  | Some e -> e.Controller.Multi.status
+  | None -> Alcotest.fail (name ^ " missing from journal")
+
+(* Widen a desired state so a second apply has real work to do. *)
+let widen (d : Controller.state) =
+  match d.Controller.ifaces with
+  | i :: rest ->
+      {
+        d with
+        Controller.ifaces =
+          {
+            i with
+            Controller.addresses = i.Controller.addresses @ [ ip "10.99.0.1" ];
+          }
+          :: rest;
+      }
+  | [] -> d
+
+let test_multi_commit_all () =
+  let ps = [ participant 1; participant 2; participant 3 ] in
+  match Controller.Multi.apply ps with
+  | Controller.Multi.Committed_all j ->
+      checkb "all PoPs converged" true (Controller.Multi.converged_all ps);
+      List.iter
+        (fun (p : Controller.Multi.participant) ->
+          checkb
+            (p.Controller.Multi.part_name ^ " committed")
+            true
+            (entry_status j p.Controller.Multi.part_name
+            = Controller.Multi.Committed))
+        ps;
+      checki "no retries needed" 0
+        (List.length (Controller.Multi.journal_backoffs j))
+  | _ -> Alcotest.fail "expected Committed_all"
+
+let test_multi_prepare_failure_zero_residual () =
+  let ps = [ participant 1; participant 2; participant 3 ] in
+  (match Controller.Multi.apply ps with
+  | Controller.Multi.Committed_all _ -> ()
+  | _ -> Alcotest.fail "priming apply failed");
+  (* Scribble out-of-band drift on every kernel so "zero residual" is
+     distinguishable from "reconciled": an aborted apply must leave the
+     drift exactly where it was. *)
+  List.iter
+    (fun (p : Controller.Multi.participant) ->
+      match
+        Controller.Kernel.apply p.Controller.Multi.kernel
+          (Controller.Add_route
+             { Controller.table = 9; prefix = Prefix.default; via = ip "9.9.9.9" })
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    ps;
+  let snapshots =
+    List.map
+      (fun (p : Controller.Multi.participant) ->
+        Controller.Kernel.observe p.Controller.Multi.kernel)
+      ps
+  in
+  let p2 = List.nth ps 1 in
+  Controller.Kernel.set_offline p2.Controller.Multi.kernel true;
+  (match Controller.Multi.apply ps with
+  | Controller.Multi.Aborted { failed_pop; phase; journal; _ } ->
+      Alcotest.(check string) "unreachable PoP named" "pop02" failed_pop;
+      checkb "failed in prepare" true (phase = Controller.Multi.Prepare);
+      checkb "no PoP was committed" true
+        (entry_status journal "pop01" <> Controller.Multi.Committed
+        && entry_status journal "pop03" <> Controller.Multi.Committed);
+      checkb "unreachability was retried with backoff" true
+        (Controller.Multi.journal_backoffs journal <> [])
+  | _ -> Alcotest.fail "expected Aborted");
+  (* Zero residual: every kernel byte-identical to its pre-apply observe,
+     drift included. *)
+  List.iter2
+    (fun (p : Controller.Multi.participant) snap ->
+      checkb
+        (p.Controller.Multi.part_name ^ " untouched")
+        true
+        (Controller.Kernel.observe p.Controller.Multi.kernel = snap))
+    ps snapshots;
+  Controller.Kernel.set_offline p2.Controller.Multi.kernel false;
+  match Controller.Multi.apply ps with
+  | Controller.Multi.Committed_all _ ->
+      checkb "converges once the PoP answers again" true
+        (Controller.Multi.converged_all ps)
+  | _ -> Alcotest.fail "expected Committed_all after recovery"
+
+let test_multi_commit_failure_rolls_back_committed () =
+  let ps = [ participant 1; participant 2 ] in
+  (match Controller.Multi.apply ps with
+  | Controller.Multi.Committed_all _ -> ()
+  | _ -> Alcotest.fail "priming apply failed");
+  let snapshots =
+    List.map
+      (fun (p : Controller.Multi.participant) ->
+        Controller.Kernel.observe p.Controller.Multi.kernel)
+      ps
+  in
+  let ps' =
+    List.map
+      (fun (p : Controller.Multi.participant) ->
+        { p with Controller.Multi.desired = widen p.Controller.Multi.desired })
+      ps
+  in
+  let p2 = List.nth ps' 1 in
+  (* pop01 commits its widened plan first; pop02's commit then fails with
+     retries exhausted — the abort must return pop01 to its snapshot. *)
+  Controller.Kernel.inject_failure p2.Controller.Multi.kernel ~after:0;
+  let retry =
+    { Controller.Multi.max_attempts = 1; backoff_base = 0.1; backoff_max = 1. }
+  in
+  (match Controller.Multi.apply ~retry ps' with
+  | Controller.Multi.Aborted { failed_pop; phase; journal; _ } ->
+      Alcotest.(check string) "failing PoP named" "pop02" failed_pop;
+      checkb "failed in commit" true (phase = Controller.Multi.Commit);
+      checkb "pop01 rolled back" true
+        (entry_status journal "pop01" = Controller.Multi.Rolled_back)
+  | _ -> Alcotest.fail "expected Aborted");
+  List.iter2
+    (fun (p : Controller.Multi.participant) snap ->
+      checkb
+        (p.Controller.Multi.part_name ^ " back at pre-apply state")
+        true
+        (Controller.Kernel.observe p.Controller.Multi.kernel = snap))
+    ps' snapshots;
+  checkb "widened intent is NOT in place anywhere" true
+    (not (Controller.Multi.converged_all ps'))
+
+let test_multi_transient_failure_retries () =
+  let ps = [ participant 1; participant 2 ] in
+  let p2 = List.nth ps 1 in
+  (* One-shot fault: the first commit attempt on pop02 fails and rolls
+     back; the default retry policy re-plans and succeeds. *)
+  Controller.Kernel.inject_failure p2.Controller.Multi.kernel ~after:0;
+  let delays = ref [] in
+  (match Controller.Multi.apply ~on_backoff:(fun d -> delays := d :: !delays) ps with
+  | Controller.Multi.Committed_all j ->
+      checkb "converged despite the transient fault" true
+        (Controller.Multi.converged_all ps);
+      Alcotest.(check (list (float 1e-9)))
+        "capped-exponential schedule journalled" [ 0.2 ]
+        (Controller.Multi.journal_backoffs j)
+  | _ -> Alcotest.fail "expected Committed_all");
+  Alcotest.(check (list (float 1e-9)))
+    "on_backoff saw the same delays" [ 0.2 ] (List.rev !delays)
+
+let test_multi_backoff_schedule_caps () =
+  let ps = [ participant 1 ] in
+  Controller.Kernel.set_offline (List.hd ps).Controller.Multi.kernel true;
+  let retry =
+    { Controller.Multi.max_attempts = 6; backoff_base = 0.5; backoff_max = 2. }
+  in
+  match Controller.Multi.apply ~retry ps with
+  | Controller.Multi.Aborted { phase; journal; _ } ->
+      checkb "failed in prepare" true (phase = Controller.Multi.Prepare);
+      Alcotest.(check (list (float 1e-9)))
+        "delays double then cap"
+        [ 0.5; 1.0; 2.0; 2.0; 2.0 ]
+        (Controller.Multi.journal_backoffs journal)
+  | _ -> Alcotest.fail "expected Aborted"
+
+let test_multi_crash_resume () =
+  let ps = [ participant 1; participant 2; participant 3 ] in
+  let j =
+    match Controller.Multi.apply ~crash_after:1 ps with
+    | Controller.Multi.Crashed j -> j
+    | _ -> Alcotest.fail "expected Crashed"
+  in
+  checkb "pop01 committed before the crash" true
+    (entry_status j "pop01" = Controller.Multi.Committed);
+  checkb "pop02 still only prepared" true
+    (entry_status j "pop02" = Controller.Multi.Prepared);
+  checkb "platform not yet converged" true
+    (not (Controller.Multi.converged_all ps));
+  (* A resumed journal skips the committed PoP and finishes the rest. *)
+  (match Controller.Multi.resume j ps with
+  | Controller.Multi.Committed_all _ ->
+      checkb "resume converges the remainder" true
+        (Controller.Multi.converged_all ps)
+  | _ -> Alcotest.fail "expected Committed_all from resume");
+  (* Resuming a completed journal is idempotent: nothing to do. *)
+  (match Controller.Multi.resume j ps with
+  | Controller.Multi.Committed_all _ -> ()
+  | _ -> Alcotest.fail "second resume not idempotent");
+  (* A changed participant set must be rejected outright. *)
+  match Controller.Multi.resume j [ participant 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resume accepted a changed participant set"
+
 (* Property: reconciling any random desired state from any random current
    state converges, and a second reconcile is a no-op. *)
 let arbitrary_state =
@@ -595,6 +859,22 @@ let () =
             test_controller_rollback;
           Alcotest.test_case "vbgp desired state" `Quick
             test_controller_vbgp_state;
+          Alcotest.test_case "rollback restores primary ordering" `Quick
+            test_controller_rollback_primary_order;
+        ] );
+      ( "controller-multi",
+        [
+          Alcotest.test_case "commit all" `Quick test_multi_commit_all;
+          Alcotest.test_case "prepare failure leaves zero residual" `Quick
+            test_multi_prepare_failure_zero_residual;
+          Alcotest.test_case "commit failure rolls back committed PoPs"
+            `Quick test_multi_commit_failure_rolls_back_committed;
+          Alcotest.test_case "transient failure absorbed by retry" `Quick
+            test_multi_transient_failure_retries;
+          Alcotest.test_case "backoff schedule doubles then caps" `Quick
+            test_multi_backoff_schedule_caps;
+          Alcotest.test_case "crash mid-apply, resume completes" `Quick
+            test_multi_crash_resume;
         ] );
       ("controller-properties", controller_props);
     ]

@@ -198,10 +198,16 @@ let test_fault_log_and_jitter () =
   Fault.at f ~at:1.0 "first" ignore;
   ignore (Engine.run e);
   (match Fault.events f with
-  | [ (t1, "first"); (t2, "second") ] ->
+  | [
+   { Fault.time = t1; kind = Fault.Custom "first"; _ };
+   { Fault.time = t2; kind = Fault.Custom "second"; _ };
+  ] ->
       checkf "first at 1" 1.0 t1;
       checkf "second at 2" 2.0 t2
   | _ -> Alcotest.fail "expected a chronological two-entry log");
+  Alcotest.(check string)
+    "events print as a replayable script" "t=1.000 first\nt=2.000 second"
+    (Fault.script f);
   for _ = 1 to 100 do
     let d = Fault.jittered f 10. in
     checkb "jitter within [7.5, 12.5)" true (d >= 7.5 && d < 12.5)

@@ -4,10 +4,11 @@
    headline metric regresses by more than 10%. The direction of "better"
    is inferred from the metric's unit:
 
-     lower is better    bytes, prefixes, messages, computations, count
+     lower is better    bytes, prefixes, messages, computations, count,
+                        sim_s (simulated seconds are deterministic)
      higher is better   ratio, percent, rate
-     ignored            timing units (ns/op, us/update, ...) — too noisy
-                        for a hard gate on shared CI hardware
+     ignored            wall-clock timing units (ns/op, us/update, ...) —
+                        too noisy for a hard gate on shared CI hardware
 
    The input format is the array written by bench/main.ml: one object per
    line with "experiment", "metric", "value", and "unit" fields. Parsing
@@ -19,7 +20,7 @@ let tolerance = 0.10
 type direction = Lower_better | Higher_better | Ignored
 
 let direction_of_unit = function
-  | "bytes" | "prefixes" | "messages" | "computations" | "count" ->
+  | "bytes" | "prefixes" | "messages" | "computations" | "count" | "sim_s" ->
       Lower_better
   | "ratio" | "percent" | "rate" -> Higher_better
   | _ -> Ignored
