@@ -1361,6 +1361,33 @@ let intern_bench () =
     plain_bytes;
   record ~experiment:"intern" ~metric:"bytes_per_route_shared" ~unit_:"bytes"
     shared_bytes;
+  (* Striped-lock observability: on this sequential feed every intern
+     takes exactly one stripe lock and never contends, so the contended
+     counter gates at a hard zero; multi-domain intern traffic (the
+     parallel ingest lane) is where these counters earn their keep. *)
+  Fmt.pr "  stripe locks: %d acquisitions, %d contended@."
+    stats.Attr_arena.locks stats.Attr_arena.contended;
+  record ~experiment:"intern" ~metric:"arena_lock_acquisitions" ~unit_:"locks"
+    (float_of_int stats.Attr_arena.locks);
+  record ~experiment:"intern" ~metric:"arena_lock_contended" ~unit_:"count"
+    (float_of_int stats.Attr_arena.contended);
+  (* The per-domain front cache in front of the same feed: a hit skips
+     the stripe lock entirely, so its hit rate bounds how much arena
+     traffic the parallel ingest workers generate. *)
+  let fc_arena = Attr_arena.create () in
+  let front = Attr_arena.Front.create ~arena:fc_arena () in
+  for i = 0 to n - 1 do
+    ignore (Attr_arena.Front.intern front (synth_attrs ~distinct i))
+  done;
+  let fc_hits = Attr_arena.Front.hits front in
+  let fc_total = fc_hits + Attr_arena.Front.misses front in
+  let front_hit_rate =
+    100. *. float_of_int fc_hits /. float_of_int (max 1 fc_total)
+  in
+  Fmt.pr "  front cache: %.1f%% hit rate (%d hits / %d interns)@."
+    front_hit_rate fc_hits fc_total;
+  record ~experiment:"intern" ~metric:"front_cache_hit_rate" ~unit_:"percent"
+    front_hit_rate;
   (* Packed export: a burst of announcements sharing one interned
      outbound attribute set leaves as a single multi-NLRI UPDATE. *)
   let caps = Vbgp.Experiment_caps.(default |> with_update_budget max_int) in
@@ -1490,9 +1517,10 @@ let fwd_par () =
       Array.init batch (fun i ->
           fwd_par_frame router neighbor_id ~flow:(i land 255))
     in
-    (* Best of three timed passes: the speedup ratio is gated, and a
-       single pass is too noisy under CI load (the second and third
-       passes also run against warm caches on every domain). *)
+    (* One untimed warm-up pass, then best of three timed passes: the
+       warm-up spawns the worker domains and fills every domain's flow
+       cache outside the timed window, and taking the best of three
+       keeps the gated speedup ratio from flapping under CI load. *)
     let pass () =
       let t0 = Unix.gettimeofday () in
       for _ = 1 to n / batch do
@@ -1500,6 +1528,7 @@ let fwd_par () =
       done;
       float_of_int n /. (Unix.gettimeofday () -. t0)
     in
+    ignore (pass ());
     let pps = List.fold_left (fun best _ -> Float.max best (pass ())) 0. [ 1; 2; 3 ] in
     Vbgp.Router.shutdown_domains router;
     Fmt.pr "  %-32s %12.0f pps@."
@@ -1508,6 +1537,16 @@ let fwd_par () =
     record ~experiment:"fwd-par"
       ~metric:(Printf.sprintf "pps_%ddom" domains)
       ~unit_:"pps" pps;
+    (* Per-lane ingress queue high-water marks: when the gated speedup
+       floor fails, these show from the JSON alone whether the flow hash
+       starved a lane or the coordinator queue backed up. Informational
+       (unit is not gated). *)
+    Array.iteri
+      (fun lane depth ->
+        record ~experiment:"fwd-par"
+          ~metric:(Printf.sprintf "qdepth_max_%ddom_lane%d" domains lane)
+          ~unit_:"frames" (float_of_int depth))
+      (Vbgp.Router.shard_queue_depth_max router);
     (router, pps)
   in
   let results = List.map (fun d -> (d, run d)) counts in
@@ -1527,6 +1566,169 @@ let fwd_par () =
     speedup;
   record ~experiment:"fwd-par" ~metric:"fwdpar_hit_rate" ~unit_:"percent"
     hit_rate
+
+(* ------------------------------------------------------------------------- *)
+(* Parallel ingest lane: wire-format UPDATE batches hash-partitioned over   *)
+(* ingest worker domains — each worker owns its neighbors' decode, intern   *)
+(* and Adj-RIB-In writes; the single writer reconciles FIB + dirty queue    *)
+(* at the drain — vs the sequential batched path. Every pass re-announces   *)
+(* the table with a fresh MED so the unchanged short-circuit never fires    *)
+(* and each pass pays the full decode + intern + RIB + dirty cost. Gated:   *)
+(* the 4-lane speedup ratio (honest floor for the quota-throttled           *)
+(* single-core CI box, mirroring fwd-par) and the staging residual, which   *)
+(* must be exactly zero after the final drain.                              *)
+(* ------------------------------------------------------------------------- *)
+
+let ingest_par () =
+  section "control-plane ingest: parallel decode + per-neighbor RIB lanes";
+  let nbr_count = 16 in
+  let routes = if !smoke then 4_096 else 32_768 in
+  let per_update = 8 in
+  let counts = if !smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let neighbor_ip i = Ipv4.of_int32 (Int32.of_int (0x64400001 + i)) in
+  let per_nbr = routes / nbr_count in
+  let groups = per_nbr / per_update in
+  (* Pre-encoded wire passes, neighbors interleaved so every batch spans
+     all the lanes: pass [k] re-announces the whole table with MED [k].
+     Built once and replayed against every lane count, so all runs
+     decode byte-identical input. *)
+  let passes =
+    Array.init 6 (fun k ->
+        let items = ref [] in
+        for g = groups - 1 downto 0 do
+          for nb = nbr_count - 1 downto 0 do
+            (* 8 distinct attribute sets per neighbor per pass — the real
+               -table shape where many routes repeat the same path
+               attributes, which is what the per-lane front cache (and
+               the arena behind it) exists to exploit. *)
+            let attrs =
+              Attr.origin_attrs
+                ~as_path:
+                  (Aspath.of_asns [ asn (65010 + (g mod 8)); asn (100 + nb) ])
+                ~next_hop:(neighbor_ip nb) ()
+              |> Attr.with_med k
+            in
+            let announced =
+              List.init per_update (fun j ->
+                  Msg.nlri
+                    (synth_prefix ((nb * per_nbr) + (g * per_update) + j)))
+            in
+            items :=
+              (nb, Codec.encode (Msg.Update (Msg.update ~attrs ~announced ())))
+              :: !items
+          done
+        done;
+        Array.of_list !items)
+  in
+  let make_router parallel_ingest =
+    let engine = Sim.Engine.create () in
+    let global_pool =
+      Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
+    in
+    let router =
+      Vbgp.Router.create ~engine ~name:"ingest" ~asn:(asn 47065)
+        ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
+        ~local_pool:(pfx "127.65.0.0/16") ~global_pool ~parallel_ingest ()
+    in
+    Vbgp.Router.activate router;
+    let ids =
+      Array.init nbr_count (fun i ->
+          let nip = neighbor_ip i in
+          let id, npair =
+            Vbgp.Router.add_neighbor router ~asn:(asn (100 + i)) ~ip:nip
+              ~kind:Vbgp.Neighbor.Transit ~remote_id:nip ()
+          in
+          Sim.Bgp_wire.start npair;
+          id)
+    in
+    Sim.Engine.run_until engine 10.;
+    (router, ids)
+  in
+  let feed_pass router ids pass =
+    let len = Array.length pass in
+    let batchn = 256 in
+    let i = ref 0 in
+    while !i < len do
+      let m = min batchn (len - !i) in
+      let batch =
+        Array.init m (fun j ->
+            let idx, bytes = pass.(!i + j) in
+            (ids.(idx), Vbgp.Router.Wire bytes))
+      in
+      Vbgp.Router.ingest_updates router batch;
+      i := !i + m
+    done;
+    Vbgp.Router.flush_reexports router
+  in
+  let run parallel_ingest =
+    let router, ids = make_router parallel_ingest in
+    (* Warm-up pass outside the timed window: spawns the worker domains,
+       loads the table and fills the per-lane intern front caches. *)
+    feed_pass router ids passes.(0);
+    let timed k =
+      let t0 = Unix.gettimeofday () in
+      feed_pass router ids passes.(k);
+      float_of_int (Array.length passes.(k))
+      /. (Unix.gettimeofday () -. t0)
+    in
+    (* Best of five timed passes, each with its own MED version so none
+       is short-circuited: the speedup ratio divides two noisy numbers
+       and is gated, so both sides get the widest honest sample. *)
+    let ups =
+      List.fold_left
+        (fun best k -> Float.max best (timed k))
+        0. [ 1; 2; 3; 4; 5 ]
+    in
+    if Vbgp.Router.route_count router <> routes then
+      failwith
+        (Printf.sprintf "ingest-par: %d-lane run holds %d routes, expected %d"
+           parallel_ingest
+           (Vbgp.Router.route_count router)
+           routes);
+    let st = Vbgp.Router.ingest_stats router in
+    if st.Vbgp.Router.decode_errors <> 0 then
+      failwith
+        (Printf.sprintf "ingest-par: %d-lane run hit %d decode errors"
+           parallel_ingest st.Vbgp.Router.decode_errors);
+    Vbgp.Router.shutdown_domains router;
+    Fmt.pr "  %-32s %12.0f updates/s@."
+      (Printf.sprintf "%d lane%s" parallel_ingest
+         (if parallel_ingest = 1 then "" else "s"))
+      ups;
+    record ~experiment:"ingest-par"
+      ~metric:(Printf.sprintf "upd_per_sec_%ddom" parallel_ingest)
+      ~unit_:"upd/s" ups;
+    (* Per-lane staging/ingress high-water marks: when the gated speedup
+       floor fails, these show from the JSON alone whether the neighbor
+       hash starved a lane. Informational (unit is not gated). *)
+    Array.iteri
+      (fun lane depth ->
+        record ~experiment:"ingest-par"
+          ~metric:
+            (Printf.sprintf "qdepth_max_%ddom_lane%d" parallel_ingest lane)
+          ~unit_:"items" (float_of_int depth))
+      st.Vbgp.Router.queue_depth_max;
+    (ups, st)
+  in
+  let results = List.map (fun d -> (d, run d)) counts in
+  let ups_of d = fst (List.assoc d results) in
+  let speedup = ups_of 4 /. ups_of 1 in
+  let st4 = snd (List.assoc 4 results) in
+  let fc_total = st4.Vbgp.Router.front_hits + st4.Vbgp.Router.front_misses in
+  let front_hit_rate =
+    100. *. float_of_int st4.Vbgp.Router.front_hits
+    /. float_of_int (max 1 fc_total)
+  in
+  Fmt.pr
+    "  4-lane speedup %.2fx, front-cache hit rate %.2f%%, staging residual \
+     %d@."
+    speedup front_hit_rate st4.Vbgp.Router.staging_residual;
+  record ~experiment:"ingest-par" ~metric:"upd_per_sec_speedup_4dom"
+    ~unit_:"ratio" speedup;
+  record ~experiment:"ingest-par" ~metric:"ingest_front_hit_rate"
+    ~unit_:"percent" front_hit_rate;
+  record ~experiment:"ingest-par" ~metric:"staging_residual" ~unit_:"count"
+    (float_of_int st4.Vbgp.Router.staging_residual)
 
 (* ------------------------------------------------------------------------- *)
 (* Fullscale: a full-table control plane — 500k+ routes across O(100)       *)
@@ -1853,6 +2055,7 @@ let experiments =
     ("intern", intern_bench);
     ("fwd", fwd);
     ("fwd-par", fwd_par);
+    ("ingest-par", ingest_par);
     ("fullscale", fullscale);
     ("drill", drill);
   ]

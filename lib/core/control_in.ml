@@ -249,6 +249,67 @@ let process_neighbor_update t ~neighbor_id (u : Msg.update) =
           u.announced
       end
 
+(* -- the parallel ingest lane ------------------------------------------------ *)
+
+(* The per-drain view of a neighbor handed to the ingest workers: built
+   from live state at drain time, so session kills, GR retentions and
+   resyncs that happened since the previous batch are always seen. *)
+let ingest_target (ns : neighbor_state) =
+  {
+    Ingest_pool.tg_id = ns.info.Neighbor.id;
+    tg_peer_ip = ns.info.Neighbor.ip;
+    tg_peer_asn = ns.info.Neighbor.asn;
+    tg_rib = ns.rib_in;
+    tg_gr = Option.map (fun (h : _ gr_hold) -> h.stale) ns.gr;
+  }
+
+(* Replay one staged route delta against shared state — the FIB write and
+   the dirty-queue mark that [process_neighbor_update] performs in-band.
+   Runs on the coordinator only. *)
+let apply_staged t ~nid ~prefix delta =
+  match neighbor t nid with
+  | None -> ()
+  | Some ns -> (
+      let fib = Rib.Fib.Set.table t.fibs nid in
+      match delta with
+      | Ingest_pool.D_withdraw best_changed ->
+          Rib.Fib.remove fib prefix;
+          if best_changed then mark_ingest_dirty t ns prefix
+      | Ingest_pool.D_install entry ->
+          Rib.Fib.insert fib prefix entry;
+          mark_ingest_dirty t ns prefix)
+
+(* Ingest a batch of updates, fanned across the worker domains when the
+   router was created with [?parallel_ingest:n > 1] and processed inline
+   (in batch order) otherwise. The two paths produce bit-identical
+   RIB/FIB/heard/export state and counters — the differential suite pins
+   this. Raw [Wire] payloads are decoded on the workers (the dominant
+   ingest cost); non-UPDATE messages are ignored, undecodable bytes
+   counted as decode errors. *)
+let ingest_updates t batch =
+  match t.ingest_pool with
+  | None ->
+      Array.iter
+        (fun (nid, payload) ->
+          match payload with
+          | Ingest_pool.Update u -> process_neighbor_update t ~neighbor_id:nid u
+          | Ingest_pool.Wire bytes -> (
+              if neighbor t nid = None then
+                invalid_arg "Router.ingest_updates: unknown neighbor";
+              match Codec.decode bytes with
+              | Ok (Msg.Update u) -> process_neighbor_update t ~neighbor_id:nid u
+              | Ok _ | Error _ -> ()))
+        batch
+  | Some pool ->
+      Array.iter
+        (fun (nid, payload) -> Ingest_pool.dispatch pool ~nid payload)
+        batch;
+      Ingest_pool.drain pool ~now:(Engine.now t.engine) ~resolve:(fun nid ->
+          Option.map ingest_target (neighbor t nid));
+      Ingest_pool.consume pool ~apply:(apply_staged t) ~updates:(fun n ->
+          t.counters.updates_from_neighbors <-
+            t.counters.updates_from_neighbors + n)
+
 (* -- session loss: hard drop, stale retention, resync ----------------------- *)
 
 (* The pre-GR teardown: drop the whole Adj-RIB-In, clear the FIB, and

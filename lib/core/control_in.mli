@@ -52,6 +52,16 @@ val process_neighbor_update :
     process run in-band while export fan-out is deferred to the
     dirty-queue flush at the current engine tick. *)
 
+val ingest_updates : Router_state.t -> (int * Ingest_pool.payload) array -> unit
+(** Ingest a batch of (neighbor id, update) items through the pipeline.
+    On a router created with [?parallel_ingest:n > 1], the batch is
+    hash-partitioned by neighbor id across the ingest worker domains —
+    which own the wire decode, attribute intern and Adj-RIB-In writes —
+    and reconciled into the FIB + dirty queue on the single writer; on
+    any other router, items are processed inline in batch order. Both
+    paths produce bit-identical state and counters. Raises
+    [Invalid_argument] on an unknown neighbor id. *)
+
 val add_neighbor :
   Router_state.t ->
   asn:Asn.t ->

@@ -1,0 +1,104 @@
+(** The parallel Control_in ingest lane: N OCaml 5 worker domains, each
+    owning the wire decode, attribute intern, and Adj-RIB-In maintenance
+    for a fixed subset of neighbors, reconciled into the single-writer
+    FIB/dirty-queue/export pipeline at the tick boundary.
+
+    Protocol: {!dispatch} queues updates on the owning neighbor's home
+    domain ({!domain_of_neighbor} — deterministic, so per-neighbor state
+    is single-writer by construction); {!drain} captures a fresh
+    {!target} per queued neighbor from live router state, wakes the
+    persistent parked workers, and blocks until all are done (the
+    done-handshake is the happens-before edge publishing every worker
+    write); {!consume} replays the staged (neighbor, prefix, delta)
+    records on the coordinator — FIB writes, dirty marks, counter folds —
+    in per-neighbor processing order. The control plane must be quiesced
+    during a drain; workers only ever run concurrently with each other.
+
+    The worker pipeline replicates
+    {!Control_in.process_neighbor_update}'s batched ingest exactly
+    (decode, one intern per update through a per-domain
+    {!Attr_arena.Front} cache, GR unmark on every NLRI, unchanged-route
+    dedup, RIB write), which the parallel-vs-sequential differential
+    suite pins: identical RIB/FIB/heard/export fingerprints and exact
+    counter equality, whatever the domain interleaving. *)
+
+open Netcore
+open Bgp
+
+val domain_of_neighbor : workers:int -> int -> int
+(** The home domain of a neighbor id — deterministic. *)
+
+(** An input item: raw wire bytes (the worker owns the decode — the
+    dominant ingest cost) or an already-decoded update. Non-UPDATE
+    messages are ignored; undecodable bytes count as decode errors. *)
+type payload = Wire of string | Update of Msg.update
+
+(** Per-drain view of one neighbor, captured from live router state by
+    the coordinator immediately before the workers run (so session
+    kills and GR retentions between batches are always reflected).
+    [tg_gr] is the live stale table; only the owning worker touches it
+    during the drain. *)
+type target = {
+  tg_id : int;
+  tg_peer_ip : Ipv4.t;
+  tg_peer_asn : Asn.t;
+  tg_rib : Rib.Table.t;
+  tg_gr : (Prefix.t, unit) Hashtbl.t option;
+}
+
+(** A staged route delta, replayed against shared state by {!consume}.
+    [D_withdraw best_changed]: unconditional FIB remove; dirty mark only
+    when the best route changed. [D_install entry]: FIB insert + dirty
+    mark. Mirrors the sequential batched path exactly. *)
+type delta = D_withdraw of bool | D_install of Rib.Fib.entry
+
+type t
+
+val create : workers:int -> unit -> t
+(** A pool of [workers] ingest lanes (>= 1). No domain is spawned until
+    a multi-worker {!drain}; a 1-worker pool runs everything inline. *)
+
+val worker_count : t -> int
+
+val dispatch : t -> nid:int -> payload -> unit
+(** Queue one update on its neighbor's home domain (coordinator only,
+    between drains). *)
+
+val queued : t -> int
+(** Items currently queued across all domains. *)
+
+val drain : t -> now:float -> resolve:(int -> target option) -> unit
+(** Process everything queued: resolve a target for every queued
+    neighbor (raising [Invalid_argument] if [resolve] returns [None] —
+    same contract as the sequential path's unknown-neighbor error), wake
+    the workers, run domain 0 on the coordinator, wait for completion.
+    [now] stamps installed routes' [learned_at]. The caller must not
+    mutate router state during the call. *)
+
+val consume :
+  t -> apply:(nid:int -> prefix:Prefix.t -> delta -> unit) -> updates:(int -> unit) -> unit
+(** Replay the drain's staging records into the caller's sinks and clear
+    them: [apply] per record in per-neighbor processing order, then one
+    [updates] call with the number of UPDATEs processed (the
+    [updates_from_neighbors] fold). Call after {!drain} returns. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains. Idempotent; the next multi-worker
+    {!drain} respawns workers transparently. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  front_hits : int;  (** per-domain intern front-cache hits, summed *)
+  front_misses : int;
+  decode_errors : int;  (** cumulative undecodable wire items *)
+  staging_residual : int;
+      (** staged records not yet consumed — 0 after every
+          drain+consume cycle (gated in the ingest-par bench) *)
+  queue_depth_max : int array;
+      (** per-domain input-queue high-water mark over the pool's
+          lifetime (index 0 = coordinator domain) *)
+}
+
+val stats : t -> stats
+val zero_stats : stats

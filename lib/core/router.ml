@@ -86,6 +86,28 @@ let process_experiment_update = Control_out.process_experiment_update
 let process_mesh_update = Control_out.process_mesh_update
 let flush_reexports = Control_out.flush_reexports
 
+(* -- parallel ingest lane ---------------------------------------------------- *)
+
+type ingest_payload = Ingest_pool.payload =
+  | Wire of string
+  | Update of Msg.update
+
+let ingest_updates = Control_in.ingest_updates
+let parallel_ingest t = t.Router_state.parallel_ingest
+
+type ingest_stats = Ingest_pool.stats = {
+  front_hits : int;
+  front_misses : int;
+  decode_errors : int;
+  staging_residual : int;
+  queue_depth_max : int array;
+}
+
+let ingest_stats t =
+  match t.Router_state.ingest_pool with
+  | Some pool -> Ingest_pool.stats pool
+  | None -> Ingest_pool.zero_stats
+
 (* -- data plane ------------------------------------------------------------- *)
 
 let inject_from_neighbor = Data_plane.inject_from_neighbor
@@ -93,9 +115,17 @@ let forward_experiment_frame = Data_plane.forward_experiment_frame
 let forward_frames = Data_plane.forward_frames
 let domains t = t.Router_state.domains
 
-let shutdown_domains t =
+let shard_queue_depth_max t =
   match t.Router_state.pool with
+  | Some pool -> Shard.queue_depth_max pool
+  | None -> [||]
+
+let shutdown_domains t =
+  (match t.Router_state.pool with
   | Some pool -> Shard.shutdown pool
+  | None -> ());
+  match t.Router_state.ingest_pool with
+  | Some pool -> Ingest_pool.shutdown pool
   | None -> ()
 
 (* -- wiring ----------------------------------------------------------------- *)

@@ -83,6 +83,7 @@ val create :
   ?flow_cache:bool ->
   ?ingest_batching:bool ->
   ?domains:int ->
+  ?parallel_ingest:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -103,9 +104,15 @@ val create :
     destination caches and forwarding against an immutable
     generation-stamped control snapshot ({!Shard}); 1 keeps the
     sequential path, bit-identical to pre-sharding behavior, and more
-    than 1 requires the flow cache. [seed] drives the router's
-    deterministic RNG (reconnect jitter); [gr_restart_time] is the
-    graceful-restart window it advertises (RFC 4724) — 0 disables
+    than 1 requires the flow cache. [parallel_ingest] (default 1) fans
+    the control plane's batch ingest entry point ({!ingest_updates})
+    across that many worker domains — each owning its neighbors' wire
+    decode, attribute intern and Adj-RIB-In writes, reconciled into the
+    single-writer FIB/export pipeline at the tick boundary
+    ({!Ingest_pool}); 1 keeps the sequential batched path, bit-identical,
+    and more than 1 requires [ingest_batching]. [seed] drives the
+    router's deterministic RNG (reconnect jitter); [gr_restart_time] is
+    the graceful-restart window it advertises (RFC 4724) — 0 disables
     graceful restart. *)
 
 val activate : t -> unit
@@ -190,6 +197,42 @@ val process_experiment_update :
 
 val process_mesh_update : t -> pop:string -> Msg.update -> unit
 
+(** An item for {!ingest_updates}: raw wire bytes (decoded on the ingest
+    workers — the dominant ingest cost) or an already-decoded update.
+    Non-UPDATE messages are ignored; undecodable bytes count as decode
+    errors in {!ingest_stats}. *)
+type ingest_payload = Ingest_pool.payload =
+  | Wire of string
+  | Update of Msg.update
+
+val ingest_updates : t -> (int * ingest_payload) array -> unit
+(** Ingest a batch of (neighbor id, update) items through the full
+    pipeline. On a [?parallel_ingest:n] router with [n > 1] the batch is
+    hash-partitioned by neighbor id across the ingest worker domains
+    (each owning decode, intern, and the neighbor's Adj-RIB-In) and the
+    staged route deltas are reconciled into the FIB and the per-tick
+    dirty queue on the single writer before the call returns; otherwise
+    items are processed inline in batch order. Both paths produce
+    bit-identical state and counters — the par-ingest differential suite
+    pins this. Raises [Invalid_argument] on an unknown neighbor id. *)
+
+val parallel_ingest : t -> int
+(** The router's ingest-lane count (1 = sequential batched ingest). *)
+
+type ingest_stats = Ingest_pool.stats = {
+  front_hits : int;  (** per-domain intern front-cache hits, summed *)
+  front_misses : int;
+  decode_errors : int;  (** cumulative undecodable wire items *)
+  staging_residual : int;
+      (** staged deltas not yet reconciled — always 0 after
+          {!ingest_updates} returns (gated in the ingest-par bench) *)
+  queue_depth_max : int array;
+      (** per-lane input-queue high-water mark (index 0 = coordinator) *)
+}
+
+val ingest_stats : t -> ingest_stats
+(** All-zero (empty array) on a sequential-ingest router. *)
+
 val flush_reexports : t -> unit
 (** Drain the batched-ingest queue (neighbor/mesh routes toward
     experiments and the mesh) and the dirty-prefix re-export queue
@@ -221,13 +264,19 @@ val forward_frames : t -> Eth.t array -> unit
 val domains : t -> int
 (** The router's worker-domain count (1 = sequential data plane). *)
 
+val shard_queue_depth_max : t -> int array
+(** Per-domain ingress queue high-water mark of the sharded data plane
+    (empty on sequential routers) — recorded in the fwd-par bench so
+    speedup-floor failures are diagnosable from the JSON alone. *)
+
 val shutdown_domains : t -> unit
-(** Join the sharded data plane's parked worker domains (each live
-    domain counts against the OCaml runtime's domain limit, so tests and
-    benchmarks churning many [?domains] routers should release them).
-    Idempotent, a no-op on sequential routers, and transparent: the next
-    {!forward_frames} batch respawns workers with all sharding state
-    (caches, counters, shaper replicas) intact. *)
+(** Join the router's parked worker domains — both the sharded data
+    plane's and the parallel ingest lane's (each live domain counts
+    against the OCaml runtime's domain limit, so tests and benchmarks
+    churning many [?domains]/[?parallel_ingest] routers should release
+    them). Idempotent, a no-op on sequential routers, and transparent:
+    the next parallel batch respawns workers with all state (caches,
+    counters, shaper replicas) intact. *)
 
 (** {1 Wiring} *)
 

@@ -218,6 +218,11 @@ type t = {
       (** worker domains for the sharded data plane; 1 = the sequential
           path (the default, bit-identical to pre-sharding behavior) *)
   mutable pool : Shard.t option;  (** the worker pool when [domains > 1] *)
+  parallel_ingest : int;
+      (** worker domains for the parallel ingest lane; 1 = the
+          sequential batched path (the default, bit-identical) *)
+  mutable ingest_pool : Ingest_pool.t option;
+      (** the ingest worker pool when [parallel_ingest > 1] *)
   mutable shard_fp : int list;
       (** fingerprint of the control state captured by the last published
           snapshot; a publication happens only when it changes *)
@@ -233,10 +238,16 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
     ?control ?data ?(flow_cache = true) ?(ingest_batching = true)
-    ?(domains = 1) ?(seed = 42) ?(gr_restart_time = 120) () =
+    ?(domains = 1) ?(parallel_ingest = 1) ?(seed = 42) ?(gr_restart_time = 120)
+    () =
   if domains < 1 then invalid_arg "Router.create: domains must be >= 1";
   if domains > 1 && not flow_cache then
     invalid_arg "Router.create: the sharded data plane requires the flow cache";
+  if parallel_ingest < 1 then
+    invalid_arg "Router.create: parallel_ingest must be >= 1";
+  if parallel_ingest > 1 && not ingest_batching then
+    invalid_arg
+      "Router.create: the parallel ingest lane requires batched ingest";
   let control =
     match control with
     | Some c -> c
@@ -308,6 +319,11 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     flow_cache_enabled = flow_cache;
     domains;
     pool = (if domains > 1 then Some (Shard.create ~domains ()) else None);
+    parallel_ingest;
+    ingest_pool =
+      (if parallel_ingest > 1 then
+         Some (Ingest_pool.create ~workers:parallel_ingest ())
+       else None);
     shard_fp = [];
   }
 

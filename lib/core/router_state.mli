@@ -186,6 +186,11 @@ type t = {
       (** worker domains for the sharded data plane; 1 = the sequential
           path (the default, bit-identical to pre-sharding behavior) *)
   mutable pool : Shard.t option;  (** the worker pool when [domains > 1] *)
+  parallel_ingest : int;
+      (** worker domains for the parallel ingest lane; 1 = the
+          sequential batched path (the default, bit-identical) *)
+  mutable ingest_pool : Ingest_pool.t option;
+      (** the ingest worker pool when [parallel_ingest > 1] *)
   mutable shard_fp : int list;
       (** fingerprint of the control state captured by the last published
           snapshot (see {!shard_publish}) *)
@@ -213,10 +218,13 @@ val create :
   ?flow_cache:bool ->
   ?ingest_batching:bool ->
   ?domains:int ->
+  ?parallel_ingest:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
   t
+(** [parallel_ingest > 1] requires [ingest_batching] (the lane feeds the
+    per-tick dirty queue; there is no parallel eager path). *)
 
 val shard_publish : t -> unit
 (** Publish a fresh control snapshot to the sharded data plane's worker

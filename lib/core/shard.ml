@@ -153,9 +153,14 @@ type dom = {
   mutable d_outcomes : outcome list;
   d_attr : (string, int ref * int ref) Hashtbl.t;
       (** experiment -> (packets, bytes) out, this drain *)
-  (* The domain's ingress queue, filled by [dispatch] between drains. *)
+  (* The domain's ingress queue, filled by [dispatch] between drains.
+     [d_qmax] is the high-water mark across the pool's lifetime — a
+     skewed flow hash shows up here (one domain's max far above the
+     others'), which is what makes speedup-floor failures diagnosable
+     from the bench JSON alone. *)
   mutable d_q : Eth.t array;
   mutable d_qlen : int;
+  mutable d_qmax : int;
 }
 
 (* Worker parking protocol: persistent domains sleep on [cond] between
@@ -201,6 +206,7 @@ let make_dom _i =
     d_attr = Hashtbl.create 4;
     d_q = Array.make 256 dummy_frame;
     d_qlen = 0;
+    d_qmax = 0;
   }
 
 let create ~domains () =
@@ -217,6 +223,7 @@ let create ~domains () =
 
 let domain_count t = t.domains
 let generation t = (Atomic.get t.current).snap_gen
+let queue_depth_max t = Array.map (fun d -> d.d_qmax) t.doms
 
 (* -- publication ------------------------------------------------------------ *)
 
@@ -244,7 +251,8 @@ let push d frame =
     d.d_q <- bigger
   end;
   d.d_q.(d.d_qlen) <- frame;
-  d.d_qlen <- d.d_qlen + 1
+  d.d_qlen <- d.d_qlen + 1;
+  if d.d_qlen > d.d_qmax then d.d_qmax <- d.d_qlen
 
 (* Queue one frame on its flow's home domain. The IPv4 addresses are read
    straight from the payload bytes (the full header validation happens on

@@ -56,6 +56,12 @@ val domain_count : t -> int
 val generation : t -> int
 (** The current snapshot's generation (0 before the first publish). *)
 
+val queue_depth_max : t -> int array
+(** Per-domain ingress queue high-water mark over the pool's lifetime
+    (index 0 = coordinator domain). A skewed flow hash shows up as one
+    domain's max far above the others' — recorded in the fwd-par bench
+    so speedup-floor failures are diagnosable from the JSON alone. *)
+
 val publish :
   t ->
   vmac:(Mac.t, nsnap) Hashtbl.t ->

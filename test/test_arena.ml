@@ -67,6 +67,42 @@ let test_arena_survives_gc () =
   let again = Attr_arena.intern ~arena (attrs ()) in
   checkb "retained handle survives GC" true (Attr_arena.equal keep again)
 
+(* -- striped locks and the per-domain front cache ---------------------------- *)
+
+let test_striped_counters () =
+  let arena = Attr_arena.create () in
+  (* Retain the handles so weak reclamation can't perturb the counts. *)
+  let keep =
+    List.init 100 (fun i ->
+        Attr_arena.intern ~arena (attrs ~med:(Some (i mod 10)) ()))
+  in
+  ignore (Sys.opaque_identity keep);
+  let st = Attr_arena.stats ~arena () in
+  checki "every intern takes exactly one stripe lock" 100 st.Attr_arena.locks;
+  checki "sequential interning never contends" 0 st.Attr_arena.contended;
+  checki "hits + misses = interns" 100
+    (st.Attr_arena.hits + st.Attr_arena.misses);
+  checki "ten distinct sets missed" 10 st.Attr_arena.misses;
+  Attr_arena.reset_stats ~arena ();
+  let st = Attr_arena.stats ~arena () in
+  checki "reset clears lock counters" 0 (st.Attr_arena.locks + st.Attr_arena.contended)
+
+let test_front_cache () =
+  let arena = Attr_arena.create () in
+  let front = Attr_arena.Front.create ~arena () in
+  let a = Attr_arena.Front.intern front (attrs ()) in
+  let b = Attr_arena.Front.intern front (attrs ()) in
+  checkb "front returns the canonical handle" true (a == b);
+  checki "second intern hits the front cache" 1 (Attr_arena.Front.hits front);
+  checki "first intern missed through to the arena" 1
+    (Attr_arena.Front.misses front);
+  (* A front hit must not touch the arena stripes at all. *)
+  let st = Attr_arena.stats ~arena () in
+  checki "arena saw exactly one intern" 1 st.Attr_arena.locks;
+  let c = Attr_arena.intern ~arena (attrs ()) in
+  checkb "front and direct intern agree on the handle" true
+    (Attr_arena.equal a c)
+
 (* -- differential: interned vs plain ---------------------------------------- *)
 
 let test_differential_accessors () =
@@ -138,6 +174,10 @@ let () =
             test_intern_canonicalizes_order;
           Alcotest.test_case "weak arena survives gc" `Quick
             test_arena_survives_gc;
+          Alcotest.test_case "stripe lock counters" `Quick
+            test_striped_counters;
+          Alcotest.test_case "front cache fronts the stripes" `Quick
+            test_front_cache;
         ] );
       ( "differential",
         [
