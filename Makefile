@@ -1,6 +1,6 @@
 # Tier-1 verification: build, formatting, tests.
 
-.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos par par-ingest drill check fullscale
+.PHONY: all build fmt test bench bench-json bench-smoke bench-diff chaos par par-ingest export-par drill check fullscale
 
 all: build
 
@@ -21,7 +21,7 @@ bench:
 # Machine-readable headline metrics (micro ns/op, fig6a memory bytes,
 # flap withdrawal-storm counts, burst/intern sharing & packing ratios).
 bench-json:
-	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fwd-par ingest-par fullscale drill
+	dune exec bench/main.exe -- --json bench.json micro fig6a flap burst intern fwd fwd-par ingest-par export-par fullscale drill
 
 # Full-table-scale control plane: 500k+ routes over 100 neighbors through
 # the batched-ingest pipeline, then a staged churn replay (withdraw storm,
@@ -33,7 +33,7 @@ fullscale:
 # Fast smoke run of the microbenchmarks (used by `make check`); writes
 # bench-smoke.json for the regression gate below.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fwd-par ingest-par fullscale drill
+	dune exec bench/main.exe -- --smoke --json bench-smoke.json micro flap burst intern fwd fwd-par ingest-par export-par fullscale drill
 
 # Regression gate: compare the smoke run against the committed baseline.
 # Fails if any count/bytes/ratio headline metric moves >10% in the wrong
@@ -56,9 +56,16 @@ par:
 par-ingest:
 	dune exec test/test_par_ingest.exe
 
+# Parallel export lane: the 4-lane-vs-sequential differential on Adj-RIB-Out
+# fingerprints, exact counters and per-neighbor wire-byte transcripts (incl.
+# graceful restart and mid-churn kills), the encode-once wire-cache
+# accounting, and the chunked regression (also part of `dune runtest`).
+export-par:
+	dune exec test/test_export_par.exe
+
 # Failover drills: PoP kill/re-home/restart, degraded mode, two-phase
 # zero-residual guarantees (also part of `dune runtest`).
 drill:
 	dune exec test/test_drill.exe
 
-check: fmt build test chaos par par-ingest drill bench-diff
+check: fmt build test chaos par par-ingest export-par drill bench-diff

@@ -1731,6 +1731,172 @@ let ingest_par () =
     (float_of_int st4.Vbgp.Router.staging_residual)
 
 (* ------------------------------------------------------------------------- *)
+(* Export-par: the dirty-prefix flush toward neighbors across 1/2/4/8       *)
+(* export lanes, with the encode-once wire cache. An experiment             *)
+(* re-announces a large prefix set with a fresh MED each pass so every      *)
+(* prefix is a genuine Adj-RIB-Out delta; only [flush_reexports] is in      *)
+(* the timed window. All lane counts must converge to the same Adj-RIB-Out  *)
+(* fingerprint — the bench refuses to report a speedup over divergent       *)
+(* state.                                                                   *)
+(* ------------------------------------------------------------------------- *)
+
+let export_par () =
+  section "control-plane export: parallel flush lanes + encode-once wire cache";
+  let nbr_count = 32 in
+  let pfx_count = if !smoke then 256 else 2_048 in
+  let counts = if !smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let neighbor_ip i = Ipv4.of_int32 (Int32.of_int (0x64400001 + i)) in
+  (* /24s inside the experiment's 184.160.0.0/13 grant (2048 of them). *)
+  let exp_prefix i =
+    Prefix.make
+      (Ipv4.of_int32 (Int32.logor 0xB8A00000l (Int32.of_int (i lsl 8))))
+      24
+  in
+  let make_router parallel_export =
+    let engine = Sim.Engine.create () in
+    let global_pool =
+      Vbgp.Addr_pool.create ~base:(pfx "127.127.0.0/16") ~mac_pool:0x7f
+    in
+    let router =
+      Vbgp.Router.create ~engine ~name:"export" ~asn:(asn 47065)
+        ~router_id:(ip "10.255.0.1") ~primary_ip:(ip "10.255.0.1")
+        ~local_pool:(pfx "127.65.0.0/16") ~global_pool ~parallel_export ()
+    in
+    (* Tracing off: the sequential lane logs one entry per (prefix,
+       neighbor) delta while worker lanes never log, so leaving the trace
+       on would bill ~8k message formats per flush to the 1-lane column
+       only and overstate the speedup. *)
+    Sim.Trace.set_enabled (Vbgp.Router.trace router) false;
+    Vbgp.Router.activate router;
+    let ids =
+      Array.init nbr_count (fun i ->
+          let nip = neighbor_ip i in
+          let id, npair =
+            Vbgp.Router.add_neighbor router ~asn:(asn (100 + i)) ~ip:nip
+              ~kind:Vbgp.Neighbor.Transit ~remote_id:nip ()
+          in
+          Sim.Bgp_wire.start npair;
+          id)
+    in
+    let caps = Vbgp.Experiment_caps.(default |> with_update_budget max_int) in
+    let grant =
+      Vbgp.Control_enforcer.grant ~asns:[ asn 61574 ]
+        ~prefixes:[ pfx "184.160.0.0/13" ]
+        ~caps "export-bench"
+    in
+    let epair =
+      Vbgp.Router.connect_experiment router ~grant
+        ~mac:(Mac.local ~pool:0xe0 1) ()
+    in
+    Sim.Bgp_wire.start epair;
+    Sim.Engine.run_until engine 10.;
+    (engine, router, ids)
+  in
+  (* Re-announce the whole set with MED [k]: every prefix becomes a dirty
+     Adj-RIB-Out delta toward every neighbor at the next flush. *)
+  let announce_pass router k =
+    match
+      Vbgp.Router.process_experiment_update router ~experiment:"export-bench"
+        (Msg.update
+           ~attrs:
+             (Attr.origin_attrs
+                ~as_path:(Aspath.of_asns [ asn 61574 ])
+                ~next_hop:(ip "184.160.0.1") ()
+             |> Attr.with_med k)
+           ~announced:(List.init pfx_count (fun i -> Msg.nlri (exp_prefix i)))
+           ())
+    with
+    | Ok () -> ()
+    | Error e -> failwith ("export-par: " ^ String.concat "; " e)
+  in
+  let adj_out_fingerprint router ids =
+    Array.to_list ids
+    |> List.concat_map (fun id ->
+           List.map
+             (fun (p, attrs) -> Fmt.str "%d %a %a" id Prefix.pp p Attr.pp_set attrs)
+             (Vbgp.Router.adj_out_routes router ~neighbor_id:id))
+    |> List.sort compare |> String.concat "\n" |> Digest.string |> Digest.to_hex
+  in
+  let run parallel_export =
+    let engine, router, ids = make_router parallel_export in
+    (* Warm-up pass outside the timed window: spawns the worker domains
+       and builds the Adj-RIB-Out tables. *)
+    announce_pass router 0;
+    Vbgp.Router.flush_reexports router;
+    Sim.Engine.run_until engine (Sim.Engine.now engine +. 1.);
+    let timed k =
+      announce_pass router k;
+      let t0 = Unix.gettimeofday () in
+      Vbgp.Router.flush_reexports router;
+      let dt = Unix.gettimeofday () -. t0 in
+      Sim.Engine.run_until engine (Sim.Engine.now engine +. 1.);
+      float_of_int pfx_count /. dt
+    in
+    (* Best of five timed passes, each with its own MED version so none
+       is short-circuited by the delta check. *)
+    let pps =
+      List.fold_left (fun best k -> Float.max best (timed k)) 0. [ 1; 2; 3; 4; 5 ]
+    in
+    let st = Vbgp.Router.export_stats router in
+    if st.Vbgp.Router.staged_residual <> 0 then
+      failwith
+        (Printf.sprintf "export-par: %d-lane run left %d staged sends"
+           parallel_export st.Vbgp.Router.staged_residual);
+    let fp = adj_out_fingerprint router ids in
+    Vbgp.Router.shutdown_domains router;
+    Fmt.pr "  %-32s %12.0f prefix-flushes/s@."
+      (Printf.sprintf "%d lane%s" parallel_export
+         (if parallel_export = 1 then "" else "s"))
+      pps;
+    record ~experiment:"export-par"
+      ~metric:(Printf.sprintf "flush_pfx_per_sec_%ddom" parallel_export)
+      ~unit_:"pfx/s" pps;
+    (* Per-lane target-queue high-water marks: when the gated speedup
+       floor fails, these show from the JSON alone whether the neighbor
+       hash starved a lane. Informational (unit is not gated). *)
+    Array.iteri
+      (fun lane depth ->
+        record ~experiment:"export-par"
+          ~metric:
+            (Printf.sprintf "xdepth_max_%ddom_lane%d" parallel_export lane)
+          ~unit_:"items" (float_of_int depth))
+      st.Vbgp.Router.lane_depth_max;
+    (pps, st, fp)
+  in
+  let results = List.map (fun d -> (d, run d)) counts in
+  let pps_of d = match List.assoc d results with p, _, _ -> p in
+  let fp_of d = match List.assoc d results with _, _, f -> f in
+  List.iter
+    (fun (d, (_, _, fp)) ->
+      if not (String.equal fp (fp_of 1)) then
+        failwith
+          (Printf.sprintf
+             "export-par: %d-lane Adj-RIB-Out fingerprint diverges from \
+              sequential"
+             d))
+    results;
+  let speedup = pps_of 4 /. pps_of 1 in
+  let st4 = match List.assoc 4 results with _, s, _ -> s in
+  let wc_total = st4.Vbgp.Router.wire_cache_hits + st4.Vbgp.Router.wire_cache_misses in
+  let hit_rate =
+    100. *. float_of_int st4.Vbgp.Router.wire_cache_hits
+    /. float_of_int (max 1 wc_total)
+  in
+  Fmt.pr
+    "  4-lane speedup %.2fx, wire-cache hit rate %.2f%% (%d blocks encoded \
+     for %d messages), %.1f MB on the wire@."
+    speedup hit_rate st4.Vbgp.Router.wire_cache_misses wc_total
+    (float_of_int st4.Vbgp.Router.wire_bytes_out /. 1e6);
+  record ~experiment:"export-par" ~metric:"flush_speedup_4dom" ~unit_:"ratio"
+    speedup;
+  record ~experiment:"export-par" ~metric:"wire_cache_hit_rate"
+    ~unit_:"percent" hit_rate;
+  record ~experiment:"export-par" ~metric:"staged_residual" ~unit_:"count"
+    (float_of_int st4.Vbgp.Router.staged_residual);
+  record ~experiment:"export-par" ~metric:"wire_bytes_out_4dom" ~unit_:"b"
+    (float_of_int st4.Vbgp.Router.wire_bytes_out)
+
+(* ------------------------------------------------------------------------- *)
 (* Fullscale: a full-table control plane — 500k+ routes across O(100)       *)
 (* neighbors pushed through the batched-ingest pipeline, then a staged      *)
 (* churn replay (withdraw storm, peer flaps, fresh wave). Reports RIB       *)
@@ -1861,6 +2027,27 @@ let fullscale () =
       plan_seed = 47;
     }
   in
+  (* Untimed warm-up: a throwaway announce+withdraw wave through the same
+     ingress pipeline populates the attribute arena, the decision caches
+     and the per-neighbor tables before the clock starts, so the
+     sustained-ingest number is not paying one-time cold-start costs.
+     Everything announced here is withdrawn again — the final table is
+     untouched. *)
+  let () =
+    let warm = if !smoke then 512 else 4_096 in
+    let nip = neighbor_ip 0 in
+    let nlris = List.init warm (fun i -> Msg.nlri (synth_prefix i)) in
+    Vbgp.Router.process_neighbor_update router ~neighbor_id:neighbor_ids.(0)
+      (Msg.update
+         ~attrs:
+           (Attr.origin_attrs
+              ~as_path:(Aspath.of_asns [ asn 65010; asn 100 ])
+              ~next_hop:nip ())
+         ~announced:nlris ());
+    Vbgp.Router.process_neighbor_update router ~neighbor_id:neighbor_ids.(0)
+      (Msg.update ~withdrawn:nlris ());
+    Vbgp.Router.flush_reexports router
+  in
   let c = Vbgp.Router.counters router in
   let eu0 = c.Vbgp.Router.updates_to_experiments in
   let en0 = c.Vbgp.Router.nlri_to_experiments in
@@ -1902,6 +2089,46 @@ let fullscale () =
     | Error e -> failwith (String.concat "; " e)
   done;
   Vbgp.Router.flush_reexports router;
+  (* Export-lane flush at full scale: the experiment re-announces its /24
+     and the delta flush toward all neighbors is timed — after one
+     untimed warm-up flush, so the number excludes Adj-RIB-Out creation.
+     The encode-once wire cache must show exactly one attribute block per
+     facing group per flush: one miss and [nbr_count - 1] splice hits. *)
+  let announce_med k =
+    match
+      Vbgp.Router.process_experiment_update router ~experiment:"fullscale"
+        (Msg.update
+           ~attrs:
+             (Attr.origin_attrs
+                ~as_path:(Aspath.of_asns [ asn 61574 ])
+                ~next_hop:(ip "184.164.224.1") ()
+             |> Attr.with_med k)
+           ~announced:[ Msg.nlri (pfx "184.164.224.0/24") ]
+           ())
+    with
+    | Ok () -> ()
+    | Error e -> failwith (String.concat "; " e)
+  in
+  announce_med 1;
+  Vbgp.Router.flush_reexports router;
+  let s1 = Vbgp.Router.export_stats router in
+  announce_med 2;
+  let tf0 = Unix.gettimeofday () in
+  Vbgp.Router.flush_reexports router;
+  let flush_ns = (Unix.gettimeofday () -. tf0) *. 1e9 in
+  let s2 = Vbgp.Router.export_stats router in
+  if
+    s2.Vbgp.Router.wire_cache_misses - s1.Vbgp.Router.wire_cache_misses <> 1
+    || s2.Vbgp.Router.wire_cache_hits - s1.Vbgp.Router.wire_cache_hits
+       <> nbr_count - 1
+  then
+    failwith
+      (Printf.sprintf
+         "fullscale: expected one encoded block + %d splices per flush, got \
+          %d blocks / %d splices"
+         (nbr_count - 1)
+         (s2.Vbgp.Router.wire_cache_misses - s1.Vbgp.Router.wire_cache_misses)
+         (s2.Vbgp.Router.wire_cache_hits - s1.Vbgp.Router.wire_cache_hits));
   let routes = Vbgp.Router.route_count router in
   let rib_bytes = Vbgp.Router.control_plane_bytes router in
   let bytes_per_route = float_of_int rib_bytes /. float_of_int (max 1 routes) in
@@ -1922,6 +2149,11 @@ let fullscale () =
     "experiment export fan-out: %d UPDATEs carrying %d NLRI (%.1f \
      routes/UPDATE)@."
     exp_updates exp_nlri packing;
+  Fmt.pr
+    "neighbor-facing flush: %.0f ns across %d neighbors; %.1f KB on the \
+     wire, 1 attribute block per facing group@."
+    flush_ns nbr_count
+    (float_of_int s2.Vbgp.Router.wire_bytes_out /. 1e3);
   record ~experiment:"fullscale" ~metric:"route_count" ~unit_:"routes"
     (float_of_int routes);
   record ~experiment:"fullscale" ~metric:"rib_memory_bytes" ~unit_:"b"
@@ -1932,7 +2164,10 @@ let fullscale () =
     updates_per_sec;
   record ~experiment:"fullscale" ~metric:"convergence_s" ~unit_:"s" convergence;
   record ~experiment:"fullscale" ~metric:"export_packing_ratio" ~unit_:"ratio"
-    packing
+    packing;
+  record ~experiment:"fullscale" ~metric:"flush_ns" ~unit_:"ns" flush_ns;
+  record ~experiment:"fullscale" ~metric:"wire_bytes_out" ~unit_:"b"
+    (float_of_int s2.Vbgp.Router.wire_bytes_out)
 
 (* ------------------------------------------------------------------------- *)
 (* Failover drill: kill a whole PoP, time health detection and the          *)
@@ -2056,6 +2291,7 @@ let experiments =
     ("fwd", fwd);
     ("fwd-par", fwd_par);
     ("ingest-par", ingest_par);
+    ("export-par", export_par);
     ("fullscale", fullscale);
     ("drill", drill);
   ]

@@ -287,10 +287,19 @@ let classic_max_message_size = 4096
 let nlri_encoded_size ~add_path (n : Msg.nlri) =
   (if add_path then 4 else 0) + 1 + ((Prefix.length n.prefix + 7) / 8)
 
-let encoded_attrs_size ~params attrs =
+(* The path-attribute block of an UPDATE (sorted, wire-encoded, without
+   the two-byte length prefix), ready to be spliced by
+   [encode_update_spliced]. The block is a pure function of (attrs,
+   params), so encoding it once per update-group and reusing it across
+   every packed message — the export lane's wire cache — is byte-exact
+   by construction. *)
+let encode_attrs_block ?(params = default_params) attrs =
   let w = Wire.Writer.create () in
   List.iter (encode_attr ~params w) (Attr.sort attrs);
-  Wire.Writer.length w
+  Wire.Writer.contents w
+
+let encoded_attrs_size ~params attrs =
+  String.length (encode_attrs_block ~params attrs)
 
 (* Greedily chunk [nlris] so each chunk's NLRI bytes fit in [capacity]
    (at least one NLRI per chunk, so a pathological capacity degrades to
@@ -315,12 +324,15 @@ let chunk_nlris ~add_path ~capacity nlris =
    common case) is returned unchanged; an UPDATE with no v4 NLRI
    (End-of-RIB, MP-only) is never split. *)
 let split_update ?(params = default_params) ?(max_size = classic_max_message_size)
-    (u : Msg.update) =
+    ?attrs_size (u : Msg.update) =
   let add_path = params.add_path in
   (* header + withdrawn-routes-len + total-attrs-len *)
   let base = header_size + 2 + 2 in
   let attrs_size =
-    if u.Msg.attrs = [] then 0 else encoded_attrs_size ~params u.Msg.attrs
+    match attrs_size with
+    | Some s -> s
+    | None ->
+        if u.Msg.attrs = [] then 0 else encoded_attrs_size ~params u.Msg.attrs
   in
   let nlri_bytes = List.fold_left (fun a n -> a + nlri_encoded_size ~add_path n) 0 in
   let total =
@@ -455,6 +467,30 @@ let encode ?(params = default_params) msg =
       Wire.Writer.u16 w afi;
       Wire.Writer.u8 w 0;
       Wire.Writer.u8 w safi);
+  let len = Wire.Writer.length w in
+  if len > max_message_size then invalid_arg "Codec.encode: message too long";
+  Wire.Writer.patch_u16 w len_off len;
+  Wire.Writer.contents w
+
+(* Serialize one UPDATE around a pre-encoded attribute block.
+   [attrs_block] must be [encode_attrs_block ~params u.attrs] (the
+   caller caches it across messages); [u.attrs] itself is ignored here.
+   The result is byte-identical to [encode ~params (Msg.Update u)] —
+   the splice-roundtrip QCheck property pins this. *)
+let encode_update_spliced ?(params = default_params) ~attrs_block
+    (u : Msg.update) =
+  let w = Wire.Writer.create ~capacity:64 () in
+  Wire.Writer.string w marker;
+  let len_off = Wire.Writer.reserve w 2 in
+  Wire.Writer.u8 w type_update;
+  let withdrawn = Wire.Writer.create () in
+  List.iter (encode_nlri ~add_path:params.add_path withdrawn) u.withdrawn;
+  let withdrawn = Wire.Writer.contents withdrawn in
+  Wire.Writer.u16 w (String.length withdrawn);
+  Wire.Writer.string w withdrawn;
+  Wire.Writer.u16 w (String.length attrs_block);
+  Wire.Writer.string w attrs_block;
+  List.iter (encode_nlri ~add_path:params.add_path w) u.announced;
   let len = Wire.Writer.length w in
   if len > max_message_size then invalid_arg "Codec.encode: message too long";
   Wire.Writer.patch_u16 w len_off len;

@@ -27,16 +27,33 @@ val classic_max_message_size : int
 (** 4096 — the RFC 4271 message-size ceiling packed UPDATEs split at, so
     a packed message is valid toward any non-RFC-8654 speaker. *)
 
-val split_update : ?params:params -> ?max_size:int -> Msg.update -> Msg.update list
+val split_update :
+  ?params:params -> ?max_size:int -> ?attrs_size:int -> Msg.update ->
+  Msg.update list
 (** Split a (possibly many-NLRI) UPDATE into messages that each encode
     within [max_size] (default {!classic_max_message_size}) bytes:
     withdrawals packed into leading attribute-less messages, then
     announcements, each carrying the shared attribute block. An UPDATE
     already within bounds is returned unchanged (singleton); an UPDATE
-    with no IPv4 NLRI (End-of-RIB, MP-only) is never split. *)
+    with no IPv4 NLRI (End-of-RIB, MP-only) is never split. Pass
+    [attrs_size] (the byte length of the encoded attribute block) when
+    the caller already holds the pre-encoded block, skipping a
+    re-encode. *)
 
 val encode : ?params:params -> Msg.t -> string
 (** Serialize one message, including marker and length header. *)
+
+val encode_attrs_block : ?params:params -> Attr.set -> string
+(** The UPDATE path-attribute block alone (sorted, wire-encoded, no
+    length prefix) — the unit the export lane's wire cache stores once
+    per facing attribute set and splices into every packed message. *)
+
+val encode_update_spliced :
+  ?params:params -> attrs_block:string -> Msg.update -> string
+(** Serialize one UPDATE around a pre-encoded attribute block.
+    [attrs_block] must be [encode_attrs_block ~params u.attrs]; the
+    update's own [attrs] field is ignored. Byte-identical to
+    [encode ~params (Msg.Update u)]. *)
 
 val decode_exn : ?params:params -> string -> Msg.t
 (** Decode exactly one message. Raises {!Decode_error} (or

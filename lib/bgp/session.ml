@@ -348,6 +348,18 @@ let rec send_update t (u : Msg.update) =
     end
   end
 
+and send_encoded t (u : Msg.update) bytes =
+  if not (established t) then
+    invalid_arg "Session.send_encoded: not established";
+  if t.config.mrai <= 0. then begin
+    t.updates_out <- t.updates_out + 1;
+    t.transport.send bytes
+  end
+  else
+    (* MRAI buffering re-encodes at flush time; the pre-encoded bytes are
+       dropped so the queue-drain path stays identical to [send_update]. *)
+    send_update t u
+
 and flush_mrai t =
   t.mrai_armed <- false;
   t.cancel_mrai <- ignore;

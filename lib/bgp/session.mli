@@ -137,5 +137,13 @@ val send_update : t -> Msg.update -> unit
 (** Raises [Invalid_argument] unless established. Buffered when an MRAI is
     configured. *)
 
+val send_encoded : t -> Msg.update -> string -> unit
+(** [send_encoded t u bytes] sends an UPDATE whose wire bytes the caller
+    already encoded — the export lane's encode-once path. [bytes] must
+    be [Codec.encode ~params:(send_params t) (Msg.Update u)]; [u] rides
+    along so MRAI buffering (which re-encodes at flush time) stays
+    identical to {!send_update}. Raises [Invalid_argument] unless
+    established. *)
+
 val send_route_refresh : ?afi:int -> ?safi:int -> t -> unit
 (** Ask the peer to resend its Adj-RIB-Out (RFC 2918). *)

@@ -93,148 +93,92 @@ let neighbor_facing_attrs t attrs =
   |> Attr.with_next_hop t.primary_ip
   |> Attr.remove_code 5 (* LOCAL_PREF is iBGP-only *)
 
-(* The variants of [variants] that neighbor [ns] is allowed to hear:
+(* The variants a neighbor with [export_id] is allowed to hear:
    export-control tags plus the well-known NO_EXPORT (RFC 1997), which
-   keeps a route inside the platform. *)
-let allowed_for_neighbor t (ns : neighbor_state) variants =
-  let ctl_asn = control_asn t in
+   keeps a route inside the platform. Pure (handles are immutable and
+   [ctl_asn] is pre-resolved), so the export lane may run it from any
+   worker domain. *)
+let allowed_variants ~ctl_asn ~export_id variants =
   List.filter
     (fun h ->
       let communities = Attr.communities (Attr_arena.set h) in
       (not (List.exists (Community.equal Community.no_export) communities))
-      && Export_control.allows ~ctl_asn ~export_id:ns.export_id communities)
+      && Export_control.allows ~ctl_asn ~export_id communities)
     variants
 
-(* -- update-group flush context --------------------------------------------- *)
+let allowed_for_neighbor t (ns : neighbor_state) variants =
+  allowed_variants ~ctl_asn:(control_asn t) ~export_id:ns.export_id variants
+
+(* -- the v4 export flush through the lane pool ------------------------------- *)
 
 (* The neighbors selecting a given variant form an update-group in the
    FRR sense: they share capabilities and next-hop treatment, so the
    neighbor-facing attribute set is a function of the variant alone.
-   One flush computes each facing set once ([facing_cache], keyed by the
-   variant's arena id) and fans the result out; what stays per-neighbor
-   is only the export-control filter and the Adj-RIB-Out delta.
+   One flush computes each facing set once per lane (deduplicated across
+   lanes for the [reexport_computations] counter) and encodes its wire
+   attribute block once, splicing it into every packed message; what
+   stays per-neighbor is only the export-control filter, the Adj-RIB-Out
+   delta, and the message framing.
 
-   Deltas accumulate in per-neighbor buffers: withdrawals in one list,
-   announcements bucketed by interned facing set. At the end of the
-   flush each bucket leaves as a single multi-NLRI UPDATE (split at the
-   4096-byte RFC 4271 boundary by the send helper). *)
+   The whole flush — sequential (the default, one inline lane) or
+   parallel ([?parallel_export:n]) — runs through [Export_pool]: the
+   coordinator snapshots the variants of every dirty prefix, captures a
+   target per real neighbor (pre-resolving its Adj-RIB-Out so the lazy
+   creation never races), and the lanes run the delta + packing +
+   encoding; [consume] then replays the staged sends in neighbor-id
+   order and folds the counters, so the two paths are byte-identical on
+   the wire. *)
 
-type pending = {
-  mutable pend_withdrawn : Msg.nlri list;  (* reversed *)
-  pend_groups : (int, Attr_arena.handle * Msg.nlri list ref) Hashtbl.t;
-  mutable pend_order : int list;  (* facing arena ids, reversed first-seen *)
-}
-
-type flush_ctx = {
-  facing_cache : (int, Attr_arena.handle) Hashtbl.t;
-      (* variant arena id -> interned neighbor-facing set *)
-  by_neighbor : (int, pending) Hashtbl.t;
-}
-
-let flush_ctx_create () =
-  { facing_cache = Hashtbl.create 16; by_neighbor = Hashtbl.create 16 }
-
-let pending_for ctx (ns : neighbor_state) =
-  let id = ns.info.Neighbor.id in
-  match Hashtbl.find_opt ctx.by_neighbor id with
-  | Some p -> p
-  | None ->
-      let p =
-        {
-          pend_withdrawn = [];
-          pend_groups = Hashtbl.create 4;
-          pend_order = [];
-        }
-      in
-      Hashtbl.replace ctx.by_neighbor id p;
-      p
-
-let pending_announce p facing prefix =
-  let fid = Attr_arena.id facing in
-  match Hashtbl.find_opt p.pend_groups fid with
-  | Some (_, nlris) -> nlris := Msg.nlri prefix :: !nlris
-  | None ->
-      Hashtbl.replace p.pend_groups fid (facing, ref [ Msg.nlri prefix ]);
-      p.pend_order <- fid :: p.pend_order
-
-(* The neighbor-facing set for variant [v], computed at most once per
-   flush. Cache misses are the real attribute-set computations — the
-   [reexport_computations] counter counts exactly those. *)
-let facing_for t ctx v =
-  let vid = Attr_arena.id v in
-  match Hashtbl.find_opt ctx.facing_cache vid with
-  | Some f -> f
-  | None ->
-      t.counters.reexport_computations <-
-        t.counters.reexport_computations + 1;
-      let f = Attr_arena.intern (neighbor_facing_attrs t (Attr_arena.set v)) in
-      Hashtbl.replace ctx.facing_cache vid f;
-      f
-
-(* Recompute what neighbor [ns] should currently hear for [prefix] among
-   [variants], and buffer the delta against its Adj-RIB-Out. *)
-let reexport_prefix_to_neighbor t ctx (ns : neighbor_state) ~variants prefix =
-  match ns.info.Neighbor.kind with
-  | Neighbor.Backbone_alias _ -> ()
-  | _ -> (
-      let allowed = allowed_for_neighbor t ns variants in
-      let out = adj_out_table t ns.info.Neighbor.id in
-      let previously = Hashtbl.find_opt out prefix in
-      match (allowed, previously) with
-      | [], None -> ()
-      | [], Some _ ->
-          Hashtbl.remove out prefix;
-          let p = pending_for ctx ns in
-          p.pend_withdrawn <- Msg.nlri prefix :: p.pend_withdrawn;
-          log t "withdraw %a from neighbor %d" Prefix.pp prefix
-            ns.info.Neighbor.id
-      | v :: _, _ ->
-          let facing = facing_for t ctx v in
-          let changed =
-            match previously with
-            | Some old -> not (Attr_arena.equal old facing)
-            | None -> true
-          in
-          if changed then begin
-            Hashtbl.replace out prefix facing;
-            pending_announce (pending_for ctx ns) facing prefix;
-            log t "announce %a to neighbor %d" Prefix.pp prefix
-              ns.info.Neighbor.id
-          end)
-
-(* Drain a flush context: per neighbor (deterministic id order), one
-   packed withdraw UPDATE, then one packed UPDATE per facing group in
-   first-seen order. *)
-let send_pending t ctx =
-  Hashtbl.fold (fun id p acc -> (id, p) :: acc) ctx.by_neighbor []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  |> List.iter (fun (id, p) ->
-         match neighbor t id with
-         | None -> ()
-         | Some ns ->
-             (match p.pend_withdrawn with
-             | [] -> ()
-             | withdrawn ->
-                 send_update_to_neighbor t ns
-                   (Msg.update ~withdrawn:(List.rev withdrawn) ()));
-             List.iter
-               (fun fid ->
-                 match Hashtbl.find_opt p.pend_groups fid with
-                 | None -> ()
-                 | Some (facing, nlris) ->
-                     send_update_to_neighbor t ns
-                       (Msg.update ~attrs:(Attr_arena.set facing)
-                          ~announced:(List.rev !nlris) ()))
-               (List.rev p.pend_order))
-
-(* Recompute [prefix] for every real neighbor. Variants are computed once
-   and shared across neighbors; only the export-control filter and the
-   Adj-RIB-Out delta are per neighbor. *)
-let reexport_prefix_into t ctx prefix =
-  let variants = variants_for_prefix t prefix in
-  List.iter
-    (fun ns -> reexport_prefix_to_neighbor t ctx ns ~variants prefix)
-    (real_neighbors t)
+let flush_v4 t prefixes =
+  let ctl_asn = control_asn t in
+  let snapshot =
+    Array.of_list (List.map (fun p -> (p, variants_for_prefix t p)) prefixes)
+  in
+  let targets =
+    List.filter_map
+      (fun (ns : neighbor_state) ->
+        match ns.info.Neighbor.kind with
+        | Neighbor.Backbone_alias _ -> None
+        | _ ->
+            Some
+              {
+                Export_pool.xt_id = ns.info.Neighbor.id;
+                xt_export_id = ns.export_id;
+                xt_out = adj_out_table t ns.info.Neighbor.id;
+                xt_params =
+                  (match ns.session with
+                  | Some s when Session.established s ->
+                      Some (Session.send_params s)
+                  | _ -> None);
+              })
+      (real_neighbors t)
+  in
+  Export_pool.flush t.export_pool ~prefixes:snapshot ~targets
+    ~allowed:(fun ~export_id variants ->
+      allowed_variants ~ctl_asn ~export_id variants)
+    ~facing:(fun v ->
+      Attr_arena.intern (neighbor_facing_attrs t (Attr_arena.set v)))
+    ~log:(fun ~announce nid prefix ->
+      if announce then log t "announce %a to neighbor %d" Prefix.pp prefix nid
+      else log t "withdraw %a from neighbor %d" Prefix.pp prefix nid)
+    ();
+  Export_pool.consume t.export_pool
+    ~send:(fun ~nid ~update ~bytes ->
+      (* Messages and NLRI are accounted per wire message, exactly as
+         the pre-lane flush did per split piece. *)
+      match neighbor t nid with
+      | Some { session = Some s; _ } when Session.established s ->
+          t.counters.updates_to_neighbors <-
+            t.counters.updates_to_neighbors + 1;
+          t.counters.nlri_to_neighbors <-
+            t.counters.nlri_to_neighbors
+            + List.length update.Msg.announced
+            + List.length update.Msg.withdrawn;
+          Session.send_encoded s update bytes;
+          true
+      | _ -> false)
+    ~computations:(fun n ->
+      t.counters.reexport_computations <- t.counters.reexport_computations + n)
 
 (* -- IPv6 (MP-BGP) experiment announcements: control plane only ----------- *)
 
@@ -254,17 +198,25 @@ type pending_v6 = {
 
 let mp_chunk_size = 256
 
-let rec chunked l n =
-  if l = [] then []
-  else begin
-    let rec take acc k = function
-      | rest when k = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (x :: acc) (k - 1) rest
-    in
-    let chunk, rest = take [] n l in
-    chunk :: chunked rest n
-  end
+(* Split [l] into chunks of at most [n]. Tail-recursive in the chunk
+   list: a full-table v6 withdraw storm hands this a few hundred
+   thousand NLRIs, and the previous [chunk :: chunked rest n] recursion
+   (one stack frame per chunk) was a stack-overflow risk. *)
+let chunked l n =
+  if n <= 0 then invalid_arg "Control_out.chunked: chunk size must be > 0";
+  let rec take acc k rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | _ when k = 0 -> (List.rev acc, rest)
+    | x :: tl -> take (x :: acc) (k - 1) tl
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let chunk, rest = take [] n rest in
+        go (chunk :: acc) rest
+  in
+  go [] l
 
 let flush_v6 t prefixes =
   let facing_cache = Hashtbl.create 8 in
@@ -355,12 +307,12 @@ let flush_reexports t =
   if Hashtbl.length t.dirty > 0 then begin
     let v4 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
     Hashtbl.reset t.dirty;
-    (* One update-group context spans the whole batch: facing sets are
-       computed once per variant across all dirty prefixes, and each
-       neighbor receives the batch as packed multi-NLRI UPDATEs. *)
-    let ctx = flush_ctx_create () in
-    List.iter (reexport_prefix_into t ctx) (List.sort Prefix.compare v4);
-    send_pending t ctx
+    (* One flush spans the whole batch: facing sets and their wire
+       attribute blocks are computed once per variant across all dirty
+       prefixes, and each neighbor receives the batch as packed
+       multi-NLRI UPDATEs — fanned across the export lanes when the
+       router was created with [?parallel_export:n > 1]. *)
+    flush_v4 t (List.sort Prefix.compare v4)
   end;
   if Hashtbl.length t.dirty_v6 > 0 then begin
     let v6 = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty_v6 [] in

@@ -28,6 +28,12 @@ val neighbor_facing_attrs : Router_state.t -> Attr.set -> Attr.set
 (** Attributes as announced to a real eBGP neighbor: platform ASN
     prepended, next hop rewritten, control communities stripped. *)
 
+val chunked : 'a list -> int -> 'a list list
+(** Split a list into chunks of at most [n] elements, preserving order
+    (the v6 MP-attribute packer's helper). Tail-recursive — a full-table
+    withdraw sweep chunks hundreds of thousands of NLRIs — and raises
+    [Invalid_argument] when [n <= 0]. *)
+
 val request_reexport : Router_state.t -> Prefix.t -> unit
 (** Mark an IPv4 prefix dirty and schedule a flush at the current engine
     tick (no-op if one is already scheduled). *)

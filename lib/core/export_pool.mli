@@ -1,0 +1,110 @@
+(** The parallel Control_out export lane: N OCaml 5 worker domains, each
+    owning the export-control filtering, Adj-RIB-Out delta, multi-NLRI
+    packing, and wire encoding for a fixed subset of neighbors, with the
+    staged sends replayed by the single writer.
+
+    Protocol: {!flush} hash-partitions the neighbor targets across the
+    lanes ({!domain_of_neighbor} — deterministic, so each Adj-RIB-Out is
+    single-writer by construction), publishes the coordinator-computed
+    dirty-prefix snapshot plus the filter/facing closures, wakes the
+    persistent parked workers, and blocks until all are done (the
+    done-handshake is the happens-before edge publishing every worker
+    write); {!consume} replays the fully encoded staged messages on the
+    coordinator in neighbor-id order through the caller's send sink and
+    folds the deduplicated facing/block novelty counts. The control
+    plane must be quiesced during a flush; workers only ever run
+    concurrently with each other.
+
+    Each worker runs the same per-(prefix, neighbor) delta loop as the
+    sequential flush and encodes its own messages: one attribute block
+    per facing set per lane per flush ({!Codec.encode_attrs_block}),
+    spliced into every packed message ({!Codec.encode_update_spliced}) —
+    the encode-once wire cache. The parallel-vs-sequential differential
+    suite pins adj-out fingerprints, exact counters, and per-neighbor
+    wire-byte transcripts, whatever the lane interleaving. *)
+
+open Netcore
+open Bgp
+
+val domain_of_neighbor : workers:int -> int -> int
+(** The home lane of a neighbor id — deterministic; the same mix as
+    {!Ingest_pool.domain_of_neighbor}. *)
+
+(** Per-flush view of one neighbor, captured from live router state by
+    the coordinator immediately before the workers run. [xt_out] is the
+    live Adj-RIB-Out table (resolved up front so its lazy creation never
+    races); only the owning worker touches it during the flush.
+    [xt_params] is [Some] of the session's negotiated encoding
+    parameters iff it is established — [None] suppresses packing while
+    the Adj-RIB-Out delta still applies, exactly as on the sequential
+    path. *)
+type target = {
+  xt_id : int;
+  xt_export_id : int;
+  xt_out : (Prefix.t, Attr_arena.handle) Hashtbl.t;
+  xt_params : Codec.params option;
+}
+
+type t
+
+val create : workers:int -> unit -> t
+(** A pool of [workers] export lanes (>= 1). No domain is spawned until
+    a multi-worker {!flush}; a 1-worker pool runs everything inline on
+    the coordinator. *)
+
+val worker_count : t -> int
+
+val flush :
+  t ->
+  prefixes:(Prefix.t * Attr_arena.handle list) array ->
+  targets:target list ->
+  allowed:(export_id:int -> Attr_arena.handle list -> Attr_arena.handle list) ->
+  facing:(Attr_arena.handle -> Attr_arena.handle) ->
+  ?log:(announce:bool -> int -> Prefix.t -> unit) ->
+  unit ->
+  unit
+(** Run one export flush over the sorted dirty-prefix snapshot
+    [prefixes]. The closures run on worker domains: [allowed] must be
+    pure (it filters a prefix's variants down to what one neighbor may
+    hear) and [facing] may only touch domain-safe state (it interns the
+    neighbor-facing set through the striped arena). [log] is the
+    per-delta trace hook, retained only when [workers = 1] — tracing is
+    not domain-safe, so multi-lane flushes skip trace lines (a
+    trace-only divergence the fingerprints never see). The caller must
+    not mutate router state during the call. *)
+
+val consume :
+  t ->
+  send:(nid:int -> update:Msg.update -> bytes:string -> bool) ->
+  computations:(int -> unit) ->
+  unit
+(** Replay the flush's staged sends into the caller's sink and clear
+    them: [send] per fully encoded message in neighbor-id order (stable
+    across lanes; per-neighbor FIFO), returning whether the bytes went
+    out (counted into [wire_bytes_out]); then one [computations] call
+    with the cross-lane deduplicated count of facing sets computed —
+    exactly the sequential flush's facing-cache misses. Call after
+    {!flush} returns. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains. Idempotent; the next multi-worker
+    {!flush} respawns workers transparently. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  wire_cache_hits : int;
+      (** announce messages spliced from an already-encoded attribute
+          block (cross-lane deduplicated, like the misses) *)
+  wire_cache_misses : int;
+      (** distinct (facing set, params) attribute blocks encoded *)
+  wire_bytes_out : int;  (** wire bytes handed to established sessions *)
+  staged_residual : int;
+      (** staged messages not yet consumed — 0 after every
+          flush+consume cycle (gated in the export-par bench) *)
+  lane_depth_max : int array;
+      (** per-lane target-queue high-water mark over the pool's lifetime
+          (index 0 = coordinator lane) *)
+}
+
+val stats : t -> stats

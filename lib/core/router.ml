@@ -108,6 +108,22 @@ let ingest_stats t =
   | Some pool -> Ingest_pool.stats pool
   | None -> Ingest_pool.zero_stats
 
+(* -- parallel export lane ----------------------------------------------------- *)
+
+let parallel_export t = t.Router_state.parallel_export
+
+type export_stats = Export_pool.stats = {
+  wire_cache_hits : int;
+  wire_cache_misses : int;
+  wire_bytes_out : int;
+  staged_residual : int;
+  lane_depth_max : int array;
+}
+
+(* Meaningful on every router: the single-lane pool is the sequential
+   flush path itself, so the encode-once wire cache is always live. *)
+let export_stats t = Export_pool.stats t.Router_state.export_pool
+
 (* -- data plane ------------------------------------------------------------- *)
 
 let inject_from_neighbor = Data_plane.inject_from_neighbor
@@ -124,9 +140,10 @@ let shutdown_domains t =
   (match t.Router_state.pool with
   | Some pool -> Shard.shutdown pool
   | None -> ());
-  match t.Router_state.ingest_pool with
+  (match t.Router_state.ingest_pool with
   | Some pool -> Ingest_pool.shutdown pool
-  | None -> ()
+  | None -> ());
+  Export_pool.shutdown t.Router_state.export_pool
 
 (* -- wiring ----------------------------------------------------------------- *)
 

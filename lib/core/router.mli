@@ -84,6 +84,7 @@ val create :
   ?ingest_batching:bool ->
   ?domains:int ->
   ?parallel_ingest:int ->
+  ?parallel_export:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
@@ -110,7 +111,14 @@ val create :
     decode, attribute intern and Adj-RIB-In writes, reconciled into the
     single-writer FIB/export pipeline at the tick boundary
     ({!Ingest_pool}); 1 keeps the sequential batched path, bit-identical,
-    and more than 1 requires [ingest_batching]. [seed] drives the
+    and more than 1 requires [ingest_batching]. [parallel_export]
+    (default 1) hash-partitions the dirty-prefix flush toward neighbors
+    ({!flush_reexports}) across that many export lanes — each owning its
+    neighbors' export-control filtering, Adj-RIB-Out delta, multi-NLRI
+    packing, and wire encoding against a read-only per-flush snapshot,
+    with the staged messages replayed by the single writer
+    ({!Export_pool}); 1 keeps the sequential flush, byte-identical on
+    the wire. [seed] drives the
     router's deterministic RNG (reconnect jitter); [gr_restart_time] is
     the graceful-restart window it advertises (RFC 4724) — 0 disables
     graceful restart. *)
@@ -233,6 +241,29 @@ type ingest_stats = Ingest_pool.stats = {
 val ingest_stats : t -> ingest_stats
 (** All-zero (empty array) on a sequential-ingest router. *)
 
+val parallel_export : t -> int
+(** The router's export-lane count (1 = sequential flush). *)
+
+type export_stats = Export_pool.stats = {
+  wire_cache_hits : int;
+      (** announce messages spliced from an already-encoded attribute
+          block (the encode-once wire cache; cross-lane deduplicated) *)
+  wire_cache_misses : int;
+      (** distinct (facing set, params) attribute blocks encoded *)
+  wire_bytes_out : int;
+      (** UPDATE wire bytes handed to established neighbor sessions *)
+  staged_residual : int;
+      (** staged messages not yet replayed — always 0 after
+          {!flush_reexports} returns (gated in the export-par bench) *)
+  lane_depth_max : int array;
+      (** per-lane target-queue high-water mark (index 0 = coordinator) *)
+}
+
+val export_stats : t -> export_stats
+(** Live on every router: the single-lane pool {e is} the sequential
+    flush path, so the wire cache accumulates regardless of
+    [?parallel_export]. *)
+
 val flush_reexports : t -> unit
 (** Drain the batched-ingest queue (neighbor/mesh routes toward
     experiments and the mesh) and the dirty-prefix re-export queue
@@ -270,13 +301,14 @@ val shard_queue_depth_max : t -> int array
     speedup-floor failures are diagnosable from the JSON alone. *)
 
 val shutdown_domains : t -> unit
-(** Join the router's parked worker domains — both the sharded data
-    plane's and the parallel ingest lane's (each live domain counts
-    against the OCaml runtime's domain limit, so tests and benchmarks
-    churning many [?domains]/[?parallel_ingest] routers should release
-    them). Idempotent, a no-op on sequential routers, and transparent:
-    the next parallel batch respawns workers with all state (caches,
-    counters, shaper replicas) intact. *)
+(** Join the router's parked worker domains — the sharded data plane's,
+    the parallel ingest lane's, and the parallel export lane's (each
+    live domain counts against the OCaml runtime's domain limit, so
+    tests and benchmarks churning many
+    [?domains]/[?parallel_ingest]/[?parallel_export] routers should
+    release them). Idempotent, a no-op on sequential routers, and
+    transparent: the next parallel batch respawns workers with all
+    state (caches, counters, shaper replicas) intact. *)
 
 (** {1 Wiring} *)
 

@@ -223,6 +223,13 @@ type t = {
           sequential batched path (the default, bit-identical) *)
   mutable ingest_pool : Ingest_pool.t option;
       (** the ingest worker pool when [parallel_ingest > 1] *)
+  parallel_export : int;
+      (** worker domains for the parallel export lane; 1 = the
+          sequential flush (the default, byte-identical on the wire) *)
+  export_pool : Export_pool.t;
+      (** always present: the single-lane pool is the sequential flush
+          path itself (inline on the coordinator), so the encode-once
+          wire cache and its stats are live on every router *)
   mutable shard_fp : int list;
       (** fingerprint of the control state captured by the last published
           snapshot; a publication happens only when it changes *)
@@ -238,13 +245,15 @@ let default_v6_next_hop = Ipv6.of_string_exn "2804:269c::1"
 let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
     ~primary_ip ?(v6_next_hop = default_v6_next_hop) ~local_pool ~global_pool
     ?control ?data ?(flow_cache = true) ?(ingest_batching = true)
-    ?(domains = 1) ?(parallel_ingest = 1) ?(seed = 42) ?(gr_restart_time = 120)
-    () =
+    ?(domains = 1) ?(parallel_ingest = 1) ?(parallel_export = 1) ?(seed = 42)
+    ?(gr_restart_time = 120) () =
   if domains < 1 then invalid_arg "Router.create: domains must be >= 1";
   if domains > 1 && not flow_cache then
     invalid_arg "Router.create: the sharded data plane requires the flow cache";
   if parallel_ingest < 1 then
     invalid_arg "Router.create: parallel_ingest must be >= 1";
+  if parallel_export < 1 then
+    invalid_arg "Router.create: parallel_export must be >= 1";
   if parallel_ingest > 1 && not ingest_batching then
     invalid_arg
       "Router.create: the parallel ingest lane requires batched ingest";
@@ -324,6 +333,8 @@ let create ~engine ?(trace = Trace.create ()) ~name ~asn ~router_id
       (if parallel_ingest > 1 then
          Some (Ingest_pool.create ~workers:parallel_ingest ())
        else None);
+    parallel_export;
+    export_pool = Export_pool.create ~workers:parallel_export ();
     shard_fp = [];
   }
 

@@ -191,6 +191,13 @@ type t = {
           sequential batched path (the default, bit-identical) *)
   mutable ingest_pool : Ingest_pool.t option;
       (** the ingest worker pool when [parallel_ingest > 1] *)
+  parallel_export : int;
+      (** worker domains for the parallel export lane; 1 = the
+          sequential flush (the default, byte-identical on the wire) *)
+  export_pool : Export_pool.t;
+      (** the export lane pool — always present: the single-lane pool is
+          the sequential flush path itself (encode-once wire cache and
+          stats stay live on every router) *)
   mutable shard_fp : int list;
       (** fingerprint of the control state captured by the last published
           snapshot (see {!shard_publish}) *)
@@ -219,12 +226,14 @@ val create :
   ?ingest_batching:bool ->
   ?domains:int ->
   ?parallel_ingest:int ->
+  ?parallel_export:int ->
   ?seed:int ->
   ?gr_restart_time:int ->
   unit ->
   t
 (** [parallel_ingest > 1] requires [ingest_batching] (the lane feeds the
-    per-tick dirty queue; there is no parallel eager path). *)
+    per-tick dirty queue; there is no parallel eager path).
+    [parallel_export] (>= 1) sizes the export lane pool. *)
 
 val shard_publish : t -> unit
 (** Publish a fresh control snapshot to the sharded data plane's worker

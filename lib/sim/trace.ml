@@ -15,11 +15,13 @@ let create ?(capacity = 10_000) () =
   { entries = []; count = 0; capacity; enabled = true }
 
 let set_enabled t enabled = t.enabled <- enabled
+let enabled t = t.enabled
 
 let record t ~time ~category fmt =
-  Format.kasprintf
-    (fun message ->
-      if t.enabled then begin
+  if not t.enabled then Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else
+    Format.kasprintf
+      (fun message -> begin
         t.entries <- { time; category; message } :: t.entries;
         t.count <- t.count + 1;
         if t.count > t.capacity then begin

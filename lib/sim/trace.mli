@@ -7,7 +7,12 @@ type entry = { time : float; category : string; message : string }
 type t
 
 val create : ?capacity:int -> unit -> t
+
 val set_enabled : t -> bool -> unit
+(** A disabled trace records nothing and skips message formatting
+    entirely, so hot paths may log unconditionally. *)
+
+val enabled : t -> bool
 
 val record :
   t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a

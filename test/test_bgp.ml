@@ -916,6 +916,84 @@ let prop_update_roundtrip =
       | Msg.Update u' -> update_equal u u'
       | _ -> false)
 
+(* Updates with heavyweight attribute payloads: community sets past the
+   255-byte extended-length boundary and large-community blocks, under
+   both encoding parameter variants. The attribute block is where the
+   encode-once wire cache operates, so these pin (1) the codec roundtrip
+   on exactly the attribute shapes experiments send, and (2) that
+   splicing a pre-encoded attribute block into a header + NLRI shell
+   ([Codec.encode_update_spliced]) produces the very bytes of a whole
+   [Codec.encode] — the equivalence the parallel export lane rests on. *)
+let arbitrary_heavy_update =
+  let gen_prefix =
+    QCheck.Gen.map
+      (fun (a, len) ->
+        pfx (Printf.sprintf "%d.%d.0.0/%d" (a mod 224) (a mod 256) len))
+      (QCheck.Gen.pair (QCheck.Gen.int_bound 223) (QCheck.Gen.int_range 8 24))
+  in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (quad (small_list gen_prefix) (small_list gen_prefix)
+           (int_range 0 80) (int_range 0 30))
+        (pair bool (int_range 1 5)))
+  in
+  QCheck.make
+    ~print:(fun ((u : Msg.update), (params : Codec.params)) ->
+      Printf.sprintf "withdrawn=%d announced=%d comms=%d larges=%d add_path=%b"
+        (List.length u.Msg.withdrawn)
+        (List.length u.Msg.announced)
+        (List.length (Attr.communities u.Msg.attrs))
+        (List.length (Attr.large_communities u.Msg.attrs))
+        params.Codec.add_path)
+    (QCheck.Gen.map
+       (fun ((withdrawn, announced, n_comms, n_larges), (add_path, path_len)) ->
+         let params = { Codec.add_path; as4 = true } in
+         let nlri p =
+           { Msg.prefix = p; path_id = (if add_path then Some 7 else None) }
+         in
+         let attrs =
+           if announced = [] then []
+           else
+             Attr.origin_attrs
+               ~as_path:
+                 (Aspath.of_asns (List.init path_len (fun i -> asn (70000 + i))))
+               ~next_hop:(ip "192.0.2.1") ()
+             |> Attr.with_communities
+                  (List.init n_comms (fun i -> Community.make 47065 i))
+             |> fun a ->
+             if n_larges = 0 then a
+             else
+               Attr.set_attr
+                 (Attr.Large_communities
+                    (List.init n_larges (fun i ->
+                         Large_community.make 47065 i 4000000000)))
+                 a
+         in
+         ( {
+             Msg.withdrawn = List.map nlri withdrawn;
+             attrs;
+             announced = List.map nlri announced;
+           },
+           params ))
+       gen)
+
+let prop_heavy_update_roundtrip =
+  QCheck.Test.make ~name:"heavy-attribute update codec roundtrip" ~count:200
+    arbitrary_heavy_update (fun (u, params) ->
+      match roundtrip ~params (Msg.Update u) with
+      | Msg.Update u' -> update_equal u u'
+      | _ -> false)
+
+let prop_attr_block_splice =
+  QCheck.Test.make
+    ~name:"spliced attr block equals whole-message encode" ~count:200
+    arbitrary_heavy_update (fun (u, params) ->
+      let block = Codec.encode_attrs_block ~params u.Msg.attrs in
+      String.equal
+        (Codec.encode_update_spliced ~params ~attrs_block:block u)
+        (Codec.encode ~params (Msg.Update u)))
+
 let prop_stream_chunking =
   QCheck.Test.make ~name:"stream decoding is chunking-invariant" ~count:100
     (QCheck.pair arbitrary_update (QCheck.int_range 1 40)) (fun (u, chunk) ->
@@ -1070,6 +1148,8 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_update_roundtrip;
+      prop_heavy_update_roundtrip;
+      prop_attr_block_splice;
       prop_stream_chunking;
       prop_decode_never_crashes;
       prop_bitflip_safe;
